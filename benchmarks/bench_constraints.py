@@ -1,0 +1,26 @@
+"""Experiment R3 — the four boundedness constraints (Section V).
+
+The paper: "We verified that PSM does satisfy the four conditions for
+bounded delay."  We benchmark the single-pass verification of all four
+on the case-study PSM and assert they hold; a second benchmark runs
+the progress (no deadlock/timelock) sanity scan.
+"""
+
+from repro.core.constraints import check_all_constraints, check_progress
+
+
+def bench_constraints_all_four(benchmark, psm):
+    report = benchmark.pedantic(
+        lambda: check_all_constraints(psm, min_interarrival_ms=2000),
+        rounds=1, iterations=1)
+    print()
+    print(report.summary())
+    assert report.all_hold
+    assert len(report.results) == 4
+
+
+def bench_constraints_progress(benchmark, psm):
+    result = benchmark.pedantic(
+        lambda: check_progress(psm),
+        rounds=1, iterations=1)
+    assert result.holds, result.detail

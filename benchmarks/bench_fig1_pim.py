@@ -1,0 +1,36 @@
+"""Experiments F1 + R1 — Fig. 1 (the PIM) and ``PIM ⊨ P(500)``.
+
+Rebuilds the platform-independent model of the infusion pump, renders
+it (the Fig. 1 artifact) and benchmarks the REQ1 model-checking query,
+asserting the paper's result: REQ1 holds on the PIM, and 500 ms is
+tight.
+"""
+
+from repro.apps.infusion import REQ1_DEADLINE_MS
+from repro.mc import check_bounded_response, max_response_delay
+from repro.ta.render import automaton_to_dot, network_summary
+
+
+def bench_fig1_verify_req1(benchmark, pim):
+    result = benchmark(
+        lambda: check_bounded_response(
+            pim.network, "m_BolusReq", "c_StartInfusion",
+            REQ1_DEADLINE_MS, trace=False))
+    assert result.holds
+
+
+def bench_fig1_req1_is_tight(benchmark, pim):
+    result = benchmark.pedantic(
+        lambda: max_response_delay(pim.network, "m_BolusReq",
+                                   "c_StartInfusion"),
+        rounds=1, iterations=1)
+    assert result.bounded and result.sup == REQ1_DEADLINE_MS
+
+
+def bench_fig1_render(benchmark, pim):
+    dot = benchmark(lambda: automaton_to_dot(pim.m))
+    # The Fig. 1 content: both automata with their synchronizations.
+    assert "m_BolusReq?" in dot
+    assert "c_StartInfusion!" in dot
+    print()
+    print(network_summary(pim.network))

@@ -1,0 +1,29 @@
+"""Experiment F2 — Fig. 2: implementation ↔ PSM block mapping.
+
+Benchmarks the PIM→PSM transformation itself (the paper's central
+algorithm) and regenerates the block diagram with the Definition-3
+component correspondence.
+"""
+
+from repro.analysis.blocks import render_blocks
+from repro.core.transform import transform
+
+
+def bench_fig2_transformation(benchmark, pim, scheme):
+    psm = benchmark(lambda: transform(pim, scheme))
+    roles = dict(psm.components())
+    # One interface automaton per boundary channel + MIO/EXEIO/ENVMC.
+    assert set(roles) == {
+        "MIO", "ENVMC", "EXEIO",
+        "IFMI[m_BolusReq]", "IFMI[m_EmptySyringe]",
+        "IFOC[c_Alarm]", "IFOC[c_StartInfusion]",
+        "IFOC[c_StopInfusion]",
+    }
+
+
+def bench_fig2_render(benchmark, psm):
+    text = benchmark(lambda: render_blocks(psm))
+    assert "Input-Device" in text and "Output-Device" in text
+    assert "PSM = MIO" in text
+    print()
+    print(text)

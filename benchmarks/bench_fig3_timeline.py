@@ -1,0 +1,33 @@
+"""Experiment F3 — Fig. 3: the mc/io-boundary interaction timeline.
+
+Re-creates the figure's scenario (three pulse inputs, five periodic
+invocations) under both read policies and asserts its crux: at the 4th
+invocation read-one consumes only i2 while read-all consumes i2 and
+i3 together; i1 is read at invocation 3 either way.
+"""
+
+from repro.analysis.timeline import fig3_scenario
+from repro.core.scheme import ReadPolicy
+
+
+def bench_fig3_read_all(benchmark):
+    result = benchmark(lambda: fig3_scenario(ReadPolicy.READ_ALL))
+    assert result.reads_per_invocation[3] == ["i1"]
+    assert result.reads_per_invocation[4] == ["i2", "i3"]
+    assert result.reads_per_invocation[5] == []
+    print()
+    print("Fig. 3 under read-all:")
+    print(result.rendered())
+
+
+def bench_fig3_read_one(benchmark):
+    result = benchmark(lambda: fig3_scenario(ReadPolicy.READ_ONE))
+    assert result.reads_per_invocation[3] == ["i1"]
+    assert result.reads_per_invocation[4] == ["i2"]
+    assert result.reads_per_invocation[5] == ["i3"]
+    print()
+    print("Fig. 3 under read-one:")
+    for invocation, reads in sorted(
+            result.reads_per_invocation.items()):
+        print(f"  invocation {invocation}: "
+              f"{', '.join(reads) if reads else 'Null'}")

@@ -1,0 +1,47 @@
+"""Experiment F5 — Fig. 5: the interface automata.
+
+Constructs ``IFMI_BolusReq`` and ``IFOC_StartInfusion`` via the
+transformation and asserts the figure's structure: an Idle/Processing
+two-state shape with the processed input ready within
+``[delay_min, delay_max]`` and the two buffer-insertion cases
+(space available / full).
+"""
+
+from repro.ta.render import automaton_to_dot
+
+
+def bench_fig5_ifmi(benchmark, psm):
+    ifmi_name = psm.ifmi["m_BolusReq"]
+    automaton = benchmark(
+        lambda: psm.network.automaton(ifmi_name))
+    # Case-study variant: the bolus input is polled, so the automaton
+    # adds the Wait/latch structure around the Fig. 5 core.
+    names = set(automaton.location_names())
+    assert "Processing" in names
+    guards = [str(e.guard) for e in automaton.edges]
+    # The two insertion cases of Fig. 5-(1).
+    assert any("cnt_i_BolusReq < 5" in g for g in guards)
+    assert any("cnt_i_BolusReq == 5" in g for g in guards)
+    print()
+    print(automaton_to_dot(automaton))
+
+
+def bench_fig5_ifmi_interrupt(benchmark, psm):
+    """The empty-syringe input uses the verbatim Fig. 5-(1) shape."""
+    automaton = psm.network.automaton(psm.ifmi["m_EmptySyringe"])
+    dot = benchmark(lambda: automaton_to_dot(automaton))
+    assert automaton.location_names() == ["Idle", "Processing"]
+    assert len(automaton.edges) == 3
+    assert "m_EmptySyringe?" in dot
+
+
+def bench_fig5_ifoc(benchmark, psm):
+    automaton = psm.network.automaton(psm.ifoc["c_StartInfusion"])
+    dot = benchmark(lambda: automaton_to_dot(automaton))
+    assert "c_StartInfusion!" in dot
+    # Processing window from the output spec (15..430 ms).
+    invariants = [str(c) for loc in automaton.locations
+                  for c in loc.invariant]
+    assert any("<= 430" in inv for inv in invariants)
+    guards = [str(e.guard) for e in automaton.edges]
+    assert any(">= 15" in g for g in guards)

@@ -1,0 +1,43 @@
+"""Experiment S1 — engineering: model-checker scaling.
+
+Zone-graph size and wall time as the PSM grows (buffer capacity and
+invocation period granularity).  No paper counterpart — this
+characterizes the verification substrate itself, as a real release
+would.
+"""
+
+from repro.core.transform import transform
+from repro.mc.queries import zone_graph_stats
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+def bench_s1_zone_graph_tiny(benchmark):
+    psm = transform(build_tiny_pim(), build_tiny_scheme())
+    stats = benchmark(lambda: zone_graph_stats(psm.network))
+    assert stats.states > 0
+    print(f"\ntiny PSM: {stats}")
+
+
+def bench_s1_buffer_size_scaling(benchmark):
+    def sweep():
+        sizes = {}
+        for capacity in (1, 2, 4):
+            psm = transform(build_tiny_pim(),
+                            build_tiny_scheme(buffer_size=capacity))
+            sizes[capacity] = zone_graph_stats(psm.network).states
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nzone-graph states by buffer capacity: {sizes}")
+    # With a single-outstanding-request environment the graph should
+    # not blow up with capacity (occupancy never exceeds one).
+    assert sizes[4] <= 2 * sizes[1]
+
+
+def bench_s1_case_study_psm(benchmark, psm):
+    stats = benchmark.pedantic(
+        lambda: zone_graph_stats(psm.network),
+        rounds=1, iterations=1)
+    print(f"\ncase-study PSM: {stats}")
+    assert stats.states > 1_000

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Heavy artifacts (the case-study PIM/PSM) are built once per session;
+every benchmark that reproduces a paper artifact also *asserts* the
+paper's qualitative claim, so ``pytest benchmarks/ --benchmark-only``
+doubles as the experiment regression suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.infusion import build_infusion_pim
+from repro.apps.schemes import case_study_scheme
+from repro.core.transform import transform
+
+
+@pytest.fixture(scope="session")
+def pim():
+    return build_infusion_pim()
+
+
+@pytest.fixture(scope="session")
+def scheme():
+    return case_study_scheme()
+
+
+@pytest.fixture(scope="session")
+def psm(pim, scheme):
+    return transform(pim, scheme)

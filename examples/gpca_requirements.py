@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""GPCA requirement catalog: the framework beyond a single deadline.
+
+The paper's case-study platform is the GPCA reference pump; its safety
+requirements document lists many bounded-response properties.  This
+example runs the framework once per requirement on the extended GPCA
+model:
+
+* verify each requirement on the PIM,
+* transform against an IS1-style platform,
+* derive each requirement's own relaxed bound Δ' (the internal delay
+  differs per input/output pair!),
+* show each PIM deadline breaks on the platform while its relaxed
+  bound verifies.
+
+Run:  python examples/gpca_requirements.py
+"""
+
+from repro.apps.gpca import (
+    GPCA_INPUTS,
+    GPCA_OUTPUTS,
+    GPCA_REQUIREMENTS,
+    build_gpca_pim,
+)
+from repro.core.constraints import check_all_constraints
+from repro.core.delays import derive_bounds
+from repro.core.scheme import example_is1
+from repro.core.transform import transform
+from repro.mc import check_bounded_response
+
+
+def main() -> None:
+    pim = build_gpca_pim()
+    scheme = example_is1(GPCA_INPUTS, GPCA_OUTPUTS, buffer_size=3,
+                         period=50)
+    psm = transform(pim, scheme)
+
+    print("constraints on the GPCA PSM:")
+    report = check_all_constraints(psm)
+    for result in report.results:
+        print(f"  {result.summary()[:76]}")
+    assert report.all_hold
+
+    print()
+    print(f"{'requirement':<26} {'PIM':>5} {'Δ':>6} {'Δ_mi':>5} "
+          f"{'Δ_oc':>5} {'Δ_int':>6} {'Δ_rel':>6} {'PSM@Δ':>6} "
+          f"{'PSM@Δ_rel':>9}")
+    print("-" * 82)
+    for req in GPCA_REQUIREMENTS:
+        pim_result = req.check(pim.network)
+        bounds = derive_bounds(pim, scheme, req.trigger, req.response)
+        on_platform = check_bounded_response(
+            psm.network, req.trigger, req.response, req.deadline_ms,
+            trace=False)
+        relaxed = check_bounded_response(
+            psm.network, req.trigger, req.response, bounds.relaxed,
+            trace=False)
+        print(f"{req.name:<26} "
+              f"{'ok' if pim_result.holds else 'FAIL':>5} "
+              f"{req.deadline_ms:>4}ms {bounds.input_bound:>4} "
+              f"{bounds.output_bound:>4} {bounds.internal_bound:>5} "
+              f"{bounds.relaxed:>5} "
+              f"{'ok' if on_platform.holds else 'no':>6} "
+              f"{'ok' if relaxed.holds else 'FAIL':>9}")
+
+    print()
+    print("Reading: every requirement holds on the PIM, none survives "
+          "the platform at its original deadline,")
+    print("and each one's Lemma-2 relaxed bound verifies on the PSM — "
+          "Theorem 1, per requirement.")
+
+
+if __name__ == "__main__":
+    main()

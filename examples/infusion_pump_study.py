@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The full Section-VI case study: regenerate Table I.
+
+Verifies REQ1 on the infusion-pump PIM, transforms it against the
+case-study platform (IS1 with a polled bolus input), checks the four
+boundedness constraints, derives the relaxed bound Δ'_mc = 1430 ms,
+and measures 60 simulated bolus-request trials — printing the
+reproduced Table I at the end.
+
+Run:  python examples/infusion_pump_study.py [--trials N] [--seed S]
+
+Expect a few minutes: the PSM's zone graph has tens of thousands of
+symbolic states and is explored several times.
+"""
+
+import argparse
+import time
+
+from repro.analysis.table1 import run_case_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Infusion-pump case study (Table I)")
+    parser.add_argument("--trials", type=int, default=60,
+                        help="number of bolus-request scenarios")
+    parser.add_argument("--seed", type=int, default=2015,
+                        help="simulation seed")
+    parser.add_argument("--suprema", action="store_true",
+                        help="also model-check the exact PSM delay "
+                             "suprema (slower)")
+    args = parser.parse_args()
+
+    started = time.time()
+    table = run_case_study(trials=args.trials, seed=args.seed,
+                           measure_suprema=args.suprema)
+    elapsed = time.time() - started
+
+    print(table.render())
+    print()
+    print(table.report.summary())
+    print(f"\ncompleted in {elapsed:.0f}s")
+
+    if not table.shape_holds:
+        raise SystemExit(
+            "reproduction FAILED: a measured delay exceeded its "
+            "verified bound")
+    print("\nreproduction OK: every measured delay is bounded by the "
+          "verified bound, as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` on environments whose setuptools predates
+PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — Platform-Specific Timing Verification Framework.
+
+A reproduction of Kim, Feng, Phan, Sokolsky & Lee, *"Platform-Specific
+Timing Verification Framework in Model-Based Implementation"*,
+DATE 2015.
+
+The package layers, bottom to top:
+
+* :mod:`repro.zones` — difference bound matrices (zone algebra)
+* :mod:`repro.ta` — timed-automata modeling language (UPPAAL subset)
+* :mod:`repro.mc` — zone-based model checker (reachability, sup
+  queries, bounded leads-to)
+* :mod:`repro.codegen` — TIMES-like code generation from verified
+  models
+* :mod:`repro.sim` / :mod:`repro.platforms` / :mod:`repro.envs` —
+  discrete-event platform simulator (the "implementation")
+* :mod:`repro.core` — the paper's contribution: implementation
+  schemes, the PIM→PSM transformation and the delay-bound analysis
+* :mod:`repro.apps` — the infusion-pump case study
+* :mod:`repro.analysis` — delay statistics and report/figure renderers
+
+Quickstart::
+
+    from repro.apps import build_infusion_pim, case_study_scheme
+    from repro.core import TimingVerificationFramework
+
+    fw = TimingVerificationFramework()
+    report = fw.verify(build_infusion_pim(), case_study_scheme(),
+                       input_channel="m_BolusReq",
+                       output_channel="c_StartInfusion",
+                       deadline_ms=500)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Analysis layer: delay extraction, statistics, tables, figures."""
+
+from repro.analysis.blocks import render_blocks
+from repro.analysis.delays import RequestTiming, pair_requests
+from repro.analysis.stats import DelayStats, summarize
+from repro.analysis.table1 import (
+    MeasuredDelays,
+    Table1,
+    run_case_study,
+    simulate_trials,
+)
+from repro.analysis.timeline import Fig3Result, fig3_scenario, \
+    render_timeline
+
+__all__ = [
+    "DelayStats",
+    "Fig3Result",
+    "MeasuredDelays",
+    "RequestTiming",
+    "Table1",
+    "fig3_scenario",
+    "pair_requests",
+    "render_blocks",
+    "render_timeline",
+    "run_case_study",
+    "simulate_trials",
+    "summarize",
+]

@@ -1,0 +1,104 @@
+"""Delay extraction from simulation traces (the oscilloscope analysis).
+
+Section V defines the three delays of interest for an input/output
+pair ``(m, c)``:
+
+* **M-C delay**  ``Δmc = t_c − t_m`` — environment edge to actuation,
+* **Input-Delay** ``Δmi = t_i − t_m`` — environment edge to the
+  instant ``Code(PIM)`` reads the processed input,
+* **Output-Delay** ``Δoc = t_c − t_o`` — code writing the output to
+  the instant the environment observes it.
+
+The trace tags requests end-to-end on the input side (``m`` →
+``i_read`` keep the request tag) and outputs on the output side
+(``o_write`` → ``c`` keep the output id).  Requests are matched to
+outputs FIFO — the k-th request the code *consumed* is paired with the
+k-th output the code *wrote* on the response channel.  This mirrors
+how oscilloscope edges are paired in the paper and is exact whenever
+each consumed request produces exactly one response (the REQ1
+protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["RequestTiming", "pair_requests"]
+
+
+@dataclass
+class RequestTiming:
+    """Per-request boundary timestamps (ms) and derived delays."""
+
+    tag: int
+    t_m: float
+    t_i_read: float | None = None
+    t_o_write: float | None = None
+    t_c: float | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.t_c is not None
+
+    @property
+    def input_delay(self) -> float | None:
+        if self.t_i_read is None:
+            return None
+        return self.t_i_read - self.t_m
+
+    @property
+    def output_delay(self) -> float | None:
+        if self.t_c is None or self.t_o_write is None:
+            return None
+        return self.t_c - self.t_o_write
+
+    @property
+    def mc_delay(self) -> float | None:
+        if self.t_c is None:
+            return None
+        return self.t_c - self.t_m
+
+    def __str__(self) -> str:
+        def fmt(value: float | None) -> str:
+            return f"{value:8.2f}" if value is not None else "      --"
+
+        return (f"req #{self.tag}: m={self.t_m:9.2f} "
+                f"Δmi={fmt(self.input_delay)} "
+                f"Δoc={fmt(self.output_delay)} "
+                f"Δmc={fmt(self.mc_delay)}")
+
+
+def pair_requests(trace: TraceRecorder, input_channel: str,
+                  output_channel: str) -> list[RequestTiming]:
+    """Reconstruct per-request timings for one (m, c) pair."""
+    requests: dict[int, RequestTiming] = {}
+    order: list[int] = []
+    for event in trace.events(kind="m", channel=input_channel):
+        if event.tag is None:
+            continue
+        requests[event.tag] = RequestTiming(tag=event.tag,
+                                            t_m=event.time_ms)
+        order.append(event.tag)
+
+    consumed_order: list[int] = []
+    for event in trace.events(kind="i_read", channel=input_channel):
+        if event.tag is None or event.tag not in requests:
+            continue
+        requests[event.tag].t_i_read = event.time_ms
+        consumed_order.append(event.tag)
+
+    writes = trace.events(kind="o_write", channel=output_channel)
+    actuations = {e.tag: e for e in
+                  trace.events(kind="c", channel=output_channel)}
+
+    # FIFO: k-th consumed request ↔ k-th written response.
+    for tag, write in zip(consumed_order, writes):
+        timing = requests[tag]
+        timing.t_o_write = write.time_ms
+        actuation = actuations.get(write.tag)
+        if actuation is not None:
+            timing.t_c = actuation.time_ms
+
+    return [requests[tag] for tag in order]

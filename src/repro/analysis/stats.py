@@ -1,0 +1,46 @@
+"""Summary statistics for measured delays (Table I's Avg/Max/Min rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["DelayStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """avg/max/min over a non-empty sample of delays (ms)."""
+
+    count: int
+    avg: float
+    max: float
+    min: float
+
+    def __str__(self) -> str:
+        return (f"avg={self.avg:.0f}ms max={self.max:.0f}ms "
+                f"min={self.min:.0f}ms (n={self.count})")
+
+    def within(self, bound_ms: float) -> bool:
+        """True when every sample respects the bound."""
+        return self.max <= bound_ms
+
+    def violations(self, deadline_ms: float,
+                   samples: Sequence[float] | None = None) -> int:
+        """Number of samples exceeding a deadline (needs the samples)."""
+        if samples is None:
+            raise ValueError("pass the raw samples to count violations")
+        return sum(1 for value in samples if value > deadline_ms)
+
+
+def summarize(samples: Iterable[float | None]) -> DelayStats | None:
+    """Stats over the non-None samples; None for an empty sample."""
+    values = [s for s in samples if s is not None]
+    if not values:
+        return None
+    return DelayStats(
+        count=len(values),
+        avg=sum(values) / len(values),
+        max=max(values),
+        min=min(values),
+    )

@@ -1,0 +1,45 @@
+"""Case-study models (the paper's Section VI artifacts)."""
+
+from repro.apps.gpca import (
+    GPCA_INPUTS,
+    GPCA_OUTPUTS,
+    GPCA_REQUIREMENTS,
+    Requirement,
+    build_gpca_network,
+    build_gpca_pim,
+    verify_gpca_requirements,
+)
+from repro.apps.infusion import (
+    INPUT_CHANNELS,
+    INTERNAL_DELAY_MS,
+    OUTPUT_CHANNELS,
+    REQ1_DEADLINE_MS,
+    build_infusion_network,
+    build_infusion_pim,
+)
+from repro.apps.schemes import (
+    BOLUS_POLL_MS,
+    OUTPUT_POLL_MS,
+    case_study_scheme,
+    example_is1_scheme,
+)
+
+__all__ = [
+    "BOLUS_POLL_MS",
+    "GPCA_INPUTS",
+    "GPCA_OUTPUTS",
+    "GPCA_REQUIREMENTS",
+    "INPUT_CHANNELS",
+    "Requirement",
+    "build_gpca_network",
+    "build_gpca_pim",
+    "verify_gpca_requirements",
+    "INTERNAL_DELAY_MS",
+    "OUTPUT_CHANNELS",
+    "OUTPUT_POLL_MS",
+    "REQ1_DEADLINE_MS",
+    "build_infusion_network",
+    "build_infusion_pim",
+    "case_study_scheme",
+    "example_is1_scheme",
+]

@@ -1,0 +1,182 @@
+"""Extended GPCA-style pump model (the paper's reference platform).
+
+The case-study platform "has been used for the Generic
+Patient-Controlled-Analgesia (GPCA) infusion pump reference
+implementation" (paper, footnote 4).  This module provides a richer
+controller in that spirit — beyond the minimal Fig. 1 model — to
+exercise the framework on a multi-requirement system:
+
+* **bolus path** as in Fig. 1 (request → prime → infuse → complete),
+* **pause/resume**: a pause request must stop an ongoing infusion
+  within ``PAUSE_BOUND``,
+* **occlusion alarm**: an occlusion signal during infusion must raise
+  the alarm within ``ALARM_BOUND``.
+
+Requirements catalog (:data:`GPCA_REQUIREMENTS`) names each bounded-
+response property; :func:`verify_gpca_requirements` checks them all on
+the PIM, and the tests transform the model against an IS1-style scheme
+to re-derive platform-specific bounds for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pim import PIM
+from repro.mc.observers import BoundedResponseResult, \
+    check_bounded_response
+from repro.ta.builder import NetworkBuilder
+from repro.ta.model import Network
+
+__all__ = [
+    "GPCA_INPUTS",
+    "GPCA_OUTPUTS",
+    "GPCA_REQUIREMENTS",
+    "Requirement",
+    "build_gpca_network",
+    "build_gpca_pim",
+    "verify_gpca_requirements",
+]
+
+GPCA_INPUTS = ("m_BolusReq", "m_PauseReq", "m_Occlusion")
+GPCA_OUTPUTS = ("c_StartInfusion", "c_StopInfusion", "c_Alarm")
+
+_DEFAULTS = {
+    "PRIME_MS": 250,
+    "START_DEADLINE": 500,
+    "INFUSE_MIN": 1200,
+    "INFUSE_MAX": 1500,
+    "PAUSE_BOUND": 300,
+    "ALARM_BOUND": 150,
+    "THINK_MIN": 2000,
+    "REACT_AT": 400,
+}
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """A named bounded-response requirement ``P(Δ)``."""
+
+    name: str
+    trigger: str
+    response: str
+    deadline_ms: int
+    text: str
+
+    def check(self, network: Network, *,
+              max_states: int = 1_000_000) -> BoundedResponseResult:
+        return check_bounded_response(
+            network, self.trigger, self.response, self.deadline_ms,
+            trace=False, max_states=max_states)
+
+
+GPCA_REQUIREMENTS = (
+    Requirement(
+        name="REQ1-bolus-start",
+        trigger="m_BolusReq", response="c_StartInfusion",
+        deadline_ms=500,
+        text="When a patient requests a bolus, a bolus infusion "
+             "should start within 500ms."),
+    Requirement(
+        name="REQ2-pause-stop",
+        trigger="m_PauseReq", response="c_StopInfusion",
+        deadline_ms=300,
+        text="When the clinician pauses the pump, the infusion should "
+             "stop within 300ms."),
+    Requirement(
+        name="REQ3-occlusion-alarm",
+        trigger="m_Occlusion", response="c_Alarm",
+        deadline_ms=150,
+        text="When an occlusion is detected, the alarm should sound "
+             "within 150ms."),
+)
+
+
+def build_gpca_network(
+        overrides: dict[str, int] | None = None) -> Network:
+    """The extended pump PIM ``M ‖ ENV``."""
+    constants = dict(_DEFAULTS)
+    if overrides:
+        unknown = set(overrides) - set(constants)
+        if unknown:
+            raise ValueError(
+                f"unknown GPCA constants: {sorted(unknown)}")
+        constants.update(overrides)
+
+    net = NetworkBuilder("gpca_pim", constants=constants)
+    net.channels(list(GPCA_INPUTS))
+    net.channels(list(GPCA_OUTPUTS))
+
+    # ---- M: the pump controller ---------------------------------------
+    m = net.automaton("M", clocks=["x"])
+    m.location("Idle", initial=True)
+    m.location("BolusRequested", invariant="x <= START_DEADLINE")
+    m.location("Infusing", invariant="x <= INFUSE_MAX")
+    m.location("Pausing", invariant="x <= PAUSE_BOUND")
+    m.location("OcclusionStop", invariant="x <= ALARM_BOUND")
+
+    m.edge("Idle", "BolusRequested", sync="m_BolusReq?", update="x = 0")
+    m.edge("BolusRequested", "Infusing", guard="x >= PRIME_MS",
+           sync="c_StartInfusion!", update="x = 0")
+    # Normal completion.
+    m.edge("Infusing", "Idle", guard="x >= INFUSE_MIN",
+           sync="c_StopInfusion!", update="x = 0")
+    # Pause during infusion: stop promptly.
+    m.edge("Infusing", "Pausing", sync="m_PauseReq?", update="x = 0")
+    m.edge("Pausing", "Idle", sync="c_StopInfusion!", update="x = 0")
+    # Occlusion during infusion: stop then alarm.
+    m.edge("Infusing", "OcclusionStop", sync="m_Occlusion?",
+           update="x = 0")
+    m.edge("OcclusionStop", "Idle", sync="c_Alarm!", update="x = 0")
+
+    # ---- ENV: patient + clinician + line ------------------------------
+    env = net.automaton("ENV", clocks=["ex"])
+    env.location("Rest", initial=True)
+    env.location("Requested")
+    env.location("Watching")
+    env.location("WillPause", invariant="ex <= REACT_AT")
+    env.location("WillOcclude", invariant="ex <= REACT_AT")
+    env.location("AwaitStop")
+    env.location("AwaitAlarm")
+
+    env.edge("Rest", "Requested", guard="ex >= THINK_MIN",
+             sync="m_BolusReq!", update="ex = 0")
+    # The episode's fate is decided when the infusion starts (see the
+    # infusion model for why the branch happens here).
+    env.edge("Requested", "Watching", sync="c_StartInfusion?",
+             update="ex = 0")
+    env.edge("Requested", "WillPause", sync="c_StartInfusion?",
+             update="ex = 0")
+    env.edge("Requested", "WillOcclude", sync="c_StartInfusion?",
+             update="ex = 0")
+    # Normal completion.
+    env.edge("Watching", "Rest", sync="c_StopInfusion?", update="ex = 0")
+    # Pause episode.
+    env.edge("WillPause", "AwaitStop", guard="ex >= REACT_AT",
+             sync="m_PauseReq!", update="ex = 0")
+    env.edge("AwaitStop", "Rest", sync="c_StopInfusion?",
+             update="ex = 0")
+    env.edge("WillPause", "Rest", sync="c_StopInfusion?",
+             update="ex = 0")
+    # Occlusion episode.
+    env.edge("WillOcclude", "AwaitAlarm", guard="ex >= REACT_AT",
+             sync="m_Occlusion!", update="ex = 0")
+    env.edge("AwaitAlarm", "Rest", sync="c_Alarm?", update="ex = 0")
+    env.edge("WillOcclude", "Rest", sync="c_StopInfusion?",
+             update="ex = 0")
+
+    return net.build()
+
+
+def build_gpca_pim(overrides: dict[str, int] | None = None) -> PIM:
+    return PIM(network=build_gpca_network(overrides), controller="M",
+               environment="ENV")
+
+
+def verify_gpca_requirements(
+        pim: PIM | None = None, *,
+        max_states: int = 1_000_000) -> dict[str, BoundedResponseResult]:
+    """Check the whole requirements catalog on the (given) PIM."""
+    model = pim or build_gpca_pim()
+    return {req.name: req.check(model.network, max_states=max_states)
+            for req in GPCA_REQUIREMENTS}

@@ -1,0 +1,147 @@
+"""Infusion pump PIM — reconstruction of the paper's Fig. 1.
+
+The exact UPPAAL model lives in the authors' technical report
+(MS-CIS-14-11), which is not available; this reconstruction follows
+everything the paper states about it:
+
+* ``M`` models the software with one clock ``x``, input
+  synchronizations ``m_BolusReq`` and ``m_EmptySyringe`` and output
+  synchronizations ``c_StartInfusion``, ``c_StopInfusion`` and
+  ``c_Alarm``;
+* REQ1 — bolus infusion starts within **500 ms** of a request — holds
+  on the PIM (the ``BolusRequested`` invariant), and 500 ms is also
+  the pair's maximum internal delay ``Δ_io-internal`` used by Lemma 2
+  (490 + 440 + 500 = 1430 in Table I);
+* ``ENV`` drives the pump with one clock and complementary
+  synchronizations, one outstanding request at a time.
+
+Model walk-through: a bolus request primes the pump (at least
+``PRIME_MS``) before infusion starts — the lower bound makes the
+*measured* internal delay of the implementation nontrivial, as in the
+paper's Table I where the mean M-C delay (610 ms) far exceeds the sum
+of the mean input and output delays (97 + 215 ms).  Infusion then
+either completes normally (``c_StopInfusion``) or is interrupted by an
+empty-syringe signal, which stops the pump and raises an alarm.
+"""
+
+from __future__ import annotations
+
+from repro.core.pim import PIM
+from repro.ta.builder import NetworkBuilder
+from repro.ta.model import Network
+
+__all__ = [
+    "INPUT_CHANNELS",
+    "OUTPUT_CHANNELS",
+    "REQ1_DEADLINE_MS",
+    "INTERNAL_DELAY_MS",
+    "build_infusion_network",
+    "build_infusion_pim",
+]
+
+INPUT_CHANNELS = ("m_BolusReq", "m_EmptySyringe")
+OUTPUT_CHANNELS = ("c_StartInfusion", "c_StopInfusion", "c_Alarm")
+
+#: REQ1's deadline (the paper adds the 500 ms parameter to the GPCA
+#: requirement to make the discussion concrete).
+REQ1_DEADLINE_MS = 500
+
+#: Maximum internal processing delay of the (m_BolusReq,
+#: c_StartInfusion) pair in the PIM — the ``Δ_io-internal`` of Lemma 2.
+INTERNAL_DELAY_MS = 500
+
+# Model constants (ms).
+_DEFAULTS = {
+    # Pump priming: infusion starts no earlier than this after the
+    # request is read, and (REQ1) no later than START_DEADLINE.
+    "PRIME_MS": 250,
+    "START_DEADLINE": REQ1_DEADLINE_MS,
+    # Bolus shot duration bounds.  INFUSE_MIN leaves margin above the
+    # worst-case empty-syringe delivery path (output actuation 440 +
+    # EMPTY_AFTER 400 + interrupt 3 + read wait 100 ≈ 943 ms), so an
+    # empty-syringe event can never arrive after the shot already
+    # completed — the race Constraint 4 would otherwise flag.
+    "INFUSE_MIN": 1200,
+    "INFUSE_MAX": 1500,
+    # Reaction bound to an empty-syringe event.
+    "STOP_BOUND": 50,
+    "ALARM_BOUND": 50,
+    # Environment: patient think time between requests, and how long
+    # a syringe lasts before it *may* run empty mid-infusion.
+    "THINK_MIN": 2000,
+    "EMPTY_AFTER": 400,
+}
+
+
+def build_infusion_network(
+        overrides: dict[str, int] | None = None) -> Network:
+    """The PIM network ``M ‖ ENV`` (Fig. 1)."""
+    constants = dict(_DEFAULTS)
+    if overrides:
+        unknown = set(overrides) - set(constants)
+        if unknown:
+            raise ValueError(
+                f"unknown infusion-model constants: {sorted(unknown)}")
+        constants.update(overrides)
+
+    net = NetworkBuilder("infusion_pim", constants=constants)
+    net.channels(list(INPUT_CHANNELS))
+    net.channels(list(OUTPUT_CHANNELS))
+
+    # ---- M: the pump software (Fig. 1-(1)) ----------------------------
+    m = net.automaton("M", clocks=["x"])
+    m.location("Idle", initial=True)
+    m.location("BolusRequested", invariant="x <= START_DEADLINE")
+    m.location("Infusing", invariant="x <= INFUSE_MAX")
+    m.location("EmptySyringe", invariant="x <= STOP_BOUND")
+    m.location("AlarmPending", invariant="x <= ALARM_BOUND")
+
+    m.edge("Idle", "BolusRequested", sync="m_BolusReq?", update="x = 0")
+    m.edge("BolusRequested", "Infusing", guard="x >= PRIME_MS",
+           sync="c_StartInfusion!", update="x = 0")
+    # Normal completion of the bolus shot (no internal step: the
+    # PIM→PSM transformation requires io-visible behavior only).
+    m.edge("Infusing", "Idle", guard="x >= INFUSE_MIN",
+           sync="c_StopInfusion!", update="x = 0")
+    # Interrupted by an empty syringe.
+    m.edge("Infusing", "EmptySyringe", sync="m_EmptySyringe?",
+           update="x = 0")
+    m.edge("EmptySyringe", "AlarmPending", sync="c_StopInfusion!",
+           update="x = 0")
+    m.edge("AlarmPending", "Idle", sync="c_Alarm!", update="x = 0")
+
+    # ---- ENV: the patient/plant (Fig. 1-(2)) ---------------------------
+    env = net.automaton("ENV", clocks=["ex"])
+    env.location("Rest", initial=True)
+    env.location("Requested")
+    env.location("Observing")
+    env.location("Draining", invariant="ex <= EMPTY_AFTER")
+    env.location("AwaitAlarm")
+
+    env.edge("Rest", "Requested", guard="ex >= THINK_MIN",
+             sync="m_BolusReq!", update="ex = 0")
+    # The syringe's fate is decided (nondeterministically) the moment
+    # the infusion starts: either the shot will complete normally, or
+    # the syringe runs empty EMPTY_AFTER ms in.  Branching here —
+    # rather than via a lazy internal step — keeps the empty-syringe
+    # signal inside the infusion window, which Constraint 4 needs.
+    env.edge("Requested", "Observing", sync="c_StartInfusion?",
+             update="ex = 0")
+    env.edge("Requested", "Draining", sync="c_StartInfusion?",
+             update="ex = 0")
+    env.edge("Observing", "Rest", sync="c_StopInfusion?", update="ex = 0")
+    env.edge("Draining", "AwaitAlarm", guard="ex >= EMPTY_AFTER",
+             sync="m_EmptySyringe!", update="ex = 0")
+    env.edge("AwaitAlarm", "AwaitAlarm", sync="c_StopInfusion?")
+    env.edge("AwaitAlarm", "Rest", sync="c_Alarm?", update="ex = 0")
+    # Receptiveness: a stop racing the empty-syringe signal must not
+    # block the pump.
+    env.edge("Draining", "Rest", sync="c_StopInfusion?", update="ex = 0")
+
+    return net.build()
+
+
+def build_infusion_pim(overrides: dict[str, int] | None = None) -> PIM:
+    """The infusion-pump PIM with controller/environment roles marked."""
+    network = build_infusion_network(overrides)
+    return PIM(network=network, controller="M", environment="ENV")

@@ -1,0 +1,159 @@
+"""Command-line interface: ``repro-timing <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``verify``   — run the full framework pipeline on the case study
+* ``table1``   — regenerate Table I (verification + 60 trials)
+* ``simulate`` — run only the measured half (fast)
+* ``timeline`` — regenerate the Fig. 3 interaction timeline
+* ``render``   — dump the PIM / PSM as Graphviz dot or a summary
+* ``scheme``   — print the case-study implementation scheme
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.blocks import render_blocks
+from repro.analysis.table1 import run_case_study, simulate_trials
+from repro.analysis.timeline import fig3_scenario
+from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
+from repro.apps.schemes import case_study_scheme
+from repro.core.framework import TimingVerificationFramework
+from repro.core.scheme import ReadPolicy
+from repro.core.transform import transform
+from repro.ta.render import network_summary, network_to_dot
+from repro.ta.uppaal import network_to_uppaal_xml
+
+__all__ = ["main"]
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    pim = build_infusion_pim()
+    scheme = case_study_scheme()
+    framework = TimingVerificationFramework(max_states=args.max_states)
+    report = framework.verify(
+        pim, scheme,
+        input_channel="m_BolusReq",
+        output_channel="c_StartInfusion",
+        deadline_ms=args.deadline,
+        measure_suprema=args.suprema)
+    print(report.summary())
+    return 0 if report.implementation_guarantee else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = run_case_study(trials=args.trials, seed=args.seed,
+                           max_states=args.max_states)
+    print(table.render())
+    return 0 if table.shape_holds else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    pim = build_infusion_pim()
+    scheme = case_study_scheme()
+    measured = simulate_trials(pim, scheme, trials=args.trials,
+                               seed=args.seed)
+    print(f"requests={measured.requests} responses={measured.responses} "
+          f"timeouts={measured.timeouts}")
+    print(f"M-C delay:    {measured.mc}")
+    print(f"Input-Delay:  {measured.input}")
+    print(f"Output-Delay: {measured.output}")
+    print(f"platform:     {measured.stats.summary()}")
+    violations = measured.req_violations(REQ1_DEADLINE_MS)
+    print(f"REQ1 violations: {violations}/{len(measured.timings)}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    policy = ReadPolicy.READ_ALL if args.policy == "read-all" \
+        else ReadPolicy.READ_ONE
+    result = fig3_scenario(policy)
+    print(f"Fig. 3 scenario under {policy.value}:")
+    print(result.rendered())
+    print("\nreads per invocation:")
+    for invocation, reads in sorted(result.reads_per_invocation.items()):
+        shown = ", ".join(reads) if reads else "Null"
+        print(f"  invocation {invocation}: {shown}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    pim = build_infusion_pim()
+    if args.model == "pim":
+        network = pim.network
+    else:
+        network = transform(pim, case_study_scheme()).network
+    if args.format == "dot":
+        print(network_to_dot(network))
+    elif args.format == "uppaal":
+        print(network_to_uppaal_xml(network))
+    elif args.format == "blocks":
+        if args.model == "pim":
+            print("the blocks view requires the PSM (--model psm)",
+                  file=sys.stderr)
+            return 2
+        print(render_blocks(transform(pim, case_study_scheme())))
+    else:
+        print(network_summary(network))
+    return 0
+
+
+def _cmd_scheme(_args: argparse.Namespace) -> int:
+    print(case_study_scheme().describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-timing",
+        description="Platform-specific timing verification framework "
+                    "(DATE 2015 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="full verification pipeline")
+    p_verify.add_argument("--deadline", type=int,
+                          default=REQ1_DEADLINE_MS)
+    p_verify.add_argument("--max-states", type=int, default=2_000_000)
+    p_verify.add_argument("--suprema", action="store_true",
+                          help="also measure exact PSM delay suprema")
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_table = sub.add_parser("table1", help="regenerate Table I")
+    p_table.add_argument("--trials", type=int, default=60)
+    p_table.add_argument("--seed", type=int, default=2015)
+    p_table.add_argument("--max-states", type=int, default=2_000_000)
+    p_table.set_defaults(fn=_cmd_table1)
+
+    p_sim = sub.add_parser("simulate", help="measured half only")
+    p_sim.add_argument("--trials", type=int, default=60)
+    p_sim.add_argument("--seed", type=int, default=2015)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_tl = sub.add_parser("timeline", help="Fig. 3 timeline")
+    p_tl.add_argument("--policy", choices=["read-one", "read-all"],
+                      default="read-all")
+    p_tl.set_defaults(fn=_cmd_timeline)
+
+    p_render = sub.add_parser("render", help="dump models")
+    p_render.add_argument("--model", choices=["pim", "psm"],
+                          default="pim")
+    p_render.add_argument("--format",
+                          choices=["summary", "dot", "blocks",
+                                   "uppaal"],
+                          default="summary")
+    p_render.set_defaults(fn=_cmd_render)
+
+    p_scheme = sub.add_parser("scheme", help="show the case-study scheme")
+    p_scheme.set_defaults(fn=_cmd_scheme)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

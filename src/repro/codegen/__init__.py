@@ -1,0 +1,19 @@
+"""Code generation from verified models (the TIMES role in the paper)."""
+
+from repro.codegen.generator import (
+    build_controller,
+    compile_controller,
+    generate_source,
+)
+from repro.codegen.interpreter import AutomatonInterpreter
+from repro.codegen.runtime import Controller, StepResult, take_first
+
+__all__ = [
+    "AutomatonInterpreter",
+    "Controller",
+    "StepResult",
+    "build_controller",
+    "compile_controller",
+    "generate_source",
+    "take_first",
+]

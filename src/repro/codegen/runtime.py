@@ -1,0 +1,73 @@
+"""Runtime interface of generated platform-independent code.
+
+Code generated from a verified model (by TIMES in the paper, by
+:mod:`repro.codegen.generator` here) interacts with a platform through
+exactly the four steps listed in Section II-A:
+
+1. wait to be invoked,
+2. read inputs,
+3. compute transitions (using the inputs and the clock values),
+4. write outputs.
+
+The platform drives steps 1/2/4; the controller implements step 3 via
+:meth:`Controller.step`, a *run-to-completion* micro-loop: starting
+from the current location it repeatedly fires the first enabled edge
+(declaration order — the generated code is deterministic even where
+the model is not) until no edge is enabled, consuming pending inputs
+FIFO and collecting emitted outputs.
+
+Clock values are derived from the invocation timestamp (``now`` minus
+the recorded reset instant), mirroring how generated C code samples a
+platform timer — which is precisely why platform invocation delays
+leak into the timed behavior, the gap this framework verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = ["StepResult", "Controller", "take_first"]
+
+
+@dataclass
+class StepResult:
+    """Outcome of one invocation of the controller."""
+
+    #: Output channels emitted, in emission order.
+    outputs: list[str] = field(default_factory=list)
+    #: Input channels consumed, in consumption order.
+    consumed: list[str] = field(default_factory=list)
+    #: Inputs delivered but not consumable in this invocation
+    #: (dropped by the code — the read policy already dequeued them).
+    dropped: list[str] = field(default_factory=list)
+    #: Number of transitions fired.
+    fired: int = 0
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """What the platform expects from ``Code(PIM)``."""
+
+    def reset(self, now: float) -> None:
+        """(Re)initialize: initial location, clocks zeroed at ``now``."""
+
+    def step(self, now: float, inputs: Sequence[str]) -> StepResult:
+        """Run-to-completion at invocation time ``now``."""
+
+    @property
+    def location(self) -> str:
+        """Current control location (introspection/testing)."""
+
+
+def take_first(pending: list[str], channel: str) -> bool:
+    """Consume the first occurrence of ``channel`` from ``pending``.
+
+    Shared helper for the interpreter and the generated code: returns
+    True (and mutates the list) when the channel was pending.
+    """
+    try:
+        pending.remove(channel)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,98 @@
+"""The paper's contribution: schemes, PIM→PSM transformation, analysis."""
+
+from repro.core.constraints import (
+    ConstraintReport,
+    ConstraintResult,
+    check_all_constraints,
+    check_constraint1,
+    check_constraint2,
+    check_constraint3,
+    check_constraint4,
+    check_progress,
+)
+from repro.core.delays import (
+    DelayBounds,
+    analytic_input_delay_bound,
+    analytic_output_delay_bound,
+    derive_bounds,
+    internal_delay,
+    relaxed_deadline,
+    symbolic_input_delay,
+    symbolic_mc_delay,
+    symbolic_output_delay,
+)
+from repro.core.execution import GO_CHANNEL, accept_expression, build_exeio
+from repro.core.framework import (
+    TimingVerificationFramework,
+    VerificationReport,
+)
+from repro.core.interfaces import (
+    TransformError,
+    build_ifmi,
+    build_ifoc,
+    effective_capacity,
+    pickup_channel,
+)
+from repro.core.pim import PIM
+from repro.core.psm import PSM, ChannelVars
+from repro.core.scheme import (
+    DeliveryMechanism,
+    ImplementationScheme,
+    InputSpec,
+    InvocationKind,
+    InvocationSpec,
+    IOSpec,
+    OutputSpec,
+    ReadMechanism,
+    ReadPolicy,
+    SchemeError,
+    SignalType,
+    example_is1,
+)
+from repro.core.transform import transform
+
+__all__ = [
+    "PIM",
+    "PSM",
+    "ChannelVars",
+    "ConstraintReport",
+    "ConstraintResult",
+    "DelayBounds",
+    "DeliveryMechanism",
+    "GO_CHANNEL",
+    "ImplementationScheme",
+    "InputSpec",
+    "InvocationKind",
+    "InvocationSpec",
+    "IOSpec",
+    "OutputSpec",
+    "ReadMechanism",
+    "ReadPolicy",
+    "SchemeError",
+    "SignalType",
+    "TimingVerificationFramework",
+    "TransformError",
+    "VerificationReport",
+    "accept_expression",
+    "analytic_input_delay_bound",
+    "analytic_output_delay_bound",
+    "build_exeio",
+    "build_ifmi",
+    "build_ifoc",
+    "check_all_constraints",
+    "check_constraint1",
+    "check_constraint2",
+    "check_constraint3",
+    "check_constraint4",
+    "check_progress",
+    "derive_bounds",
+    "effective_capacity",
+    "example_is1",
+    "internal_delay",
+    "pickup_channel",
+    "relaxed_deadline",
+    "symbolic_input_delay",
+    "symbolic_mc_delay",
+    "symbolic_output_delay",
+    "transform",
+]

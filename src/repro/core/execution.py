@@ -1,0 +1,246 @@
+"""The EXEIO automaton — Section IV(3), Fig. 6.
+
+EXEIO models how the platform invokes ``Code(PIM)`` and moves events
+across the io-boundary.  Its locations mirror the generated code's
+execution stages::
+
+    Waiting ──tick──▶ Read ──▶ Compute ──▶ Write… ──▶ Waiting
+
+* **Waiting**: between invocations (invariant ``t ≤ period`` for the
+  periodic mechanism; input-triggered via an *urgent* channel for the
+  aperiodic one).
+* **Read** (urgent, instantaneous): per input channel, the paper's
+  *complementary transitions* — one edge per buffered event, guarded
+  by the conjunction of (1) *MIO is in a location that can read the
+  input*, (2) *the original data guard*, and (3) *the input is in the
+  buffer*.  Conditions (1)+(2) are expressed over the ``mio_loc``
+  shadow variable the transformation maintains on every MIO edge.  An
+  event the code cannot consume is still dequeued (that is what
+  read-one/read-all do in the implementation) and sets the
+  ``code_drop`` flag — the observable Constraint 4 guards against.
+* **Compute** (invariant ``e ≤ wcet``): MIO's output synchronizations
+  land here and are *staged*; MIO can only take io-transitions while
+  EXEIO is computing, which is exactly the quantization the paper's
+  timing gaps come from.
+* **Write** (committed chain, one stage per output channel): at some
+  ``e ∈ [bcet, wcet]`` the staged outputs move into the output
+  transports — or set the overflow flag when they do not fit
+  (Constraint 3's subject).
+
+Restriction (checked): input edges of ``M`` must not carry clock
+guards, so that "MIO can read the input" is decidable from the
+discrete state.  This matches how UPPAAL models encode the paper's
+guard (1) and holds for event-style inputs like the pump's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interfaces import TransformError
+from repro.core.psm import ChannelVars
+from repro.core.scheme import (
+    ImplementationScheme,
+    InvocationKind,
+    ReadPolicy,
+)
+from repro.ta.builder import AutomatonBuilder
+from repro.ta.expr import Const
+from repro.ta.model import Automaton
+
+__all__ = [
+    "InputEntry",
+    "OutputEntry",
+    "ExeioParts",
+    "accept_expression",
+    "build_exeio",
+    "GO_CHANNEL",
+]
+
+#: Urgent channel that triggers aperiodic invocations.
+GO_CHANNEL = "exe_go"
+
+
+@dataclass(frozen=True)
+class InputEntry:
+    """One input channel as EXEIO sees it."""
+
+    mc_channel: str
+    io_name: str
+    capacity: int
+    read_policy: ReadPolicy
+    vars: ChannelVars
+    #: ``did_<io>`` flag name for read-one (empty for read-all).
+    did_flag: str
+    #: Guard source text for "MIO can consume this input now".
+    accept: str
+
+
+@dataclass(frozen=True)
+class OutputEntry:
+    """One output channel as EXEIO sees it."""
+
+    mc_channel: str
+    io_name: str
+    capacity: int
+    vars: ChannelVars
+
+
+@dataclass(frozen=True)
+class ExeioParts:
+    """EXEIO plus the auxiliary pieces the network must also declare."""
+
+    automaton: Automaton
+    #: Extra automata (aperiodic trigger), possibly empty.
+    extra_automata: tuple[Automaton, ...] = ()
+    #: Extra urgent channels to declare, possibly empty.
+    urgent_channels: tuple[str, ...] = ()
+
+
+def accept_expression(mio: Automaton, io_channel: str,
+                      mio_loc_var: str) -> str:
+    """Guard text for "MIO currently accepts ``io_channel``".
+
+    Disjunction over MIO's receiving edges of *(location test ∧ data
+    guard)*.  Raises :class:`TransformError` when a receiving edge
+    carries a clock guard (see the module restriction).
+    """
+    loc_index = {loc.name: i for i, loc in enumerate(mio.locations)}
+    terms: list[str] = []
+    for edge in mio.edges:
+        if edge.sync is None or edge.sync.is_emit:
+            continue
+        if edge.sync.channel != io_channel:
+            continue
+        if edge.guard.clock_constraints:
+            raise TransformError(
+                f"MIO edge {edge} carries a clock guard on input "
+                f"channel {io_channel!r}; the read-stage acceptance "
+                f"test cannot reference another automaton's clocks — "
+                f"remove the guard or use a data encoding")
+        term = f"{mio_loc_var} == {loc_index[edge.source]}"
+        data = edge.guard.data
+        if not (isinstance(data, Const) and data.value == 1):
+            term = f"({term} && {data})"
+        terms.append(term)
+    if not terms:
+        # MIO never reads this channel: nothing is ever acceptable.
+        return "false"
+    return " || ".join(f"({t})" for t in terms)
+
+
+def build_exeio(
+    scheme: ImplementationScheme,
+    inputs: list[InputEntry],
+    outputs: list[OutputEntry],
+    *,
+    code_drop_flag: str = "code_drop",
+    name: str = "EXEIO",
+) -> ExeioParts:
+    """Construct the code-execution automaton for a scheme."""
+    inv = scheme.invocation
+    periodic = inv.kind is InvocationKind.PERIODIC
+
+    b = AutomatonBuilder(name, clocks=["t", "e"])
+
+    did_resets = ", ".join(
+        f"{entry.did_flag} = 0" for entry in inputs if entry.did_flag)
+
+    # ---- Waiting → Read ------------------------------------------------
+    if periodic:
+        assert inv.period is not None
+        b.location("Waiting", invariant=f"t <= {inv.period}",
+                   initial=True)
+        b.location("Read", urgent=True)
+        tick_update = "t = 0, e = 0"
+        if did_resets:
+            tick_update += f", {did_resets}"
+        b.edge("Waiting", "Read", guard=f"t == {inv.period}",
+               update=tick_update)
+    else:
+        b.location("Waiting", initial=True)
+        b.location(
+            "Sched",
+            invariant=f"e <= {inv.latency_max + inv.min_separation}")
+        b.location("Read", urgent=True)
+        b.edge("Waiting", "Sched", sync=f"{GO_CHANNEL}?", update="e = 0")
+        read_update = "t = 0, e = 0"
+        if did_resets:
+            read_update += f", {did_resets}"
+        b.edge("Sched", "Read",
+               guard=(f"e >= {inv.latency_min} && "
+                      f"t >= {inv.min_separation}"),
+               update=read_update)
+
+    # ---- Read stage: the complementary transitions ----------------------
+    for entry in inputs:
+        cnt = entry.vars.count
+        one = entry.read_policy is ReadPolicy.READ_ONE
+        did_guard = f" && {entry.did_flag} == 0" if one else ""
+        did_set = f", {entry.did_flag} = 1" if one else ""
+        b.edge("Read", "Read",
+               guard=f"{cnt} > 0{did_guard} && ({entry.accept})",
+               sync=f"{entry.io_name}!",
+               update=f"{cnt} = {cnt} - 1{did_set}")
+        b.edge("Read", "Read",
+               guard=f"{cnt} > 0{did_guard} && !({entry.accept})",
+               update=f"{cnt} = {cnt} - 1, {code_drop_flag} = 1{did_set}")
+
+    proceed_terms = []
+    for entry in inputs:
+        if entry.read_policy is ReadPolicy.READ_ONE:
+            proceed_terms.append(
+                f"({entry.vars.count} == 0 || {entry.did_flag} == 1)")
+        else:
+            proceed_terms.append(f"{entry.vars.count} == 0")
+    proceed_guard = " && ".join(proceed_terms) if proceed_terms else None
+
+    # ---- Compute stage ---------------------------------------------------
+    b.location("Compute", invariant=f"e <= {inv.wcet}")
+    b.edge("Read", "Compute", guard=proceed_guard)
+    for entry in outputs:
+        stg = entry.vars.staged
+        b.edge("Compute", "Compute", sync=f"{entry.io_name}?",
+               guard=f"{stg} < {entry.capacity}",
+               update=f"{stg} = {stg} + 1")
+        b.edge("Compute", "Compute", sync=f"{entry.io_name}?",
+               guard=f"{stg} == {entry.capacity}",
+               update=f"{entry.vars.overflow} = 1")
+
+    # ---- Write chain (committed, one stage per output channel) -----------
+    if not outputs:
+        b.edge("Compute", "Waiting", guard=f"e >= {inv.bcet}")
+    else:
+        stages = [f"Write_{entry.io_name}" for entry in outputs]
+        for stage in stages:
+            b.location(stage, committed=True)
+        b.edge("Compute", stages[0], guard=f"e >= {inv.bcet}")
+        for k, entry in enumerate(outputs):
+            target = stages[k + 1] if k + 1 < len(stages) else "Waiting"
+            cnt = entry.vars.count
+            stg = entry.vars.staged
+            b.edge(stages[k], target,
+                   guard=f"{cnt} + {stg} <= {entry.capacity}",
+                   update=f"{cnt} = {cnt} + {stg}, {stg} = 0")
+            b.edge(stages[k], target,
+                   guard=f"{cnt} + {stg} > {entry.capacity}",
+                   update=f"{entry.vars.overflow} = 1, {stg} = 0")
+
+    automaton = b.build()
+
+    # ---- Aperiodic trigger automaton --------------------------------------
+    if periodic:
+        return ExeioParts(automaton=automaton)
+    if not inputs:
+        raise TransformError(
+            "aperiodic invocation requires at least one input channel "
+            "to trigger on")
+    trig = AutomatonBuilder(f"{name}_TRIG")
+    trig.location("Run", initial=True)
+    pending = " || ".join(f"{entry.vars.count} > 0" for entry in inputs)
+    trig.edge("Run", "Run", guard=pending, sync=f"{GO_CHANNEL}!")
+    return ExeioParts(
+        automaton=automaton,
+        extra_automata=(trig.build(),),
+        urgent_channels=(GO_CHANNEL,),
+    )

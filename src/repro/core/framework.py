@@ -1,0 +1,214 @@
+"""End-to-end verification pipeline — the paper's framework (Theorem 1).
+
+:class:`TimingVerificationFramework` strings the pieces together the
+way Section VI does:
+
+1. verify the PIM against ``P(Δ_mc)`` (model checking),
+2. transform the PIM into the PSM for the chosen scheme,
+3. verify the four boundedness constraints on the PSM,
+4. derive the relaxed bound ``Δ'_mc`` (Lemmas 1–2),
+5. verify ``PSM ⊨ P(Δ'_mc)`` — by Theorem 1, the implementation then
+   satisfies ``P(Δ'_mc)`` too (assuming the platform is correctly
+   described by the scheme, which testing validates);
+6. also check whether the *original* deadline survives on the PSM
+   (in the case study it does not: ``PSM ⊭ P(500)``).
+
+The resulting :class:`VerificationReport` carries every verified
+number Table I's upper row needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintReport, check_all_constraints
+from repro.core.delays import (
+    DelayBounds,
+    analytic_input_delay_bound,
+    analytic_output_delay_bound,
+    internal_delay,
+    symbolic_input_delay,
+    symbolic_mc_delay,
+    symbolic_output_delay,
+)
+from repro.core.pim import PIM
+from repro.core.psm import PSM
+from repro.core.scheme import ImplementationScheme
+from repro.core.transform import transform
+from repro.mc.observers import (
+    BoundedResponseResult,
+    DelayBound,
+    check_bounded_response,
+)
+
+__all__ = ["TimingVerificationFramework", "VerificationReport"]
+
+
+@dataclass
+class VerificationReport:
+    """Everything the framework establishes for one (m, c) pair."""
+
+    input_channel: str
+    output_channel: str
+    deadline_ms: int
+    #: Step 1 — PIM ⊨ P(Δ_mc)?
+    pim_result: BoundedResponseResult | None = None
+    #: Step 3 — the four constraints (+ progress).
+    constraints: ConstraintReport | None = None
+    #: Step 4 — Lemma 1/2 bounds.
+    bounds: DelayBounds | None = None
+    #: Step 5 — PSM ⊨ P(Δ'_mc)?
+    psm_relaxed_result: BoundedResponseResult | None = None
+    #: Step 6 — PSM ⊨ P(Δ_mc)? (usually not, that is the point)
+    psm_original_result: BoundedResponseResult | None = None
+    #: Optional exact suprema measured on the PSM.
+    symbolic: dict[str, DelayBound] = field(default_factory=dict)
+    psm: PSM | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pim_holds(self) -> bool:
+        return bool(self.pim_result and self.pim_result.holds)
+
+    @property
+    def constraints_hold(self) -> bool:
+        return bool(self.constraints and self.constraints.all_hold)
+
+    @property
+    def relaxed_deadline_ms(self) -> int | None:
+        return self.bounds.relaxed if self.bounds else None
+
+    @property
+    def implementation_guarantee(self) -> bool:
+        """Theorem 1's conclusion for ``P(Δ'_mc)``."""
+        return bool(self.constraints_hold and self.psm_relaxed_result
+                    and self.psm_relaxed_result.holds)
+
+    def summary(self) -> str:
+        lines = [
+            f"Timing verification for {self.input_channel} → "
+            f"{self.output_channel}, Δ_mc = {self.deadline_ms}ms",
+        ]
+        if self.pim_result is not None:
+            lines.append(f"  [1] PIM:  {self.pim_result.summary()}")
+        if self.constraints is not None:
+            status = "satisfied" if self.constraints.all_hold \
+                else "VIOLATED"
+            lines.append(f"  [3] constraints: {status}")
+        if self.bounds is not None:
+            lines.append(f"  [4] bounds: {self.bounds.summary()}")
+        if self.psm_original_result is not None:
+            lines.append(
+                f"  [6] PSM vs original: "
+                f"{self.psm_original_result.summary()}")
+        if self.psm_relaxed_result is not None:
+            lines.append(
+                f"  [5] PSM vs relaxed: "
+                f"{self.psm_relaxed_result.summary()}")
+        if self.implementation_guarantee:
+            lines.append(
+                f"  ⇒ Theorem 1: Code(PIM)‖imp IS ⊨ "
+                f"P({self.relaxed_deadline_ms})")
+        for name, bound in self.symbolic.items():
+            lines.append(f"      sup {name} = {bound}")
+        return "\n".join(lines)
+
+
+class TimingVerificationFramework:
+    """Front door of the library: PIM + scheme + requirement → report."""
+
+    def __init__(self, *, max_states: int = 1_000_000):
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    def verify_pim(self, pim: PIM, input_channel: str,
+                   output_channel: str,
+                   deadline_ms: int) -> BoundedResponseResult:
+        """Step 1: ``PIM ⊨ P(Δ_mc)``?"""
+        return check_bounded_response(
+            pim.network, input_channel, output_channel, deadline_ms,
+            max_states=self.max_states)
+
+    def transform(self, pim: PIM,
+                  scheme: ImplementationScheme) -> PSM:
+        """Step 2: construct the PSM (Section IV)."""
+        return transform(pim, scheme)
+
+    def check_constraints(self, psm: PSM, *,
+                          min_interarrival_ms: int | None = None,
+                          include_progress: bool = False
+                          ) -> ConstraintReport:
+        """Step 3: the four boundedness constraints (Section V)."""
+        return check_all_constraints(
+            psm, min_interarrival_ms=min_interarrival_ms,
+            include_progress=include_progress,
+            max_states=self.max_states)
+
+    def derive_bounds(self, pim: PIM, scheme: ImplementationScheme,
+                      input_channel: str,
+                      output_channel: str) -> DelayBounds:
+        """Step 4: Lemma 1 bounds + the PIM's internal sup (Lemma 2)."""
+        internal = internal_delay(pim, input_channel, output_channel,
+                                  max_states=self.max_states)
+        if not internal.bounded:
+            raise ValueError(
+                f"internal {input_channel}→{output_channel} delay is "
+                f"unbounded (Remark 1)")
+        return DelayBounds(
+            input_channel=input_channel,
+            output_channel=output_channel,
+            input_bound=analytic_input_delay_bound(scheme, input_channel),
+            output_bound=analytic_output_delay_bound(scheme,
+                                                     output_channel),
+            internal_bound=internal.sup,
+        )
+
+    def verify_psm(self, psm: PSM, input_channel: str,
+                   output_channel: str,
+                   deadline_ms: int) -> BoundedResponseResult:
+        """Steps 5/6: ``PSM ⊨ P(Δ)`` for any deadline."""
+        return check_bounded_response(
+            psm.network, input_channel, output_channel, deadline_ms,
+            max_states=self.max_states)
+
+    def measure_psm(self, psm: PSM, input_channel: str,
+                    output_channel: str) -> dict[str, DelayBound]:
+        """Exact suprema on the PSM (diagnostics / Lemma-1 validation)."""
+        return {
+            "Input-Delay": symbolic_input_delay(
+                psm, input_channel, max_states=self.max_states),
+            "Output-Delay": symbolic_output_delay(
+                psm, output_channel, max_states=self.max_states),
+            "M-C delay": symbolic_mc_delay(
+                psm, input_channel, output_channel,
+                max_states=self.max_states),
+        }
+
+    # ------------------------------------------------------------------
+    def verify(self, pim: PIM, scheme: ImplementationScheme, *,
+               input_channel: str, output_channel: str,
+               deadline_ms: int,
+               min_interarrival_ms: int | None = None,
+               measure_suprema: bool = False,
+               include_progress: bool = False) -> VerificationReport:
+        """The full Section-VI pipeline in one call."""
+        report = VerificationReport(
+            input_channel=input_channel, output_channel=output_channel,
+            deadline_ms=deadline_ms)
+        report.pim_result = self.verify_pim(
+            pim, input_channel, output_channel, deadline_ms)
+        psm = self.transform(pim, scheme)
+        report.psm = psm
+        report.constraints = self.check_constraints(
+            psm, min_interarrival_ms=min_interarrival_ms,
+            include_progress=include_progress)
+        report.bounds = self.derive_bounds(
+            pim, scheme, input_channel, output_channel)
+        report.psm_original_result = self.verify_psm(
+            psm, input_channel, output_channel, deadline_ms)
+        report.psm_relaxed_result = self.verify_psm(
+            psm, input_channel, output_channel, report.bounds.relaxed)
+        if measure_suprema:
+            report.symbolic = self.measure_psm(
+                psm, input_channel, output_channel)
+        return report

@@ -1,0 +1,230 @@
+"""Input/output interface automata — Section IV(2), Fig. 5.
+
+``IFMI_X`` models the Input-Device's data flow from a monitored
+variable ``m_X`` to the processed program input: sensing (interrupt or
+polling), a processing window ``[delay_min, delay_max]``, and delivery
+into the io-boundary transport — with the two buffer cases of
+Fig. 5-(1) (space available / full) made explicit.
+
+``IFOC_Y`` models the Output-Device's flow from the program output
+``o_Y`` to the controlled variable ``c_Y``: pickup from the transport
+(event-driven, made prompt by an *urgent* pickup channel, or polling),
+a processing window, and the actuation synchronization ``c_Y!`` toward
+``ENVMC``.
+
+All builders return plain :class:`~repro.ta.model.Automaton` objects;
+the transformation (:mod:`repro.core.transform`) wires them, declares
+their bookkeeping variables and validates cross-parameter sanity
+(e.g. the chained-drain condition ``capacity·delay_max ≤ polling
+interval`` for polled output devices).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheme import (
+    DeliveryMechanism,
+    InputSpec,
+    IOSpec,
+    OutputSpec,
+    ReadMechanism,
+)
+from repro.core.psm import ChannelVars
+from repro.ta.builder import AutomatonBuilder
+from repro.ta.model import Automaton
+
+__all__ = [
+    "TransformError",
+    "effective_capacity",
+    "input_channel_vars",
+    "output_channel_vars",
+    "build_ifmi",
+    "build_ifoc",
+    "pickup_channel",
+]
+
+
+class TransformError(Exception):
+    """Raised when a PIM/scheme pair cannot be transformed."""
+
+
+def _base(io_name: str) -> str:
+    """Variable-name stem for an io channel (``i_BolusReq`` → same)."""
+    return io_name
+
+
+def input_channel_vars(io_name: str, spec: InputSpec,
+                       io_spec: IOSpec) -> ChannelVars:
+    """Bookkeeping variable names for one input channel."""
+    stem = _base(io_name)
+    polled = spec.mechanism is ReadMechanism.POLLING
+    shared = io_spec.delivery is DeliveryMechanism.SHARED_VARIABLE
+    return ChannelVars(
+        count=f"cnt_{stem}",
+        overflow=f"lost_{stem}" if shared else f"ovf_{stem}",
+        latch=f"latch_{stem}" if polled else "",
+        missed=f"miss_{stem}" if polled else "",
+    )
+
+
+def output_channel_vars(io_name: str, io_spec: IOSpec) -> ChannelVars:
+    """Bookkeeping variable names for one output channel."""
+    stem = _base(io_name)
+    shared = io_spec.delivery is DeliveryMechanism.SHARED_VARIABLE
+    return ChannelVars(
+        count=f"cnt_{stem}",
+        overflow=f"lost_{stem}" if shared else f"ovf_{stem}",
+        staged=f"stg_{stem}",
+    )
+
+
+def pickup_channel(io_name: str) -> str:
+    """Urgent channel forcing prompt event-driven output pickup."""
+    return f"upick_{io_name}"
+
+
+def effective_capacity(io_spec: IOSpec) -> int:
+    """Effective transport capacity (shared variable == depth 1)."""
+    if io_spec.delivery is DeliveryMechanism.SHARED_VARIABLE:
+        return 1
+    return io_spec.buffer_size
+
+
+# Backwards-friendly internal alias.
+_capacity = effective_capacity
+
+
+# ----------------------------------------------------------------------
+# IFMI
+# ----------------------------------------------------------------------
+def build_ifmi(mc_channel: str, io_name: str, spec: InputSpec,
+               io_spec: IOSpec, vars_: ChannelVars) -> Automaton:
+    """The input interface automaton for one monitored variable."""
+    if spec.mechanism is ReadMechanism.INTERRUPT:
+        return _build_ifmi_interrupt(mc_channel, io_name, spec, io_spec,
+                                     vars_)
+    return _build_ifmi_polling(mc_channel, io_name, spec, io_spec, vars_)
+
+
+def _enqueue_edges(b: AutomatonBuilder, source: str, target: str,
+                   spec_min: int, cap: int, vars_: ChannelVars) -> None:
+    """The Fig. 5-(1) pair: transport has space / transport is full.
+
+    The full case covers both loss semantics: buffer overflow (event
+    dropped, ``ovf`` flag) and shared-variable overwrite (old value
+    lost, ``lost`` flag) — in either case the occupancy stays at the
+    capacity and the flag records the loss.
+    """
+    b.edge(source, target,
+           guard=f"y >= {spec_min} && {vars_.count} < {cap}",
+           update=f"{vars_.count} = {vars_.count} + 1")
+    b.edge(source, target,
+           guard=f"y >= {spec_min} && {vars_.count} == {cap}",
+           update=f"{vars_.overflow} = 1")
+
+
+def _build_ifmi_interrupt(mc_channel: str, io_name: str,
+                          spec: InputSpec, io_spec: IOSpec,
+                          vars_: ChannelVars) -> Automaton:
+    """Fig. 5-(1) verbatim: Idle → Processing → Idle (two cases)."""
+    cap = _capacity(io_spec)
+    b = AutomatonBuilder(f"IFMI_{io_name}", clocks=["y"])
+    b.location("Idle", initial=True)
+    b.location("Processing", invariant=f"y <= {spec.delay_max}")
+    b.edge("Idle", "Processing", sync=f"{mc_channel}?", update="y = 0")
+    _enqueue_edges(b, "Processing", "Idle", spec.delay_min, cap, vars_)
+    return b.build()
+
+
+def _build_ifmi_polling(mc_channel: str, io_name: str,
+                        spec: InputSpec, io_spec: IOSpec,
+                        vars_: ChannelVars) -> Automaton:
+    """Polling variant: a latch sampled every ``polling_interval``.
+
+    The environment's edge sets the latch at any time (received in
+    both locations — the device never blocks the environment).  A poll
+    finding the latch set moves to Processing; the processing window
+    then ends with the Fig. 5-(1) enqueue pair.  A second edge before
+    the latch is sampled sets the ``missed`` flag — the signal was
+    overwritten, which Constraint 1 requires to be unreachable.
+    """
+    assert spec.polling_interval is not None
+    poll = spec.polling_interval
+    if spec.delay_max > poll:
+        raise TransformError(
+            f"input {mc_channel!r}: processing delay_max "
+            f"({spec.delay_max}) exceeds the polling interval ({poll}); "
+            f"the device would fall behind its own poll cadence")
+    cap = _capacity(io_spec)
+    b = AutomatonBuilder(f"IFMI_{io_name}", clocks=["p", "y"])
+    b.location("Wait", invariant=f"p <= {poll}", initial=True)
+    b.location("Processing", invariant=f"y <= {spec.delay_max}")
+    for location in ("Wait", "Processing"):
+        b.edge(location, location, sync=f"{mc_channel}?",
+               guard=f"{vars_.latch} == 0",
+               update=f"{vars_.latch} = 1")
+        b.edge(location, location, sync=f"{mc_channel}?",
+               guard=f"{vars_.latch} == 1",
+               update=f"{vars_.missed} = 1")
+    b.edge("Wait", "Processing",
+           guard=f"p == {poll} && {vars_.latch} == 1",
+           update=f"p = 0, y = 0, {vars_.latch} = 0")
+    b.edge("Wait", "Wait",
+           guard=f"p == {poll} && {vars_.latch} == 0",
+           update="p = 0")
+    _enqueue_edges(b, "Processing", "Wait", spec.delay_min, cap, vars_)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# IFOC
+# ----------------------------------------------------------------------
+def build_ifoc(mc_channel: str, io_name: str, spec: OutputSpec,
+               io_spec: IOSpec, vars_: ChannelVars) -> Automaton:
+    """The output interface automaton for one controlled variable."""
+    if spec.mechanism is ReadMechanism.INTERRUPT:
+        return _build_ifoc_event(mc_channel, io_name, spec, vars_)
+    return _build_ifoc_polling(mc_channel, io_name, spec, io_spec, vars_)
+
+
+def _build_ifoc_event(mc_channel: str, io_name: str, spec: OutputSpec,
+                      vars_: ChannelVars) -> Automaton:
+    """Fig. 5-(2): prompt pickup (urgent channel), process, actuate."""
+    b = AutomatonBuilder(f"IFOC_{io_name}", clocks=["z"])
+    b.location("Idle", initial=True)
+    b.location("Busy", invariant=f"z <= {spec.delay_max}")
+    b.edge("Idle", "Busy", guard=f"{vars_.count} > 0",
+           sync=f"{pickup_channel(io_name)}!",
+           update=f"z = 0, {vars_.count} = {vars_.count} - 1")
+    b.edge("Busy", "Idle", guard=f"z >= {spec.delay_min}",
+           sync=f"{mc_channel}!")
+    return b.build()
+
+
+def _build_ifoc_polling(mc_channel: str, io_name: str,
+                        spec: OutputSpec, io_spec: IOSpec,
+                        vars_: ChannelVars) -> Automaton:
+    """Polling pickup with committed drain of the remaining backlog."""
+    assert spec.polling_interval is not None
+    poll = spec.polling_interval
+    cap = _capacity(io_spec)
+    if cap * spec.delay_max > poll:
+        raise TransformError(
+            f"output {mc_channel!r}: draining a full transport "
+            f"({cap} × delay_max {spec.delay_max}) exceeds the polling "
+            f"interval ({poll}); the device would fall behind")
+    b = AutomatonBuilder(f"IFOC_{io_name}", clocks=["q", "z"])
+    b.location("Wait", invariant=f"q <= {poll}", initial=True)
+    b.location("Busy", invariant=f"z <= {spec.delay_max}")
+    b.location("Drain", committed=True)
+    b.edge("Wait", "Busy",
+           guard=f"q == {poll} && {vars_.count} > 0",
+           update=f"q = 0, z = 0, {vars_.count} = {vars_.count} - 1")
+    b.edge("Wait", "Wait",
+           guard=f"q == {poll} && {vars_.count} == 0",
+           update="q = 0")
+    b.edge("Busy", "Drain", guard=f"z >= {spec.delay_min}",
+           sync=f"{mc_channel}!")
+    b.edge("Drain", "Busy", guard=f"{vars_.count} > 0",
+           update=f"z = 0, {vars_.count} = {vars_.count} - 1")
+    b.edge("Drain", "Wait", guard=f"{vars_.count} == 0")
+    return b.build()

@@ -1,0 +1,62 @@
+"""Platform-independent model (Definition 2): ``PIM = M ‖ ENV``.
+
+A :class:`PIM` wraps a two-automaton network and records which
+automaton is the software (``M``, the code-generation source) and
+which is the environment.  Its input/output channels — derived from
+``M``'s receive/emit synchronizations — are the mc-boundary variables
+every other part of the framework is keyed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ta.model import Automaton, ModelError, Network
+
+__all__ = ["PIM"]
+
+
+@dataclass(frozen=True)
+class PIM:
+    """Definition 2: a software model composed with its environment."""
+
+    network: Network
+    controller: str = "M"
+    environment: str = "ENV"
+
+    def __post_init__(self) -> None:
+        m = self.network.automaton(self.controller)  # raises if missing
+        self.network.automaton(self.environment)
+        if not m.edges:
+            raise ModelError(
+                f"controller automaton {self.controller!r} has no edges")
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> Automaton:
+        """The software automaton (code-generation source)."""
+        return self.network.automaton(self.controller)
+
+    @property
+    def env(self) -> Automaton:
+        """The environment automaton."""
+        return self.network.automaton(self.environment)
+
+    def input_channels(self) -> tuple[str, ...]:
+        """Monitored variables: channels ``M`` receives on (``m``)."""
+        return tuple(sorted(self.m.input_channels()))
+
+    def output_channels(self) -> tuple[str, ...]:
+        """Controlled variables: channels ``M`` emits on (``c``)."""
+        return tuple(sorted(self.m.output_channels()))
+
+    def internal_edges(self) -> list:
+        """``M``'s unsynchronized edges (Constraint 4 cares)."""
+        return [e for e in self.m.edges if e.sync is None]
+
+    def describe(self) -> str:
+        return (
+            f"PIM {self.network.name}: controller={self.controller}, "
+            f"environment={self.environment}, "
+            f"inputs={list(self.input_channels())}, "
+            f"outputs={list(self.output_channels())}")

@@ -1,0 +1,98 @@
+"""Platform-specific model (Definition 3) and its component map.
+
+``PSM = MIO ‖ IFMI_1..k ‖ IFOC_1..j ‖ EXEIO ‖ ENVMC`` — the network
+produced by the transformation, plus everything downstream analyses
+need to navigate it: which automaton plays which role, how mc-boundary
+channels map to their io-boundary twins, and the names of the
+bookkeeping variables (buffer counters, overflow/miss/drop flags) that
+the four constraints of Section V are phrased over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.pim import PIM
+from repro.core.scheme import ImplementationScheme
+from repro.ta.model import Network
+
+__all__ = ["PSM", "ChannelVars"]
+
+
+@dataclass(frozen=True)
+class ChannelVars:
+    """Bookkeeping variable names for one boundary channel."""
+
+    #: Buffer occupancy counter (``cnt_i_X`` / ``cnt_o_Y``).
+    count: str
+    #: Overflow flag (buffer) or overwrite flag (shared variable).
+    overflow: str
+    #: Staged-output counter (outputs only, ``""`` for inputs).
+    staged: str = ""
+    #: Latch state (polled inputs only, ``""`` otherwise).
+    latch: str = ""
+    #: Missed/overwritten-signal flag (polled inputs only).
+    missed: str = ""
+
+
+@dataclass(frozen=True)
+class PSM:
+    """Definition 3 with component metadata."""
+
+    network: Network
+    pim: PIM
+    scheme: ImplementationScheme
+    #: Automaton names by role.
+    mio: str
+    envmc: str
+    exeio: str
+    ifmi: Mapping[str, str]  # mc input channel -> automaton name
+    ifoc: Mapping[str, str]  # mc output channel -> automaton name
+    #: mc-boundary channel -> io-boundary channel (m_X -> i_X etc.).
+    io_names: Mapping[str, str]
+    #: Per-channel bookkeeping variables (keyed by mc channel name).
+    input_vars: Mapping[str, ChannelVars]
+    output_vars: Mapping[str, ChannelVars]
+    #: Flag set when the code pops an input it cannot consume.
+    code_drop_flag: str = "code_drop"
+    #: Shadow variable tracking MIO's current location index.
+    mio_loc_var: str = "mio_loc"
+    extras: Mapping[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def io_name(self, mc_channel: str) -> str:
+        """The io-boundary twin of an mc-boundary channel."""
+        return self.io_names[mc_channel]
+
+    def components(self) -> list[tuple[str, str]]:
+        """(role, automaton-name) pairs in Definition-3 order."""
+        pairs = [("MIO", self.mio)]
+        pairs += [(f"IFMI[{ch}]", name)
+                  for ch, name in sorted(self.ifmi.items())]
+        pairs += [(f"IFOC[{ch}]", name)
+                  for ch, name in sorted(self.ifoc.items())]
+        pairs += [("EXEIO", self.exeio), ("ENVMC", self.envmc)]
+        return pairs
+
+    def overflow_flags(self) -> list[str]:
+        """All buffer overflow/overwrite flags (Constraints 2–3)."""
+        flags = [vars_.overflow for vars_ in self.input_vars.values()]
+        flags += [vars_.overflow for vars_ in self.output_vars.values()]
+        return flags
+
+    def miss_flags(self) -> list[str]:
+        """Missed-input flags (Constraint 1)."""
+        return [vars_.missed for vars_ in self.input_vars.values()
+                if vars_.missed]
+
+    def describe(self) -> str:
+        lines = [f"PSM {self.network.name} "
+                 f"(scheme {self.scheme.name}):"]
+        for role, name in self.components():
+            auto = self.network.automaton(name)
+            lines.append(
+                f"  {role:<22} = {name} "
+                f"({len(auto.locations)} locations, "
+                f"{len(auto.edges)} edges)")
+        return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""The modular PIM → PSM transformation — Section IV.
+
+Given a :class:`~repro.core.pim.PIM` and an
+:class:`~repro.core.scheme.ImplementationScheme`, build the
+platform-specific model
+
+``PSM = MIO ‖ IFMI_1..k ‖ IFOC_1..j ‖ EXEIO ‖ ENVMC``
+
+following the paper's three construction steps:
+
+1. **MIO and ENVMC** (Section IV(1)): MIO is ``M`` with its mc-boundary
+   synchronizations renamed to io-boundary twins (``m_X → i_X``,
+   ``c_Y → o_Y``); nothing else changes — the transformation is
+   *modular*.  ENVMC is ``ENV`` verbatim.  Two mechanical additions
+   make the composition analyzable: MIO's clocks are hoisted to
+   network globals (so EXEIO's complementary transitions *could*
+   reference them) and every MIO edge maintains a ``mio_loc`` shadow
+   variable encoding its current location — the standard UPPAAL
+   realization of the paper's "MIO is in a location that can read the
+   input" guard.
+2. **IFMI / IFOC** (Section IV(2), Fig. 5): one interface automaton
+   per boundary channel, built by :mod:`repro.core.interfaces`
+   according to the channel's mechanism (interrupt/polling ×
+   buffer/shared).
+3. **EXEIO** (Section IV(3), Fig. 6): built by
+   :mod:`repro.core.execution` from the invocation mechanism, the
+   read policies and MIO's acceptance conditions.
+
+The result is a plain :class:`~repro.ta.model.Network` (validated),
+wrapped in a :class:`~repro.core.psm.PSM` that records the component
+roles and bookkeeping variable names for the Section-V analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.execution import (
+    InputEntry,
+    OutputEntry,
+    accept_expression,
+    build_exeio,
+)
+from repro.core.interfaces import (
+    TransformError,
+    build_ifmi,
+    build_ifoc,
+    effective_capacity,
+    input_channel_vars,
+    output_channel_vars,
+    pickup_channel,
+)
+from repro.core.pim import PIM
+from repro.core.psm import PSM, ChannelVars
+from repro.core.scheme import ImplementationScheme, ReadMechanism
+from repro.ta.builder import AutomatonBuilder, NetworkBuilder
+from repro.ta.clocks import Update
+from repro.ta.expr import Const
+from repro.ta.model import Automaton
+from repro.ta.clocks import Assignment
+from repro.ta.rename import (
+    boundary_rename_map,
+    mc_to_io_name,
+    rename_channels,
+    rename_clocks,
+)
+
+__all__ = ["transform", "TransformError", "MIO_NAME", "ENVMC_NAME",
+           "EXEIO_NAME"]
+
+MIO_NAME = "MIO"
+ENVMC_NAME = "ENVMC"
+EXEIO_NAME = "EXEIO"
+URG_NAME = "URG"
+MIO_LOC_VAR = "mio_loc"
+CODE_DROP_FLAG = "code_drop"
+
+
+def _build_mio(pim: PIM) -> tuple[Automaton, dict[str, str]]:
+    """Step 1: rename boundaries, hoist clocks, add the shadow var."""
+    m = pim.m
+    channel_map = boundary_rename_map(m.input_channels(),
+                                      m.output_channels())
+    mio = rename_channels(m, channel_map, new_name=MIO_NAME)
+    clock_map = {clock: f"mio_{clock}" for clock in m.clocks}
+    mio = rename_clocks(mio, clock_map)
+
+    loc_index = {loc.name: i for i, loc in enumerate(mio.locations)}
+    shadowed_edges = []
+    for edge in mio.edges:
+        shadow = Assignment(var=MIO_LOC_VAR,
+                            expr=Const(loc_index[edge.target]))
+        shadowed_edges.append(replace(
+            edge, update=Update(actions=edge.update.actions + (shadow,))))
+    mio = replace(mio, edges=tuple(shadowed_edges))
+    return mio, clock_map
+
+
+def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
+    """Transform a PIM into the PSM for ``scheme`` (Section IV)."""
+    scheme.validate()
+    input_channels = pim.input_channels()
+    output_channels = pim.output_channels()
+    scheme.covers(input_channels, output_channels)
+    if pim.internal_edges():
+        # Constraint 4 precondition; surfaced early with a clear story.
+        raise TransformError(
+            f"controller {pim.controller!r} has internal (unsynchronized)"
+            f" edges {[str(e) for e in pim.internal_edges()]}; the "
+            f"transformation requires io-visible behavior only "
+            f"(Constraint 4). Model internal steps as committed "
+            f"locations or fold them into synchronized edges.")
+
+    mio, clock_map = _build_mio(pim)
+    io_names = {ch: mc_to_io_name(ch)
+                for ch in (*input_channels, *output_channels)}
+
+    # ---- interface automata and their bookkeeping variables ----------
+    input_vars: dict[str, ChannelVars] = {}
+    ifmi: dict[str, Automaton] = {}
+    for channel in input_channels:
+        spec = scheme.input_spec(channel)
+        io_spec = scheme.io_input_spec(channel)
+        vars_ = input_channel_vars(io_names[channel], spec, io_spec)
+        input_vars[channel] = vars_
+        ifmi[channel] = build_ifmi(channel, io_names[channel], spec,
+                                   io_spec, vars_)
+
+    output_vars: dict[str, ChannelVars] = {}
+    ifoc: dict[str, Automaton] = {}
+    event_outputs: list[str] = []
+    for channel in output_channels:
+        spec = scheme.output_spec(channel)
+        io_spec = scheme.io_output_spec(channel)
+        vars_ = output_channel_vars(io_names[channel], io_spec)
+        output_vars[channel] = vars_
+        ifoc[channel] = build_ifoc(channel, io_names[channel], spec,
+                                   io_spec, vars_)
+        if spec.mechanism is ReadMechanism.INTERRUPT:
+            event_outputs.append(channel)
+
+    # ---- EXEIO ---------------------------------------------------------
+    input_entries = []
+    for channel in input_channels:
+        io_spec = scheme.io_input_spec(channel)
+        io_name = io_names[channel]
+        entry = InputEntry(
+            mc_channel=channel,
+            io_name=io_name,
+            capacity=effective_capacity(io_spec),
+            read_policy=io_spec.read_policy,
+            vars=input_vars[channel],
+            did_flag=f"did_{io_name}",
+            accept=accept_expression(mio, io_name, MIO_LOC_VAR),
+        )
+        input_entries.append(entry)
+    output_entries = [
+        OutputEntry(
+            mc_channel=channel,
+            io_name=io_names[channel],
+            capacity=effective_capacity(scheme.io_output_spec(channel)),
+            vars=output_vars[channel],
+        )
+        for channel in output_channels
+    ]
+    exeio_parts = build_exeio(scheme, input_entries, output_entries,
+                              code_drop_flag=CODE_DROP_FLAG,
+                              name=EXEIO_NAME)
+
+    # ---- assemble the network ------------------------------------------
+    net = NetworkBuilder(f"{pim.network.name}_psm",
+                         constants=dict(pim.network.constants))
+    for channel in (*input_channels, *output_channels):
+        net.channel(channel)
+        net.channel(io_names[channel])
+    for channel in event_outputs:
+        net.channel(pickup_channel(io_names[channel]), urgent=True)
+    for urgent in exeio_parts.urgent_channels:
+        net.channel(urgent, urgent=True)
+
+    for global_clock in clock_map.values():
+        net.global_clock(global_clock)
+
+    mio_initial_idx = next(
+        i for i, loc in enumerate(mio.locations)
+        if loc.name == mio.initial)
+    net.int_var(MIO_LOC_VAR, init=mio_initial_idx, lo=0,
+                hi=len(mio.locations) - 1)
+    net.bool_var(CODE_DROP_FLAG)
+    for channel in input_channels:
+        vars_ = input_vars[channel]
+        cap = effective_capacity(scheme.io_input_spec(channel))
+        net.int_var(vars_.count, init=0, lo=0, hi=cap)
+        net.bool_var(vars_.overflow)
+        if vars_.latch:
+            net.bool_var(vars_.latch)
+        if vars_.missed:
+            net.bool_var(vars_.missed)
+        net.bool_var(f"did_{io_names[channel]}")
+    for channel in output_channels:
+        vars_ = output_vars[channel]
+        cap = effective_capacity(scheme.io_output_spec(channel))
+        net.int_var(vars_.count, init=0, lo=0, hi=cap)
+        net.int_var(vars_.staged, init=0, lo=0, hi=cap)
+        net.bool_var(vars_.overflow)
+
+    envmc = pim.env.with_name(ENVMC_NAME)
+    net.add_automaton(mio)
+    for channel in input_channels:
+        net.add_automaton(ifmi[channel])
+    for channel in output_channels:
+        net.add_automaton(ifoc[channel])
+    net.add_automaton(exeio_parts.automaton)
+    for extra in exeio_parts.extra_automata:
+        net.add_automaton(extra)
+    if event_outputs:
+        net.add_automaton(_build_urg(
+            [pickup_channel(io_names[ch]) for ch in event_outputs]))
+    net.add_automaton(envmc)
+
+    network = net.build()
+    return PSM(
+        network=network,
+        pim=pim,
+        scheme=scheme,
+        mio=MIO_NAME,
+        envmc=ENVMC_NAME,
+        exeio=EXEIO_NAME,
+        ifmi={ch: ifmi[ch].name for ch in input_channels},
+        ifoc={ch: ifoc[ch].name for ch in output_channels},
+        io_names=io_names,
+        input_vars=input_vars,
+        output_vars=output_vars,
+        code_drop_flag=CODE_DROP_FLAG,
+        mio_loc_var=MIO_LOC_VAR,
+    )
+
+
+def _build_urg(pickup_channels: list[str]) -> Automaton:
+    """Receiver for the urgent pickup channels of event-driven IFOCs."""
+    b = AutomatonBuilder(URG_NAME)
+    b.location("Run", initial=True)
+    for channel in pickup_channels:
+        b.edge("Run", "Run", sync=f"{channel}?")
+    return b.build()

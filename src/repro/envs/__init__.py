@@ -1,0 +1,23 @@
+"""Environment simulation: arrival patterns and closed-loop actors."""
+
+from repro.envs.environment import (
+    ClosedLoopRequester,
+    Observation,
+    PatternEnvironment,
+)
+from repro.envs.patterns import (
+    Arrival,
+    PeriodicPattern,
+    RandomPattern,
+    ScriptedPattern,
+)
+
+__all__ = [
+    "Arrival",
+    "ClosedLoopRequester",
+    "Observation",
+    "PatternEnvironment",
+    "PeriodicPattern",
+    "RandomPattern",
+    "ScriptedPattern",
+]

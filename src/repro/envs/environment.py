@@ -1,0 +1,143 @@
+"""Environment actors driving an implemented system.
+
+Two drivers:
+
+* :class:`PatternEnvironment` replays an arrival pattern open-loop and
+  records the ``c`` actuations it observes — enough for Fig. 3-style
+  scenarios and the stress tests behind Constraints 2/3.
+* :class:`ClosedLoopRequester` reproduces the paper's case-study
+  protocol: press the bolus button, wait for the infusion to start,
+  pause a random think-time, press again — 60 times.  One request is
+  outstanding at a time, matching the assumption under which the
+  instrumented-observer delay equals the per-request delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.envs.patterns import Arrival
+from repro.platforms.system import ImplementedSystem
+from repro.sim.engine import ms_to_us, us_to_ms
+
+__all__ = ["Observation", "PatternEnvironment", "ClosedLoopRequester"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observed actuation at the mc-boundary."""
+
+    time_ms: float
+    channel: str
+    tag: int
+
+
+@dataclass
+class PatternEnvironment:
+    """Replays arrivals; passively records actuations."""
+
+    system: ImplementedSystem
+    observations: list[Observation] = field(default_factory=list)
+    _tags: itertools.count = field(default_factory=lambda:
+                                   itertools.count(1))
+
+    def __post_init__(self) -> None:
+        self.system.attach_observer(self._on_actuate)
+
+    def schedule(self, pattern) -> list[int]:
+        """Queue every arrival of ``pattern``; returns the tags used."""
+        tags = []
+        for arrival in pattern:
+            tag = next(self._tags)
+            tags.append(tag)
+            self._press_at(arrival, tag)
+        return tags
+
+    def _press_at(self, arrival: Arrival, tag: int) -> None:
+        sim = self.system.sim
+        sim.schedule_at(
+            max(sim.now, ms_to_us(arrival.time_ms)),
+            lambda: self.system.signal_input(arrival.channel, tag),
+            label=f"env:{arrival.channel}")
+
+    def _on_actuate(self, channel: str, tag: int) -> None:
+        self.observations.append(Observation(
+            us_to_ms(self.system.sim.now), channel, tag))
+
+
+class ClosedLoopRequester:
+    """Press → await response → think → press again (case study).
+
+    ``think_ms`` draws uniformly from [lo, hi] on the system's RNG
+    stream ``"env:think"``; a ``timeout_ms`` guards against a lost
+    response wedging the scenario (timed-out requests are recorded and
+    the loop continues).
+    """
+
+    def __init__(self, system: ImplementedSystem, request_channel: str,
+                 response_channel: str, count: int,
+                 think_ms: tuple[int, int] = (2000, 4000),
+                 timeout_ms: int = 10_000,
+                 first_press_ms: int = 50):
+        self.system = system
+        self.request_channel = request_channel
+        self.response_channel = response_channel
+        self.count = count
+        self.think_ms = think_ms
+        self.timeout_ms = timeout_ms
+        self.first_press_ms = first_press_ms
+        self.requests_made = 0
+        self.responses_seen = 0
+        self.timeouts = 0
+        self.observations: list[Observation] = []
+        self._awaiting = False
+        self._timeout_handle = None
+        system.attach_observer(self._on_actuate)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.system.sim.schedule(ms_to_us(self.first_press_ms),
+                                 self._press, label="env:first-press")
+
+    def _press(self) -> None:
+        if self.requests_made >= self.count:
+            return
+        self.requests_made += 1
+        self._awaiting = True
+        self.system.signal_input(self.request_channel, self.requests_made)
+        self._timeout_handle = self.system.sim.schedule(
+            ms_to_us(self.timeout_ms), self._on_timeout,
+            label="env:timeout")
+
+    def _on_actuate(self, channel: str, tag: int) -> None:
+        self.observations.append(Observation(
+            us_to_ms(self.system.sim.now), channel, tag))
+        if channel != self.response_channel or not self._awaiting:
+            return
+        self._awaiting = False
+        self.responses_seen += 1
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+        self._schedule_next()
+
+    def _on_timeout(self) -> None:
+        if not self._awaiting:
+            return
+        self._awaiting = False
+        self.timeouts += 1
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self.requests_made >= self.count:
+            return
+        think = self.system.rng.uniform_int(
+            "env:think", ms_to_us(self.think_ms[0]),
+            ms_to_us(self.think_ms[1]))
+        self.system.sim.schedule(think, self._press, label="env:think")
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return (self.requests_made >= self.count
+                and not self._awaiting)

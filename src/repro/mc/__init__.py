@@ -1,0 +1,64 @@
+"""Zone-based model checker for the timed-automata language.
+
+Public API:
+
+* :func:`check_reachable` / :func:`check_safety` — ``E<>`` / ``A[]``
+* :func:`check_bounded_response` — the paper's ``P(Δ)`` properties
+* :func:`max_response_delay` — exact sup of a trigger→response delay
+* :func:`sup_clock` — generic clock suprema
+* :func:`find_deadlocks` — stuck-state detection
+* :class:`ZoneGraphExplorer` — the underlying engine
+"""
+
+from repro.mc.deadlock import DeadlockReport, find_deadlocks
+from repro.mc.explorer import (
+    ExplorationLimit,
+    ExplorationResult,
+    ZoneGraphExplorer,
+)
+from repro.mc.observers import (
+    OBS_CLOCK,
+    OBS_FLAG,
+    BoundedResponseResult,
+    DelayBound,
+    check_bounded_response,
+    instrument_response,
+    max_response_delay,
+)
+from repro.mc.queries import ZoneGraphStats, sup_clock, zone_graph_stats
+from repro.mc.reachability import (
+    ReachabilityResult,
+    SafetyResult,
+    StateFormula,
+    check_reachable,
+    check_safety,
+)
+from repro.mc.state import CompiledNetwork, SymbolicState
+from repro.mc.traces import format_trace, trace_channels
+
+__all__ = [
+    "OBS_CLOCK",
+    "OBS_FLAG",
+    "BoundedResponseResult",
+    "CompiledNetwork",
+    "DeadlockReport",
+    "DelayBound",
+    "ExplorationLimit",
+    "ExplorationResult",
+    "ReachabilityResult",
+    "SafetyResult",
+    "StateFormula",
+    "SymbolicState",
+    "ZoneGraphExplorer",
+    "ZoneGraphStats",
+    "check_bounded_response",
+    "check_reachable",
+    "check_safety",
+    "find_deadlocks",
+    "format_trace",
+    "instrument_response",
+    "max_response_delay",
+    "sup_clock",
+    "trace_channels",
+    "zone_graph_stats",
+]

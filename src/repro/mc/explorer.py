@@ -1,0 +1,286 @@
+"""Zone-graph exploration (forward symbolic reachability).
+
+The explorer enumerates the symbolic transition system of a network:
+states are (location vector, valuation, canonical delay-closed zone).
+Every stored zone already includes the time elapse allowed by the
+invariants at its locations, so "state satisfies φ" means "some
+concrete run reaches a configuration in the zone satisfying φ".
+
+Termination comes from Extra_M extrapolation plus the passed-list
+inclusion check — the textbook algorithm (Bengtsson & Yi 2003), with
+UPPAAL's committed-location priority, urgent locations and urgent
+channels layered on top.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.mc.state import CompiledEdge, CompiledNetwork, SymbolicState
+from repro.ta.model import ModelError, Network
+from repro.zones.dbm import DBM
+
+__all__ = [
+    "ExplorationLimit",
+    "ExplorationResult",
+    "ZoneGraphExplorer",
+]
+
+
+class ExplorationLimit(Exception):
+    """Raised when the state-space budget is exhausted."""
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    #: Number of symbolic states stored (after inclusion reduction).
+    visited: int
+    #: First state satisfying the stop predicate, if any.
+    stopped: SymbolicState | None = None
+    #: Transition labels from the initial state to ``stopped``
+    #: (only when the explorer was created with ``trace=True``).
+    trace: list[str] | None = None
+    #: True when the full zone graph was explored (no early stop).
+    complete: bool = True
+    #: Number of successor computations performed.
+    transitions: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.stopped is not None
+
+
+_NodeId = tuple[tuple[tuple[int, ...], tuple[int, ...]], tuple[int, ...]]
+
+
+class ZoneGraphExplorer:
+    """Forward explorer over a compiled network.
+
+    Parameters
+    ----------
+    network:
+        The model to explore.
+    extra_max_constants:
+        Optional per-clock extrapolation ceilings (display names), for
+        sup queries that must observe values above the model's own
+        constants.
+    trace:
+        Record parent links so counterexample traces can be rebuilt.
+    max_states:
+        Hard cap on stored symbolic states.
+    """
+
+    def __init__(self, network: Network, *,
+                 extra_max_constants: Mapping[str, int] | None = None,
+                 trace: bool = False,
+                 max_states: int = 1_000_000,
+                 free_clock_when_zero: Mapping[str, str] | None = None):
+        self.network = network
+        self.compiled = CompiledNetwork(
+            network, extra_max_constants=extra_max_constants)
+        self.trace_enabled = trace
+        self.max_states = max_states
+        # Valuation-conditional clock freeing: {flag var -> clock}.
+        # The named clock is freed in every state where the flag is 0.
+        # Sound whenever the clock is only ever *read* under flag == 1
+        # — the observer instrumentation's situation — and essential to
+        # keep instrumented zone graphs close to the base model's size.
+        self._conditional_free: list[tuple[int, int]] = []
+        for flag, clock in (free_clock_when_zero or {}).items():
+            self._conditional_free.append(
+                (self.compiled.var_pos(flag),
+                 self.compiled.clock_id_by_name(clock)))
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> SymbolicState:
+        compiled = self.compiled
+        zone = DBM.zero(compiled.n_clocks)
+        locs = compiled.initial_locs
+        vals = compiled.initial_vals
+        self._free_inactive(zone, locs)
+        self._free_conditional(zone, vals)
+        self._apply_invariants(zone, locs)
+        if zone.is_empty():
+            raise ModelError(
+                "initial state violates the location invariants")
+        env = compiled.data_env(vals)
+        if not self._delay_forbidden(locs, env):
+            zone.up()
+            self._apply_invariants(zone, locs)
+        zone.extrapolate_max(compiled.max_constants)
+        return SymbolicState(locs, vals, zone)
+
+    def _free_inactive(self, zone: DBM, locs: tuple[int, ...]) -> None:
+        """Active-clock reduction: free clocks dead at these locations."""
+        compiled = self.compiled
+        for a in range(compiled.n_automata):
+            for clock_idx in compiled.inactive_clocks[a][locs[a]]:
+                zone.free(clock_idx)
+
+    def _free_conditional(self, zone: DBM,
+                          vals: tuple[int, ...]) -> None:
+        """Free clocks whose guarding flag is currently 0."""
+        for var_pos, clock_idx in self._conditional_free:
+            if vals[var_pos] == 0:
+                zone.free(clock_idx)
+
+    def _apply_invariants(self, zone: DBM, locs: tuple[int, ...]) -> None:
+        compiled = self.compiled
+        for a in range(compiled.n_automata):
+            for i, j, bound in compiled.invariant_ops[a][locs[a]]:
+                zone.constrain(i, j, bound)
+
+    def _delay_forbidden(self, locs: tuple[int, ...],
+                         env: Mapping[str, int]) -> bool:
+        compiled = self.compiled
+        return (compiled.any_committed(locs)
+                or compiled.any_urgent_location(locs)
+                or compiled.urgent_sync_enabled(locs, env))
+
+    # ------------------------------------------------------------------
+    def successors(self, state: SymbolicState) \
+            -> Iterator[tuple[SymbolicState, str]]:
+        """All symbolic successors with their transition labels."""
+        compiled = self.compiled
+        env = compiled.data_env(state.vals)
+        for move in compiled.moves(state.locs, env):
+            # Data guards are evaluated on the pre-state (UPPAAL rule).
+            if not all(e.guard_fn(env) for e in move):
+                continue
+            zone = state.zone.copy()
+            for edge in move:
+                for i, j, bound in edge.clock_ops:
+                    zone.constrain(i, j, bound)
+            if zone.is_empty():
+                continue
+            new_locs = list(state.locs)
+            for edge in move:
+                new_locs[edge.auto_idx] = edge.target_idx
+            locs = tuple(new_locs)
+            # Updates in firing order (sender first), sequential data
+            # semantics; assignments are range-checked.
+            env2: dict[str, int] | None = None
+            for edge in move:
+                for op in edge.update_ops:
+                    kind = op[0]
+                    if kind == "reset":
+                        zone.reset(op[1], op[2])
+                    elif kind == "copy":
+                        zone.assign_clock(op[1], op[2])
+                    else:  # assign
+                        if env2 is None:
+                            env2 = dict(env)
+                        decl = compiled.var_decls[op[1]]
+                        try:
+                            env2[op[1]] = decl.check(op[2].eval(env2))
+                        except ModelError as exc:
+                            raise ModelError(
+                                f"{exc} (while firing "
+                                f"{self._move_label(move)} from "
+                                f"{compiled.state_description(state)})"
+                            ) from exc
+            vals = state.vals if env2 is None else tuple(
+                env2[name] for name in compiled.var_names)
+            self._free_inactive(zone, locs)
+            if self._conditional_free:
+                self._free_conditional(zone, vals)
+            self._apply_invariants(zone, locs)
+            if zone.is_empty():
+                continue
+            post_env = env if env2 is None else env2
+            if not self._delay_forbidden(locs, post_env):
+                zone.up()
+                self._apply_invariants(zone, locs)
+            zone.extrapolate_max(compiled.max_constants)
+            if zone.is_empty():
+                continue
+            yield SymbolicState(locs, vals, zone), self._move_label(move)
+
+    @staticmethod
+    def _move_label(move: tuple[CompiledEdge, ...]) -> str:
+        if len(move) == 1 and move[0].channel_idx is None:
+            return move[0].label()
+        return " || ".join(e.label() for e in move)
+
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        stop: Callable[[SymbolicState], bool] | None = None,
+        visit: Callable[[SymbolicState], None] | None = None,
+    ) -> ExplorationResult:
+        """Breadth-first exploration.
+
+        ``stop`` halts the search at the first satisfying state (its
+        trace is reconstructed when tracing is on); ``visit`` is called
+        once per stored state — use it to accumulate sup-style metrics.
+        """
+        compiled = self.compiled
+        init = self.initial_state()
+        passed: dict[tuple, list[DBM]] = {init.key(): [init.zone]}
+        parents: dict[_NodeId, tuple[_NodeId | None, str]] = {}
+        init_id = (init.key(), init.zone.frozen())
+        if self.trace_enabled:
+            parents[init_id] = (None, "<init>")
+        stored = 1
+        transitions = 0
+        if visit is not None:
+            visit(init)
+        if stop is not None and stop(init):
+            return ExplorationResult(
+                visited=stored, stopped=init,
+                trace=self._rebuild(parents, init_id), complete=False,
+                transitions=transitions)
+        waiting: deque[SymbolicState] = deque([init])
+        while waiting:
+            state = waiting.popleft()
+            state_id = (state.key(), state.zone.frozen())
+            for succ, label in self.successors(state):
+                transitions += 1
+                key = succ.key()
+                zones = passed.setdefault(key, [])
+                if any(z.includes(succ.zone) for z in zones):
+                    continue
+                zones[:] = [z for z in zones if not succ.zone.includes(z)]
+                zones.append(succ.zone)
+                stored += 1
+                if stored > self.max_states:
+                    raise ExplorationLimit(
+                        f"exceeded {self.max_states} symbolic states "
+                        f"exploring {self.network.name!r}")
+                succ_id = (key, succ.zone.frozen())
+                if self.trace_enabled:
+                    parents[succ_id] = (state_id, label)
+                if visit is not None:
+                    visit(succ)
+                if stop is not None and stop(succ):
+                    return ExplorationResult(
+                        visited=stored, stopped=succ,
+                        trace=self._rebuild(parents, succ_id),
+                        complete=False, transitions=transitions)
+                waiting.append(succ)
+        return ExplorationResult(visited=stored, complete=True,
+                                 transitions=transitions)
+
+    def _rebuild(self, parents: dict, node_id: _NodeId) \
+            -> list[str] | None:
+        if not self.trace_enabled:
+            return None
+        labels: list[str] = []
+        current: _NodeId | None = node_id
+        while current is not None:
+            parent, label = parents[current]
+            labels.append(label)
+            current = parent
+        labels.reverse()
+        return labels[1:]  # drop the "<init>" marker
+
+    # ------------------------------------------------------------------
+    def iter_states(self) -> Iterator[SymbolicState]:
+        """Materialize every reachable symbolic state (full search)."""
+        states: list[SymbolicState] = []
+        self.explore(visit=states.append)
+        return iter(states)

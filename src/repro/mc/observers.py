@@ -1,0 +1,283 @@
+"""Response-time observers: bounded leads-to and maximum-delay queries.
+
+The paper's properties all have the shape *"after input* ``m`` *fires,
+output* ``c`` *follows within Δ"* (``P(Δ_mc)``).  We check them by
+*instrumenting* the network rather than composing a separate observer
+automaton: a fresh global clock ``w`` is reset on every edge that
+**emits** the trigger channel, and a fresh flag ``tracking`` is set
+there and cleared on every edge that emits the response channel.
+Because the added clock and flag are never read by the original model,
+the instrumentation is behavior-preserving — unlike the common
+broadcast-tap encoding, it cannot accidentally unblock a binary
+synchronization.
+
+Semantics note: ``w`` measures the delay since the *most recent*
+trigger.  For environments with one outstanding request (the paper's
+REQ1 setting, and the paper's Constraint 1/4 assumptions) this equals
+the per-request delay exactly.
+
+Queries:
+
+* :func:`check_bounded_response` — does ``trigger ⤳≤Δ response`` hold?
+  (``E<> tracking ∧ w > Δ`` must be unreachable.)
+* :func:`max_response_delay` — the exact supremum of the delay, found
+  by iteratively raising the extrapolation ceiling until the sup lies
+  strictly below it (then Extra_M is exact), or declaring the delay
+  unbounded past ``cap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.mc.explorer import ZoneGraphExplorer
+from repro.mc.reachability import (
+    ReachabilityResult,
+    StateFormula,
+    check_reachable,
+)
+from repro.mc.state import SymbolicState
+from repro.ta.clocks import Assignment, ClockReset, Update
+from repro.ta.expr import Const
+from repro.ta.model import Automaton, ModelError, Network
+from repro.ta.validate import validate
+from repro.zones.bounds import INF, bound_value
+
+__all__ = [
+    "OBS_CLOCK",
+    "OBS_FLAG",
+    "instrument_response",
+    "check_bounded_response",
+    "max_response_delay",
+    "DelayBound",
+    "BoundedResponseResult",
+]
+
+OBS_CLOCK = "obs_w"
+OBS_FLAG = "obs_tracking"
+
+
+def instrument_response(
+    network: Network,
+    trigger: str,
+    response: str,
+    *,
+    clock: str = OBS_CLOCK,
+    flag: str = OBS_FLAG,
+) -> Network:
+    """A copy of ``network`` instrumented for trigger→response timing.
+
+    Every ``trigger!`` edge additionally performs ``clock := 0,
+    flag := 1``; every ``response!`` edge additionally performs
+    ``flag := 0``.  The pair ``(clock, flag)`` must be fresh names.
+    """
+    if trigger == response:
+        raise ModelError("trigger and response channels must differ")
+    if not network.has_channel(trigger):
+        raise ModelError(f"no channel {trigger!r} in {network.name!r}")
+    if not network.has_channel(response):
+        raise ModelError(f"no channel {response!r} in {network.name!r}")
+    if clock in network.global_clocks:
+        raise ModelError(f"observer clock {clock!r} already declared")
+    if any(v.name == flag for v in network.variables):
+        raise ModelError(f"observer flag {flag!r} already declared")
+
+    trigger_seen = False
+    response_seen = False
+    new_automata: list[Automaton] = []
+    for auto in network.automata:
+        new_edges = []
+        for edge in auto.edges:
+            if edge.sync is not None and edge.sync.is_emit:
+                if edge.sync.channel == trigger:
+                    trigger_seen = True
+                    extra = (ClockReset(clock=clock, value=0),
+                             Assignment(var=flag, expr=Const(1)))
+                    new_edges.append(replace(edge, update=Update(
+                        actions=edge.update.actions + extra)))
+                    continue
+                if edge.sync.channel == response:
+                    response_seen = True
+                    extra = (Assignment(var=flag, expr=Const(0)),)
+                    new_edges.append(replace(edge, update=Update(
+                        actions=edge.update.actions + extra)))
+                    continue
+            new_edges.append(edge)
+        new_automata.append(replace(auto, edges=tuple(new_edges)))
+
+    if not trigger_seen:
+        raise ModelError(
+            f"no automaton emits trigger channel {trigger!r}")
+    if not response_seen:
+        raise ModelError(
+            f"no automaton emits response channel {response!r}")
+
+    from repro.ta.model import VariableDecl  # local to avoid cycle noise
+
+    instrumented = Network(
+        name=f"{network.name}+obs({trigger}->{response})",
+        automata=tuple(new_automata),
+        channels=network.channels,
+        variables=network.variables + (
+            VariableDecl(flag, init=0, lo=0, hi=1),),
+        constants=dict(network.constants),
+        global_clocks=network.global_clocks + (clock,),
+    )
+    return validate(instrumented)
+
+
+@dataclass
+class BoundedResponseResult:
+    """Outcome of a ``P(Δ)`` bounded-response check."""
+
+    holds: bool
+    trigger: str
+    response: str
+    deadline: int
+    visited: int
+    counterexample: str | None = None
+    trace: list[str] | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def summary(self) -> str:
+        status = "HOLDS" if self.holds else "VIOLATED"
+        return (f"P({self.deadline}): {self.trigger} leads to "
+                f"{self.response} within {self.deadline}: {status} "
+                f"({self.visited} states)")
+
+
+def check_bounded_response(
+    network: Network,
+    trigger: str,
+    response: str,
+    deadline: int,
+    *,
+    trace: bool = True,
+    max_states: int = 1_000_000,
+) -> BoundedResponseResult:
+    """Check ``P(Δ)``: after ``trigger``, ``response`` within ``deadline``.
+
+    The property is violated exactly when a state with the tracking
+    flag set and ``w > deadline`` is reachable (zones are delay-closed,
+    so "time can pass the deadline while still awaiting the response"
+    shows up directly).
+    """
+    instrumented = instrument_response(network, trigger, response)
+    bad = StateFormula(
+        data=f"{OBS_FLAG} == 1",
+        clocks=f"{OBS_CLOCK} > {deadline}",
+    )
+    reach: ReachabilityResult = check_reachable(
+        instrumented, bad, trace=trace,
+        extra_max_constants={OBS_CLOCK: deadline + 1},
+        free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
+        max_states=max_states)
+    return BoundedResponseResult(
+        holds=not reach.reachable,
+        trigger=trigger,
+        response=response,
+        deadline=deadline,
+        visited=reach.visited,
+        counterexample=reach.witness,
+        trace=reach.trace,
+    )
+
+
+@dataclass
+class DelayBound:
+    """Result of a maximum-delay (sup) query."""
+
+    bounded: bool
+    #: Supremum of the delay in model time units (valid when bounded).
+    sup: int = 0
+    #: True when the supremum is attained (weak bound), False when it
+    #: is a strict limit.
+    attained: bool = True
+    visited: int = 0
+    #: Ceiling that proved the bound exact (diagnostics).
+    ceiling: int = 0
+
+    def __str__(self) -> str:
+        if not self.bounded:
+            return "unbounded"
+        op = "max" if self.attained else "sup"
+        return f"{op}={self.sup}"
+
+
+def max_response_delay(
+    network: Network,
+    trigger: str,
+    response: str,
+    *,
+    cap: int = 1 << 22,
+    initial_ceiling: int | None = None,
+    max_states: int = 1_000_000,
+) -> DelayBound:
+    """Exact supremum of the trigger→response delay.
+
+    Runs full exploration with the observer clock's extrapolation
+    ceiling raised geometrically: when the measured sup lies strictly
+    below the ceiling, Extra_M did not widen it and the value is exact.
+    Returns ``bounded=False`` when the sup exceeds ``cap`` (the delay
+    is unbounded or practically so — Remark 1 of the paper).
+    """
+    instrumented = instrument_response(network, trigger, response)
+    ceiling = initial_ceiling or _default_ceiling(network)
+
+    while True:
+        explorer = ZoneGraphExplorer(
+            instrumented,
+            extra_max_constants={OBS_CLOCK: ceiling},
+            free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
+            max_states=max_states)
+        compiled = explorer.compiled
+        flag_pos = compiled.var_pos(OBS_FLAG)
+        clock_idx = compiled.clock_id_by_name(OBS_CLOCK)
+
+        best = {"bound": None}  # encoded upper bound or None
+
+        def visit(state: SymbolicState) -> None:
+            if state.vals[flag_pos] != 1:
+                return
+            upper = state.zone.upper_bound(clock_idx)
+            if best["bound"] is None or upper > best["bound"]:
+                best["bound"] = upper
+
+        result = explorer.explore(visit=visit)
+        if best["bound"] is None:
+            # Trigger never observed: vacuously zero delay.
+            return DelayBound(bounded=True, sup=0, attained=True,
+                              visited=result.visited, ceiling=ceiling)
+        if best["bound"] >= INF or bound_value(best["bound"]) >= ceiling:
+            if ceiling > cap:
+                return DelayBound(bounded=False, visited=result.visited,
+                                  ceiling=ceiling)
+            ceiling *= 4
+            continue
+        encoded = best["bound"]
+        return DelayBound(
+            bounded=True,
+            sup=bound_value(encoded),
+            attained=bool(encoded & 1),
+            visited=result.visited,
+            ceiling=ceiling,
+        )
+
+
+def _default_ceiling(network: Network) -> int:
+    """Initial sup-query ceiling: above any single model constant."""
+    largest = 64
+    for value in network.constants.values():
+        largest = max(largest, abs(int(value)))
+    explorer_consts = []
+    for auto in network.automata:
+        for loc in auto.locations:
+            explorer_consts.extend(c.bound for c in loc.invariant)
+        for edge in auto.edges:
+            explorer_consts.extend(
+                c.bound for c in edge.guard.clock_constraints)
+    for value in explorer_consts:
+        largest = max(largest, abs(value))
+    return 4 * largest

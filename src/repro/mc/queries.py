@@ -1,0 +1,109 @@
+"""Generic symbolic queries: sup-of-clock, state counting, inspection.
+
+These build on the explorer and are used by the delay analysis
+(:mod:`repro.core.delays`) and the scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.mc.explorer import ZoneGraphExplorer
+from repro.mc.observers import DelayBound
+from repro.mc.reachability import StateFormula
+from repro.mc.state import SymbolicState
+from repro.ta.model import Network
+from repro.zones.bounds import INF, bound_value
+
+__all__ = ["sup_clock", "zone_graph_stats", "ZoneGraphStats"]
+
+
+def sup_clock(
+    network: Network,
+    clock_name: str,
+    condition: StateFormula | None = None,
+    *,
+    cap: int = 1 << 22,
+    initial_ceiling: int = 1024,
+    max_states: int = 1_000_000,
+) -> DelayBound:
+    """Supremum of a clock over reachable states satisfying a formula.
+
+    Uses the same iterative-ceiling scheme as
+    :func:`repro.mc.observers.max_response_delay`: the result is exact
+    once it falls strictly below the extrapolation ceiling.
+    """
+    ceiling = initial_ceiling
+    while True:
+        explorer = ZoneGraphExplorer(
+            network, extra_max_constants={clock_name: ceiling},
+            max_states=max_states)
+        compiled = explorer.compiled
+        clock_idx = compiled.clock_id_by_name(clock_name)
+        compiled.protect_clocks([clock_idx])
+        predicate = (condition.compile(compiled)
+                     if condition is not None else None)
+        best: list[int | None] = [None]
+
+        def visit(state: SymbolicState) -> None:
+            if predicate is not None and not predicate(state):
+                return
+            upper = state.zone.upper_bound(clock_idx)
+            if best[0] is None or upper > best[0]:
+                best[0] = upper
+
+        result = explorer.explore(visit=visit)
+        if best[0] is None:
+            return DelayBound(bounded=True, sup=0, attained=True,
+                              visited=result.visited, ceiling=ceiling)
+        if best[0] >= INF or bound_value(best[0]) >= ceiling:
+            if ceiling > cap:
+                return DelayBound(bounded=False, visited=result.visited,
+                                  ceiling=ceiling)
+            ceiling *= 4
+            continue
+        return DelayBound(
+            bounded=True,
+            sup=bound_value(best[0]),
+            attained=bool(best[0] & 1),
+            visited=result.visited,
+            ceiling=ceiling,
+        )
+
+
+@dataclass
+class ZoneGraphStats:
+    """Size metrics of a fully explored zone graph."""
+
+    states: int
+    transitions: int
+    discrete_configurations: int
+
+    def __str__(self) -> str:
+        return (f"{self.states} symbolic states, "
+                f"{self.transitions} transitions, "
+                f"{self.discrete_configurations} discrete configurations")
+
+
+def zone_graph_stats(
+    network: Network,
+    *,
+    extra_max_constants: Mapping[str, int] | None = None,
+    max_states: int = 1_000_000,
+) -> ZoneGraphStats:
+    """Fully explore a network and report its zone-graph size."""
+    explorer = ZoneGraphExplorer(
+        network, extra_max_constants=extra_max_constants,
+        max_states=max_states)
+    keys: set = set()
+
+    def visit(state: SymbolicState) -> None:
+        keys.add(state.key())
+
+    result = explorer.explore(visit=visit)
+    return ZoneGraphStats(
+        states=result.visited,
+        transitions=result.transitions,
+        discrete_configurations=len(keys),
+    )

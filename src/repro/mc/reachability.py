@@ -1,0 +1,184 @@
+"""Reachability and safety checking (``E<> φ`` / ``A[] ¬φ``).
+
+State formulas are conjunctions of three optional parts:
+
+* ``locations`` — automaton → location name constraints,
+* ``data`` — a boolean expression over variables/constants,
+* ``clocks`` — a clock-constraint string over *display* clock names
+  (see ``Network.clock_names``), satisfied when the state's zone
+  intersects it.
+
+This covers every property the paper needs: buffer-overflow safety
+(location/flag reachability) and deadline violations (zone ∧ ``w > Δ``
+non-empty at an observer location).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.mc.explorer import ExplorationResult, ZoneGraphExplorer
+from repro.mc.state import CompiledNetwork, SymbolicState, encode_constraint
+from repro.ta.expr import Expr
+from repro.ta.model import Network
+from repro.ta.parser import parse_expression, parse_guard
+
+__all__ = [
+    "StateFormula",
+    "ReachabilityResult",
+    "check_reachable",
+    "check_safety",
+]
+
+
+@dataclass(frozen=True)
+class StateFormula:
+    """Conjunction of location, data and clock conditions."""
+
+    locations: Mapping[str, str] = field(default_factory=dict)
+    data: str | Expr | None = None
+    clocks: str | None = None
+
+    def compile(self, compiled: CompiledNetwork) \
+            -> Callable[[SymbolicState], bool]:
+        """Build a fast predicate over symbolic states."""
+        loc_tests: list[tuple[int, int]] = []
+        for auto_name, loc_name in self.locations.items():
+            a_idx = compiled.network.automaton_index(auto_name)
+            loc_idx = compiled.loc_ids[a_idx][loc_name]
+            loc_tests.append((a_idx, loc_idx))
+
+        data_expr: Expr | None = None
+        if self.data is not None:
+            data_expr = (parse_expression(self.data)
+                         if isinstance(self.data, str) else self.data)
+
+        clock_ops: list[tuple[int, int, int]] = []
+        if self.clocks is not None:
+            name_ids = dict(compiled._name_to_clock)
+            guard = parse_guard(self.clocks, tuple(name_ids),
+                                compiled.constants)
+            if not (guard.data.is_const() and guard.data.eval({}) == 1):
+                raise ValueError(
+                    f"clock condition {self.clocks!r} contains non-clock "
+                    f"conjuncts")
+            for atom in guard.clock_constraints:
+                clock_ops.extend(encode_constraint(atom, name_ids))
+            # Clocks the query reads must survive active-clock
+            # reduction everywhere.
+            compiled.protect_clocks(
+                idx for op in clock_ops for idx in op[:2] if idx)
+
+        def predicate(state: SymbolicState) -> bool:
+            for a_idx, loc_idx in loc_tests:
+                if state.locs[a_idx] != loc_idx:
+                    return False
+            if data_expr is not None:
+                env = compiled.data_env(state.vals)
+                if not data_expr.eval(env):
+                    return False
+            if clock_ops:
+                probe = state.zone.copy()
+                for i, j, bound in clock_ops:
+                    probe.constrain(i, j, bound)
+                if probe.is_empty():
+                    return False
+            return True
+
+        return predicate
+
+    def describe(self) -> str:
+        parts = [f"{a}.{l}" for a, l in self.locations.items()]
+        if self.data is not None:
+            parts.append(str(self.data))
+        if self.clocks is not None:
+            parts.append(self.clocks)
+        return " && ".join(parts) if parts else "true"
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of an ``E<> φ`` query."""
+
+    reachable: bool
+    formula: str
+    visited: int
+    witness: str | None = None
+    trace: list[str] | None = None
+
+    def __bool__(self) -> bool:
+        return self.reachable
+
+    def summary(self) -> str:
+        status = "REACHABLE" if self.reachable else "UNREACHABLE"
+        return f"E<> {self.formula}: {status} ({self.visited} states)"
+
+
+def check_reachable(
+    network: Network,
+    formula: StateFormula,
+    *,
+    trace: bool = True,
+    extra_max_constants: Mapping[str, int] | None = None,
+    max_states: int = 1_000_000,
+    free_clock_when_zero: Mapping[str, str] | None = None,
+) -> ReachabilityResult:
+    """Decide ``E<> formula`` by forward zone exploration."""
+    explorer = ZoneGraphExplorer(
+        network, trace=trace, extra_max_constants=extra_max_constants,
+        max_states=max_states,
+        free_clock_when_zero=free_clock_when_zero)
+    predicate = formula.compile(explorer.compiled)
+    result: ExplorationResult = explorer.explore(stop=predicate)
+    if result.found:
+        assert result.stopped is not None
+        return ReachabilityResult(
+            reachable=True,
+            formula=formula.describe(),
+            visited=result.visited,
+            witness=explorer.compiled.state_description(result.stopped),
+            trace=result.trace,
+        )
+    return ReachabilityResult(
+        reachable=False, formula=formula.describe(),
+        visited=result.visited)
+
+
+@dataclass
+class SafetyResult:
+    """Outcome of an ``A[] ¬bad`` query."""
+
+    holds: bool
+    formula: str
+    visited: int
+    counterexample: str | None = None
+    trace: list[str] | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def summary(self) -> str:
+        status = "HOLDS" if self.holds else "VIOLATED"
+        return f"A[] not({self.formula}): {status} ({self.visited} states)"
+
+
+def check_safety(
+    network: Network,
+    bad: StateFormula,
+    *,
+    trace: bool = True,
+    extra_max_constants: Mapping[str, int] | None = None,
+    max_states: int = 1_000_000,
+) -> SafetyResult:
+    """Decide ``A[] ¬bad`` (safety) via the dual reachability query."""
+    reach = check_reachable(
+        network, bad, trace=trace,
+        extra_max_constants=extra_max_constants, max_states=max_states)
+    return SafetyResult(
+        holds=not reach.reachable,
+        formula=bad.describe(),
+        visited=reach.visited,
+        counterexample=reach.witness,
+        trace=reach.trace,
+    )

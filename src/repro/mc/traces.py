@@ -1,0 +1,44 @@
+"""Trace formatting helpers.
+
+The explorer reports counterexample traces as flat label lists; these
+helpers turn them into the numbered, indented listings used by the CLI
+and the Fig. 4 behavior benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_trace", "trace_channels"]
+
+
+def format_trace(labels: Sequence[str] | None, *,
+                 indent: str = "  ", max_steps: int | None = None) -> str:
+    """Numbered multi-line rendering of a transition-label trace."""
+    if labels is None:
+        return f"{indent}(trace recording was disabled)"
+    if not labels:
+        return f"{indent}(initial state already satisfies the property)"
+    shown = labels if max_steps is None else labels[:max_steps]
+    lines = [f"{indent}{step:3d}. {label}"
+             for step, label in enumerate(shown, start=1)]
+    if max_steps is not None and len(labels) > max_steps:
+        lines.append(f"{indent}     ... {len(labels) - max_steps} more")
+    return "\n".join(lines)
+
+
+def trace_channels(labels: Iterable[str]) -> list[str]:
+    """Extract the synchronization channel sequence from a trace.
+
+    Sync labels have the form ``"A: src --[g] ch! {u}--> dst || B: ..."``;
+    the channel name is recovered from the first ``ch!`` occurrence.
+    Internal transitions contribute nothing.
+    """
+    channels: list[str] = []
+    for label in labels:
+        for raw in label.replace("||", " ").split():
+            token = raw.lstrip("-[(").rstrip("->")
+            if token.endswith("!") and len(token) > 1:
+                channels.append(token[:-1])
+                break
+    return channels

@@ -1,0 +1,34 @@
+"""Platform simulator: devices, transports, invocation, composition."""
+
+from repro.platforms.buffers import EventBuffer, SharedSlot, Transport
+from repro.platforms.devices import (
+    InterruptInputDevice,
+    OutputDevice,
+    PollingInputDevice,
+)
+from repro.platforms.invocation import (
+    AperiodicInvoker,
+    CodeExecutionHost,
+    InputPort,
+    OutputPort,
+    PeriodicInvoker,
+)
+from repro.platforms.signals import SignalLine
+from repro.platforms.system import ImplementedSystem, PlatformStats
+
+__all__ = [
+    "AperiodicInvoker",
+    "CodeExecutionHost",
+    "EventBuffer",
+    "ImplementedSystem",
+    "InputPort",
+    "InterruptInputDevice",
+    "OutputDevice",
+    "OutputPort",
+    "PeriodicInvoker",
+    "PlatformStats",
+    "PollingInputDevice",
+    "SharedSlot",
+    "SignalLine",
+    "Transport",
+]

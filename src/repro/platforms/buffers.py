@@ -1,0 +1,123 @@
+"""IO-boundary transports: bounded FIFO buffers and shared variables.
+
+Section III-B gives the code two ways to receive processed inputs (and
+the output device two ways to receive outputs): a bounded **buffer**
+— whose overflow behavior Constraints 2/3 reason about — or a
+**shared variable**, where a write overwrites the previous value and
+unread events are simply lost.
+
+Both transports record their traffic in the trace (``enq``/``deq``/
+``drop``) so the measured "Buffer Overflow" row of Table I falls out
+of the same probe data as the delays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Transport", "EventBuffer", "SharedSlot"]
+
+
+class Transport(Protocol):
+    """What invokers and devices need from an io-boundary transport."""
+
+    def push(self, tag: int) -> bool:
+        """Insert an event; False when it was lost instead."""
+
+    def pop_one(self) -> int | None:
+        """Remove and return the oldest event, or None."""
+
+    def pop_all(self) -> list[int]:
+        """Remove and return all pending events, oldest first."""
+
+    def __len__(self) -> int:
+        """Number of pending events."""
+
+
+class EventBuffer:
+    """Bounded FIFO of event tags (the paper's buffer mechanism)."""
+
+    def __init__(self, sim: Simulator, trace: TraceRecorder,
+                 channel: str, capacity: int):
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.sim = sim
+        self.trace = trace
+        self.channel = channel
+        self.capacity = capacity
+        self._items: deque[int] = deque()
+        self.overflow_count = 0
+        self.high_watermark = 0
+
+    def push(self, tag: int) -> bool:
+        if len(self._items) >= self.capacity:
+            self.overflow_count += 1
+            self.trace.record(self.sim.now, "drop", self.channel, tag,
+                              note="buffer overflow")
+            return False
+        self._items.append(tag)
+        self.high_watermark = max(self.high_watermark, len(self._items))
+        self.trace.record(self.sim.now, "enq", self.channel, tag)
+        return True
+
+    def pop_one(self) -> int | None:
+        if not self._items:
+            return None
+        tag = self._items.popleft()
+        self.trace.record(self.sim.now, "deq", self.channel, tag)
+        return tag
+
+    def pop_all(self) -> list[int]:
+        tags = []
+        while self._items:
+            tags.append(self.pop_one())
+        return [t for t in tags if t is not None]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class SharedSlot:
+    """Single-value shared variable: writes overwrite, reads consume.
+
+    The "consume" on read models the fresh-flag idiom generated code
+    uses with shared variables; a second read before the next write
+    must not re-deliver the same event.
+    """
+
+    def __init__(self, sim: Simulator, trace: TraceRecorder, channel: str):
+        self.sim = sim
+        self.trace = trace
+        self.channel = channel
+        self._tag: int | None = None
+        self.overwrite_count = 0
+
+    def push(self, tag: int) -> bool:
+        if self._tag is not None:
+            self.overwrite_count += 1
+            self.trace.record(self.sim.now, "drop", self.channel,
+                              self._tag, note="shared-variable overwrite")
+        self._tag = tag
+        self.trace.record(self.sim.now, "enq", self.channel, tag,
+                          note="shared")
+        return True
+
+    def pop_one(self) -> int | None:
+        tag = self._tag
+        if tag is None:
+            return None
+        self._tag = None
+        self.trace.record(self.sim.now, "deq", self.channel, tag,
+                          note="shared")
+        return tag
+
+    def pop_all(self) -> list[int]:
+        tag = self.pop_one()
+        return [] if tag is None else [tag]
+
+    def __len__(self) -> int:
+        return 0 if self._tag is None else 1

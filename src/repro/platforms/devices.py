@@ -1,0 +1,202 @@
+"""Input and Output Devices (the mc-boundary blocks of Fig. 2-(a)).
+
+An **Input-Device** turns an environmental signal on a monitored
+variable into a processed program input: interrupt devices react to
+the edge itself (ISR latency in [delay_min, delay_max]); polling
+devices sample a :class:`~repro.platforms.signals.SignalLine` every
+``polling_interval`` and then process.  Either way the processed
+event is pushed into the channel's io-boundary transport.
+
+An **Output-Device** does the reverse: it picks up outputs the code
+wrote to the o-side transport — immediately (event-driven) or at its
+own polling cadence — processes them for [delay_min, delay_max], and
+actuates, making the controlled variable visible to the environment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.scheme import InputSpec, OutputSpec, ReadMechanism
+from repro.platforms.buffers import Transport
+from repro.platforms.signals import SignalLine
+from repro.sim.engine import Simulator, ms_to_us
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "InterruptInputDevice",
+    "PollingInputDevice",
+    "OutputDevice",
+]
+
+
+class InterruptInputDevice:
+    """ISR-driven sensing: every edge is caught, processed, delivered."""
+
+    def __init__(self, sim: Simulator, rng: RandomStreams,
+                 trace: TraceRecorder, channel: str, spec: InputSpec,
+                 sink: Transport,
+                 on_delivered: Callable[[], None] | None = None):
+        if spec.mechanism is not ReadMechanism.INTERRUPT:
+            raise ValueError(
+                f"{channel}: InterruptInputDevice needs an interrupt spec")
+        self.sim = sim
+        self.rng = rng
+        self.trace = trace
+        self.channel = channel
+        self.spec = spec
+        self.sink = sink
+        self.on_delivered = on_delivered
+        #: Edges arriving while a previous one is still processing —
+        #: Constraint 1(2) requires this to stay at zero.
+        self.overlapped = 0
+        self._busy_until = -1
+
+    def on_signal(self, tag: int) -> None:
+        now = self.sim.now
+        self.trace.record(now, "sensed", self.channel, tag,
+                          note="interrupt")
+        if now < self._busy_until:
+            self.overlapped += 1
+        delay = self.rng.uniform_int(
+            f"in:{self.channel}",
+            ms_to_us(self.spec.delay_min), ms_to_us(self.spec.delay_max))
+        self._busy_until = max(self._busy_until, now + delay)
+
+        def deliver() -> None:
+            self.trace.record(self.sim.now, "i_ready", self.channel, tag)
+            self.sink.push(tag)
+            if self.on_delivered is not None:
+                self.on_delivered()
+
+        self.sim.schedule(delay, deliver, label=f"isr:{self.channel}")
+
+
+class PollingInputDevice:
+    """Periodic sampling of a signal line, then processing."""
+
+    def __init__(self, sim: Simulator, rng: RandomStreams,
+                 trace: TraceRecorder, channel: str, spec: InputSpec,
+                 sink: Transport, line: SignalLine,
+                 on_delivered: Callable[[], None] | None = None,
+                 offset_us: int = 0):
+        if spec.mechanism is not ReadMechanism.POLLING:
+            raise ValueError(
+                f"{channel}: PollingInputDevice needs a polling spec")
+        assert spec.polling_interval is not None
+        self.sim = sim
+        self.rng = rng
+        self.trace = trace
+        self.channel = channel
+        self.spec = spec
+        self.sink = sink
+        self.line = line
+        self.on_delivered = on_delivered
+        self.interval_us = ms_to_us(spec.polling_interval)
+        self.polls = 0
+        self._started = False
+        self._offset_us = offset_us
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"{self.channel}: device already started")
+        self._started = True
+        self.sim.schedule(self._offset_us, self._poll,
+                          label=f"poll:{self.channel}")
+
+    def _poll(self) -> None:
+        self.polls += 1
+        tag = self.line.sample()
+        if tag is not None:
+            now = self.sim.now
+            self.trace.record(now, "sensed", self.channel, tag,
+                              note="poll")
+            delay = self.rng.uniform_int(
+                f"in:{self.channel}",
+                ms_to_us(self.spec.delay_min),
+                ms_to_us(self.spec.delay_max))
+
+            def deliver(tag=tag) -> None:
+                self.trace.record(self.sim.now, "i_ready", self.channel,
+                                  tag)
+                self.sink.push(tag)
+                if self.on_delivered is not None:
+                    self.on_delivered()
+
+            self.sim.schedule(delay, deliver,
+                              label=f"proc:{self.channel}")
+        self.sim.schedule(self.interval_us, self._poll,
+                          label=f"poll:{self.channel}")
+
+
+class OutputDevice:
+    """Drains the o-side transport and actuates toward the environment.
+
+    ``actuate(tag)`` is called when the controlled variable changes —
+    the environment's observation point (trace kind ``c`` is recorded
+    by the environment, not here, so the device stays reusable).
+    """
+
+    def __init__(self, sim: Simulator, rng: RandomStreams,
+                 trace: TraceRecorder, channel: str, spec: OutputSpec,
+                 source: Transport, actuate: Callable[[int], None],
+                 offset_us: int = 0):
+        self.sim = sim
+        self.rng = rng
+        self.trace = trace
+        self.channel = channel
+        self.spec = spec
+        self.source = source
+        self.actuate = actuate
+        self._busy = False
+        self._started = False
+        self._offset_us = offset_us
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin polling (no-op for event-driven devices)."""
+        if self._started:
+            raise RuntimeError(f"{self.channel}: device already started")
+        self._started = True
+        if self.spec.mechanism is ReadMechanism.POLLING:
+            assert self.spec.polling_interval is not None
+            self.sim.schedule(self._offset_us, self._poll,
+                              label=f"outpoll:{self.channel}")
+
+    def notify(self) -> None:
+        """The code wrote an output (event-driven pickup path)."""
+        if self.spec.mechanism is ReadMechanism.INTERRUPT and not self._busy:
+            self._drain_next()
+
+    # ------------------------------------------------------------------
+    def _poll(self) -> None:
+        # Each poll picks up everything pending; items are processed
+        # with independent delays measured from the poll instant.
+        for tag in self.source.pop_all():
+            self._process(tag)
+        assert self.spec.polling_interval is not None
+        self.sim.schedule(ms_to_us(self.spec.polling_interval), self._poll,
+                          label=f"outpoll:{self.channel}")
+
+    def _drain_next(self) -> None:
+        tag = self.source.pop_one()
+        if tag is None:
+            self._busy = False
+            return
+        self._busy = True
+        self._process(tag, then=self._drain_next)
+
+    def _process(self, tag: int,
+                 then: Callable[[], None] | None = None) -> None:
+        self.trace.record(self.sim.now, "o_pickup", self.channel, tag)
+        delay = self.rng.uniform_int(
+            f"out:{self.channel}",
+            ms_to_us(self.spec.delay_min), ms_to_us(self.spec.delay_max))
+
+        def finish() -> None:
+            self.actuate(tag)
+            if then is not None:
+                then()
+
+        self.sim.schedule(delay, finish, label=f"actuate:{self.channel}")

@@ -1,0 +1,207 @@
+"""Code-Execution block: invoking ``Code(PIM)`` (Fig. 2-(a) center).
+
+The host implements the four-step interaction loop of Section II-A.
+On each invocation it drains the input transports according to the
+per-channel read policy (read-one / read-all), runs the controller's
+step function at the invocation instant, and — after a sampled
+execution time in [bcet, wcet] — writes the produced outputs into the
+output transports and notifies event-driven output devices.
+
+Two invokers drive the host:
+
+* :class:`PeriodicInvoker` — fixed-period ticks (IS1's mechanism);
+* :class:`AperiodicInvoker` — an invocation is scheduled whenever an
+  input device delivers, after a scheduling latency, respecting a
+  minimum separation between runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.codegen.runtime import Controller
+from repro.core.scheme import (
+    InvocationKind,
+    InvocationSpec,
+    IOSpec,
+    ReadPolicy,
+)
+from repro.platforms.buffers import Transport
+from repro.sim.engine import Simulator, ms_to_us, us_to_ms
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "InputPort",
+    "OutputPort",
+    "CodeExecutionHost",
+    "PeriodicInvoker",
+    "AperiodicInvoker",
+]
+
+
+@dataclass
+class InputPort:
+    """One io-boundary input: transport plus its read policy."""
+
+    channel: str
+    transport: Transport
+    spec: IOSpec
+
+
+@dataclass
+class OutputPort:
+    """One io-boundary output: transport plus the device to notify."""
+
+    channel: str
+    transport: Transport
+    spec: IOSpec
+    notify: Callable[[], None] | None = None
+
+
+class CodeExecutionHost:
+    """Runs the generated controller under an invocation spec."""
+
+    def __init__(self, sim: Simulator, rng: RandomStreams,
+                 trace: TraceRecorder, controller: Controller,
+                 invocation: InvocationSpec,
+                 input_ports: list[InputPort],
+                 output_ports: list[OutputPort]):
+        self.sim = sim
+        self.rng = rng
+        self.trace = trace
+        self.controller = controller
+        self.invocation = invocation
+        self.input_ports = input_ports
+        self.output_ports = {port.channel: port for port in output_ports}
+        self.invocations = 0
+        #: Invocations requested while the previous one still ran.
+        self.overruns = 0
+        self._busy_until = -1
+        self._output_ids = itertools.count(1)
+        self.controller.reset(us_to_ms(sim.now))
+
+    # ------------------------------------------------------------------
+    def invoke(self) -> None:
+        now = self.sim.now
+        if now < self._busy_until:
+            self.overruns += 1
+        self.invocations += 1
+        self.trace.record(now, "invoke", "code", None,
+                          note=f"#{self.invocations}")
+
+        # Step 2: read inputs per the io-boundary read policies.
+        inputs: list[str] = []
+        delivered: dict[str, deque[int]] = {}
+        for port in self.input_ports:
+            if port.spec.read_policy is ReadPolicy.READ_ALL:
+                tags = port.transport.pop_all()
+            else:
+                tag = port.transport.pop_one()
+                tags = [] if tag is None else [tag]
+            if tags:
+                delivered.setdefault(port.channel, deque()).extend(tags)
+                inputs.extend([port.channel] * len(tags))
+
+        # Step 3: compute transitions at the invocation instant.
+        result = self.controller.step(us_to_ms(now), inputs)
+
+        for channel in result.consumed:
+            tag = delivered[channel].popleft()
+            self.trace.record(now, "i_read", channel, tag)
+        for channel in result.dropped:
+            tag = delivered[channel].popleft()
+            self.trace.record(now, "drop", channel, tag,
+                              note="unconsumed by code")
+
+        # Step 4: write outputs when the execution completes.
+        exec_us = self.rng.uniform_int(
+            "exec", ms_to_us(self.invocation.bcet),
+            ms_to_us(self.invocation.wcet))
+        self._busy_until = now + exec_us
+        outputs = list(result.outputs)
+        if outputs:
+            self.sim.schedule(exec_us, lambda: self._write_outputs(outputs),
+                              label="write-outputs")
+
+    def _write_outputs(self, outputs: list[str]) -> None:
+        now = self.sim.now
+        for channel in outputs:
+            port = self.output_ports.get(channel)
+            if port is None:
+                raise KeyError(
+                    f"controller emitted {channel!r} but the platform has "
+                    f"no output port for it")
+            tag = next(self._output_ids)
+            self.trace.record(now, "o_write", channel, tag)
+            port.transport.push(tag)
+            if port.notify is not None:
+                port.notify()
+
+
+class PeriodicInvoker:
+    """Fixed-period invocation (IS1)."""
+
+    def __init__(self, sim: Simulator, host: CodeExecutionHost,
+                 period_ms: int, offset_us: int = 0):
+        if period_ms <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.host = host
+        self.period_us = ms_to_us(period_ms)
+        self.offset_us = offset_us
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("invoker already started")
+        self._started = True
+        self.sim.schedule(self.offset_us, self._tick, label="invoke")
+
+    def _tick(self) -> None:
+        self.host.invoke()
+        self.sim.schedule(self.period_us, self._tick, label="invoke")
+
+
+class AperiodicInvoker:
+    """Event-triggered invocation with scheduling latency.
+
+    Input devices call :meth:`notify_input` after delivering an event;
+    an invocation is then scheduled ``latency`` later, but never
+    before ``min_separation`` has elapsed since the previous start.
+    Notifications arriving while an invocation is already pending
+    coalesce into it (the pending run will see the new input too).
+    """
+
+    def __init__(self, sim: Simulator, rng: RandomStreams,
+                 host: CodeExecutionHost, spec: InvocationSpec):
+        if spec.kind is not InvocationKind.APERIODIC:
+            raise ValueError("AperiodicInvoker needs an aperiodic spec")
+        self.sim = sim
+        self.rng = rng
+        self.host = host
+        self.spec = spec
+        self._pending = False
+        self._last_start = -ms_to_us(spec.min_separation)
+
+    def start(self) -> None:
+        """Nothing to arm — invocations are input-driven."""
+
+    def notify_input(self) -> None:
+        if self._pending:
+            return
+        self._pending = True
+        latency = self.rng.uniform_int(
+            "sched", ms_to_us(self.spec.latency_min),
+            ms_to_us(self.spec.latency_max))
+        earliest = self._last_start + ms_to_us(self.spec.min_separation)
+        start_at = max(self.sim.now + latency, earliest)
+        self.sim.schedule_at(start_at, self._run, label="invoke")
+
+    def _run(self) -> None:
+        self._pending = False
+        self._last_start = self.sim.now
+        self.host.invoke()

@@ -1,0 +1,99 @@
+"""Signal lines between the environment and the Input-Device.
+
+For interrupt-driven inputs the environment calls straight into the
+device (an edge fires the ISR).  For polled inputs the environment
+instead sets the state of a :class:`SignalLine` and the device samples
+it at its polling instants — which is exactly where the paper's
+signal-type taxonomy (Section III-A) bites:
+
+* **pulse** signals have no duration and are *never* seen by a poll;
+* **sustained** signals are visible for a fixed window after the edge
+  (a poll landing inside the window sees it once — edge detection);
+* **latched** signals stay set until a sample consumes the latch.
+
+Missed and overwritten events are counted so Constraint 1 ("detection
+of all input signals") can be checked against the simulation, not just
+the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheme import SignalType
+from repro.sim.engine import Simulator
+
+__all__ = ["SignalLine"]
+
+
+@dataclass
+class _Activation:
+    tag: int
+    start_us: int
+    end_us: int | None  # None = until read (latched)
+    reported: bool = False
+
+
+class SignalLine:
+    """Sampled input line with pulse/sustained/latched semantics."""
+
+    def __init__(self, sim: Simulator, channel: str,
+                 signal: SignalType, sustain_us: int | None = None):
+        self.sim = sim
+        self.channel = channel
+        self.signal = signal
+        self.sustain_us = sustain_us
+        self._current: _Activation | None = None
+        #: Signals that expired or were overwritten before being sampled.
+        self.missed_tags: list[int] = []
+
+    # ------------------------------------------------------------------
+    def raise_signal(self, tag: int) -> None:
+        """The environment drives an edge on this line *now*."""
+        now = self.sim.now
+        self._expire(now)
+        if self._current is not None and not self._current.reported:
+            # Previous activation still pending: the new edge overwrites
+            # it (hardware latch width is one event).
+            self.missed_tags.append(self._current.tag)
+        if self.signal is SignalType.PULSE:
+            # Zero-width: visible only at this exact instant; a poll at
+            # the same instant is a measure-zero coincidence we do not
+            # model, so the pulse is recorded as missed immediately.
+            self.missed_tags.append(tag)
+            self._current = None
+        elif self.signal is SignalType.SUSTAINED:
+            assert self.sustain_us is not None
+            self._current = _Activation(tag, now, now + self.sustain_us)
+        else:  # LATCHED
+            self._current = _Activation(tag, now, None)
+
+    # ------------------------------------------------------------------
+    def sample(self) -> int | None:
+        """A device poll: returns the pending tag once, or None."""
+        now = self.sim.now
+        self._expire(now)
+        active = self._current
+        if active is None or active.reported:
+            return None
+        if active.end_us is not None and now > active.end_us:
+            return None
+        active.reported = True
+        if self.signal is SignalType.LATCHED:
+            # Reading clears the latch.
+            self._current = None
+        return active.tag
+
+    def _expire(self, now: int) -> None:
+        active = self._current
+        if active is None:
+            return
+        if active.end_us is not None and now > active.end_us:
+            if not active.reported:
+                self.missed_tags.append(active.tag)
+            self._current = None
+
+    # ------------------------------------------------------------------
+    @property
+    def missed(self) -> int:
+        return len(self.missed_tags)

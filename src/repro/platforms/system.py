@@ -1,0 +1,245 @@
+"""The implemented system ``Code(PIM) ‖_imp IS`` (Fig. 2-(a)).
+
+:class:`ImplementedSystem` wires a generated controller to a full
+platform according to an
+:class:`~repro.core.scheme.ImplementationScheme`: one Input-Device and
+io-transport per monitored channel, one io-transport and Output-Device
+per controlled channel, and an invoker for the Code-Execution block.
+The environment talks to it through two methods only — mirroring the
+mc-boundary:
+
+* :meth:`signal_input` — raise a monitored variable (``m``),
+* the ``observe`` callback — a controlled variable changed (``c``).
+
+Every boundary crossing lands in one shared
+:class:`~repro.sim.trace.TraceRecorder`; delays and overflow counts
+are *derived* from the trace afterwards, like the paper derives them
+from oscilloscope captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.codegen.runtime import Controller
+from repro.core.scheme import (
+    DeliveryMechanism,
+    ImplementationScheme,
+    InvocationKind,
+    ReadMechanism,
+)
+from repro.platforms.buffers import EventBuffer, SharedSlot, Transport
+from repro.platforms.devices import (
+    InterruptInputDevice,
+    OutputDevice,
+    PollingInputDevice,
+)
+from repro.platforms.invocation import (
+    AperiodicInvoker,
+    CodeExecutionHost,
+    InputPort,
+    OutputPort,
+    PeriodicInvoker,
+)
+from repro.platforms.signals import SignalLine
+from repro.sim.engine import Simulator, ms_to_us
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["ImplementedSystem", "PlatformStats"]
+
+
+@dataclass
+class PlatformStats:
+    """Post-run health counters (feeds Table I's overflow row)."""
+
+    input_buffer_overflows: int = 0
+    output_buffer_overflows: int = 0
+    shared_variable_overwrites: int = 0
+    missed_signals: int = 0
+    isr_overlaps: int = 0
+    invocations: int = 0
+    invocation_overruns: int = 0
+    dropped_by_code: int = 0
+    buffer_high_watermarks: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def any_buffer_overflow(self) -> bool:
+        return (self.input_buffer_overflows
+                + self.output_buffer_overflows) > 0
+
+    def summary(self) -> str:
+        return (
+            f"invocations={self.invocations} "
+            f"(overruns={self.invocation_overruns}), "
+            f"in-overflow={self.input_buffer_overflows}, "
+            f"out-overflow={self.output_buffer_overflows}, "
+            f"overwrites={self.shared_variable_overwrites}, "
+            f"missed-signals={self.missed_signals}, "
+            f"isr-overlaps={self.isr_overlaps}, "
+            f"code-dropped={self.dropped_by_code}")
+
+
+class ImplementedSystem:
+    """A controller executing on a scheme-configured platform."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        scheme: ImplementationScheme,
+        input_channels: Sequence[str],
+        output_channels: Sequence[str],
+        *,
+        seed: int = 0,
+        observe: Callable[[str, int], None] | None = None,
+    ):
+        scheme.validate()
+        scheme.covers(input_channels, output_channels)
+        self.scheme = scheme
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed)
+        self.trace = TraceRecorder()
+        self.controller = controller
+        self._observe = observe
+        self._started = False
+
+        # ---- io transports -------------------------------------------
+        self._input_buffers: dict[str, EventBuffer] = {}
+        self._output_buffers: dict[str, EventBuffer] = {}
+        self._shared_slots: dict[str, SharedSlot] = {}
+        input_ports: list[InputPort] = []
+        for channel in input_channels:
+            io_spec = scheme.io_input_spec(channel)
+            transport = self._make_transport(channel, io_spec.delivery,
+                                             io_spec.buffer_size,
+                                             is_input=True)
+            input_ports.append(InputPort(channel, transport, io_spec))
+
+        # ---- output devices ------------------------------------------
+        output_ports: list[OutputPort] = []
+        self.output_devices: dict[str, OutputDevice] = {}
+        for channel in output_channels:
+            io_spec = scheme.io_output_spec(channel)
+            transport = self._make_transport(channel, io_spec.delivery,
+                                             io_spec.buffer_size,
+                                             is_input=False)
+            device = OutputDevice(
+                self.sim, self.rng, self.trace, channel,
+                scheme.output_spec(channel), transport,
+                actuate=lambda tag, ch=channel: self._actuate(ch, tag))
+            self.output_devices[channel] = device
+            output_ports.append(OutputPort(channel, transport, io_spec,
+                                           notify=device.notify))
+
+        # ---- code execution ------------------------------------------
+        self.host = CodeExecutionHost(
+            self.sim, self.rng, self.trace, controller,
+            scheme.invocation, input_ports, output_ports)
+        if scheme.invocation.kind is InvocationKind.PERIODIC:
+            assert scheme.invocation.period is not None
+            self.invoker = PeriodicInvoker(
+                self.sim, self.host, scheme.invocation.period)
+            notify_invoker: Callable[[], None] | None = None
+        else:
+            aperiodic = AperiodicInvoker(self.sim, self.rng, self.host,
+                                         scheme.invocation)
+            self.invoker = aperiodic
+            notify_invoker = aperiodic.notify_input
+
+        # ---- input devices -------------------------------------------
+        self.input_devices: dict[str, object] = {}
+        self.signal_lines: dict[str, SignalLine] = {}
+        for port in input_ports:
+            channel = port.channel
+            spec = scheme.input_spec(channel)
+            if spec.mechanism is ReadMechanism.INTERRUPT:
+                self.input_devices[channel] = InterruptInputDevice(
+                    self.sim, self.rng, self.trace, channel, spec,
+                    port.transport, on_delivered=notify_invoker)
+            else:
+                line = SignalLine(
+                    self.sim, channel, spec.signal,
+                    sustain_us=ms_to_us(spec.sustain)
+                    if spec.sustain else None)
+                self.signal_lines[channel] = line
+                self.input_devices[channel] = PollingInputDevice(
+                    self.sim, self.rng, self.trace, channel, spec,
+                    port.transport, line, on_delivered=notify_invoker)
+
+    # ------------------------------------------------------------------
+    def _make_transport(self, channel: str,
+                        delivery: DeliveryMechanism,
+                        buffer_size: int, *, is_input: bool) -> Transport:
+        if delivery is DeliveryMechanism.BUFFER:
+            buffer = EventBuffer(self.sim, self.trace, channel,
+                                 buffer_size)
+            if is_input:
+                self._input_buffers[channel] = buffer
+            else:
+                self._output_buffers[channel] = buffer
+            return buffer
+        slot = SharedSlot(self.sim, self.trace, channel)
+        self._shared_slots[channel] = slot
+        return slot
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm devices and the invoker (idempotence guarded)."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        for device in self.input_devices.values():
+            if isinstance(device, PollingInputDevice):
+                device.start()
+        for device in self.output_devices.values():
+            device.start()
+        self.invoker.start()
+
+    def attach_observer(self,
+                        observe: Callable[[str, int], None]) -> None:
+        """Register the environment's actuation callback (at most one)."""
+        if self._observe is not None:
+            raise RuntimeError("system already has an observer attached")
+        self._observe = observe
+
+    def signal_input(self, channel: str, tag: int) -> None:
+        """The environment raises monitored variable ``channel``."""
+        self.trace.record(self.sim.now, "m", channel, tag)
+        device = self.input_devices[channel]
+        if isinstance(device, InterruptInputDevice):
+            device.on_signal(tag)
+        else:
+            self.signal_lines[channel].raise_signal(tag)
+
+    def _actuate(self, channel: str, tag: int) -> None:
+        self.trace.record(self.sim.now, "c", channel, tag)
+        if self._observe is not None:
+            self._observe(channel, tag)
+
+    def run_for(self, duration_ms: float) -> None:
+        """Advance simulated time by ``duration_ms``."""
+        self.sim.run_until(self.sim.now + ms_to_us(duration_ms))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PlatformStats:
+        stats = PlatformStats()
+        for name, buffer in self._input_buffers.items():
+            stats.input_buffer_overflows += buffer.overflow_count
+            stats.buffer_high_watermarks[name] = buffer.high_watermark
+        for name, buffer in self._output_buffers.items():
+            stats.output_buffer_overflows += buffer.overflow_count
+            stats.buffer_high_watermarks[name] = buffer.high_watermark
+        for slot in self._shared_slots.values():
+            stats.shared_variable_overwrites += slot.overwrite_count
+        for line in self.signal_lines.values():
+            stats.missed_signals += line.missed
+        for device in self.input_devices.values():
+            if isinstance(device, InterruptInputDevice):
+                stats.isr_overlaps += device.overlapped
+        stats.invocations = self.host.invocations
+        stats.invocation_overruns = self.host.overruns
+        stats.dropped_by_code = sum(
+            1 for e in self.trace
+            if e.kind == "drop" and e.note == "unconsumed by code")
+        return stats

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate (engine, RNG streams, traces)."""
+
+from repro.sim.engine import (
+    EventHandle,
+    SimulationError,
+    Simulator,
+    ms_to_us,
+    us_to_ms,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import EVENT_KINDS, TraceEvent, TraceRecorder
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventHandle",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "TraceEvent",
+    "TraceRecorder",
+    "ms_to_us",
+    "us_to_ms",
+]

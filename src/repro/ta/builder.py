@@ -1,0 +1,207 @@
+"""Fluent builders for automata and networks.
+
+The builders are the intended public way to write models::
+
+    net = NetworkBuilder("pim", constants={"DEADLINE": 500})
+    net.channel("m_BolusReq")
+    net.channel("c_StartInfusion")
+
+    m = net.automaton("M", clocks=["x"])
+    m.location("Idle", initial=True)
+    m.location("Requested", invariant="x <= DEADLINE")
+    m.edge("Idle", "Requested", sync="m_BolusReq?", update="x = 0")
+    m.edge("Requested", "Infusing", guard="x >= 250",
+           sync="c_StartInfusion!")
+    m.location("Infusing")
+
+    pim = net.build()
+
+Labels are parsed eagerly so errors carry the offending source text;
+the finished :class:`~repro.ta.model.Network` is validated by
+:func:`repro.ta.validate.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.ta.channels import Channel, Sync
+from repro.ta.clocks import Guard, Update
+from repro.ta.model import (
+    Automaton,
+    Edge,
+    Location,
+    ModelError,
+    Network,
+    VariableDecl,
+)
+from repro.ta.parser import parse_guard, parse_invariant, parse_update
+from repro.ta.validate import validate
+
+__all__ = ["AutomatonBuilder", "NetworkBuilder"]
+
+
+class AutomatonBuilder:
+    """Accumulates locations and edges for one automaton."""
+
+    def __init__(self, name: str, clocks: Sequence[str] = (),
+                 constants: Mapping[str, int] | None = None,
+                 extra_clocks: Sequence[str] = ()):
+        self.name = name
+        self.clocks = tuple(clocks)
+        self.constants = dict(constants or {})
+        self._parse_clocks = tuple(clocks) + tuple(extra_clocks)
+        self._locations: list[Location] = []
+        self._edges: list[Edge] = []
+        self._initial: str | None = None
+
+    # ------------------------------------------------------------------
+    def location(self, name: str, invariant: str | None = None, *,
+                 initial: bool = False, urgent: bool = False,
+                 committed: bool = False) -> "AutomatonBuilder":
+        """Declare a location; ``invariant`` is a label string."""
+        if any(loc.name == name for loc in self._locations):
+            raise ModelError(
+                f"automaton {self.name!r}: duplicate location {name!r}")
+        constraints = parse_invariant(invariant, self._parse_clocks, self.constants)
+        self._locations.append(Location(
+            name=name, invariant=constraints,
+            urgent=urgent, committed=committed,
+        ))
+        if initial:
+            if self._initial is not None:
+                raise ModelError(
+                    f"automaton {self.name!r}: two initial locations "
+                    f"({self._initial!r} and {name!r})")
+            self._initial = name
+        return self
+
+    def edge(self, source: str, target: str, *,
+             guard: str | None = None, sync: str | None = None,
+             update: str | None = None) -> "AutomatonBuilder":
+        """Declare an edge; all labels are strings (or None)."""
+        parsed_guard: Guard = parse_guard(guard, self._parse_clocks, self.constants)
+        parsed_update: Update = parse_update(update, self._parse_clocks,
+                                             self.constants)
+        parsed_sync = Sync.parse(sync) if sync else None
+        self._edges.append(Edge(
+            source=source, target=target, guard=parsed_guard,
+            sync=parsed_sync, update=parsed_update,
+        ))
+        return self
+
+    def loop(self, location: str, *, guard: str | None = None,
+             sync: str | None = None,
+             update: str | None = None) -> "AutomatonBuilder":
+        """Convenience self-loop edge."""
+        return self.edge(location, location, guard=guard, sync=sync,
+                         update=update)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Automaton:
+        if not self._locations:
+            raise ModelError(f"automaton {self.name!r} has no locations")
+        initial = self._initial or self._locations[0].name
+        known = {loc.name for loc in self._locations}
+        for edge in self._edges:
+            for end in (edge.source, edge.target):
+                if end not in known:
+                    raise ModelError(
+                        f"automaton {self.name!r}: edge {edge} references "
+                        f"unknown location {end!r}")
+        return Automaton(
+            name=self.name,
+            locations=tuple(self._locations),
+            edges=tuple(self._edges),
+            initial=initial,
+            clocks=self.clocks,
+        )
+
+
+class NetworkBuilder:
+    """Accumulates channels, variables and automata for a network."""
+
+    def __init__(self, name: str,
+                 constants: Mapping[str, int] | None = None):
+        self.name = name
+        self.constants = dict(constants or {})
+        self._channels: list[Channel] = []
+        self._variables: list[VariableDecl] = []
+        self._automata: list[AutomatonBuilder | Automaton] = []
+        self._global_clocks: list[str] = []
+
+    # ------------------------------------------------------------------
+    def channel(self, name: str, *, broadcast: bool = False,
+                urgent: bool = False) -> "NetworkBuilder":
+        if any(ch.name == name for ch in self._channels):
+            raise ModelError(
+                f"network {self.name!r}: duplicate channel {name!r}")
+        self._channels.append(Channel(name, broadcast=broadcast,
+                                      urgent=urgent))
+        return self
+
+    def channels(self, names: Sequence[str], *, broadcast: bool = False,
+                 urgent: bool = False) -> "NetworkBuilder":
+        for name in names:
+            self.channel(name, broadcast=broadcast, urgent=urgent)
+        return self
+
+    def int_var(self, name: str, init: int = 0, lo: int = 0,
+                hi: int = 1 << 30) -> "NetworkBuilder":
+        if any(v.name == name for v in self._variables):
+            raise ModelError(
+                f"network {self.name!r}: duplicate variable {name!r}")
+        self._variables.append(VariableDecl(name, init=init, lo=lo, hi=hi))
+        return self
+
+    def bool_var(self, name: str, init: bool = False) -> "NetworkBuilder":
+        return self.int_var(name, init=1 if init else 0, lo=0, hi=1)
+
+    def constant(self, name: str, value: int) -> "NetworkBuilder":
+        """Add a named constant (usable in labels added afterwards)."""
+        self.constants[name] = value
+        return self
+
+    def global_clock(self, name: str) -> "NetworkBuilder":
+        """Declare a network-wide clock visible to all automata."""
+        if name in self._global_clocks:
+            raise ModelError(
+                f"network {self.name!r}: duplicate global clock {name!r}")
+        self._global_clocks.append(name)
+        return self
+
+    def automaton(self, name: str,
+                  clocks: Sequence[str] = ()) -> AutomatonBuilder:
+        """Open a new automaton builder attached to this network.
+
+        The builder parses labels against the automaton's local clocks
+        plus the network's global clocks declared so far.
+        """
+        builder = AutomatonBuilder(name, clocks=clocks,
+                                   constants=self.constants,
+                                   extra_clocks=tuple(self._global_clocks))
+        self._automata.append(builder)
+        return builder
+
+    def add_automaton(self, automaton: Automaton) -> "NetworkBuilder":
+        """Attach an already-built automaton (e.g. from a transform)."""
+        self._automata.append(automaton)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, check: bool = True) -> Network:
+        automata = tuple(
+            item.build() if isinstance(item, AutomatonBuilder) else item
+            for item in self._automata
+        )
+        network = Network(
+            name=self.name,
+            automata=automata,
+            channels=tuple(self._channels),
+            variables=tuple(self._variables),
+            constants=dict(self.constants),
+            global_clocks=tuple(self._global_clocks),
+        )
+        if check:
+            validate(network)
+        return network

@@ -1,0 +1,74 @@
+"""Synchronization channels.
+
+Channels follow UPPAAL's taxonomy:
+
+* **binary** (default): one ``ch!`` edge pairs with exactly one ``ch?``
+  edge in another automaton; both fire atomically.
+* **broadcast**: one ``ch!`` sender fires together with *every*
+  automaton currently able to take a ``ch?`` edge; receivers cannot
+  block the sender.  Receiver edges must not carry clock guards (the
+  UPPAAL restriction) so that enabledness is zone-independent.
+* **urgent**: time may not elapse while a synchronization on the
+  channel is enabled.  Urgent edges must not carry clock guards.
+
+The observer machinery in :mod:`repro.mc.observers` relies on
+broadcast channels to *tap* a model without perturbing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Channel", "Sync", "EMIT", "RECEIVE"]
+
+EMIT = "!"
+RECEIVE = "?"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A named synchronization channel."""
+
+    name: str
+    broadcast: bool = False
+    urgent: bool = False
+
+    def __str__(self) -> str:
+        flags = []
+        if self.urgent:
+            flags.append("urgent")
+        if self.broadcast:
+            flags.append("broadcast")
+        prefix = " ".join(flags) + " " if flags else ""
+        return f"{prefix}chan {self.name}"
+
+
+@dataclass(frozen=True)
+class Sync:
+    """An edge's synchronization action: ``channel!`` or ``channel?``."""
+
+    channel: str
+    direction: str  # EMIT or RECEIVE
+
+    def __post_init__(self) -> None:
+        if self.direction not in (EMIT, RECEIVE):
+            raise ValueError(f"bad sync direction {self.direction!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Sync":
+        """Parse ``"ch!"`` / ``"ch?"``."""
+        text = text.strip()
+        if not text or text[-1] not in (EMIT, RECEIVE):
+            raise ValueError(
+                f"sync label {text!r} must end with '!' or '?'")
+        name = text[:-1].strip()
+        if not name:
+            raise ValueError(f"sync label {text!r} has no channel name")
+        return cls(channel=name, direction=text[-1])
+
+    @property
+    def is_emit(self) -> bool:
+        return self.direction == EMIT
+
+    def __str__(self) -> str:
+        return f"{self.channel}{self.direction}"

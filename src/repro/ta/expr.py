@@ -1,0 +1,257 @@
+"""Integer/boolean expression AST for guards, updates and invariants.
+
+The modeling language mirrors the UPPAAL expression subset the paper's
+models need: integer constants, variable references, unary ``-``/``!``,
+binary arithmetic (``+ - * / %``), comparisons and short-circuit
+boolean connectives (``&& ||``).  Booleans are integers (0 = false).
+
+Expressions evaluate against a mapping from names to integers (the
+discrete part of a symbolic state, plus model constants).  They know
+their free variables, support renaming and constant folding, and print
+back to parseable source — properties the parser and the PIM→PSM
+transformation rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Unary",
+    "Binary",
+    "ExprError",
+    "int_div",
+    "int_mod",
+]
+
+
+class ExprError(Exception):
+    """Raised on evaluation of an ill-formed expression (e.g. unknown
+    variable, division by zero)."""
+
+
+class Expr:
+    """Abstract expression node."""
+
+    __slots__ = ()
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def free_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        """A copy with variable names substituted per ``mapping``."""
+        raise NotImplementedError
+
+    def fold(self, env: Mapping[str, int]) -> "Expr":
+        """Partially evaluate: substitute names found in ``env`` and
+        collapse constant subtrees."""
+        raise NotImplementedError
+
+    def is_const(self) -> bool:
+        return isinstance(self, Const)
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class Const(Expr):
+    """Integer literal (``true``/``false`` parse to 1/0)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expr:
+        return self
+
+    def fold(self, env: Mapping[str, int]) -> Expr:
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Var(Expr):
+    """Reference to a variable or model constant by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise ExprError(f"unknown variable '{self.name}'") from None
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def rename(self, mapping: Mapping[str, str]) -> Expr:
+        return Var(mapping.get(self.name, self.name))
+
+    def fold(self, env: Mapping[str, int]) -> Expr:
+        if self.name in env:
+            return Const(env[self.name])
+        return self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_UNARY_OPS: dict[str, Callable[[int], int]] = {
+    "-": lambda a: -a,
+    "!": lambda a: 0 if a else 1,
+}
+
+
+class Unary(Expr):
+    """Unary minus or logical negation."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        if op not in _UNARY_OPS:
+            raise ExprError(f"unknown unary operator '{op}'")
+        self.op = op
+        self.operand = operand
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return _UNARY_OPS[self.op](self.operand.eval(env))
+
+    def free_vars(self) -> frozenset[str]:
+        return self.operand.free_vars()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expr:
+        return Unary(self.op, self.operand.rename(mapping))
+
+    def fold(self, env: Mapping[str, int]) -> Expr:
+        inner = self.operand.fold(env)
+        if isinstance(inner, Const):
+            return Const(_UNARY_OPS[self.op](inner.value))
+        return Unary(self.op, inner)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+def int_div(a: int, b: int) -> int:
+    """C-style truncating division, matching UPPAAL semantics.
+
+    Public because generated code (:mod:`repro.codegen.generator`)
+    references it for ``/`` so interpreter and generated semantics
+    agree on negative operands.
+    """
+    if b == 0:
+        raise ExprError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def int_mod(a: int, b: int) -> int:
+    """C-style remainder paired with :func:`int_div`."""
+    return a - int_div(a, b) * b
+
+
+_BINARY_OPS: dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": int_div,
+    "%": int_mod,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+}
+
+
+class Binary(Expr):
+    """Binary arithmetic, comparison or boolean connective.
+
+    ``&&`` and ``||`` short-circuit, so e.g. ``n > 0 && 10 / n > 1`` is
+    safe — matching what modelers expect from UPPAAL.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _BINARY_OPS and op not in ("&&", "||"):
+            raise ExprError(f"unknown binary operator '{op}'")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        if self.op == "&&":
+            if not self.left.eval(env):
+                return 0
+            return 1 if self.right.eval(env) else 0
+        if self.op == "||":
+            if self.left.eval(env):
+                return 1
+            return 1 if self.right.eval(env) else 0
+        return _BINARY_OPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def free_vars(self) -> frozenset[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expr:
+        return Binary(self.op, self.left.rename(mapping),
+                      self.right.rename(mapping))
+
+    def fold(self, env: Mapping[str, int]) -> Expr:
+        left = self.left.fold(env)
+        right = self.right.fold(env)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(Binary(self.op, left, right).eval({}))
+        # Boolean identities let folded guards stay small.
+        if self.op == "&&":
+            if isinstance(left, Const):
+                return right if left.value else Const(0)
+            if isinstance(right, Const):
+                return left if right.value else Const(0)
+        if self.op == "||":
+            if isinstance(left, Const):
+                return Const(1) if left.value else right
+            if isinstance(right, Const):
+                return Const(1) if right.value else left
+        return Binary(self.op, left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def conjoin(parts: list[Expr]) -> Expr:
+    """Conjunction of expressions (``Const(1)`` for the empty list)."""
+    if not parts:
+        return Const(1)
+    result = parts[0]
+    for part in parts[1:]:
+        result = Binary("&&", result, part)
+    return result

@@ -1,0 +1,374 @@
+"""Parser for the modeling language's guard/invariant/update labels.
+
+Edge labels are written as UPPAAL-style strings::
+
+    guard:      "x >= 250 && cnt < CAP"
+    invariant:  "x <= 500"
+    update:     "x = 0, cnt = cnt + 1"
+
+The parser is a plain tokenizer + recursive-descent expression parser.
+Guards are then *split*: top-level conjuncts that mention clocks must
+be simple atoms (``x ≺ n`` or ``x - y ≺ n`` and their mirrored forms)
+and become :class:`~repro.ta.clocks.ClockConstraint`; everything else
+forms the data predicate.  Constraint bounds may be written with model
+constants (``x <= PERIOD``) — they are folded to integers using the
+constant environment supplied by the caller, keeping the zone algebra
+exact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.ta.clocks import (
+    Assignment,
+    ClockConstraint,
+    ClockCopy,
+    ClockReset,
+    Guard,
+    Update,
+)
+from repro.ta.expr import Binary, Const, Expr, Unary, Var, conjoin
+
+__all__ = [
+    "ParseError",
+    "tokenize",
+    "parse_expression",
+    "parse_guard",
+    "parse_invariant",
+    "parse_update",
+]
+
+
+class ParseError(Exception):
+    """Raised on any syntactic or semantic label error."""
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+_TWO_CHAR = ("&&", "||", "<=", ">=", "==", "!=", ":=")
+_ONE_CHAR = "()+-*/%<>!=,;"
+
+
+def tokenize(text: str) -> list[str]:
+    """Split a label into tokens; raises :class:`ParseError` on junk."""
+    tokens: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        pair = text[i:i + 2]
+        if pair in _TWO_CHAR:
+            tokens.append(pair)
+            i += 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(ch)
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r} in {text!r}")
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Recursive-descent expression parser
+# ----------------------------------------------------------------------
+class _Parser:
+    """Precedence-climbing parser over a token list."""
+
+    def __init__(self, tokens: list[str], source: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.source!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.advance()
+        if got != token:
+            raise ParseError(
+                f"expected {token!r} but found {got!r} in {self.source!r}")
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # Grammar (lowest to highest precedence):
+    #   or    := and ('||' and)*
+    #   and   := cmp ('&&' cmp)*
+    #   cmp   := add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+    #   add   := mul (('+'|'-') mul)*
+    #   mul   := unary (('*'|'/'|'%') unary)*
+    #   unary := ('-'|'!') unary | atom
+    #   atom  := INT | IDENT | 'true' | 'false' | '(' or ')'
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.peek() == "||":
+            self.advance()
+            left = Binary("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_cmp()
+        while self.peek() == "&&":
+            self.advance()
+            left = Binary("&&", left, self.parse_cmp())
+        return left
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        if self.peek() in ("<", "<=", ">", ">=", "==", "!="):
+            op = self.advance()
+            left = Binary(op, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while self.peek() in ("+", "-"):
+            op = self.advance()
+            left = Binary(op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek() in ("*", "/", "%"):
+            op = self.advance()
+            left = Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token in ("-", "!"):
+            self.advance()
+            return Unary(token, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.advance()
+        if token == "(":
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        if token.isdigit():
+            return Const(int(token))
+        if token == "true":
+            return Const(1)
+        if token == "false":
+            return Const(0)
+        if token[0].isalpha() or token[0] == "_":
+            return Var(token)
+        raise ParseError(f"unexpected token {token!r} in {self.source!r}")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a full expression; the whole string must be consumed."""
+    parser = _Parser(tokenize(text), text)
+    expr = parser.parse_or()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing tokens {parser.tokens[parser.pos:]} in {text!r}")
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Guard / invariant splitting
+# ----------------------------------------------------------------------
+def _split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten top-level ``&&`` into a conjunct list."""
+    if isinstance(expr, Binary) and expr.op == "&&":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _clock_side(expr: Expr, clocks: frozenset[str]) \
+        -> tuple[str, str | None] | None:
+    """Recognize ``x`` or ``x - y`` over clocks; None when not a match."""
+    if isinstance(expr, Var) and expr.name in clocks:
+        return expr.name, None
+    if (isinstance(expr, Binary) and expr.op == "-"
+            and isinstance(expr.left, Var) and expr.left.name in clocks
+            and isinstance(expr.right, Var) and expr.right.name in clocks):
+        return expr.left.name, expr.right.name
+    return None
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+
+
+def _fold_to_int(expr: Expr, constants: Mapping[str, int],
+                 source: str) -> int:
+    folded = expr.fold(constants)
+    if not isinstance(folded, Const):
+        raise ParseError(
+            f"clock-constraint bound {expr} in {source!r} does not fold "
+            f"to a constant (unknown names: {sorted(folded.free_vars())})")
+    return folded.value
+
+
+def _atom_to_constraint(
+    expr: Expr,
+    clocks: frozenset[str],
+    constants: Mapping[str, int],
+    source: str,
+) -> ClockConstraint | None:
+    """Convert a conjunct into a clock atom, or None for data conjuncts."""
+    mentions_clock = bool(expr.free_vars() & clocks)
+    if not mentions_clock:
+        return None
+    if not isinstance(expr, Binary) or expr.op not in _FLIP and \
+            expr.op != "!=":
+        raise ParseError(
+            f"clocks may only appear in simple comparison atoms; got "
+            f"{expr} in {source!r}")
+    if expr.op == "!=":
+        raise ParseError(
+            f"'!=' is not allowed on clocks (not zone-representable): "
+            f"{expr} in {source!r}")
+    left_clocks = _clock_side(expr.left, clocks)
+    right_clocks = _clock_side(expr.right, clocks)
+    if left_clocks and not (expr.right.free_vars() & clocks):
+        clock, other = left_clocks
+        op = expr.op
+        bound_expr = expr.right
+    elif right_clocks and not (expr.left.free_vars() & clocks):
+        clock, other = right_clocks
+        op = _FLIP[expr.op]
+        bound_expr = expr.left
+    else:
+        raise ParseError(
+            f"unsupported clock atom shape {expr} in {source!r}; use "
+            f"'x ~ e' or 'x - y ~ e' with a constant-foldable bound")
+    bound = _fold_to_int(bound_expr, constants, source)
+    return ClockConstraint(clock=clock, op=op, bound=bound, other=other)
+
+
+def parse_guard(
+    text: str | None,
+    clocks: Sequence[str] | frozenset[str] = (),
+    constants: Mapping[str, int] | None = None,
+) -> Guard:
+    """Parse an edge guard into clock atoms plus a data predicate."""
+    if text is None or not text.strip():
+        return Guard()
+    clock_set = frozenset(clocks)
+    constant_env = dict(constants or {})
+    expr = parse_expression(text)
+    atoms: list[ClockConstraint] = []
+    data_parts: list[Expr] = []
+    for conjunct in _split_conjuncts(expr):
+        atom = _atom_to_constraint(conjunct, clock_set, constant_env, text)
+        if atom is not None:
+            atoms.append(atom)
+        else:
+            data_parts.append(conjunct.fold(constant_env))
+    return Guard(clock_constraints=tuple(atoms), data=conjoin(data_parts))
+
+
+def parse_invariant(
+    text: str | None,
+    clocks: Sequence[str] | frozenset[str],
+    constants: Mapping[str, int] | None = None,
+) -> tuple[ClockConstraint, ...]:
+    """Parse a location invariant (clock atoms only).
+
+    Upper-bound atoms (``<``, ``<=``, ``==``) are the idiomatic use;
+    lower bounds are accepted because UPPAAL accepts them too.
+    """
+    if text is None or not text.strip():
+        return ()
+    guard = parse_guard(text, clocks, constants)
+    if not (isinstance(guard.data, Const) and guard.data.value == 1):
+        raise ParseError(
+            f"invariant {text!r} contains non-clock conjuncts "
+            f"({guard.data}); invariants must constrain clocks only")
+    return guard.clock_constraints
+
+
+def parse_update(
+    text: str | None,
+    clocks: Sequence[str] | frozenset[str] = (),
+    constants: Mapping[str, int] | None = None,
+) -> Update:
+    """Parse a comma/semicolon-separated update list.
+
+    ``x = 0`` resets clock ``x``; ``x = y`` with both clocks is a clock
+    copy; any other ``name = expr`` is a variable assignment.  ``:=``
+    is accepted as a synonym for ``=``.
+    """
+    if text is None or not text.strip():
+        return Update()
+    clock_set = frozenset(clocks)
+    constant_env = dict(constants or {})
+    actions: list[ClockReset | ClockCopy | Assignment] = []
+    for piece in _split_statements(text):
+        tokens = tokenize(piece)
+        if len(tokens) < 3 or tokens[1] not in ("=", ":="):
+            raise ParseError(
+                f"update statement {piece!r} must have the form "
+                f"'name = expression'")
+        target = tokens[0]
+        if not (target[0].isalpha() or target[0] == "_"):
+            raise ParseError(f"bad assignment target {target!r}")
+        rhs_text = piece.split(tokens[1], 1)[1]
+        rhs = parse_expression(rhs_text)
+        if target in clock_set:
+            if isinstance(rhs, Var) and rhs.name in clock_set:
+                actions.append(ClockCopy(clock=target, source=rhs.name))
+                continue
+            value = _fold_to_int(rhs, constant_env, text)
+            if value < 0:
+                raise ParseError(
+                    f"clocks cannot be set to negative values: {piece!r}")
+            actions.append(ClockReset(clock=target, value=value))
+        else:
+            actions.append(Assignment(var=target,
+                                      expr=rhs.fold(constant_env)))
+    return Update(actions=tuple(actions))
+
+
+def _split_statements(text: str) -> list[str]:
+    """Split on top-level ``,``/``;`` (respecting parentheses)."""
+    pieces: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch in ",;" and depth == 0:
+            piece = "".join(current).strip()
+            if piece:
+                pieces.append(piece)
+            current = []
+        else:
+            current.append(ch)
+    piece = "".join(current).strip()
+    if piece:
+        pieces.append(piece)
+    return pieces

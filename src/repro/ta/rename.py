@@ -1,0 +1,132 @@
+"""Channel renaming — the syntactic heart of the PIM→PSM transform.
+
+Section IV(1) of the paper constructs ``MIO`` from ``M`` by renaming
+every input synchronization ``m_*`` to ``i_*`` and every output
+synchronization ``c_*`` to ``o_*`` while leaving locations, guards,
+invariants and updates untouched.  The helpers here implement exactly
+that, as pure functions on the immutable syntax objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.ta.channels import Sync
+from repro.ta.clocks import (
+    Assignment,
+    ClockCopy,
+    ClockReset,
+    Guard,
+    Update,
+)
+from repro.ta.model import Automaton
+
+__all__ = [
+    "rename_channels",
+    "rename_clocks",
+    "boundary_rename_map",
+    "mc_to_io_name",
+]
+
+
+def rename_channels(automaton: Automaton,
+                    mapping: Mapping[str, str],
+                    new_name: str | None = None) -> Automaton:
+    """A copy of ``automaton`` with channels renamed per ``mapping``.
+
+    Channels not present in the mapping are preserved.  The structure
+    (locations, edges, guards, updates, clocks) is untouched — the
+    modularity property of the paper's transformation.
+    """
+    new_edges = []
+    for edge in automaton.edges:
+        if edge.sync is not None and edge.sync.channel in mapping:
+            new_sync = Sync(channel=mapping[edge.sync.channel],
+                            direction=edge.sync.direction)
+            new_edges.append(replace(edge, sync=new_sync))
+        else:
+            new_edges.append(edge)
+    return replace(
+        automaton,
+        edges=tuple(new_edges),
+        name=new_name if new_name is not None else automaton.name,
+    )
+
+
+def rename_clocks(automaton: Automaton,
+                  mapping: Mapping[str, str], *,
+                  keep_local: bool = False) -> Automaton:
+    """A copy with clocks renamed in invariants, guards and updates.
+
+    With ``keep_local=False`` (the default) the renamed clocks are
+    removed from the automaton's local clock list — the PIM→PSM
+    transformation uses this to *hoist* MIO's clocks to network
+    globals so EXEIO's complementary transitions can reference them
+    (Section IV(3)).
+    """
+    def fix_guard(guard: Guard) -> Guard:
+        return Guard(
+            clock_constraints=tuple(c.renamed_clocks(mapping)
+                                    for c in guard.clock_constraints),
+            data=guard.data,
+        )
+
+    def fix_update(update: Update) -> Update:
+        actions = []
+        for action in update.actions:
+            if isinstance(action, ClockReset):
+                actions.append(ClockReset(
+                    clock=mapping.get(action.clock, action.clock),
+                    value=action.value))
+            elif isinstance(action, ClockCopy):
+                actions.append(ClockCopy(
+                    clock=mapping.get(action.clock, action.clock),
+                    source=mapping.get(action.source, action.source)))
+            else:
+                assert isinstance(action, Assignment)
+                actions.append(action)
+        return Update(actions=tuple(actions))
+
+    new_locations = tuple(
+        replace(loc, invariant=tuple(c.renamed_clocks(mapping)
+                                     for c in loc.invariant))
+        for loc in automaton.locations
+    )
+    new_edges = tuple(
+        replace(edge, guard=fix_guard(edge.guard),
+                update=fix_update(edge.update))
+        for edge in automaton.edges
+    )
+    if keep_local:
+        new_clocks = tuple(mapping.get(c, c) for c in automaton.clocks)
+    else:
+        new_clocks = tuple(c for c in automaton.clocks
+                           if c not in mapping)
+    return replace(automaton, locations=new_locations, edges=new_edges,
+                   clocks=new_clocks)
+
+
+def mc_to_io_name(channel: str) -> str:
+    """Map an mc-boundary channel name to its io-boundary twin.
+
+    Follows the paper's naming convention: ``m_BolusReq`` →
+    ``i_BolusReq`` and ``c_StartInfusion`` → ``o_StartInfusion``.
+    Names without the ``m_``/``c_`` prefix get an ``io_`` prefix, so
+    the function is total and injective on any sane channel set.
+    """
+    if channel.startswith("m_"):
+        return "i_" + channel[2:]
+    if channel.startswith("c_"):
+        return "o_" + channel[2:]
+    return "io_" + channel
+
+
+def boundary_rename_map(input_channels: set[str] | list[str],
+                        output_channels: set[str] | list[str]) \
+        -> dict[str, str]:
+    """Rename map for constructing MIO from M (Section IV(1))."""
+    mapping = {name: mc_to_io_name(name) for name in input_channels}
+    for name in output_channels:
+        mapping[name] = mc_to_io_name(name)
+    return mapping

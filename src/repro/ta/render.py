@@ -1,0 +1,112 @@
+"""Rendering of automata and networks for documentation and figures.
+
+Two output formats:
+
+* **Graphviz dot** — for regenerating the paper's automaton figures
+  (Figs. 1, 5, 6); written as text so no graphviz binary is needed.
+* **ASCII summaries** — tabular structure dumps used by the CLI and
+  the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.ta.model import Automaton, Network
+
+__all__ = ["automaton_to_dot", "network_to_dot", "network_summary"]
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def automaton_to_dot(auto: Automaton, *, rankdir: str = "LR") -> str:
+    """Graphviz source for one automaton."""
+    lines = [
+        f'digraph "{_escape(auto.name)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [shape=ellipse, fontsize=11];',
+        '  edge [fontsize=9];',
+        '  __init [shape=point, width=0.08];',
+    ]
+    for loc in auto.locations:
+        attrs = []
+        label = loc.name
+        if loc.invariant:
+            inv = " && ".join(str(c) for c in loc.invariant)
+            label += f"\\n{inv}"
+        if loc.urgent:
+            attrs.append('color="orange"')
+            label += "\\n(urgent)"
+        if loc.committed:
+            attrs.append('color="red"')
+            label += "\\n(committed)"
+        attrs.insert(0, f'label="{_escape(label)}"')
+        lines.append(f'  "{_escape(loc.name)}" [{", ".join(attrs)}];')
+    lines.append(f'  __init -> "{_escape(auto.initial)}";')
+    for edge in auto.edges:
+        label = _escape(edge.label())
+        lines.append(
+            f'  "{_escape(edge.source)}" -> "{_escape(edge.target)}" '
+            f'[label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(network: Network) -> str:
+    """Graphviz source with one cluster per automaton."""
+    lines = [
+        f'digraph "{_escape(network.name)}" {{',
+        "  rankdir=LR;",
+        "  compound=true;",
+        '  node [shape=ellipse, fontsize=11];',
+        '  edge [fontsize=9];',
+    ]
+    for idx, auto in enumerate(network.automata):
+        lines.append(f"  subgraph cluster_{idx} {{")
+        lines.append(f'    label="{_escape(auto.name)}";')
+        prefix = f"a{idx}_"
+        lines.append(
+            f'    {prefix}__init [shape=point, width=0.08];')
+        for loc in auto.locations:
+            label = loc.name
+            if loc.invariant:
+                inv = " && ".join(str(c) for c in loc.invariant)
+                label += f"\\n{inv}"
+            if loc.urgent:
+                label += "\\n(urgent)"
+            if loc.committed:
+                label += "\\n(committed)"
+            lines.append(
+                f'    "{prefix}{_escape(loc.name)}" '
+                f'[label="{_escape(label)}"];')
+        lines.append(
+            f'    {prefix}__init -> "{prefix}{_escape(auto.initial)}";')
+        for edge in auto.edges:
+            lines.append(
+                f'    "{prefix}{_escape(edge.source)}" -> '
+                f'"{prefix}{_escape(edge.target)}" '
+                f'[label="{_escape(edge.label())}"];')
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_summary(network: Network) -> str:
+    """Readable multi-line summary of a network's structure."""
+    stats = network.stats()
+    lines = [
+        f"network {network.name}: "
+        f"{stats['automata']} automata, {stats['locations']} locations, "
+        f"{stats['edges']} edges, {stats['clocks']} clocks, "
+        f"{stats['channels']} channels, {stats['variables']} variables",
+    ]
+    for channel in network.channels:
+        lines.append(f"  {channel}")
+    for variable in network.variables:
+        lines.append(f"  {variable}")
+    for auto in network.automata:
+        lines.append(
+            f"  {auto.name}: initial={auto.initial}, "
+            f"locations={len(auto.locations)}, edges={len(auto.edges)}, "
+            f"clocks={list(auto.clocks)}")
+    return "\n".join(lines)

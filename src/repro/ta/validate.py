@@ -1,0 +1,197 @@
+"""Well-formedness validation for networks.
+
+Verification results are only as good as the model, so the validator
+is strict: every rule below corresponds to an assumption the symbolic
+semantics (:mod:`repro.mc`) or the code generator
+(:mod:`repro.codegen`) relies on.
+
+Checked rules
+-------------
+* unique automaton names; unique location names per automaton
+* every edge endpoint exists; the initial location exists
+* every sync references a declared channel
+* clock atoms reference clocks declared by the *owning* automaton
+* data expressions reference declared variables or constants only
+* assignment targets are variables (not constants, not clocks of
+  other automata)
+* broadcast ``?``-edges carry no clock guards (UPPAAL restriction —
+  receiver enabledness must be zone-independent)
+* urgent-channel edges carry no clock guards (UPPAAL restriction —
+  urgency must be decidable from the discrete state)
+* binary channels have at least one emitter and one receiver
+  (reported as a warning, not an error)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ta.clocks import Assignment, ClockCopy, ClockReset
+from repro.ta.model import Automaton, ModelError, Network
+
+__all__ = ["Problem", "check", "validate"]
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.where}: {self.message}"
+
+
+def _check_automaton(network: Network, auto: Automaton,
+                     problems: list[Problem]) -> None:
+    where = f"automaton {auto.name!r}"
+    names = [loc.name for loc in auto.locations]
+    if len(set(names)) != len(names):
+        problems.append(Problem("error", where, "duplicate location names"))
+    if not auto.has_location(auto.initial):
+        problems.append(Problem(
+            "error", where, f"initial location {auto.initial!r} missing"))
+    clock_set = set(auto.clocks) | set(network.global_clocks)
+    known_names = ({v.name for v in network.variables}
+                   | set(network.constants))
+    channel_names = {ch.name for ch in network.channels}
+    var_names = {v.name for v in network.variables}
+
+    for loc in auto.locations:
+        for atom in loc.invariant:
+            for clock in atom.clocks():
+                if clock not in clock_set:
+                    problems.append(Problem(
+                        "error", f"{where} location {loc.name!r}",
+                        f"invariant uses undeclared clock {clock!r}"))
+
+    for edge in auto.edges:
+        ewhere = f"{where} edge {edge.source}->{edge.target}"
+        for end in (edge.source, edge.target):
+            if not auto.has_location(end):
+                problems.append(Problem(
+                    "error", ewhere, f"unknown location {end!r}"))
+        for atom in edge.guard.clock_constraints:
+            for clock in atom.clocks():
+                if clock not in clock_set:
+                    problems.append(Problem(
+                        "error", ewhere,
+                        f"guard uses undeclared clock {clock!r}"))
+        unknown = edge.guard.data.free_vars() - known_names
+        if unknown:
+            problems.append(Problem(
+                "error", ewhere,
+                f"guard references unknown names {sorted(unknown)}"))
+        if edge.sync is not None:
+            if edge.sync.channel not in channel_names:
+                problems.append(Problem(
+                    "error", ewhere,
+                    f"undeclared channel {edge.sync.channel!r}"))
+            else:
+                channel = network.channel(edge.sync.channel)
+                has_clock_guard = bool(edge.guard.clock_constraints)
+                if channel.urgent and has_clock_guard:
+                    problems.append(Problem(
+                        "error", ewhere,
+                        f"urgent channel {channel.name!r} edge carries a "
+                        f"clock guard"))
+                if (channel.broadcast and not edge.sync.is_emit
+                        and has_clock_guard):
+                    problems.append(Problem(
+                        "error", ewhere,
+                        f"broadcast receiver on {channel.name!r} carries "
+                        f"a clock guard"))
+        for action in edge.update.actions:
+            if isinstance(action, (ClockReset, ClockCopy)):
+                targets = [action.clock]
+                if isinstance(action, ClockCopy):
+                    targets.append(action.source)
+                for clock in targets:
+                    if clock not in clock_set:
+                        problems.append(Problem(
+                            "error", ewhere,
+                            f"update uses undeclared clock {clock!r}"))
+            elif isinstance(action, Assignment):
+                if action.var in network.constants:
+                    problems.append(Problem(
+                        "error", ewhere,
+                        f"cannot assign to constant {action.var!r}"))
+                elif action.var not in var_names:
+                    problems.append(Problem(
+                        "error", ewhere,
+                        f"assignment to undeclared variable "
+                        f"{action.var!r}"))
+                unknown = action.expr.free_vars() - known_names
+                if unknown:
+                    problems.append(Problem(
+                        "error", ewhere,
+                        f"assignment reads unknown names "
+                        f"{sorted(unknown)}"))
+
+
+def _check_channels(network: Network, problems: list[Problem]) -> None:
+    emitters: dict[str, int] = {}
+    receivers: dict[str, int] = {}
+    for auto in network.automata:
+        for edge in auto.edges:
+            if edge.sync is None:
+                continue
+            book = emitters if edge.sync.is_emit else receivers
+            book[edge.sync.channel] = book.get(edge.sync.channel, 0) + 1
+    for channel in network.channels:
+        if channel.broadcast:
+            continue
+        if emitters.get(channel.name, 0) and not receivers.get(
+                channel.name, 0):
+            problems.append(Problem(
+                "warning", f"channel {channel.name!r}",
+                "has emitters but no receivers (binary sync will "
+                "never fire)"))
+        if receivers.get(channel.name, 0) and not emitters.get(
+                channel.name, 0):
+            problems.append(Problem(
+                "warning", f"channel {channel.name!r}",
+                "has receivers but no emitters (binary sync will "
+                "never fire)"))
+
+
+def check(network: Network) -> list[Problem]:
+    """All validation findings, errors and warnings."""
+    problems: list[Problem] = []
+    names = [auto.name for auto in network.automata]
+    if len(set(names)) != len(names):
+        problems.append(Problem(
+            "error", f"network {network.name!r}",
+            "duplicate automaton names"))
+    channel_names = [ch.name for ch in network.channels]
+    if len(set(channel_names)) != len(channel_names):
+        problems.append(Problem(
+            "error", f"network {network.name!r}",
+            "duplicate channel declarations"))
+    overlap = {v.name for v in network.variables} & set(network.constants)
+    if overlap:
+        problems.append(Problem(
+            "error", f"network {network.name!r}",
+            f"names declared both variable and constant: "
+            f"{sorted(overlap)}"))
+    for auto in network.automata:
+        _check_automaton(network, auto, problems)
+    _check_channels(network, problems)
+    return problems
+
+
+def validate(network: Network) -> Network:
+    """Raise :class:`~repro.ta.model.ModelError` on the first error.
+
+    Warnings are tolerated (they describe models that are legal but
+    probably unintended).  Returns the network for chaining.
+    """
+    problems = check(network)
+    errors = [p for p in problems if p.severity == "error"]
+    if errors:
+        summary = "\n".join(str(p) for p in errors)
+        raise ModelError(
+            f"network {network.name!r} failed validation:\n{summary}")
+    return network

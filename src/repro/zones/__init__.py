@@ -1,0 +1,29 @@
+"""Zone (difference bound matrix) substrate for timed-automata checking."""
+
+from repro.zones.bounds import (
+    INF,
+    LE_ZERO,
+    LT_ZERO,
+    bound_add,
+    bound_as_text,
+    bound_is_weak,
+    bound_value,
+    decode,
+    encode,
+    negate_weak,
+)
+from repro.zones.dbm import DBM
+
+__all__ = [
+    "DBM",
+    "INF",
+    "LE_ZERO",
+    "LT_ZERO",
+    "bound_add",
+    "bound_as_text",
+    "bound_is_weak",
+    "bound_value",
+    "decode",
+    "encode",
+    "negate_weak",
+]

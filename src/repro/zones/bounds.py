@@ -1,0 +1,98 @@
+"""Bound algebra for difference bound matrices.
+
+A *bound* constrains a clock difference ``x - y ≺ n`` where ``≺`` is
+either strict (``<``) or weak (``≤``).  Following the classic encoding
+(Bengtsson & Yi, "Timed Automata: Semantics, Algorithms and Tools"),
+a bound is packed into a single integer::
+
+    encode(n, weak) = (n << 1) | (1 if weak else 0)
+
+so that the natural integer order coincides with bound tightness:
+``(n, <)`` is tighter than ``(n, ≤)`` which is tighter than
+``(n + 1, <)``.  Infinity is a large sentinel that survives one
+addition without overflow (Python integers are unbounded, so the
+sentinel is purely conventional).
+
+All DBM arithmetic in :mod:`repro.zones.dbm` is expressed in terms of
+the tiny functions here, which makes the matrix code read like the
+textbook algorithms.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "INF",
+    "LE_ZERO",
+    "LT_ZERO",
+    "encode",
+    "decode",
+    "bound_add",
+    "bound_value",
+    "bound_is_weak",
+    "negate_weak",
+    "bound_as_text",
+]
+
+#: Encoded "no bound" (``x - y < ∞``).  Any finite encoded bound is
+#: strictly smaller.  ``INF + INF`` must not be used; ``bound_add``
+#: short-circuits instead.
+INF: int = 1 << 62
+
+#: Encoded ``≤ 0`` — the diagonal entry of a canonical DBM.
+LE_ZERO: int = 1
+#: Encoded ``< 0`` — an unsatisfiable self-difference; marks emptiness.
+LT_ZERO: int = 0
+
+
+def encode(value: int, weak: bool) -> int:
+    """Pack ``(value, ≤ if weak else <)`` into the integer encoding."""
+    return (value << 1) | (1 if weak else 0)
+
+
+def decode(bound: int) -> tuple[int, bool]:
+    """Unpack an encoded bound into ``(value, weak)``.
+
+    ``INF`` decodes to ``(INF >> 1, False)``; callers that may see
+    infinity should test ``bound == INF`` first.
+    """
+    return bound >> 1, bool(bound & 1)
+
+
+def bound_value(bound: int) -> int:
+    """The numeric part of an encoded bound."""
+    return bound >> 1
+
+
+def bound_is_weak(bound: int) -> bool:
+    """True when the encoded bound is non-strict (``≤``)."""
+    return bool(bound & 1)
+
+
+def bound_add(a: int, b: int) -> int:
+    """Tightest bound implied by chaining ``x-y ≺ a`` and ``y-z ≺ b``.
+
+    Addition of values; the result is weak only when both operands are
+    weak.  Infinity absorbs.
+    """
+    if a == INF or b == INF:
+        return INF
+    return (((a >> 1) + (b >> 1)) << 1) | (a & b & 1)
+
+
+def negate_weak(bound: int) -> int:
+    """Encoded negation used when complementing a constraint.
+
+    The complement of ``x - y ≺ n`` is ``y - x ≺' -n`` where ``≺'``
+    flips strictness: ``¬(x-y ≤ n) ⇔ y-x < -n`` and
+    ``¬(x-y < n) ⇔ y-x ≤ -n``.
+    """
+    value, weak = decode(bound)
+    return encode(-value, not weak)
+
+
+def bound_as_text(bound: int) -> str:
+    """Human-readable form, e.g. ``"<=5"``, ``"<3"`` or ``"<inf"``."""
+    if bound >= INF:
+        return "<inf"
+    value, weak = decode(bound)
+    return f"{'<=' if weak else '<'}{value}"

@@ -1,0 +1,393 @@
+"""Difference Bound Matrices — the symbolic zone representation.
+
+A *zone* is a conjunction of clock constraints ``x - y ≺ n``; it is the
+canonical symbolic representation for timed-automata model checking.
+A DBM over ``n`` clocks (clock 0 is the constant-zero reference clock)
+is an ``n × n`` matrix ``D`` where entry ``D[i][j]`` encodes the bound
+of ``x_i - x_j`` (see :mod:`repro.zones.bounds` for the encoding).
+
+The operations implemented here are the standard toolkit of
+zone-based reachability (Bengtsson & Yi 2003):
+
+``close``              Floyd–Warshall canonicalization
+``close_clock``        incremental O(n²) re-closure after tightening
+``constrain``          intersection with one constraint
+``up``                 delay (future) operator
+``reset`` / ``assign`` clock reset ``x := c`` and copy ``x := y``
+``includes``           zone inclusion (on canonical forms)
+``extrapolate_max``    Extra_M abstraction for termination
+``contains_point``     membership of a concrete valuation (testing aid)
+
+Instances are small (the framework's PSMs use well under 16 clocks),
+so the matrix is a flat Python list; no numpy dependency is needed and
+arbitrary-precision integers make overflow a non-issue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.zones.bounds import (
+    INF,
+    LE_ZERO,
+    bound_add,
+    bound_as_text,
+    bound_value,
+    decode,
+    encode,
+)
+
+__all__ = ["DBM"]
+
+
+class DBM:
+    """A difference bound matrix over ``size`` clocks (clock 0 = reference).
+
+    The matrix is kept *canonical* (all-pairs-tightened) by every public
+    mutating operation, so equality, hashing and inclusion tests are
+    meaningful at all times.  An *empty* zone is represented by a
+    negative diagonal entry; :meth:`is_empty` checks for it.
+    """
+
+    __slots__ = ("size", "_m")
+
+    def __init__(self, size: int, _m: list[int] | None = None):
+        if size < 1:
+            raise ValueError("a DBM needs at least the reference clock")
+        self.size = size
+        if _m is None:
+            # Universal zone: no upper bounds, clocks non-negative.
+            _m = [INF] * (size * size)
+            for i in range(size):
+                _m[i * size + i] = LE_ZERO
+                _m[0 * size + i] = LE_ZERO  # x0 - xi <= 0  (xi >= 0)
+            _m[0] = LE_ZERO
+        self._m = _m
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def universal(cls, size: int) -> "DBM":
+        """All clock valuations with non-negative clocks."""
+        return cls(size)
+
+    @classmethod
+    def zero(cls, size: int) -> "DBM":
+        """The singleton zone where every clock equals 0."""
+        zone = cls(size)
+        m = zone._m
+        n = size
+        for i in range(n):
+            for j in range(n):
+                m[i * n + j] = LE_ZERO
+        return zone
+
+    def copy(self) -> "DBM":
+        return DBM(self.size, list(self._m))
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def get(self, i: int, j: int) -> int:
+        """Encoded bound of ``x_i - x_j``."""
+        return self._m[i * self.size + j]
+
+    def set_raw(self, i: int, j: int, bound: int) -> None:
+        """Set an entry without re-closing.
+
+        Callers must re-establish canonical form via :meth:`close` or
+        :meth:`close_clock` before using comparison operations.
+        """
+        self._m[i * self.size + j] = bound
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def close(self) -> "DBM":
+        """Floyd–Warshall all-pairs tightening.  Returns self."""
+        n = self.size
+        m = self._m
+        for k in range(n):
+            row_k = k * n
+            for i in range(n):
+                d_ik = m[i * n + k]
+                if d_ik == INF:
+                    continue
+                row_i = i * n
+                for j in range(n):
+                    d_kj = m[row_k + j]
+                    if d_kj == INF:
+                        continue
+                    via = bound_add(d_ik, d_kj)
+                    if via < m[row_i + j]:
+                        m[row_i + j] = via
+        return self
+
+    def close_clock(self, x: int) -> "DBM":
+        """Re-close after only row/column ``x`` was tightened (O(n²))."""
+        n = self.size
+        m = self._m
+        for i in range(n):
+            d_ix = m[i * n + x]
+            row_i = i * n
+            row_x = x * n
+            if d_ix != INF:
+                for j in range(n):
+                    d_xj = m[row_x + j]
+                    if d_xj == INF:
+                        continue
+                    via = bound_add(d_ix, d_xj)
+                    if via < m[row_i + j]:
+                        m[row_i + j] = via
+        return self
+
+    def is_empty(self) -> bool:
+        """True when the zone contains no valuation."""
+        n = self.size
+        m = self._m
+        return any(m[i * n + i] < LE_ZERO for i in range(n))
+
+    # ------------------------------------------------------------------
+    # Zone operations
+    # ------------------------------------------------------------------
+    def constrain(self, i: int, j: int, bound: int) -> "DBM":
+        """Intersect with ``x_i - x_j ≺ bound``.  Returns self.
+
+        Keeps canonical form; emptiness shows on the diagonal.
+        """
+        n = self.size
+        m = self._m
+        # Unsatisfiable together with the existing opposite bound?
+        if bound_add(m[j * n + i], bound) < LE_ZERO:
+            m[i * n + i] = bound_add(m[j * n + i], bound)
+            return self
+        if bound < m[i * n + j]:
+            m[i * n + j] = bound
+            # Re-close only via the two touched clocks.
+            for a in range(n):
+                row_a = a * n
+                d_ai = m[row_a + i]
+                if d_ai == INF:
+                    continue
+                for b in range(n):
+                    d_jb = m[j * n + b]
+                    if d_jb == INF:
+                        continue
+                    via = bound_add(bound_add(d_ai, bound), d_jb)
+                    if via < m[row_a + b]:
+                        m[row_a + b] = via
+        return self
+
+    def up(self) -> "DBM":
+        """Delay operator: remove all upper bounds (future closure)."""
+        n = self.size
+        m = self._m
+        for i in range(1, n):
+            m[i * n + 0] = INF
+        return self
+
+    def reset(self, x: int, value: int = 0) -> "DBM":
+        """Assignment ``x := value`` (non-negative integer)."""
+        n = self.size
+        m = self._m
+        pos = encode(value, True)
+        neg = encode(-value, True)
+        for j in range(n):
+            m[x * n + j] = bound_add(pos, m[0 * n + j])
+            m[j * n + x] = bound_add(m[j * n + 0], neg)
+        m[x * n + x] = LE_ZERO
+        return self
+
+    def assign_clock(self, x: int, y: int) -> "DBM":
+        """Clock copy ``x := y``."""
+        if x == y:
+            return self
+        n = self.size
+        m = self._m
+        for j in range(n):
+            if j != x:
+                m[x * n + j] = m[y * n + j]
+                m[j * n + x] = m[j * n + y]
+        m[x * n + x] = LE_ZERO
+        return self
+
+    def free(self, x: int) -> "DBM":
+        """Remove all constraints on clock ``x`` (unbounded value)."""
+        n = self.size
+        m = self._m
+        for j in range(n):
+            if j != x:
+                m[x * n + j] = INF
+                m[j * n + x] = m[j * n + 0]
+        return self
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def includes(self, other: "DBM") -> bool:
+        """Zone inclusion ``other ⊆ self`` (both canonical)."""
+        if self.size != other.size:
+            raise ValueError("DBM size mismatch")
+        mine = self._m
+        theirs = other._m
+        return all(mine[k] >= theirs[k] for k in range(len(mine)))
+
+    def intersects(self, other: "DBM") -> bool:
+        """True when the two zones share at least one valuation."""
+        merged = self.copy()
+        n = self.size
+        for i in range(n):
+            for j in range(n):
+                b = other.get(i, j)
+                if b < merged.get(i, j):
+                    merged.set_raw(i, j, b)
+        merged.close()
+        return not merged.is_empty()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DBM)
+            and self.size == other.size
+            and self._m == other._m
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size, tuple(self._m)))
+
+    # ------------------------------------------------------------------
+    # Abstraction
+    # ------------------------------------------------------------------
+    def extrapolate_max(self, max_consts: Sequence[int]) -> "DBM":
+        """Extra_M abstraction on per-clock maximum constants.
+
+        ``max_consts[i]`` is the largest constant clock ``i`` is ever
+        compared against (use 0 for never-compared clocks; the
+        reference clock entry must be 0).  Bounds beyond the constants
+        are widened, guaranteeing a finite zone graph.  The matrix is
+        re-closed afterwards because widening may break canonicity.
+        """
+        n = self.size
+        if len(max_consts) != n:
+            raise ValueError("need one max constant per clock")
+        m = self._m
+        changed = False
+        for i in range(n):
+            m_i = max_consts[i]
+            row = i * n
+            for j in range(n):
+                if i == j:
+                    continue
+                b = m[row + j]
+                if b == INF:
+                    continue
+                value = bound_value(b)
+                if value > m_i:
+                    m[row + j] = INF
+                    changed = True
+                elif value < -max_consts[j]:
+                    m[row + j] = encode(-max_consts[j], False)
+                    changed = True
+        if changed:
+            self.close()
+        return self
+
+    # ------------------------------------------------------------------
+    # Concrete queries
+    # ------------------------------------------------------------------
+    def upper_bound(self, x: int) -> int:
+        """Encoded upper bound of clock ``x`` (``D[x][0]``)."""
+        return self._m[x * self.size + 0]
+
+    def lower_bound(self, x: int) -> int:
+        """Largest lower bound of ``x`` as a non-negative value.
+
+        Decodes ``D[0][x]`` (which encodes ``-lower``); returns the
+        value only — strictness is available via :meth:`get`.
+        """
+        return -bound_value(self._m[0 * self.size + x])
+
+    def contains_point(self, values: Sequence[int]) -> bool:
+        """Membership test for a concrete valuation.
+
+        ``values[i]`` is the value of clock ``i`` for ``i ≥ 1``;
+        ``values[0]`` must be 0 (the reference clock).
+        """
+        if len(values) != self.size:
+            raise ValueError("valuation length must equal DBM size")
+        n = self.size
+        for i in range(n):
+            for j in range(n):
+                b = self._m[i * n + j]
+                if b == INF:
+                    continue
+                bound, weak = decode(b)
+                diff = values[i] - values[j]
+                if diff > bound or (diff == bound and not weak):
+                    return False
+        return True
+
+    def sample_point(self, limit: int = 1 << 20) -> list[int] | None:
+        """A concrete integer valuation inside the zone, if one exists.
+
+        Uses the canonical form: picking each clock at its lower bound
+        (rounded up past strict bounds) and re-tightening is sufficient
+        for the integer zones produced by integer-constant automata.
+        Returns ``None`` for empty zones.
+        """
+        if self.is_empty():
+            return None
+        work = self.copy()
+        values = [0] * self.size
+        for x in range(1, self.size):
+            low = work.get(0, x)
+            value, weak = decode(low)
+            candidate = -value if weak else -value + 1
+            candidate = max(candidate, 0)
+            if candidate > limit:
+                return None
+            work.constrain(x, 0, encode(candidate, True))
+            work.constrain(0, x, encode(-candidate, True))
+            if work.is_empty():
+                return None
+            values[x] = candidate
+        return values
+
+    # ------------------------------------------------------------------
+    # Debug rendering
+    # ------------------------------------------------------------------
+    def as_text(self, clock_names: Sequence[str] | None = None) -> str:
+        """Readable constraint list, e.g. ``x<=5 ∧ x-y<2``."""
+        names = list(clock_names) if clock_names else [
+            "0" if i == 0 else f"x{i}" for i in range(self.size)
+        ]
+        parts: list[str] = []
+        n = self.size
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                b = self._m[i * n + j]
+                if b == INF:
+                    continue
+                if i == 0:
+                    value, weak = decode(b)
+                    if value == 0 and weak:
+                        continue  # trivial xj >= 0
+                    parts.append(f"{names[j]}>{'=' if weak else ''}{-value}")
+                elif j == 0:
+                    parts.append(f"{names[i]}{bound_as_text(b)}")
+                else:
+                    parts.append(f"{names[i]}-{names[j]}{bound_as_text(b)}")
+        return " ∧ ".join(parts) if parts else "true"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DBM({self.as_text()})"
+
+    def frozen(self) -> tuple[int, ...]:
+        """Immutable snapshot usable as a dict key."""
+        return tuple(self._m)
+
+    @classmethod
+    def from_frozen(cls, size: int, snapshot: Iterable[int]) -> "DBM":
+        return cls(size, list(snapshot))

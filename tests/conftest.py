@@ -1,0 +1,103 @@
+"""Shared fixtures: miniature PIMs and schemes for fast verification.
+
+The full infusion-pump case study takes minutes to model-check, so
+unit and integration tests use *tiny* models with single-digit
+constants — same structure, 100× smaller zone graphs.  The heavyweight
+paper numbers live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pim import PIM
+from repro.core.scheme import (
+    DeliveryMechanism,
+    ImplementationScheme,
+    InputSpec,
+    InvocationKind,
+    InvocationSpec,
+    IOSpec,
+    OutputSpec,
+    ReadMechanism,
+    ReadPolicy,
+    SignalType,
+)
+from repro.ta.builder import NetworkBuilder
+from repro.ta.model import Network
+
+
+def build_tiny_network(*, prime: int = 4, deadline: int = 10,
+                       think: int = 15) -> Network:
+    """One-input/one-output request-ack PIM with tiny constants."""
+    net = NetworkBuilder("tiny_pim", constants={
+        "PRIME": prime, "DEADLINE": deadline, "THINK": think})
+    net.channel("m_Req")
+    net.channel("c_Ack")
+    m = net.automaton("M", clocks=["x"])
+    m.location("Idle", initial=True)
+    m.location("Busy", invariant="x <= DEADLINE")
+    m.edge("Idle", "Busy", sync="m_Req?", update="x = 0")
+    m.edge("Busy", "Idle", guard="x >= PRIME", sync="c_Ack!",
+           update="x = 0")
+    env = net.automaton("ENV", clocks=["ex"])
+    env.location("Rest", initial=True)
+    env.location("Wait")
+    env.edge("Rest", "Wait", guard="ex >= THINK", sync="m_Req!",
+             update="ex = 0")
+    env.edge("Wait", "Rest", sync="c_Ack?", update="ex = 0")
+    return net.build()
+
+
+def build_tiny_pim(**kwargs) -> PIM:
+    return PIM(network=build_tiny_network(**kwargs), controller="M",
+               environment="ENV")
+
+
+def build_tiny_scheme(*, buffer_size: int = 2, period: int = 5,
+                      wcet: int = 1,
+                      read_policy: ReadPolicy = ReadPolicy.READ_ALL,
+                      input_mechanism: ReadMechanism =
+                      ReadMechanism.INTERRUPT,
+                      polling_interval: int | None = None,
+                      delivery: DeliveryMechanism =
+                      DeliveryMechanism.BUFFER,
+                      invocation_kind: InvocationKind =
+                      InvocationKind.PERIODIC,
+                      ) -> ImplementationScheme:
+    """A scheme sized to keep the tiny PSM's zone graph small."""
+    signal = SignalType.LATCHED \
+        if input_mechanism is ReadMechanism.POLLING else SignalType.PULSE
+    if invocation_kind is InvocationKind.PERIODIC:
+        invocation = InvocationSpec(kind=invocation_kind, period=period,
+                                    bcet=0, wcet=wcet)
+    else:
+        invocation = InvocationSpec(
+            kind=invocation_kind, period=None, bcet=0, wcet=wcet,
+            latency_min=0, latency_max=2, min_separation=max(wcet, 1))
+    return ImplementationScheme(
+        name="tiny-scheme",
+        inputs={"m_Req": InputSpec(
+            signal=signal, mechanism=input_mechanism,
+            delay_min=1, delay_max=2,
+            polling_interval=polling_interval)},
+        outputs={"c_Ack": OutputSpec(
+            mechanism=ReadMechanism.INTERRUPT, delay_min=1,
+            delay_max=2)},
+        io_inputs={"m_Req": IOSpec(delivery=delivery,
+                                   buffer_size=buffer_size,
+                                   read_policy=read_policy)},
+        io_outputs={"c_Ack": IOSpec(delivery=delivery,
+                                    buffer_size=buffer_size)},
+        invocation=invocation,
+    ).validate()
+
+
+@pytest.fixture
+def tiny_pim() -> PIM:
+    return build_tiny_pim()
+
+
+@pytest.fixture
+def tiny_scheme() -> ImplementationScheme:
+    return build_tiny_scheme()

@@ -1,0 +1,133 @@
+"""Tests for the analysis layer: pairing, stats, Table 1 plumbing,
+the Fig. 3 timeline and the Fig. 2 blocks rendering."""
+
+import pytest
+
+from repro.analysis.blocks import render_blocks
+from repro.analysis.delays import pair_requests
+from repro.analysis.stats import summarize
+from repro.analysis.table1 import simulate_trials
+from repro.analysis.timeline import fig3_scenario, render_timeline
+from repro.core.scheme import ReadPolicy
+from repro.core.transform import transform
+from repro.sim.trace import TraceRecorder
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+class TestStats:
+    def test_summarize(self):
+        stats = summarize([1.0, 3.0, 2.0])
+        assert (stats.count, stats.avg, stats.max, stats.min) == \
+            (3, 2.0, 3.0, 1.0)
+
+    def test_none_values_skipped(self):
+        stats = summarize([1.0, None, 3.0])
+        assert stats.count == 2
+
+    def test_empty_returns_none(self):
+        assert summarize([]) is None
+        assert summarize([None]) is None
+
+    def test_within(self):
+        stats = summarize([5.0, 9.0])
+        assert stats.within(9.0)
+        assert not stats.within(8.9)
+
+
+class TestPairing:
+    def _trace(self):
+        trace = TraceRecorder()
+        # Request 1: m@0, read@10, write@15 (oid 100), c@20.
+        trace.record(0, "m", "m_Req", tag=1)
+        trace.record(10_000, "i_read", "m_Req", tag=1)
+        trace.record(15_000, "o_write", "c_Ack", tag=100)
+        trace.record(20_000, "c", "c_Ack", tag=100)
+        # Request 2: m@30, read@42, write@50 (oid 101), c@55.
+        trace.record(30_000, "m", "m_Req", tag=2)
+        trace.record(42_000, "i_read", "m_Req", tag=2)
+        trace.record(50_000, "o_write", "c_Ack", tag=101)
+        trace.record(55_000, "c", "c_Ack", tag=101)
+        return trace
+
+    def test_two_requests_paired_fifo(self):
+        timings = pair_requests(self._trace(), "m_Req", "c_Ack")
+        assert len(timings) == 2
+        first, second = timings
+        assert (first.input_delay, first.output_delay,
+                first.mc_delay) == (10.0, 5.0, 20.0)
+        assert (second.input_delay, second.output_delay,
+                second.mc_delay) == (12.0, 5.0, 25.0)
+
+    def test_unconsumed_request_left_open(self):
+        trace = TraceRecorder()
+        trace.record(0, "m", "m_Req", tag=1)
+        timings = pair_requests(trace, "m_Req", "c_Ack")
+        assert len(timings) == 1
+        assert not timings[0].completed
+        assert timings[0].input_delay is None
+
+    def test_missing_actuation_leaves_tc_none(self):
+        trace = TraceRecorder()
+        trace.record(0, "m", "m_Req", tag=1)
+        trace.record(5_000, "i_read", "m_Req", tag=1)
+        trace.record(8_000, "o_write", "c_Ack", tag=100)
+        timings = pair_requests(trace, "m_Req", "c_Ack")
+        assert timings[0].t_o_write == 8.0
+        assert timings[0].mc_delay is None
+
+    def test_str_rendering(self):
+        timings = pair_requests(self._trace(), "m_Req", "c_Ack")
+        assert "req #1" in str(timings[0])
+
+
+class TestSimulateTrials:
+    def test_small_campaign(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        measured = simulate_trials(
+            pim, scheme, trials=5, seed=1,
+            input_channel="m_Req", output_channel="c_Ack",
+            think_ms=(20, 40))
+        assert measured.requests == 5
+        assert measured.responses == 5
+        assert measured.timeouts == 0
+        assert measured.mc is not None and measured.mc.count == 5
+        assert not measured.buffer_overflow
+        assert measured.req_violations(10_000) == 0
+        assert measured.req_violations(0) == 5
+
+
+class TestFig3:
+    def test_read_all_vs_read_one(self):
+        read_all = fig3_scenario(ReadPolicy.READ_ALL)
+        read_one = fig3_scenario(ReadPolicy.READ_ONE)
+        # The figure's crux: at invocation 4 read-one uses a single
+        # input while read-all uses both pending inputs.
+        assert read_one.reads_per_invocation[4] == ["i2"]
+        assert read_one.reads_per_invocation[5] == ["i3"]
+        assert read_all.reads_per_invocation[4] == ["i2", "i3"]
+        assert read_all.reads_per_invocation[5] == []
+        # Both read i1 at invocation 3.
+        assert read_all.reads_per_invocation[3] == ["i1"]
+
+    def test_timeline_renders_lanes(self):
+        result = fig3_scenario(ReadPolicy.READ_ALL)
+        text = result.rendered()
+        assert "ENV" in text and "Code(PIM)" in text
+        assert "m m_Fig3#1" in text
+
+    def test_render_timeline_horizon(self):
+        result = fig3_scenario(ReadPolicy.READ_ALL)
+        text = render_timeline(result.trace, until_ms=200.0)
+        assert "m m_Fig3#3" not in text  # arrives at 240ms
+
+
+class TestFig2Blocks:
+    def test_blocks_show_component_mapping(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        text = render_blocks(psm)
+        assert "Input-Device" in text
+        assert "IFMI_i_Req" in text
+        assert "EXEIO" in text
+        assert "PSM = MIO" in text

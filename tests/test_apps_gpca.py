@@ -1,0 +1,89 @@
+"""Tests for the extended GPCA pump model and its requirement catalog."""
+
+import pytest
+
+from repro.apps.gpca import (
+    GPCA_INPUTS,
+    GPCA_OUTPUTS,
+    GPCA_REQUIREMENTS,
+    build_gpca_pim,
+    verify_gpca_requirements,
+)
+from repro.core.constraints import check_all_constraints
+from repro.core.delays import derive_bounds
+from repro.core.scheme import example_is1
+from repro.core.transform import transform
+from repro.mc import check_bounded_response, find_deadlocks
+
+
+@pytest.fixture(scope="module")
+def pim():
+    return build_gpca_pim()
+
+
+@pytest.fixture(scope="module")
+def psm(pim):
+    scheme = example_is1(GPCA_INPUTS, GPCA_OUTPUTS,
+                         buffer_size=3, period=50)
+    return transform(pim, scheme)
+
+
+class TestPimRequirements:
+    def test_all_requirements_hold(self, pim):
+        results = verify_gpca_requirements(pim)
+        assert set(results) == {r.name for r in GPCA_REQUIREMENTS}
+        for name, result in results.items():
+            assert result.holds, f"{name}: {result.summary()}"
+
+    @pytest.mark.parametrize("req", GPCA_REQUIREMENTS,
+                             ids=lambda r: r.name)
+    def test_each_requirement_is_tight_within_50ms(self, pim, req):
+        # The deadlines are not arbitrarily loose: halving them breaks
+        # each requirement on the PIM.
+        result = check_bounded_response(
+            pim.network, req.trigger, req.response,
+            req.deadline_ms // 2, trace=False)
+        assert not result.holds
+
+    def test_pim_deadlock_free(self, pim):
+        assert find_deadlocks(pim.network).deadlock_free
+
+    def test_structure(self, pim):
+        assert pim.input_channels() == tuple(sorted(GPCA_INPUTS))
+        assert pim.output_channels() == tuple(sorted(GPCA_OUTPUTS))
+        assert pim.internal_edges() == []
+
+    def test_override_validation(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_gpca_pim({"NOPE": 3})
+
+
+class TestPsmOnIs1:
+    def test_constraints_hold(self, psm):
+        report = check_all_constraints(psm)
+        assert report.all_hold, report.summary()
+
+    def test_platform_bounds_per_requirement(self, pim):
+        scheme = example_is1(GPCA_INPUTS, GPCA_OUTPUTS,
+                             buffer_size=3, period=50)
+        for req in GPCA_REQUIREMENTS:
+            bounds = derive_bounds(pim, scheme, req.trigger,
+                                   req.response)
+            # Lemma 2's relaxed bound strictly exceeds the PIM-level
+            # deadline: the platform always costs something.
+            assert bounds.relaxed > req.deadline_ms
+            assert bounds.internal_bound <= req.deadline_ms
+
+    def test_req1_violated_on_platform_but_relaxed_holds(self, pim, psm):
+        req = GPCA_REQUIREMENTS[0]
+        original = check_bounded_response(
+            psm.network, req.trigger, req.response, req.deadline_ms,
+            trace=False)
+        assert not original.holds
+        scheme = example_is1(GPCA_INPUTS, GPCA_OUTPUTS,
+                             buffer_size=3, period=50)
+        bounds = derive_bounds(pim, scheme, req.trigger, req.response)
+        relaxed = check_bounded_response(
+            psm.network, req.trigger, req.response, bounds.relaxed,
+            trace=False)
+        assert relaxed.holds

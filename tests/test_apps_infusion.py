@@ -1,0 +1,110 @@
+"""Tests for the infusion-pump case-study models (Section VI)."""
+
+import pytest
+
+from repro.apps.infusion import (
+    INPUT_CHANNELS,
+    INTERNAL_DELAY_MS,
+    OUTPUT_CHANNELS,
+    REQ1_DEADLINE_MS,
+    build_infusion_network,
+    build_infusion_pim,
+)
+from repro.apps.schemes import case_study_scheme, example_is1_scheme
+from repro.codegen import build_controller
+from repro.core.delays import (
+    analytic_input_delay_bound,
+    analytic_output_delay_bound,
+    internal_delay,
+)
+from repro.mc import check_bounded_response, find_deadlocks
+
+
+@pytest.fixture(scope="module")
+def pim():
+    return build_infusion_pim()
+
+
+class TestModelStructure:
+    def test_channels_match_paper(self, pim):
+        assert pim.input_channels() == tuple(sorted(INPUT_CHANNELS))
+        assert pim.output_channels() == tuple(sorted(OUTPUT_CHANNELS))
+
+    def test_m_has_single_clock(self, pim):
+        assert pim.m.clocks == ("x",)
+
+    def test_no_internal_edges(self, pim):
+        assert pim.internal_edges() == []
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_infusion_network({"BOGUS": 1})
+
+    def test_override_applies(self):
+        network = build_infusion_network({"PRIME_MS": 100})
+        m = network.automaton("M")
+        start_edges = [e for e in m.edges
+                       if e.sync and e.sync.channel == "c_StartInfusion"]
+        assert start_edges[0].guard.clock_constraints[0].bound == 100
+
+
+class TestReq1OnPim:
+    def test_req1_holds_at_500(self, pim):
+        result = check_bounded_response(
+            pim.network, "m_BolusReq", "c_StartInfusion",
+            REQ1_DEADLINE_MS)
+        assert result.holds
+
+    def test_req1_tight(self, pim):
+        result = check_bounded_response(
+            pim.network, "m_BolusReq", "c_StartInfusion",
+            REQ1_DEADLINE_MS - 1)
+        assert not result.holds
+
+    def test_internal_delay_is_500(self, pim):
+        bound = internal_delay(pim, "m_BolusReq", "c_StartInfusion")
+        assert bound.bounded and bound.sup == INTERNAL_DELAY_MS
+
+    def test_pim_deadlock_free(self, pim):
+        assert find_deadlocks(pim.network).deadlock_free
+
+    def test_alarm_responds_to_empty_syringe(self, pim):
+        result = check_bounded_response(
+            pim.network, "m_EmptySyringe", "c_Alarm", 100)
+        assert result.holds
+
+
+class TestCaseStudyScheme:
+    def test_lemma1_bounds_reproduce_table1(self):
+        scheme = case_study_scheme()
+        assert analytic_input_delay_bound(scheme, "m_BolusReq") == 490
+        assert analytic_output_delay_bound(scheme,
+                                           "c_StartInfusion") == 440
+
+    def test_is1_example_scheme(self):
+        scheme = example_is1_scheme()
+        assert scheme.invocation.period == 100
+        assert scheme.io_input_spec("m_BolusReq").buffer_size == 5
+
+    def test_controller_generates(self, pim):
+        controller = build_controller(pim.m,
+                                      constants=pim.network.constants)
+        assert controller.location == "Idle"
+        result = controller.step(0.0, ["m_BolusReq"])
+        assert result.consumed == ["m_BolusReq"]
+        assert controller.location == "BolusRequested"
+        # Priming takes at least 250ms.
+        assert controller.step(100.0, []).outputs == []
+        assert controller.step(300.0, []).outputs == ["c_StartInfusion"]
+
+    def test_controller_full_cycle_with_empty_syringe(self, pim):
+        controller = build_controller(pim.m,
+                                      constants=pim.network.constants)
+        controller.step(0.0, ["m_BolusReq"])
+        controller.step(300.0, [])              # start infusion
+        result = controller.step(700.0, ["m_EmptySyringe"])
+        assert result.consumed == ["m_EmptySyringe"]
+        # Stop and alarm chain within the same run-to-completion pass
+        # (neither edge carries a lower clock bound).
+        assert result.outputs == ["c_StopInfusion", "c_Alarm"]
+        assert controller.location == "Idle"

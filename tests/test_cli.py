@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (fast commands only; the
+heavyweight verify/table1 paths are covered by the benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.trials == 60
+        assert args.seed == 2015
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_scheme(self, capsys):
+        assert main(["scheme"]) == 0
+        out = capsys.readouterr().out
+        assert "MC(m_BolusReq)" in out
+        assert "poll=380" in out
+
+    def test_render_pim_summary(self, capsys):
+        assert main(["render", "--model", "pim"]) == 0
+        out = capsys.readouterr().out
+        assert "network infusion_pim" in out
+        assert "M:" in out
+
+    def test_render_pim_dot(self, capsys):
+        assert main(["render", "--model", "pim", "--format",
+                     "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "m_BolusReq" in out
+
+    def test_render_psm_blocks(self, capsys):
+        assert main(["render", "--model", "psm", "--format",
+                     "blocks"]) == 0
+        out = capsys.readouterr().out
+        assert "Input-Device" in out
+
+    def test_render_blocks_needs_psm(self, capsys):
+        assert main(["render", "--model", "pim", "--format",
+                     "blocks"]) == 2
+
+    def test_timeline_read_all(self, capsys):
+        assert main(["timeline", "--policy", "read-all"]) == 0
+        out = capsys.readouterr().out
+        assert "invocation 4: i2, i3" in out
+
+    def test_timeline_read_one(self, capsys):
+        assert main(["timeline", "--policy", "read-one"]) == 0
+        out = capsys.readouterr().out
+        assert "invocation 4: i2" in out
+        assert "invocation 5: i3" in out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--trials", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "M-C delay" in out
+        assert "REQ1 violations" in out

@@ -1,0 +1,116 @@
+"""Tests for the Section-V delay analysis (Lemmas 1 and 2).
+
+The central soundness property: the analytic Lemma-1 bounds must
+dominate the exact suprema measured by model checking the PSM, for
+every mechanism combination.
+"""
+
+import pytest
+
+from repro.core.delays import (
+    analytic_input_delay_bound,
+    analytic_output_delay_bound,
+    derive_bounds,
+    internal_delay,
+    relaxed_deadline,
+    symbolic_input_delay,
+    symbolic_mc_delay,
+    symbolic_output_delay,
+)
+from repro.core.scheme import InvocationKind, ReadMechanism
+from repro.core.transform import transform
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+class TestLemma1Analytic:
+    def test_interrupt_periodic(self):
+        scheme = build_tiny_scheme(period=5)
+        # detection delay_max 2 + period 5
+        assert analytic_input_delay_bound(scheme, "m_Req") == 7
+
+    def test_polling_periodic(self):
+        scheme = build_tiny_scheme(
+            input_mechanism=ReadMechanism.POLLING, polling_interval=6)
+        # poll 6 + delay_max 2 + period 5
+        assert analytic_input_delay_bound(scheme, "m_Req") == 13
+
+    def test_output_event_driven(self):
+        scheme = build_tiny_scheme(wcet=1)
+        # wcet 1 + pickup delay_max 2
+        assert analytic_output_delay_bound(scheme, "c_Ack") == 3
+
+    def test_aperiodic_input(self):
+        scheme = build_tiny_scheme(
+            invocation_kind=InvocationKind.APERIODIC)
+        # delay_max 2 + latency_max 2 + min_separation 1
+        assert analytic_input_delay_bound(scheme, "m_Req") == 5
+
+    def test_lemma2_sum(self):
+        assert relaxed_deadline(490, 440, 500) == 1430
+
+
+class TestInternalDelay:
+    def test_tiny_pim_internal_is_deadline(self):
+        bound = internal_delay(build_tiny_pim(), "m_Req", "c_Ack")
+        assert bound.bounded and bound.sup == 10
+
+    def test_derive_bounds_packages_lemma2(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+        assert bounds.input_bound == 7
+        assert bounds.output_bound == 3
+        assert bounds.internal_bound == 10
+        assert bounds.relaxed == 20
+        assert "Δ'_mc=20ms" in bounds.summary()
+
+
+class TestLemma1Soundness:
+    """Analytic bound ≥ model-checked supremum, per mechanism."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {},                                                # base
+        {"period": 3},                                     # fast ticks
+        {"buffer_size": 1},                                # tight buffer
+        {"input_mechanism": ReadMechanism.POLLING,
+         "polling_interval": 6},                           # polled input
+    ], ids=["base", "fast-period", "buffer-1", "polled"])
+    def test_input_delay(self, kwargs):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme(**kwargs)
+        psm = transform(pim, scheme)
+        analytic = analytic_input_delay_bound(scheme, "m_Req")
+        symbolic = symbolic_input_delay(psm, "m_Req")
+        assert symbolic.bounded
+        assert symbolic.sup <= analytic, \
+            f"Lemma 1 unsound: sup {symbolic.sup} > bound {analytic}"
+
+    def test_output_delay(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        psm = transform(pim, scheme)
+        analytic = analytic_output_delay_bound(scheme, "c_Ack")
+        symbolic = symbolic_output_delay(psm, "c_Ack")
+        assert symbolic.bounded
+        assert symbolic.sup <= analytic
+
+    def test_lemma2_end_to_end(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        psm = transform(pim, scheme)
+        bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+        mc = symbolic_mc_delay(psm, "m_Req", "c_Ack")
+        assert mc.bounded
+        assert mc.sup <= bounds.relaxed, \
+            f"Lemma 2 unsound: sup {mc.sup} > Δ' {bounds.relaxed}"
+
+    def test_symbolic_tightness(self):
+        # The sup should not be wildly below the analytic bound either
+        # (sanity that the query measures the right thing): within the
+        # tiny model the M-C sup reaches at least the internal bound.
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        psm = transform(pim, scheme)
+        mc = symbolic_mc_delay(psm, "m_Req", "c_Ack")
+        assert mc.sup >= 10

@@ -1,0 +1,151 @@
+"""Tests for the implementation-scheme taxonomy (Definition 1)."""
+
+import pytest
+
+from repro.core.scheme import (
+    DeliveryMechanism,
+    ImplementationScheme,
+    InputSpec,
+    InvocationKind,
+    InvocationSpec,
+    IOSpec,
+    OutputSpec,
+    ReadMechanism,
+    ReadPolicy,
+    SchemeError,
+    SignalType,
+    example_is1,
+)
+
+
+class TestInputSpec:
+    def test_polling_requires_interval(self):
+        spec = InputSpec(signal=SignalType.LATCHED,
+                         mechanism=ReadMechanism.POLLING)
+        with pytest.raises(SchemeError, match="polling_interval"):
+            spec.validate("m_X")
+
+    def test_pulse_with_polling_rejected(self):
+        spec = InputSpec(signal=SignalType.PULSE,
+                         mechanism=ReadMechanism.POLLING,
+                         polling_interval=10)
+        with pytest.raises(SchemeError, match="pulse"):
+            spec.validate("m_X")
+
+    def test_sustained_needs_duration(self):
+        spec = InputSpec(signal=SignalType.SUSTAINED,
+                         mechanism=ReadMechanism.INTERRUPT)
+        with pytest.raises(SchemeError, match="sustain"):
+            spec.validate("m_X")
+
+    def test_delay_order(self):
+        spec = InputSpec(delay_min=5, delay_max=2)
+        with pytest.raises(SchemeError, match="delay_min"):
+            spec.validate("m_X")
+
+    def test_worst_case_detection(self):
+        interrupt = InputSpec(delay_min=1, delay_max=3)
+        assert interrupt.worst_case_detection() == 3
+        polled = InputSpec(signal=SignalType.LATCHED,
+                           mechanism=ReadMechanism.POLLING,
+                           delay_min=5, delay_max=10,
+                           polling_interval=380)
+        assert polled.worst_case_detection() == 390
+
+
+class TestOutputSpec:
+    def test_polling_requires_interval(self):
+        spec = OutputSpec(mechanism=ReadMechanism.POLLING)
+        with pytest.raises(SchemeError):
+            spec.validate("c_Y")
+
+    def test_worst_case_pickup(self):
+        assert OutputSpec(delay_min=15, delay_max=430) \
+            .worst_case_pickup() == 430
+        assert OutputSpec(mechanism=ReadMechanism.POLLING,
+                          delay_min=20, delay_max=40,
+                          polling_interval=400) \
+            .worst_case_pickup() == 440
+
+
+class TestInvocationSpec:
+    def test_periodic_requires_period(self):
+        with pytest.raises(SchemeError, match="period"):
+            InvocationSpec(kind=InvocationKind.PERIODIC,
+                           period=None).validate()
+
+    def test_wcet_within_period(self):
+        with pytest.raises(SchemeError, match="wcet"):
+            InvocationSpec(period=10, wcet=20).validate()
+
+    def test_aperiodic_separation_covers_wcet(self):
+        with pytest.raises(SchemeError, match="min_separation"):
+            InvocationSpec(kind=InvocationKind.APERIODIC, wcet=5,
+                           min_separation=2).validate()
+
+    def test_worst_case_start_delay(self):
+        periodic = InvocationSpec(period=100)
+        assert periodic.worst_case_start_delay() == 100
+        aperiodic = InvocationSpec(kind=InvocationKind.APERIODIC,
+                                   wcet=1, latency_min=0, latency_max=5,
+                                   min_separation=2)
+        assert aperiodic.worst_case_start_delay() == 7
+
+
+class TestScheme:
+    def test_example_is1_matches_paper(self):
+        scheme = example_is1(["m_A"], ["c_B"])
+        spec = scheme.input_spec("m_A")
+        assert spec.signal is SignalType.PULSE
+        assert spec.mechanism is ReadMechanism.INTERRUPT
+        assert (spec.delay_min, spec.delay_max) == (1, 3)
+        io = scheme.io_input_spec("m_A")
+        assert io.buffer_size == 5
+        assert io.read_policy is ReadPolicy.READ_ALL
+        assert scheme.invocation.period == 100
+
+    def test_io_spec_must_cover_mc_channels(self):
+        with pytest.raises(SchemeError, match="io-boundary"):
+            ImplementationScheme(
+                name="bad",
+                inputs={"m_A": InputSpec()},
+                outputs={},
+                io_inputs={},
+                io_outputs={},
+            ).validate()
+
+    def test_covers_detects_missing_channels(self):
+        scheme = example_is1(["m_A"], ["c_B"])
+        scheme.covers(["m_A"], ["c_B"])
+        with pytest.raises(SchemeError, match="does not cover"):
+            scheme.covers(["m_A", "m_Z"], ["c_B"])
+
+    def test_missing_spec_lookup_raises(self):
+        scheme = example_is1(["m_A"], ["c_B"])
+        with pytest.raises(SchemeError):
+            scheme.input_spec("m_Z")
+        with pytest.raises(SchemeError):
+            scheme.output_spec("c_Z")
+        with pytest.raises(SchemeError):
+            scheme.io_input_spec("m_Z")
+        with pytest.raises(SchemeError):
+            scheme.io_output_spec("c_Z")
+
+    def test_describe_mentions_all_parts(self):
+        scheme = example_is1(["m_A"], ["c_B"])
+        text = scheme.describe()
+        assert "MC(m_A)" in text
+        assert "IO(m_A)" in text
+        assert "IO(invoke)" in text
+        assert "period=100" in text
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(SchemeError, match="buffer_size"):
+            IOSpec(delivery=DeliveryMechanism.BUFFER,
+                   buffer_size=0).validate("m_A")
+
+    def test_with_invocation(self):
+        scheme = example_is1(["m_A"], ["c_B"])
+        faster = scheme.with_invocation(InvocationSpec(period=50))
+        assert faster.invocation.period == 50
+        assert scheme.invocation.period == 100

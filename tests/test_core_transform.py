@@ -1,0 +1,265 @@
+"""Tests for the PIM→PSM transformation (Section IV) and the
+structure of the generated interface/execution automata (Figs. 5–6)."""
+
+import pytest
+
+from repro.core.execution import GO_CHANNEL, accept_expression
+from repro.core.interfaces import TransformError
+from repro.core.scheme import (
+    DeliveryMechanism,
+    InputSpec,
+    InvocationKind,
+    IOSpec,
+    OutputSpec,
+    ReadMechanism,
+    ReadPolicy,
+    SignalType,
+)
+from repro.core.transform import transform
+from repro.mc.deadlock import find_deadlocks
+from repro.mc.queries import zone_graph_stats
+from repro.ta.builder import NetworkBuilder
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+@pytest.fixture(scope="module")
+def tiny_psm():
+    return transform(build_tiny_pim(), build_tiny_scheme())
+
+
+class TestComposition:
+    def test_definition3_components(self, tiny_psm):
+        roles = dict(tiny_psm.components())
+        assert roles["MIO"] == "MIO"
+        assert roles["ENVMC"] == "ENVMC"
+        assert roles["EXEIO"] == "EXEIO"
+        assert roles["IFMI[m_Req]"] == "IFMI_i_Req"
+        assert roles["IFOC[c_Ack]"] == "IFOC_o_Ack"
+
+    def test_io_channel_twins_declared(self, tiny_psm):
+        network = tiny_psm.network
+        for channel in ("m_Req", "c_Ack", "i_Req", "o_Ack"):
+            assert network.has_channel(channel)
+        assert tiny_psm.io_name("m_Req") == "i_Req"
+        assert tiny_psm.io_name("c_Ack") == "o_Ack"
+
+    def test_mio_preserves_structure(self, tiny_psm):
+        m = build_tiny_pim().m
+        mio = tiny_psm.network.automaton("MIO")
+        assert mio.location_names() == m.location_names()
+        assert len(mio.edges) == len(m.edges)
+        # Syncs renamed to the io-boundary.
+        assert mio.input_channels() == {"i_Req"}
+        assert mio.output_channels() == {"o_Ack"}
+
+    def test_mio_clocks_hoisted_global(self, tiny_psm):
+        assert "mio_x" in tiny_psm.network.global_clocks
+        assert tiny_psm.network.automaton("MIO").clocks == ()
+
+    def test_mio_shadow_variable_maintained(self, tiny_psm):
+        mio = tiny_psm.network.automaton("MIO")
+        for edge in mio.edges:
+            assert "mio_loc = " in str(edge.update)
+
+    def test_envmc_is_env_verbatim(self, tiny_psm):
+        env = build_tiny_pim().env
+        envmc = tiny_psm.network.automaton("ENVMC")
+        assert envmc.location_names() == env.location_names()
+        assert [str(e.guard) for e in envmc.edges] == \
+            [str(e.guard) for e in env.edges]
+
+    def test_bookkeeping_variables_declared(self, tiny_psm):
+        names = {v.name for v in tiny_psm.network.variables}
+        assert {"mio_loc", "code_drop", "cnt_i_Req", "ovf_i_Req",
+                "cnt_o_Ack", "stg_o_Ack", "ovf_o_Ack"} <= names
+
+    def test_internal_edges_rejected(self):
+        net = NetworkBuilder("p")
+        net.channel("m_Req")
+        net.channel("c_Ack")
+        m = net.automaton("M", clocks=["x"])
+        m.location("L", initial=True)
+        m.location("Mid")
+        m.edge("L", "Mid", sync="m_Req?")
+        m.edge("Mid", "L")  # internal
+        env = net.automaton("ENV")
+        env.location("E", initial=True)
+        env.edge("E", "E", sync="m_Req!")
+        env.edge("E", "E", sync="c_Ack?")
+        from repro.core.pim import PIM
+        pim = PIM(network=net.build(), controller="M",
+                  environment="ENV")
+        with pytest.raises(TransformError, match="internal"):
+            transform(pim, build_tiny_scheme())
+
+
+class TestFig5Interfaces:
+    def test_ifmi_interrupt_shape(self, tiny_psm):
+        ifmi = tiny_psm.network.automaton("IFMI_i_Req")
+        assert ifmi.location_names() == ["Idle", "Processing"]
+        # Receive edge plus the two enqueue cases.
+        assert len(ifmi.edges) == 3
+        enqueue_edges = ifmi.edges_from("Processing")
+        guards = [str(e.guard) for e in enqueue_edges]
+        assert any("< 2" in g for g in guards)   # space available
+        assert any("== 2" in g for g in guards)  # full
+
+    def test_ifmi_processing_window(self, tiny_psm):
+        ifmi = tiny_psm.network.automaton("IFMI_i_Req")
+        processing = ifmi.location("Processing")
+        assert str(processing.invariant[0]) == "y <= 2"
+        for edge in ifmi.edges_from("Processing"):
+            assert any(a.op == ">=" and a.bound == 1
+                       for a in edge.guard.clock_constraints)
+
+    def test_ifmi_polling_shape(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme(
+            input_mechanism=ReadMechanism.POLLING, polling_interval=6))
+        ifmi = psm.network.automaton("IFMI_i_Req")
+        assert set(ifmi.location_names()) == {"Wait", "Processing"}
+        # Latch edges present in both locations (device never blocks).
+        latch_edges = [e for e in ifmi.edges
+                       if e.sync and e.sync.channel == "m_Req"]
+        assert len(latch_edges) == 4
+        vars_ = psm.input_vars["m_Req"]
+        assert vars_.latch and vars_.missed
+
+    def test_polling_slower_than_processing_rejected(self):
+        with pytest.raises(TransformError, match="polling interval"):
+            transform(build_tiny_pim(), build_tiny_scheme(
+                input_mechanism=ReadMechanism.POLLING,
+                polling_interval=1))
+
+    def test_ifoc_event_shape(self, tiny_psm):
+        ifoc = tiny_psm.network.automaton("IFOC_o_Ack")
+        assert ifoc.location_names() == ["Idle", "Busy"]
+        pickup = ifoc.edges_from("Idle")[0]
+        assert pickup.sync.channel == "upick_o_Ack"
+        assert tiny_psm.network.channel("upick_o_Ack").urgent
+        emit = ifoc.edges_from("Busy")[0]
+        assert emit.sync.channel == "c_Ack"
+
+
+class TestFig6Exeio:
+    def test_stage_locations(self, tiny_psm):
+        exeio = tiny_psm.network.automaton("EXEIO")
+        names = exeio.location_names()
+        assert names[0] == "Waiting"
+        assert "Read" in names and "Compute" in names
+        assert "Write_o_Ack" in names
+        assert exeio.location("Read").urgent
+        assert exeio.location("Write_o_Ack").committed
+
+    def test_tick_edge_resets_clocks(self, tiny_psm):
+        exeio = tiny_psm.network.automaton("EXEIO")
+        tick = exeio.edges_from("Waiting")[0]
+        assert "t == 5" in str(tick.guard)
+        assert "t = 0" in str(tick.update)
+        assert "e = 0" in str(tick.update)
+
+    def test_complementary_transitions(self, tiny_psm):
+        exeio = tiny_psm.network.automaton("EXEIO")
+        read_edges = exeio.edges_from("Read")
+        deliver = [e for e in read_edges
+                   if e.sync and e.sync.channel == "i_Req"]
+        assert len(deliver) == 1
+        guard = str(deliver[0].guard)
+        # (3) input buffered, (1) MIO in the accepting location.
+        assert "cnt_i_Req > 0" in guard
+        assert "mio_loc == 0" in guard
+        drop = [e for e in read_edges
+                if e.sync is None and "code_drop" in str(e.update)]
+        assert len(drop) == 1
+        assert "!" in str(drop[0].guard)
+
+    def test_compute_receives_and_stages_outputs(self, tiny_psm):
+        exeio = tiny_psm.network.automaton("EXEIO")
+        recv = [e for e in exeio.edges_from("Compute")
+                if e.sync and e.sync.channel == "o_Ack"]
+        assert len(recv) == 2  # staged-ok and staged-overflow
+        updates = " | ".join(str(e.update) for e in recv)
+        assert "stg_o_Ack = (stg_o_Ack + 1)" in updates
+        assert "ovf_o_Ack = 1" in updates
+
+    def test_write_chain_ok_and_overflow(self, tiny_psm):
+        exeio = tiny_psm.network.automaton("EXEIO")
+        write_edges = exeio.edges_from("Write_o_Ack")
+        assert len(write_edges) == 2
+        guards = [str(e.guard) for e in write_edges]
+        assert any("<= 2" in g for g in guards)
+        assert any("> 2" in g for g in guards)
+
+    def test_read_one_uses_did_flags(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme(
+            read_policy=ReadPolicy.READ_ONE))
+        exeio = psm.network.automaton("EXEIO")
+        read_edges = [e for e in exeio.edges_from("Read")
+                      if e.source == "Read" and e.target == "Read"]
+        for edge in read_edges:
+            assert "did_i_Req == 0" in str(edge.guard)
+            assert "did_i_Req = 1" in str(edge.update)
+
+    def test_aperiodic_uses_urgent_trigger(self):
+        psm = transform(build_tiny_pim(prime=0), build_tiny_scheme(
+            invocation_kind=InvocationKind.APERIODIC))
+        assert psm.network.has_channel(GO_CHANNEL)
+        assert psm.network.channel(GO_CHANNEL).urgent
+        names = [a.name for a in psm.network.automata]
+        assert "EXEIO_TRIG" in names
+        exeio = psm.network.automaton("EXEIO")
+        assert "Sched" in exeio.location_names()
+
+    def test_accept_expression_covers_all_sources(self):
+        net = NetworkBuilder("p")
+        net.channel("i_A")
+        m = net.automaton("M")
+        m.location("L0", initial=True)
+        m.location("L1")
+        m.edge("L0", "L1", sync="i_A?")
+        m.edge("L1", "L0", sync="i_A?", guard="flag == 1")
+        net.bool_var("flag")
+        network = net.build()
+        expr = accept_expression(network.automaton("M"), "i_A",
+                                 "mio_loc")
+        assert "mio_loc == 0" in expr
+        assert "mio_loc == 1" in expr and "flag" in expr
+
+    def test_accept_expression_rejects_clock_guards(self):
+        net = NetworkBuilder("p")
+        net.channel("i_A")
+        m = net.automaton("M", clocks=["x"])
+        m.location("L0", initial=True)
+        m.edge("L0", "L0", sync="i_A?", guard="x >= 1")
+        network = net.build()
+        with pytest.raises(TransformError, match="clock guard"):
+            accept_expression(network.automaton("M"), "i_A", "mio_loc")
+
+    def test_accept_expression_false_when_never_read(self):
+        net = NetworkBuilder("p")
+        net.channel("i_A")
+        m = net.automaton("M")
+        m.location("L0", initial=True)
+        m.edge("L0", "L0", sync="i_A!")
+        network = net.build()
+        assert accept_expression(network.automaton("M"), "i_A",
+                                 "mio_loc") == "false"
+
+
+class TestPsmBehavior:
+    def test_psm_deadlock_free(self, tiny_psm):
+        report = find_deadlocks(tiny_psm.network)
+        assert report.deadlock_free, report.summary()
+
+    def test_zone_graph_finite_and_modest(self, tiny_psm):
+        stats = zone_graph_stats(tiny_psm.network)
+        assert 0 < stats.states < 20_000
+
+    def test_shared_variable_transform(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme(
+            delivery=DeliveryMechanism.SHARED_VARIABLE))
+        names = {v.name for v in psm.network.variables}
+        assert "lost_i_Req" in names
+        # Capacity of a shared slot is one.
+        decl = psm.network.variable("cnt_i_Req")
+        assert decl.hi == 1

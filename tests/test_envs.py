@@ -1,0 +1,127 @@
+"""Tests for environment patterns and closed-loop actors."""
+
+import random
+
+import pytest
+
+from repro.codegen import build_controller
+from repro.envs import (
+    ClosedLoopRequester,
+    PatternEnvironment,
+    PeriodicPattern,
+    RandomPattern,
+    ScriptedPattern,
+)
+from repro.platforms import ImplementedSystem
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+class TestPatterns:
+    def test_scripted_in_order(self):
+        pattern = ScriptedPattern([(0, "a"), (5, "b"), (5, "a")])
+        arrivals = list(pattern)
+        assert [(a.time_ms, a.channel) for a in arrivals] == \
+            [(0, "a"), (5, "b"), (5, "a")]
+        assert len(pattern) == 3
+
+    def test_scripted_rejects_disorder(self):
+        with pytest.raises(ValueError, match="time-ordered"):
+            ScriptedPattern([(5, "a"), (0, "b")])
+
+    def test_periodic(self):
+        pattern = PeriodicPattern("ch", count=3, period_ms=10,
+                                  offset_ms=2)
+        times = [a.time_ms for a in pattern]
+        assert times == [2, 12, 22]
+
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicPattern("ch", count=1, period_ms=0)
+
+    def test_random_respects_gaps(self):
+        rng = random.Random(1)
+        pattern = RandomPattern("ch", count=20, gap_min_ms=3,
+                                gap_max_ms=7, rng=rng)
+        times = [a.time_ms for a in pattern]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(3 <= g <= 7 for g in gaps)
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            RandomPattern("ch", 1, 5, 3, random.Random(0))
+
+
+def _system(**kw):
+    pim = build_tiny_pim(**kw)
+    scheme = build_tiny_scheme()
+    ctrl = build_controller(pim.m, constants=pim.network.constants)
+    return ImplementedSystem(ctrl, scheme, pim.input_channels(),
+                             pim.output_channels(), seed=4)
+
+
+class TestPatternEnvironment:
+    def test_schedules_and_observes(self):
+        system = _system()
+        env = PatternEnvironment(system)
+        tags = env.schedule(ScriptedPattern([(5, "m_Req")]))
+        assert tags == [1]
+        system.start()
+        system.run_for(100)
+        assert len(env.observations) == 1
+        assert env.observations[0].channel == "c_Ack"
+
+    def test_tags_increment(self):
+        system = _system()
+        env = PatternEnvironment(system)
+        tags = env.schedule(ScriptedPattern(
+            [(5, "m_Req"), (60, "m_Req")]))
+        assert tags == [1, 2]
+
+    def test_single_observer_slot(self):
+        system = _system()
+        PatternEnvironment(system)
+        with pytest.raises(RuntimeError, match="observer"):
+            PatternEnvironment(system)
+
+
+class TestClosedLoopRequester:
+    def test_runs_all_trials(self):
+        system = _system()
+        requester = ClosedLoopRequester(system, "m_Req", "c_Ack",
+                                        count=4, think_ms=(10, 20),
+                                        first_press_ms=2)
+        system.start()
+        requester.start()
+        system.run_for(2_000)
+        assert requester.requests_made == 4
+        assert requester.responses_seen == 4
+        assert requester.timeouts == 0
+        assert requester.finished
+
+    def test_timeout_path_keeps_going(self):
+        # A deaf system (wrong response channel awaited) times out per
+        # request but the loop still completes all presses.
+        system = _system()
+        requester = ClosedLoopRequester(system, "m_Req", "c_Never",
+                                        count=2, think_ms=(5, 5),
+                                        timeout_ms=50, first_press_ms=2)
+        system.start()
+        requester.start()
+        system.run_for(1_000)
+        assert requester.requests_made == 2
+        assert requester.timeouts == 2
+
+    def test_single_outstanding_request(self):
+        system = _system()
+        requester = ClosedLoopRequester(system, "m_Req", "c_Ack",
+                                        count=5, think_ms=(10, 15),
+                                        first_press_ms=1)
+        system.start()
+        requester.start()
+        system.run_for(2_000)
+        presses = system.trace.events(kind="m", channel="m_Req")
+        acks = system.trace.events(kind="c", channel="c_Ack")
+        # Every press happens after the previous ack (closed loop).
+        for press, ack in zip(presses[1:], acks):
+            assert press.time_us > ack.time_us

@@ -1,0 +1,123 @@
+"""Cross-stack integration: the framework's verified bounds must
+dominate the simulated implementation's measured delays (Theorem 1's
+empirical face), across schemes and seeds."""
+
+import pytest
+
+from repro.analysis.delays import pair_requests
+from repro.analysis.stats import summarize
+from repro.codegen import build_controller
+from repro.core.delays import derive_bounds, symbolic_mc_delay
+from repro.core.framework import TimingVerificationFramework
+from repro.core.scheme import ReadMechanism, ReadPolicy
+from repro.core.transform import transform
+from repro.envs import ClosedLoopRequester
+from repro.platforms import ImplementedSystem
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+def run_trials(pim, scheme, *, trials=15, seed=0,
+               think=(20, 40)) -> list:
+    controller = build_controller(pim.m, constants=pim.network.constants)
+    system = ImplementedSystem(controller, scheme, pim.input_channels(),
+                               pim.output_channels(), seed=seed)
+    requester = ClosedLoopRequester(system, "m_Req", "c_Ack",
+                                    count=trials, think_ms=think,
+                                    timeout_ms=500, first_press_ms=5)
+    system.start()
+    requester.start()
+    system.run_for(trials * 600 + 1000)
+    assert requester.responses_seen == trials
+    return pair_requests(system.trace, "m_Req", "c_Ack")
+
+
+class TestMeasuredBelowVerified:
+    """The headline of Table I, on the tiny model."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interrupt_scheme(self, seed):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+        timings = run_trials(pim, scheme, seed=seed)
+        for timing in timings:
+            assert timing.completed
+            assert timing.input_delay <= bounds.input_bound
+            assert timing.output_delay <= bounds.output_bound
+            assert timing.mc_delay <= bounds.relaxed
+
+    def test_polling_scheme(self):
+        pim = build_tiny_pim(think=30)
+        scheme = build_tiny_scheme(
+            input_mechanism=ReadMechanism.POLLING, polling_interval=6)
+        bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+        timings = run_trials(pim, scheme, seed=7, think=(30, 60))
+        for timing in timings:
+            assert timing.completed
+            assert timing.input_delay <= bounds.input_bound
+            assert timing.mc_delay <= bounds.relaxed
+
+    def test_read_one_scheme(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme(read_policy=ReadPolicy.READ_ONE)
+        bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+        timings = run_trials(pim, scheme, seed=11)
+        for timing in timings:
+            assert timing.mc_delay <= bounds.relaxed
+
+    def test_symbolic_sup_also_dominates_measurements(self):
+        # The PSM's model-checked M-C sup is itself an upper envelope
+        # of the simulation (the stronger, non-analytic form).
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        psm = transform(pim, scheme)
+        sup = symbolic_mc_delay(psm, "m_Req", "c_Ack")
+        assert sup.bounded
+        timings = run_trials(pim, scheme, seed=5)
+        measured_max = max(t.mc_delay for t in timings)
+        assert measured_max <= sup.sup
+
+
+class TestFrameworkPipeline:
+    def test_full_verify_on_tiny_model(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        framework = TimingVerificationFramework()
+        report = framework.verify(
+            pim, scheme, input_channel="m_Req", output_channel="c_Ack",
+            deadline_ms=10, measure_suprema=True,
+            include_progress=True)
+        # PIM meets the 10ms deadline; the platform breaks it.
+        assert report.pim_holds
+        assert not report.psm_original_result.holds
+        # Constraints hold, so Δ' = 7 + 3 + 10 = 20 and PSM meets it.
+        assert report.constraints_hold
+        assert report.relaxed_deadline_ms == 20
+        assert report.psm_relaxed_result.holds
+        assert report.implementation_guarantee
+        # The suprema validate the Lemma-1 bounds.
+        assert report.symbolic["Input-Delay"].sup <= 7
+        assert report.symbolic["Output-Delay"].sup <= 3
+        assert report.symbolic["M-C delay"].sup <= 20
+        text = report.summary()
+        assert "Theorem 1" in text
+
+    def test_report_degrades_gracefully_on_violation(self):
+        from tests.test_core_constraints import double_press_pim
+        pim = double_press_pim(gap=2)
+        scheme = build_tiny_scheme(buffer_size=1, period=50)
+        framework = TimingVerificationFramework()
+        report = framework.verify(
+            pim, scheme, input_channel="m_Req", output_channel="c_Ack",
+            deadline_ms=10)
+        assert not report.constraints_hold
+        assert not report.implementation_guarantee
+
+    def test_measured_trace_statistics(self):
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        timings = run_trials(pim, scheme, trials=10, seed=3)
+        stats = summarize(t.mc_delay for t in timings)
+        assert stats is not None and stats.count == 10
+        assert stats.min <= stats.avg <= stats.max

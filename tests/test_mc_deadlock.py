@@ -1,0 +1,65 @@
+"""Tests for deadlock/timelock detection."""
+
+from repro.mc.deadlock import find_deadlocks
+from repro.ta.builder import NetworkBuilder
+
+from tests.conftest import build_tiny_pim
+
+
+class TestDeadlockFree:
+    def test_tiny_pim(self, tiny_pim):
+        report = find_deadlocks(tiny_pim.network)
+        assert report.deadlock_free
+        assert "deadlock-free" in report.summary()
+
+
+class TestStuckStates:
+    def test_plain_dead_end_with_bounded_time(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 5", initial=True)
+        a.location("Trap", invariant="x <= 9")
+        a.edge("L", "Trap", guard="x >= 5")
+        network = net.build()
+        report = find_deadlocks(network)
+        assert not report.deadlock_free
+        assert any("Trap" in s for s in report.stuck_states)
+
+    def test_dead_end_with_divergent_time_not_stuck(self):
+        # A sink without invariants lets time diverge: idling forever
+        # is a legal timed behavior, not a deadlock.
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 5", initial=True)
+        a.location("Sink")
+        a.edge("L", "Sink", guard="x >= 5")
+        network = net.build()
+        assert find_deadlocks(network).deadlock_free
+
+    def test_timelock_from_blocked_sync(self):
+        # A must emit before x exceeds 3 but B can never receive:
+        # a classic composition timelock.
+        net = NetworkBuilder("n")
+        net.channel("ch")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 3", initial=True)
+        a.location("Done")
+        a.edge("L", "Done", sync="ch!")
+        b = net.automaton("B")
+        b.location("R", initial=True)
+        b.location("Never")
+        b.edge("Never", "Never", sync="ch?")
+        network = net.build()
+        report = find_deadlocks(network)
+        assert not report.deadlock_free
+
+    def test_limit_caps_reported_states(self):
+        net = NetworkBuilder("n")
+        net.int_var("k", 0, 0, 10)
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 2", initial=True)
+        a.location("Trap", invariant="x <= 2")
+        a.edge("L", "Trap", guard="x >= 1", update="k = k + 1")
+        network = net.build()
+        report = find_deadlocks(network, limit=1)
+        assert len(report.stuck_states) == 1

@@ -1,0 +1,310 @@
+"""Model-checker semantics tests on small known-answer models.
+
+Each test pins one semantic rule of the language: delay vs
+invariants, binary/broadcast synchronization, committed priority,
+urgent locations/channels, variable updates and range checks, and
+active-clock reduction soundness.
+"""
+
+import pytest
+
+from repro.mc.explorer import ExplorationLimit, ZoneGraphExplorer
+from repro.mc.reachability import StateFormula, check_reachable, \
+    check_safety
+from repro.mc.queries import zone_graph_stats
+from repro.ta.builder import NetworkBuilder
+from repro.ta.model import ModelError
+
+
+def reachable(network, **formula_kw):
+    return check_reachable(network, StateFormula(**formula_kw)).reachable
+
+
+class TestDelayAndInvariants:
+    def test_invariant_bounds_delay(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 5", initial=True)
+        network = net.build()
+        assert reachable(network, clocks="x == 5")
+        assert not reachable(network, clocks="x > 5")
+
+    def test_no_invariant_time_diverges(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", initial=True)
+        network = net.build()
+        assert reachable(network, clocks="x > 1000000")
+
+    def test_guard_window(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 10", initial=True)
+        a.location("Done")
+        a.edge("L", "Done", guard="x >= 3 && x <= 7")
+        network = net.build()
+        assert reachable(network, locations={"A": "Done"})
+        # In Done, x keeps the value it had on entry (no reset) and
+        # then time diverges — but entry required 3 ≤ x ≤ 7.
+        assert not reachable(network, locations={"A": "Done"},
+                             clocks="x < 3")
+
+    def test_reset_on_edge(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 4", initial=True)
+        a.location("Done", invariant="x <= 2")
+        a.edge("L", "Done", guard="x == 4", update="x = 0")
+        network = net.build()
+        assert reachable(network, locations={"A": "Done"},
+                         clocks="x == 2")
+        assert not reachable(network, locations={"A": "Done"},
+                             clocks="x > 2")
+
+
+class TestSynchronization:
+    def _pair(self, *, broadcast=False):
+        net = NetworkBuilder("n")
+        net.channel("ch", broadcast=broadcast)
+        a = net.automaton("A")
+        a.location("S", initial=True)
+        a.location("Sent")
+        a.edge("S", "Sent", sync="ch!")
+        b = net.automaton("B")
+        b.location("R", initial=True)
+        b.location("Got")
+        b.edge("R", "Got", sync="ch?")
+        return net
+
+    def test_binary_sync_moves_both(self):
+        network = self._pair().build()
+        assert reachable(network, locations={"A": "Sent", "B": "Got"})
+        # Never one without the other.
+        explorer = ZoneGraphExplorer(network)
+        for state in explorer.iter_states():
+            assert (state.locs[0] == 0) == (state.locs[1] == 0)
+
+    def test_binary_sender_blocks_without_receiver(self):
+        net = self._pair()
+        network = net.build()
+        # Remove the receiver's readiness by a guard that is false.
+        net2 = NetworkBuilder("n")
+        net2.channel("ch")
+        a = net2.automaton("A")
+        a.location("S", initial=True)
+        a.location("Sent")
+        a.edge("S", "Sent", sync="ch!")
+        b = net2.automaton("B")
+        b.location("R", initial=True)
+        b.location("Got")
+        b.edge("R", "Got", guard="false", sync="ch?")
+        blocked = net2.build()
+        assert reachable(network, locations={"A": "Sent"})
+        assert not reachable(blocked, locations={"A": "Sent"})
+
+    def test_broadcast_sender_never_blocks(self):
+        net = NetworkBuilder("n")
+        net.channel("ch", broadcast=True)
+        a = net.automaton("A")
+        a.location("S", initial=True)
+        a.location("Sent")
+        a.edge("S", "Sent", sync="ch!")
+        # No receiver at all.
+        b = net.automaton("B")
+        b.location("R", initial=True)
+        network = net.build()
+        assert reachable(network, locations={"A": "Sent"})
+
+    def test_broadcast_all_ready_receivers_participate(self):
+        net = NetworkBuilder("n")
+        net.channel("ch", broadcast=True)
+        net.int_var("got", 0, 0, 3)
+        a = net.automaton("A")
+        a.location("S", initial=True)
+        a.location("Sent")
+        a.edge("S", "Sent", sync="ch!")
+        for name in ("B", "C"):
+            r = net.automaton(name)
+            r.location("R", initial=True)
+            r.location("Got")
+            r.edge("R", "Got", sync="ch?", update="got = got + 1")
+        network = net.build()
+        assert reachable(network, data="got == 2")
+        assert not reachable(network, data="got == 1")
+
+
+class TestCommittedAndUrgent:
+    def test_committed_preempts_time(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", initial=True)
+        a.location("Mid", committed=True)
+        a.location("Done")
+        a.edge("L", "Mid", guard="x >= 1", update="x = 0")
+        a.edge("Mid", "Done")
+        network = net.build()
+        # No time may pass in Mid: x stays 0 upon reaching Done.
+        assert reachable(network, locations={"A": "Done"},
+                         clocks="x == 0")
+        explorer = ZoneGraphExplorer(network)
+        for state in explorer.iter_states():
+            if state.locs[0] == 1:  # Mid
+                assert not reachable(network, locations={"A": "Mid"},
+                                     clocks="x > 0")
+                break
+
+    def test_committed_priority_over_other_automata(self):
+        net = NetworkBuilder("n")
+        net.bool_var("other_moved")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.location("Mid", committed=True)
+        a.location("Done")
+        a.edge("L", "Mid")  # enabled immediately at t=0
+        a.edge("Mid", "Done")
+        b = net.automaton("B", clocks=["y"])
+        b.location("L", initial=True)
+        b.location("Moved")
+        # B needs time to elapse first — impossible while A is
+        # committed, so B can only move after A has reached Done.
+        b.edge("L", "Moved", guard="y >= 1", update="other_moved = 1")
+        network = net.build()
+        explorer = ZoneGraphExplorer(network)
+        saw_mid = False
+        for state in explorer.iter_states():
+            if state.locs[0] != 1:  # A not in Mid
+                continue
+            saw_mid = True
+            for succ, _label in explorer.successors(state):
+                # From a committed state, only A's own edge may fire:
+                # A must reach Done and B must not have moved.
+                assert succ.locs[0] == 2, \
+                    "a non-committed edge fired from a committed state"
+                assert succ.vals[0] == state.vals[0]
+        assert saw_mid
+
+    def test_urgent_location_freezes_time(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", initial=True)
+        a.location("U", urgent=True)
+        a.location("Done")
+        a.edge("L", "U", guard="x >= 2", update="x = 0")
+        a.edge("U", "Done")
+        network = net.build()
+        assert not reachable(network, locations={"A": "U"},
+                             clocks="x > 0")
+
+    def test_urgent_channel_fires_without_delay(self):
+        net = NetworkBuilder("n")
+        net.channel("u", urgent=True)
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", initial=True)
+        a.location("Done")
+        a.edge("L", "Done", sync="u!")
+        b = net.automaton("B")
+        b.location("R", initial=True)
+        b.edge("R", "R", sync="u?")
+        network = net.build()
+        # The sync is enabled from t=0, so time may never elapse in L.
+        assert not reachable(network, locations={"A": "L"},
+                             clocks="x > 0")
+        assert reachable(network, locations={"A": "Done"})
+
+
+class TestVariables:
+    def test_update_and_guard(self):
+        net = NetworkBuilder("n")
+        net.int_var("v", 0, 0, 10)
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.location("Done")
+        a.loop("L", guard="v < 3", update="v = v + 1")
+        a.edge("L", "Done", guard="v == 3")
+        network = net.build()
+        assert reachable(network, locations={"A": "Done"})
+        assert not reachable(network, data="v > 3")
+
+    def test_range_violation_raises(self):
+        net = NetworkBuilder("n")
+        net.int_var("v", 0, 0, 2)
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.loop("L", update="v = v + 1")
+        network = net.build()
+        with pytest.raises(ModelError, match="outside"):
+            ZoneGraphExplorer(network).explore()
+
+    def test_update_order_sender_then_receiver(self):
+        net = NetworkBuilder("n")
+        net.channel("ch")
+        net.int_var("v", 0, 0, 10)
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.location("Done")
+        a.edge("L", "Done", sync="ch!", update="v = 1")
+        b = net.automaton("B")
+        b.location("L", initial=True)
+        b.location("Done")
+        b.edge("L", "Done", sync="ch?", update="v = v * 10")
+        network = net.build()
+        # Sender writes first: v = 1, then receiver multiplies → 10.
+        assert reachable(network, data="v == 10")
+        assert not reachable(network, data="v == 0 && v == 1")
+
+
+class TestExplorationMachinery:
+    def test_max_states_limit(self, tiny_pim):
+        with pytest.raises(ExplorationLimit):
+            ZoneGraphExplorer(tiny_pim.network, max_states=1).explore()
+
+    def test_trace_reconstruction(self):
+        net = NetworkBuilder("n")
+        net.channel("go")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 1", initial=True)
+        a.location("Done")
+        a.edge("L", "Done", guard="x == 1", sync="go!")
+        b = net.automaton("B")
+        b.location("R", initial=True)
+        b.edge("R", "R", sync="go?")
+        network = net.build()
+        result = check_reachable(network, StateFormula(
+            locations={"A": "Done"}))
+        assert result.reachable
+        assert result.trace is not None
+        assert any("go" in step for step in result.trace)
+
+    def test_safety_summary(self, tiny_pim):
+        result = check_safety(tiny_pim.network,
+                              StateFormula(locations={"M": "Busy"},
+                                           clocks="M.x > 10"))
+        assert result.holds
+        assert "HOLDS" in result.summary()
+
+    def test_stats_complete(self, tiny_pim):
+        stats = zone_graph_stats(tiny_pim.network)
+        assert stats.states >= stats.discrete_configurations > 0
+        assert stats.transitions > 0
+
+    def test_active_clock_reduction_soundness(self):
+        # A dead timer must not split states: two paths resetting an
+        # unused clock differently still merge.
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x", "dead"])
+        a.location("L", invariant="x <= 10", initial=True)
+        a.location("P1")
+        a.location("P2")
+        a.location("Join", invariant="x <= 20")
+        a.edge("L", "P1", guard="x >= 1", update="dead = 0")
+        a.edge("L", "P2", guard="x >= 2")
+        a.edge("P1", "Join")
+        a.edge("P2", "Join")
+        network = net.build()
+        stats = zone_graph_stats(network)
+        # 'dead' never constrained → must not affect reachability.
+        assert reachable(network, locations={"A": "Join"})
+        explorer = ZoneGraphExplorer(network)
+        join_zones = [s for s in explorer.iter_states()
+                      if s.locs[0] == 3]
+        assert join_zones

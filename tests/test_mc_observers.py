@@ -1,0 +1,157 @@
+"""Tests for observer instrumentation and delay queries."""
+
+import pytest
+
+from repro.mc.observers import (
+    OBS_CLOCK,
+    OBS_FLAG,
+    check_bounded_response,
+    instrument_response,
+    max_response_delay,
+)
+from repro.mc.queries import sup_clock
+from repro.mc.reachability import StateFormula
+from repro.ta.builder import NetworkBuilder
+from repro.ta.model import ModelError
+
+
+def ping_pong(lo=2, hi=5, think=10):
+    """M answers ping with pong within [lo, hi]."""
+    net = NetworkBuilder("pp")
+    net.channel("ping")
+    net.channel("pong")
+    m = net.automaton("M", clocks=["x"])
+    m.location("Idle", initial=True)
+    m.location("Work", invariant=f"x <= {hi}")
+    m.edge("Idle", "Work", sync="ping?", update="x = 0")
+    m.edge("Work", "Idle", guard=f"x >= {lo}", sync="pong!")
+    env = net.automaton("ENV", clocks=["ex"])
+    env.location("Ready", initial=True)
+    env.location("Waiting")
+    env.edge("Ready", "Waiting", guard=f"ex >= {think}", sync="ping!",
+             update="ex = 0")
+    env.edge("Waiting", "Ready", sync="pong?", update="ex = 0")
+    return net.build()
+
+
+class TestInstrumentation:
+    def test_adds_clock_and_flag(self):
+        network = instrument_response(ping_pong(), "ping", "pong")
+        assert OBS_CLOCK in network.global_clocks
+        assert any(v.name == OBS_FLAG for v in network.variables)
+
+    def test_trigger_edge_gets_reset_and_flag(self):
+        network = instrument_response(ping_pong(), "ping", "pong")
+        env = network.automaton("ENV")
+        label = str(env.edges[0].update)
+        assert f"{OBS_CLOCK} = 0" in label
+        assert f"{OBS_FLAG} = 1" in label
+
+    def test_response_edge_clears_flag(self):
+        network = instrument_response(ping_pong(), "ping", "pong")
+        m = network.automaton("M")
+        label = str(m.edges[1].update)
+        assert f"{OBS_FLAG} = 0" in label
+
+    def test_same_channel_rejected(self):
+        with pytest.raises(ModelError, match="must differ"):
+            instrument_response(ping_pong(), "ping", "ping")
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ModelError, match="no channel"):
+            instrument_response(ping_pong(), "ghost", "pong")
+
+    def test_unemitted_channel_rejected(self):
+        net = NetworkBuilder("n")
+        net.channel("a")
+        net.channel("b")
+        auto = net.automaton("A")
+        auto.location("L", initial=True)
+        auto.edge("L", "L", sync="a!")
+        auto.edge("L", "L", sync="b?")
+        network = net.build()
+        with pytest.raises(ModelError, match="emits"):
+            instrument_response(network, "a", "b")
+
+
+class TestBoundedResponse:
+    def test_holds_at_exact_bound(self):
+        network = ping_pong(lo=2, hi=5)
+        assert check_bounded_response(network, "ping", "pong", 5).holds
+
+    def test_fails_below_bound(self):
+        network = ping_pong(lo=2, hi=5)
+        result = check_bounded_response(network, "ping", "pong", 4)
+        assert not result.holds
+        assert result.counterexample is not None
+        assert result.trace is not None
+
+    def test_holds_with_slack(self):
+        network = ping_pong(lo=2, hi=5)
+        assert check_bounded_response(network, "ping", "pong", 100).holds
+
+
+class TestMaxResponseDelay:
+    @pytest.mark.parametrize("hi", [3, 5, 17])
+    def test_exact_sup(self, hi):
+        result = max_response_delay(ping_pong(lo=1, hi=hi), "ping",
+                                    "pong")
+        assert result.bounded
+        assert result.sup == hi
+
+    def test_unbounded_when_response_not_forced(self):
+        net = NetworkBuilder("n")
+        net.channel("ping")
+        net.channel("pong")
+        m = net.automaton("M", clocks=["x"])
+        m.location("Idle", initial=True)
+        m.location("Work")  # no invariant: may stall forever
+        m.edge("Idle", "Work", sync="ping?", update="x = 0")
+        m.edge("Work", "Idle", guard="x >= 1", sync="pong!")
+        env = net.automaton("ENV")
+        env.location("Ready", initial=True)
+        env.location("Waiting")
+        env.edge("Ready", "Waiting", sync="ping!")
+        env.edge("Waiting", "Ready", sync="pong?")
+        result = max_response_delay(net.build(), "ping", "pong",
+                                    cap=4096)
+        assert not result.bounded
+
+    def test_never_triggered_is_zero(self):
+        net = NetworkBuilder("n")
+        net.channel("ping")
+        net.channel("pong")
+        m = net.automaton("M")
+        m.location("Idle", initial=True)
+        m.location("Dead")
+        m.edge("Dead", "Dead", sync="ping!")
+        m.edge("Dead", "Dead", sync="pong!")
+        n = net.automaton("N")
+        n.location("L", initial=True)
+        n.edge("L", "L", sync="ping?")
+        n.edge("L", "L", sync="pong?")
+        result = max_response_delay(net.build(), "ping", "pong")
+        assert result.bounded and result.sup == 0
+
+    def test_ceiling_widening_beyond_initial(self):
+        # Sup (200) far above the model's other constants forces at
+        # least one ceiling doubling.
+        network = ping_pong(lo=1, hi=200, think=1)
+        result = max_response_delay(network, "ping", "pong",
+                                    initial_ceiling=8)
+        assert result.bounded and result.sup == 200
+        assert result.ceiling > 8
+
+
+class TestSupClock:
+    def test_sup_with_condition(self):
+        network = ping_pong(lo=2, hi=5)
+        result = sup_clock(network, "x",
+                           StateFormula(locations={"M": "Work"}))
+        assert result.bounded and result.sup == 5
+
+    def test_sup_unconditioned_unbounded(self):
+        network = ping_pong()
+        result = sup_clock(network, "ex", cap=2048)
+        # ENV's clock diverges while resting in Ready.
+        assert not result.bounded

@@ -1,0 +1,150 @@
+"""Edge-case tests rounding out coverage across modules."""
+
+import pytest
+
+from repro.core.psm import ChannelVars
+from repro.core.transform import transform
+from repro.mc.observers import DelayBound, max_response_delay
+from repro.mc.queries import sup_clock
+from repro.mc.reachability import StateFormula
+from repro.ta.builder import NetworkBuilder
+from repro.ta.channels import Channel
+from repro.ta.clocks import ClockConstraint
+from repro.zones.bounds import encode
+from repro.zones.dbm import DBM
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+class TestClockConstraintSemantics:
+    def test_holds_concrete(self):
+        atom = ClockConstraint(clock="x", op="<=", bound=5)
+        assert atom.holds({"x": 5})
+        assert not atom.holds({"x": 6})
+
+    def test_holds_diagonal(self):
+        atom = ClockConstraint(clock="x", op="<", bound=3, other="y")
+        assert atom.holds({"x": 4, "y": 2})
+        assert not atom.holds({"x": 5, "y": 2})
+
+    @pytest.mark.parametrize("op,value,expected", [
+        (">", 5, False), (">", 6, True),
+        (">=", 5, True), ("==", 5, True), ("==", 4, False),
+    ])
+    def test_all_operators(self, op, value, expected):
+        atom = ClockConstraint(clock="x", op=op, bound=5)
+        assert atom.holds({"x": value}) is expected
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            ClockConstraint(clock="x", op="~", bound=1)
+
+    def test_str(self):
+        assert str(ClockConstraint("x", "<=", 5)) == "x <= 5"
+        assert str(ClockConstraint("x", "<", 2, other="y")) == \
+            "x - y < 2"
+
+
+class TestChannelDecl:
+    def test_str_variants(self):
+        assert str(Channel("a")) == "chan a"
+        assert str(Channel("a", urgent=True)) == "urgent chan a"
+        assert str(Channel("a", broadcast=True)) == "broadcast chan a"
+        assert "urgent broadcast" in str(
+            Channel("a", urgent=True, broadcast=True))
+
+
+class TestDelayBoundText:
+    def test_attained(self):
+        assert str(DelayBound(bounded=True, sup=7)) == "max=7"
+
+    def test_strict(self):
+        assert str(DelayBound(bounded=True, sup=7,
+                              attained=False)) == "sup=7"
+
+    def test_unbounded(self):
+        assert str(DelayBound(bounded=False)) == "unbounded"
+
+
+class TestSupStrictness:
+    def test_strict_supremum_reported(self):
+        # Invariant x < 5 (strict): the sup is 5 but never attained.
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x < 5", initial=True)
+        network = net.build()
+        result = sup_clock(network, "x")
+        assert result.bounded
+        assert result.sup == 5
+        assert not result.attained
+
+    def test_weak_supremum_attained(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= 5", initial=True)
+        result = sup_clock(net.build(), "x")
+        assert result.sup == 5 and result.attained
+
+
+class TestDbmCorners:
+    def test_intersects_itself(self):
+        zone = DBM.zero(3)
+        assert zone.intersects(zone)
+
+    def test_constrain_after_emptiness_stays_empty(self):
+        zone = DBM.universal(2)
+        zone.constrain(1, 0, encode(1, True))
+        zone.constrain(0, 1, encode(-2, True))
+        assert zone.is_empty()
+        zone.constrain(1, 0, encode(100, True))
+        assert zone.is_empty()
+
+    def test_contains_point_length_checked(self):
+        with pytest.raises(ValueError):
+            DBM.zero(2).contains_point([0])
+
+    def test_up_idempotent(self):
+        zone = DBM.zero(3).up()
+        again = zone.copy().up()
+        assert zone == again
+
+    def test_free_then_reset_recovers_point(self):
+        zone = DBM.zero(2)
+        zone.free(1)
+        zone.reset(1, 4)
+        assert zone.contains_point([0, 4])
+        assert not zone.contains_point([0, 5])
+
+
+class TestPsmIntrospection:
+    def test_describe_lists_components(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        text = psm.describe()
+        for name in ("MIO", "ENVMC", "EXEIO", "IFMI_i_Req",
+                     "IFOC_o_Ack"):
+            assert name in text
+
+    def test_overflow_and_miss_flags(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        assert set(psm.overflow_flags()) == {"ovf_i_Req", "ovf_o_Ack"}
+        assert psm.miss_flags() == []  # interrupt input: no latch
+
+    def test_channel_vars_defaults(self):
+        vars_ = ChannelVars(count="cnt", overflow="ovf")
+        assert vars_.staged == "" and vars_.latch == ""
+
+
+class TestObserversOnPsm:
+    def test_input_delay_observer_unperturbed(self):
+        # Measuring must not change what is reachable: constraints
+        # still hold on the instrumented network's underlying behavior.
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        before = max_response_delay(psm.network, "m_Req", "c_Ack")
+        again = max_response_delay(psm.network, "m_Req", "c_Ack")
+        assert before.sup == again.sup
+
+    def test_formula_describe(self):
+        formula = StateFormula(locations={"M": "Busy"},
+                               data="cnt > 0", clocks="x <= 5")
+        text = formula.describe()
+        assert "M.Busy" in text and "cnt > 0" in text and "x <= 5" in text

@@ -1,0 +1,120 @@
+"""Cross-module property tests (hypothesis).
+
+Two families:
+
+* **Lemma-1/2 soundness over random schemes** — for randomly drawn
+  platform parameters, the analytic bounds must dominate the exact
+  model-checked suprema on the transformed PSM.
+* **Model/implementation agreement over random scenarios** — for
+  random seeds and request counts, every simulated delay stays within
+  the verified envelope and the platform health counters stay clean.
+
+Parameter ranges are kept small so each PSM's zone graph stays tiny;
+examples are capped accordingly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.delays import pair_requests
+from repro.codegen import build_controller
+from repro.core.delays import (
+    analytic_input_delay_bound,
+    derive_bounds,
+    symbolic_input_delay,
+    symbolic_mc_delay,
+)
+from repro.core.scheme import ReadMechanism, ReadPolicy
+from repro.core.transform import transform
+from repro.envs import ClosedLoopRequester
+from repro.platforms import ImplementedSystem
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+scheme_params = st.fixed_dictionaries({
+    "period": st.integers(min_value=2, max_value=7),
+    "buffer_size": st.integers(min_value=1, max_value=3),
+    "read_policy": st.sampled_from([ReadPolicy.READ_ALL,
+                                    ReadPolicy.READ_ONE]),
+})
+
+
+@settings(max_examples=12, deadline=None)
+@given(scheme_params)
+def test_lemma1_input_bound_sound_over_random_schemes(params):
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme(wcet=1, **params)
+    psm = transform(pim, scheme)
+    analytic = analytic_input_delay_bound(scheme, "m_Req")
+    symbolic = symbolic_input_delay(psm, "m_Req")
+    assert symbolic.bounded
+    assert symbolic.sup <= analytic
+
+
+@settings(max_examples=8, deadline=None)
+@given(scheme_params,
+       st.integers(min_value=2, max_value=8))
+def test_lemma2_relaxed_bound_sound_over_random_schemes(params,
+                                                        polling):
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme(
+        wcet=1, input_mechanism=ReadMechanism.POLLING,
+        polling_interval=max(polling, 3), **params)
+    psm = transform(pim, scheme)
+    bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+    sup = symbolic_mc_delay(psm, "m_Req", "c_Ack")
+    assert sup.bounded
+    assert sup.sup <= bounds.relaxed
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=3, max_value=8))
+def test_simulation_within_verified_envelope(seed, trials):
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme()
+    bounds = derive_bounds(pim, scheme, "m_Req", "c_Ack")
+    controller = build_controller(pim.m,
+                                  constants=pim.network.constants)
+    system = ImplementedSystem(controller, scheme,
+                               pim.input_channels(),
+                               pim.output_channels(), seed=seed)
+    requester = ClosedLoopRequester(system, "m_Req", "c_Ack",
+                                    count=trials, think_ms=(15, 30),
+                                    first_press_ms=3)
+    system.start()
+    requester.start()
+    system.run_for(trials * 200 + 500)
+    assert requester.responses_seen == trials
+    stats = system.stats()
+    assert not stats.any_buffer_overflow
+    assert stats.missed_signals == 0
+    assert stats.dropped_by_code == 0
+    for timing in pair_requests(system.trace, "m_Req", "c_Ack"):
+        assert timing.completed
+        assert timing.input_delay <= bounds.input_bound
+        assert timing.output_delay <= bounds.output_bound
+        assert timing.mc_delay <= bounds.relaxed
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_simulation_deterministic_per_seed(seed):
+    def run():
+        pim = build_tiny_pim()
+        scheme = build_tiny_scheme()
+        controller = build_controller(
+            pim.m, constants=pim.network.constants)
+        system = ImplementedSystem(controller, scheme,
+                                   pim.input_channels(),
+                                   pim.output_channels(), seed=seed)
+        requester = ClosedLoopRequester(system, "m_Req", "c_Ack",
+                                        count=3, think_ms=(15, 30),
+                                        first_press_ms=3)
+        system.start()
+        requester.start()
+        system.run_for(1_000)
+        return [(e.time_us, e.kind, e.channel, e.tag)
+                for e in system.trace]
+
+    assert run() == run()

@@ -1,0 +1,170 @@
+"""Tests for the discrete-event engine, RNG streams and trace log."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    SimulationError,
+    Simulator,
+    ms_to_us,
+    us_to_ms,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+
+class TestUnits:
+    def test_roundtrip(self):
+        assert us_to_ms(ms_to_us(12.5)) == 12.5
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_us_to_ms_scale(self, us):
+        assert us_to_ms(us) == us / 1000.0
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, lambda: fired.append("c"))
+        sim.schedule(10, lambda: fired.append("a"))
+        sim.schedule(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(5, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7] and sim.now == 7
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule(5, lambda: fired.append(sim.now))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert fired == [10, 15]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(30, lambda: fired.append(30))
+        sim.run_until(20)
+        assert fired == [10]
+        assert sim.now == 20
+        sim.run_until(40)
+        assert fired == [10, 30]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(1, rearm)
+        with pytest.raises(SimulationError, match="runaway"):
+            sim.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert [a.uniform_int("s", 0, 100) for _ in range(5)] == \
+            [b.uniform_int("s", 0, 100) for _ in range(5)]
+
+    def test_streams_independent_of_creation_order(self):
+        a = RandomStreams(1)
+        first = a.uniform_int("x", 0, 1000)
+        b = RandomStreams(1)
+        b.uniform_int("y", 0, 1000)  # touch another stream first
+        assert b.uniform_int("x", 0, 1000) == first
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        draws_x = [streams.uniform_int("x", 0, 10**6) for _ in range(4)]
+        draws_y = [streams.uniform_int("y", 0, 10**6) for _ in range(4)]
+        assert draws_x != draws_y
+
+    def test_bounds_respected(self):
+        streams = RandomStreams(0)
+        for _ in range(100):
+            assert 3 <= streams.uniform_int("s", 3, 5) <= 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).uniform_int("s", 5, 3)
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(1000, "m", "m_Req", tag=1)
+        trace.record(2000, "invoke", "code")
+        trace.record(3000, "c", "c_Ack", tag=1)
+        assert len(trace) == 3
+        assert [e.kind for e in trace.events(channel="m_Req")] == ["m"]
+        assert trace.count("invoke") == 1
+        assert trace.first("c").time_ms == 3.0
+
+    def test_unknown_kind_rejected(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            trace.record(0, "bogus", "ch")
+
+    def test_tags_in_order(self):
+        trace = TraceRecorder()
+        for k in (3, 1, 2):
+            trace.record(k * 100, "m", "ch", tag=k)
+        assert trace.tags("m") == [3, 1, 2]
+
+    def test_render_truncates(self):
+        trace = TraceRecorder()
+        for k in range(10):
+            trace.record(k, "m", "ch", tag=k)
+        text = trace.render(max_events=3)
+        assert "7 more" in text

@@ -1,0 +1,168 @@
+"""Unit and property tests for the expression AST."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ta.expr import (
+    Binary,
+    Const,
+    ExprError,
+    Unary,
+    Var,
+    conjoin,
+    int_div,
+    int_mod,
+)
+from repro.ta.parser import parse_expression
+
+
+class TestEval:
+    def test_const(self):
+        assert Const(42).eval({}) == 42
+
+    def test_var(self):
+        assert Var("a").eval({"a": 7}) == 7
+
+    def test_unknown_var_raises(self):
+        with pytest.raises(ExprError, match="unknown variable"):
+            Var("nope").eval({})
+
+    @pytest.mark.parametrize("op,left,right,expected", [
+        ("+", 3, 4, 7), ("-", 3, 4, -1), ("*", 3, 4, 12),
+        ("/", 7, 2, 3), ("/", -7, 2, -3), ("%", 7, 2, 1),
+        ("%", -7, 2, -1),
+        ("<", 1, 2, 1), ("<", 2, 2, 0),
+        ("<=", 2, 2, 1), (">", 3, 2, 1), (">=", 2, 3, 0),
+        ("==", 5, 5, 1), ("!=", 5, 5, 0),
+    ])
+    def test_binary(self, op, left, right, expected):
+        assert Binary(op, Const(left), Const(right)).eval({}) == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError, match="division by zero"):
+            Binary("/", Const(1), Const(0)).eval({})
+
+    def test_unary_minus(self):
+        assert Unary("-", Const(5)).eval({}) == -5
+
+    def test_unary_not(self):
+        assert Unary("!", Const(0)).eval({}) == 1
+        assert Unary("!", Const(3)).eval({}) == 0
+
+    def test_and_short_circuits(self):
+        # 'b' is undefined; && must not evaluate it when left is false.
+        expr = Binary("&&", Const(0), Var("b"))
+        assert expr.eval({}) == 0
+
+    def test_or_short_circuits(self):
+        expr = Binary("||", Const(1), Var("b"))
+        assert expr.eval({}) == 1
+
+    def test_and_or_normalize_to_01(self):
+        assert Binary("&&", Const(5), Const(7)).eval({}) == 1
+        assert Binary("||", Const(0), Const(9)).eval({}) == 1
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ExprError):
+            Binary("**", Const(1), Const(2))
+        with pytest.raises(ExprError):
+            Unary("~", Const(1))
+
+
+class TestCStyleDivision:
+    @given(st.integers(-100, 100), st.integers(-10, 10).filter(bool))
+    def test_div_mod_identity(self, a, b):
+        assert int_div(a, b) * b + int_mod(a, b) == a
+
+    @given(st.integers(-100, 100), st.integers(-10, 10).filter(bool))
+    def test_truncation_toward_zero(self, a, b):
+        assert int_div(a, b) == int(a / b)
+
+
+class TestStructure:
+    def test_free_vars(self):
+        expr = parse_expression("a + b * (c - a)")
+        assert expr.free_vars() == {"a", "b", "c"}
+
+    def test_rename(self):
+        expr = parse_expression("a + b")
+        renamed = expr.rename({"a": "x"})
+        assert renamed.free_vars() == {"x", "b"}
+        assert expr.free_vars() == {"a", "b"}  # original untouched
+
+    def test_fold_constants(self):
+        expr = parse_expression("N + 2 * M")
+        folded = expr.fold({"N": 1, "M": 3})
+        assert isinstance(folded, Const)
+        assert folded.value == 7
+
+    def test_fold_partial(self):
+        expr = parse_expression("N + x")
+        folded = expr.fold({"N": 1})
+        assert folded.free_vars() == {"x"}
+        assert folded.eval({"x": 2}) == 3
+
+    def test_fold_boolean_identities(self):
+        assert str(parse_expression("1 && x").fold({})) == "x"
+        assert parse_expression("0 && x").fold({}).eval({}) == 0
+        assert parse_expression("0 || x").fold({}) == Var("x")
+        assert parse_expression("1 || x").fold({}).eval({}) == 1
+
+    def test_str_roundtrip_through_parser(self):
+        source = "((a + 2) * b >= 5) && !(c == 0) || d - 1 < 2"
+        expr = parse_expression(source)
+        reparsed = parse_expression(str(expr))
+        env = {"a": 1, "b": 3, "c": 0, "d": 9}
+        assert expr.eval(env) == reparsed.eval(env)
+
+    def test_eq_and_hash_by_structure(self):
+        a = parse_expression("x + 1")
+        b = parse_expression("x + 1")
+        assert a == b and hash(a) == hash(b)
+
+    def test_conjoin(self):
+        assert conjoin([]).eval({}) == 1
+        expr = conjoin([Const(1), parse_expression("x > 2")])
+        assert expr.eval({"x": 3}) == 1
+        assert expr.eval({"x": 1}) == 0
+
+
+# ----------------------------------------------------------------------
+# Random expression property: fold(env) == eval(env) for full envs.
+# ----------------------------------------------------------------------
+names = st.sampled_from(["a", "b", "c"])
+
+
+def expr_trees(depth=3):
+    leaf = st.one_of(
+        st.integers(-20, 20).map(Const),
+        names.map(Var),
+    )
+    if depth == 0:
+        return leaf
+    sub = expr_trees(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "&&", "||", "<",
+                                   "<=", ">", ">=", "==", "!="]),
+                  sub, sub).map(lambda t: Binary(*t)),
+        st.tuples(st.sampled_from(["-", "!"]), sub).map(
+            lambda t: Unary(*t)),
+    )
+
+
+@given(expr_trees(), st.integers(-5, 5), st.integers(-5, 5),
+       st.integers(-5, 5))
+def test_fold_is_evaluation_on_full_environment(expr, a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    folded = expr.fold(env)
+    assert isinstance(folded, Const)
+    assert folded.value == expr.eval(env)
+
+
+@given(expr_trees(), st.integers(-5, 5), st.integers(-5, 5),
+       st.integers(-5, 5))
+def test_str_reparse_preserves_value(expr, a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    assert parse_expression(str(expr)).eval(env) == expr.eval(env)

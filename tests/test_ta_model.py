@@ -1,0 +1,263 @@
+"""Unit tests for the model classes and builders."""
+
+import pytest
+
+from repro.ta.builder import AutomatonBuilder, NetworkBuilder
+from repro.ta.channels import Sync
+from repro.ta.model import Location, ModelError, VariableDecl
+from repro.ta.validate import check
+
+
+class TestSync:
+    def test_parse_emit(self):
+        sync = Sync.parse("ch!")
+        assert sync.channel == "ch" and sync.is_emit
+
+    def test_parse_receive(self):
+        sync = Sync.parse("  m_BolusReq?  ")
+        assert sync.channel == "m_BolusReq" and not sync.is_emit
+
+    def test_parse_rejects_bare_name(self):
+        with pytest.raises(ValueError):
+            Sync.parse("ch")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sync.parse("!")
+
+
+class TestLocation:
+    def test_urgent_and_committed_conflict(self):
+        with pytest.raises(ModelError):
+            Location("L", urgent=True, committed=True)
+
+    def test_urgent_with_invariant_rejected(self):
+        from repro.ta.parser import parse_invariant
+        inv = parse_invariant("x <= 5", ("x",))
+        with pytest.raises(ModelError):
+            Location("L", invariant=inv, urgent=True)
+
+
+class TestVariableDecl:
+    def test_initial_in_range(self):
+        with pytest.raises(ModelError):
+            VariableDecl("v", init=5, lo=0, hi=3)
+
+    def test_check(self):
+        decl = VariableDecl("v", init=0, lo=0, hi=3)
+        assert decl.check(3) == 3
+        with pytest.raises(ModelError):
+            decl.check(4)
+
+
+class TestAutomatonBuilder:
+    def test_duplicate_location_rejected(self):
+        b = AutomatonBuilder("A")
+        b.location("L")
+        with pytest.raises(ModelError, match="duplicate"):
+            b.location("L")
+
+    def test_two_initials_rejected(self):
+        b = AutomatonBuilder("A")
+        b.location("L1", initial=True)
+        with pytest.raises(ModelError, match="two initial"):
+            b.location("L2", initial=True)
+
+    def test_default_initial_is_first(self):
+        b = AutomatonBuilder("A")
+        b.location("First")
+        b.location("Second")
+        assert b.build().initial == "First"
+
+    def test_edge_to_unknown_location_rejected(self):
+        b = AutomatonBuilder("A")
+        b.location("L")
+        b.edge("L", "Ghost")
+        with pytest.raises(ModelError, match="unknown location"):
+            b.build()
+
+    def test_empty_automaton_rejected(self):
+        with pytest.raises(ModelError, match="no locations"):
+            AutomatonBuilder("A").build()
+
+    def test_loop_helper(self):
+        b = AutomatonBuilder("A")
+        b.location("L")
+        b.loop("L", update=None)
+        auto = b.build()
+        assert auto.edges[0].source == auto.edges[0].target == "L"
+
+
+class TestNetworkBuilder:
+    def test_duplicate_channel_rejected(self):
+        net = NetworkBuilder("n")
+        net.channel("ch")
+        with pytest.raises(ModelError, match="duplicate"):
+            net.channel("ch")
+
+    def test_duplicate_variable_rejected(self):
+        net = NetworkBuilder("n")
+        net.int_var("v")
+        with pytest.raises(ModelError, match="duplicate"):
+            net.int_var("v")
+
+    def test_constants_fold_into_labels(self):
+        net = NetworkBuilder("n", constants={"D": 9})
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= D", initial=True)
+        network = net.build()
+        inv = network.automaton("A").location("L").invariant
+        assert inv[0].bound == 9
+
+    def test_constant_added_late(self):
+        net = NetworkBuilder("n")
+        net.constant("D", 4)
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", invariant="x <= D", initial=True)
+        assert net.build().automaton("A").location("L").invariant[0] \
+            .bound == 4
+
+    def test_global_clock_visible_to_all(self):
+        net = NetworkBuilder("n")
+        net.global_clock("g")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", guard="g >= 3")
+        network = net.build()
+        assert network.global_clocks == ("g",)
+        assert network.n_clocks() == 2
+
+    def test_local_clock_shadowing_global_rejected(self):
+        net = NetworkBuilder("n")
+        net.global_clock("g")
+        a = net.automaton("A", clocks=["g"])
+        a.location("L", initial=True)
+        with pytest.raises(ModelError, match="shadows"):
+            net.build().clock_index()
+
+
+class TestNetworkAccessors:
+    def _network(self):
+        net = NetworkBuilder("n")
+        net.channel("ping")
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", initial=True)
+        a.edge("L", "L", sync="ping!")
+        b = net.automaton("B", clocks=["x"])
+        b.location("L", initial=True)
+        b.edge("L", "L", sync="ping?")
+        return net.build()
+
+    def test_automaton_lookup(self):
+        network = self._network()
+        assert network.automaton("A").name == "A"
+        with pytest.raises(ModelError):
+            network.automaton("C")
+        assert network.automaton_index("B") == 1
+
+    def test_channel_lookup(self):
+        network = self._network()
+        assert network.channel("ping").name == "ping"
+        assert network.has_channel("ping")
+        assert not network.has_channel("pong")
+
+    def test_clock_names_disambiguate(self):
+        network = self._network()
+        assert network.clock_names() == ["t0", "A.x", "B.x"]
+
+    def test_io_channel_classification(self):
+        network = self._network()
+        assert network.automaton("A").output_channels() == {"ping"}
+        assert network.automaton("B").input_channels() == {"ping"}
+
+    def test_stats(self):
+        stats = self._network().stats()
+        assert stats == {"automata": 2, "locations": 2, "edges": 2,
+                         "clocks": 2, "channels": 1, "variables": 0}
+
+    def test_add_automata_for_observers(self):
+        network = self._network()
+        extra = AutomatonBuilder("Obs")
+        extra.location("L", initial=True)
+        bigger = network.add_automata([extra.build()])
+        assert len(bigger.automata) == 3
+
+    def test_with_channels_broadcast(self):
+        network = self._network().with_channels_broadcast(["ping"])
+        assert network.channel("ping").broadcast
+
+
+class TestValidationRules:
+    def test_undeclared_channel(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", sync="ghost!")
+        with pytest.raises(ModelError, match="undeclared channel"):
+            net.build()
+
+    def test_unknown_guard_name(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", guard="mystery > 0")
+        with pytest.raises(ModelError, match="unknown names"):
+            net.build()
+
+    def test_assignment_to_constant(self):
+        net = NetworkBuilder("n", constants={"K": 1})
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", update="K = 2")
+        with pytest.raises(ModelError, match="constant"):
+            net.build()
+
+    def test_assignment_to_undeclared_variable(self):
+        net = NetworkBuilder("n")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", update="v = 2")
+        with pytest.raises(ModelError, match="undeclared variable"):
+            net.build()
+
+    def test_urgent_channel_clock_guard_rejected(self):
+        net = NetworkBuilder("n")
+        net.channel("u", urgent=True)
+        a = net.automaton("A", clocks=["x"])
+        a.location("L", initial=True)
+        a.edge("L", "L", guard="x > 1", sync="u!")
+        b = net.automaton("B")
+        b.location("L", initial=True)
+        b.edge("L", "L", sync="u?")
+        with pytest.raises(ModelError, match="urgent"):
+            net.build()
+
+    def test_broadcast_receiver_clock_guard_rejected(self):
+        net = NetworkBuilder("n")
+        net.channel("b", broadcast=True)
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", sync="b!")
+        b = net.automaton("B", clocks=["x"])
+        b.location("L", initial=True)
+        b.edge("L", "L", guard="x > 1", sync="b?")
+        with pytest.raises(ModelError, match="broadcast receiver"):
+            net.build()
+
+    def test_dangling_binary_channel_is_warning_only(self):
+        net = NetworkBuilder("n")
+        net.channel("ch")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        a.edge("L", "L", sync="ch!")
+        network = net.build()  # no receiver: legal but suspicious
+        problems = check(network)
+        assert any(p.severity == "warning" for p in problems)
+
+    def test_variable_constant_name_clash(self):
+        net = NetworkBuilder("n", constants={"v": 1})
+        net.int_var("v")
+        a = net.automaton("A")
+        a.location("L", initial=True)
+        with pytest.raises(ModelError, match="both variable and constant"):
+            net.build()

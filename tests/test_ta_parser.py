@@ -1,0 +1,187 @@
+"""Unit tests for the label parser (guards, invariants, updates)."""
+
+import pytest
+
+from repro.ta.clocks import Assignment, ClockCopy, ClockReset
+from repro.ta.parser import (
+    ParseError,
+    parse_expression,
+    parse_guard,
+    parse_invariant,
+    parse_update,
+    tokenize,
+)
+
+CLOCKS = ("x", "y")
+CONSTS = {"N": 5, "CAP": 3}
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("x >= 250 && cnt < N") == \
+            ["x", ">=", "250", "&&", "cnt", "<", "N"]
+
+    def test_two_char_operators(self):
+        assert tokenize("a<=b>=c==d!=e&&f||g") == \
+            ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e", "&&",
+             "f", "||", "g"]
+
+    def test_dotted_identifiers(self):
+        assert tokenize("M.x + env.ex") == ["M.x", "+", "env.ex"]
+
+    def test_rejects_junk(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a @ b")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        assert parse_expression("2 + 3 * 4").eval({}) == 14
+        assert parse_expression("(2 + 3) * 4").eval({}) == 20
+
+    def test_comparison_binds_tighter_than_and(self):
+        expr = parse_expression("1 < 2 && 3 < 4")
+        assert expr.eval({}) == 1
+
+    def test_unary_minus(self):
+        assert parse_expression("-3 + 5").eval({}) == 2
+
+    def test_true_false_literals(self):
+        assert parse_expression("true").eval({}) == 1
+        assert parse_expression("false").eval({}) == 0
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expression("1 + 2 3")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1 + 2")
+
+
+class TestGuards:
+    def test_empty_guard_is_trivial(self):
+        assert parse_guard(None).is_trivial()
+        assert parse_guard("   ").is_trivial()
+
+    def test_single_clock_atom(self):
+        guard = parse_guard("x >= 250", CLOCKS)
+        assert len(guard.clock_constraints) == 1
+        atom = guard.clock_constraints[0]
+        assert (atom.clock, atom.op, atom.bound) == ("x", ">=", 250)
+
+    def test_flipped_atom(self):
+        guard = parse_guard("250 <= x", CLOCKS)
+        atom = guard.clock_constraints[0]
+        assert (atom.clock, atom.op, atom.bound) == ("x", ">=", 250)
+
+    def test_diagonal_atom(self):
+        guard = parse_guard("x - y < 7", CLOCKS)
+        atom = guard.clock_constraints[0]
+        assert (atom.clock, atom.other, atom.op, atom.bound) == \
+            ("x", "y", "<", 7)
+
+    def test_constant_folded_bound(self):
+        guard = parse_guard("x <= N + 2", CLOCKS, CONSTS)
+        assert guard.clock_constraints[0].bound == 7
+
+    def test_mixed_guard_splits(self):
+        guard = parse_guard("x >= 1 && cnt < CAP && y <= N",
+                            CLOCKS, CONSTS)
+        assert len(guard.clock_constraints) == 2
+        assert guard.data_holds({"cnt": 2})
+        assert not guard.data_holds({"cnt": 3})
+
+    def test_equality_atom(self):
+        guard = parse_guard("x == 5", CLOCKS)
+        assert guard.clock_constraints[0].op == "=="
+
+    def test_unfoldable_bound_rejected(self):
+        with pytest.raises(ParseError, match="does not fold"):
+            parse_guard("x <= cnt", CLOCKS)
+
+    def test_clock_disequality_rejected(self):
+        with pytest.raises(ParseError, match="not allowed on clocks"):
+            parse_guard("x != 3", CLOCKS)
+
+    def test_clock_in_disjunction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_guard("x > 1 || cnt > 0", CLOCKS)
+
+    def test_clock_arithmetic_rejected(self):
+        with pytest.raises(ParseError, match="unsupported clock atom"):
+            parse_guard("x + y < 5", CLOCKS)
+
+    def test_pure_data_guard(self):
+        guard = parse_guard("cnt > 0 && flag == 1")
+        assert not guard.clock_constraints
+        assert guard.data_holds({"cnt": 1, "flag": 1})
+
+
+class TestInvariants:
+    def test_upper_bound(self):
+        atoms = parse_invariant("x <= 500", CLOCKS)
+        assert atoms[0].op == "<="
+        assert atoms[0].bound == 500
+
+    def test_conjunction(self):
+        atoms = parse_invariant("x <= 500 && y <= N", CLOCKS, CONSTS)
+        assert len(atoms) == 2
+
+    def test_empty(self):
+        assert parse_invariant(None, CLOCKS) == ()
+
+    def test_data_conjunct_rejected(self):
+        with pytest.raises(ParseError, match="non-clock"):
+            parse_invariant("x <= 5 && cnt > 0", CLOCKS)
+
+
+class TestUpdates:
+    def test_clock_reset(self):
+        update = parse_update("x = 0", CLOCKS)
+        assert update.actions == (ClockReset(clock="x", value=0),)
+
+    def test_clock_reset_to_constant(self):
+        update = parse_update("x = N", CLOCKS, CONSTS)
+        assert update.actions == (ClockReset(clock="x", value=5),)
+
+    def test_clock_copy(self):
+        update = parse_update("x = y", CLOCKS)
+        assert update.actions == (ClockCopy(clock="x", source="y"),)
+
+    def test_variable_assignment(self):
+        update = parse_update("cnt = cnt + 1", CLOCKS)
+        action = update.actions[0]
+        assert isinstance(action, Assignment)
+        assert action.expr.eval({"cnt": 2}) == 3
+
+    def test_mixed_sequence_order(self):
+        update = parse_update("x = 0, cnt = cnt + 1; flag = 0", CLOCKS)
+        kinds = [type(a).__name__ for a in update.actions]
+        assert kinds == ["ClockReset", "Assignment", "Assignment"]
+
+    def test_sequential_semantics(self):
+        update = parse_update("a = 1, b = a + 1", CLOCKS)
+        env = {"a": 0, "b": 0}
+        update.apply_data(env)
+        assert env == {"a": 1, "b": 2}
+
+    def test_walrus_style_assign(self):
+        update = parse_update("cnt := 2", CLOCKS)
+        assert isinstance(update.actions[0], Assignment)
+
+    def test_negative_clock_value_rejected(self):
+        with pytest.raises(ParseError, match="negative"):
+            parse_update("x = 0 - 5", CLOCKS)
+
+    def test_malformed_statement_rejected(self):
+        with pytest.raises(ParseError, match="form"):
+            parse_update("x + 1", CLOCKS)
+
+    def test_empty(self):
+        assert parse_update(None, CLOCKS).is_empty()
+        assert parse_update(" ", CLOCKS).is_empty()
+
+    def test_parenthesized_commas_not_split(self):
+        update = parse_update("a = (1 + 2), b = 3", CLOCKS)
+        assert len(update.actions) == 2

@@ -1,0 +1,88 @@
+"""Unit tests for channel and clock renaming (the MIO construction)."""
+
+from repro.ta.builder import AutomatonBuilder
+from repro.ta.rename import (
+    boundary_rename_map,
+    mc_to_io_name,
+    rename_channels,
+    rename_clocks,
+)
+
+
+def sample_automaton():
+    b = AutomatonBuilder("M", clocks=["x", "y"])
+    b.location("Idle", initial=True)
+    b.location("Busy", invariant="x <= 10")
+    b.edge("Idle", "Busy", sync="m_Req?", update="x = 0")
+    b.edge("Busy", "Idle", guard="x >= 2 && x - y < 8", sync="c_Ack!",
+           update="y = x")
+    return b.build()
+
+
+class TestNames:
+    def test_m_prefix(self):
+        assert mc_to_io_name("m_BolusReq") == "i_BolusReq"
+
+    def test_c_prefix(self):
+        assert mc_to_io_name("c_StartInfusion") == "o_StartInfusion"
+
+    def test_unprefixed_gets_io(self):
+        assert mc_to_io_name("weird") == "io_weird"
+
+    def test_boundary_map(self):
+        mapping = boundary_rename_map({"m_A"}, {"c_B"})
+        assert mapping == {"m_A": "i_A", "c_B": "o_B"}
+
+
+class TestRenameChannels:
+    def test_syncs_renamed(self):
+        auto = rename_channels(sample_automaton(),
+                               {"m_Req": "i_Req", "c_Ack": "o_Ack"})
+        assert auto.input_channels() == {"i_Req"}
+        assert auto.output_channels() == {"o_Ack"}
+
+    def test_structure_preserved(self):
+        original = sample_automaton()
+        renamed = rename_channels(original, {"m_Req": "i_Req"})
+        assert renamed.location_names() == original.location_names()
+        assert len(renamed.edges) == len(original.edges)
+        assert renamed.clocks == original.clocks
+        # Guards and updates untouched.
+        assert str(renamed.edges[1].guard) == str(original.edges[1].guard)
+
+    def test_unmapped_channels_kept(self):
+        renamed = rename_channels(sample_automaton(), {"m_Req": "i_Req"})
+        assert renamed.output_channels() == {"c_Ack"}
+
+    def test_new_name(self):
+        renamed = rename_channels(sample_automaton(), {}, new_name="MIO")
+        assert renamed.name == "MIO"
+
+
+class TestRenameClocks:
+    def test_invariants_guards_updates_renamed(self):
+        auto = rename_clocks(sample_automaton(),
+                             {"x": "mio_x", "y": "mio_y"})
+        busy = auto.location("Busy")
+        assert busy.invariant[0].clock == "mio_x"
+        guard = auto.edges[1].guard
+        clocks = {c for atom in guard.clock_constraints
+                  for c in atom.clocks()}
+        assert clocks == {"mio_x", "mio_y"}
+        update_text = str(auto.edges[1].update)
+        assert "mio_y = mio_x" in update_text
+
+    def test_hoisting_removes_local_clocks(self):
+        auto = rename_clocks(sample_automaton(),
+                             {"x": "mio_x", "y": "mio_y"})
+        assert auto.clocks == ()
+
+    def test_keep_local_renames_in_place(self):
+        auto = rename_clocks(sample_automaton(), {"x": "x2"},
+                             keep_local=True)
+        assert auto.clocks == ("x2", "y")
+
+    def test_partial_rename(self):
+        auto = rename_clocks(sample_automaton(), {"x": "gx"})
+        assert auto.clocks == ("y",)
+        assert auto.location("Busy").invariant[0].clock == "gx"

@@ -1,0 +1,78 @@
+"""Tests for Graphviz/ASCII rendering and trace formatting."""
+
+from repro.mc.traces import format_trace, trace_channels
+from repro.ta.render import (
+    automaton_to_dot,
+    network_summary,
+    network_to_dot,
+)
+
+from tests.conftest import build_tiny_pim
+
+
+class TestDot:
+    def test_automaton_dot_contains_all_parts(self):
+        pim = build_tiny_pim()
+        dot = automaton_to_dot(pim.m)
+        assert dot.startswith('digraph "M"')
+        for location in ("Idle", "Busy"):
+            assert f'"{location}"' in dot
+        assert "m_Req?" in dot and "c_Ack!" in dot
+        assert "x <= 10" in dot          # invariant on Busy
+        assert "__init ->" in dot        # initial marker
+
+    def test_automaton_dot_escapes_quotes(self):
+        pim = build_tiny_pim()
+        dot = automaton_to_dot(pim.m)
+        assert dot.count("{") == dot.count("}")
+
+    def test_network_dot_clusters(self):
+        pim = build_tiny_pim()
+        dot = network_to_dot(pim.network)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+        assert 'label="M"' in dot and 'label="ENV"' in dot
+
+    def test_marks_special_locations(self):
+        from repro.core.transform import transform
+        from tests.conftest import build_tiny_scheme
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        dot = automaton_to_dot(psm.network.automaton("EXEIO"))
+        assert "(urgent)" in dot
+        assert "(committed)" in dot
+
+
+class TestSummary:
+    def test_network_summary(self):
+        pim = build_tiny_pim()
+        text = network_summary(pim.network)
+        assert "2 automata" in text
+        assert "M: initial=Idle" in text
+        assert "ENV: initial=Rest" in text
+
+
+class TestTraceFormatting:
+    def test_format_numbered(self):
+        text = format_trace(["a", "b", "c"])
+        assert "  1. a" in text and "  3. c" in text
+
+    def test_format_handles_none(self):
+        assert "disabled" in format_trace(None)
+
+    def test_format_empty(self):
+        assert "initial state" in format_trace([])
+
+    def test_format_truncation(self):
+        text = format_trace([f"step{i}" for i in range(20)],
+                            max_steps=5)
+        assert "15 more" in text
+
+    def test_trace_channels_extracts_syncs(self):
+        labels = [
+            "ENV: Rest --m_Req! {ex = 0}--> Wait || M: Idle --m_Req?"
+            "--> Busy",
+            "M: Busy --[x >= 4] c_Ack!--> Idle || ENV: Wait --c_Ack?"
+            "--> Rest",
+            "A: L --> L2",  # internal, no channel
+        ]
+        assert trace_channels(labels) == ["m_Req", "c_Ack"]

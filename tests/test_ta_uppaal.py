@@ -1,0 +1,83 @@
+"""Tests for the UPPAAL XML export."""
+
+import xml.etree.ElementTree as ET
+
+from repro.apps.infusion import build_infusion_pim
+from repro.core.transform import transform
+from repro.ta.uppaal import network_to_uppaal_xml
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+def parse(xml_text: str) -> ET.Element:
+    # Strip the DOCTYPE for ElementTree.
+    body = xml_text.split("?>", 1)[1]
+    body = body.split(">", 1)[1] if body.startswith("<!DOCTYPE") else body
+    return ET.fromstring(body)
+
+
+class TestExport:
+    def test_well_formed_xml(self):
+        xml_text = network_to_uppaal_xml(build_tiny_pim().network)
+        root = parse(xml_text)
+        assert root.tag == "nta"
+
+    def test_templates_locations_transitions(self):
+        pim = build_tiny_pim()
+        root = parse(network_to_uppaal_xml(pim.network))
+        templates = root.findall("template")
+        assert [t.findtext("name") for t in templates] == ["M", "ENV"]
+        m = templates[0]
+        names = [loc.findtext("name") for loc in m.findall("location")]
+        assert names == ["Idle", "Busy"]
+        assert len(m.findall("transition")) == 2
+
+    def test_labels_present(self):
+        pim = build_tiny_pim()
+        root = parse(network_to_uppaal_xml(pim.network))
+        m = root.findall("template")[0]
+        labels = {label.get("kind"): label.text
+                  for transition in m.findall("transition")
+                  for label in transition.findall("label")}
+        assert labels["synchronisation"] in ("m_Req?", "c_Ack!")
+        assert "x" in labels["guard"]
+        invariants = [label.text for loc in m.findall("location")
+                      for label in loc.findall("label")
+                      if label.get("kind") == "invariant"]
+        assert invariants == ["x <= 10"]
+
+    def test_declarations_cover_everything(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        root = parse(network_to_uppaal_xml(psm.network))
+        decl = root.findtext("declaration")
+        assert "chan m_Req;" in decl
+        assert "urgent chan upick_o_Ack;" in decl
+        assert "int[0,2] cnt_i_Req = 0;" in decl
+        assert "clock mio_x;" in decl
+        assert "const int PRIME = 4;" in decl
+
+    def test_urgent_committed_flags(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        root = parse(network_to_uppaal_xml(psm.network))
+        exeio = next(t for t in root.findall("template")
+                     if t.findtext("name") == "EXEIO")
+        flags = set()
+        for loc in exeio.findall("location"):
+            if loc.find("urgent") is not None:
+                flags.add("urgent")
+            if loc.find("committed") is not None:
+                flags.add("committed")
+        assert flags == {"urgent", "committed"}
+
+    def test_system_line(self):
+        pim = build_infusion_pim()
+        xml_text = network_to_uppaal_xml(pim.network)
+        assert "system M, ENV;" in xml_text
+
+    def test_initial_marked(self):
+        root = parse(network_to_uppaal_xml(build_tiny_pim().network))
+        m = root.findall("template")[0]
+        init_ref = m.find("init").get("ref")
+        idle_id = next(loc.get("id") for loc in m.findall("location")
+                       if loc.findtext("name") == "Idle")
+        assert init_ref == idle_id

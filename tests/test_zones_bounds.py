@@ -1,0 +1,110 @@
+"""Unit tests for the encoded bound algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.zones.bounds import (
+    INF,
+    LE_ZERO,
+    LT_ZERO,
+    bound_add,
+    bound_as_text,
+    bound_is_weak,
+    bound_value,
+    decode,
+    encode,
+    negate_weak,
+)
+
+values = st.integers(min_value=-10_000, max_value=10_000)
+weaks = st.booleans()
+
+
+class TestEncoding:
+    def test_le_zero_is_weak_zero(self):
+        assert encode(0, True) == LE_ZERO
+        assert decode(LE_ZERO) == (0, True)
+
+    def test_lt_zero_is_strict_zero(self):
+        assert encode(0, False) == LT_ZERO
+        assert decode(LT_ZERO) == (0, False)
+
+    @given(values, weaks)
+    def test_roundtrip(self, value, weak):
+        assert decode(encode(value, weak)) == (value, weak)
+
+    @given(values, weaks)
+    def test_accessors(self, value, weak):
+        bound = encode(value, weak)
+        assert bound_value(bound) == value
+        assert bound_is_weak(bound) is weak
+
+    @given(values)
+    def test_strict_tighter_than_weak(self, value):
+        assert encode(value, False) < encode(value, True)
+
+    @given(values, values, weaks, weaks)
+    def test_order_matches_tightness(self, v1, v2, w1, w2):
+        # A smaller encoded value must never allow more valuations.
+        b1, b2 = encode(v1, w1), encode(v2, w2)
+        if v1 < v2:
+            assert b1 < b2
+        elif v1 > v2:
+            assert b1 > b2
+
+    @given(values, weaks)
+    def test_all_finite_below_inf(self, value, weak):
+        assert encode(value, weak) < INF
+
+
+class TestAddition:
+    @given(values, values, weaks, weaks)
+    def test_add_values_and_strictness(self, v1, v2, w1, w2):
+        result = bound_add(encode(v1, w1), encode(v2, w2))
+        assert bound_value(result) == v1 + v2
+        assert bound_is_weak(result) is (w1 and w2)
+
+    @given(values, weaks)
+    def test_inf_absorbs(self, value, weak):
+        assert bound_add(INF, encode(value, weak)) == INF
+        assert bound_add(encode(value, weak), INF) == INF
+        assert bound_add(INF, INF) == INF
+
+    @given(values, weaks)
+    def test_weak_zero_is_identity(self, value, weak):
+        assert bound_add(encode(value, weak), LE_ZERO) == \
+            encode(value, weak)
+
+    @given(values, values, values, weaks, weaks, weaks)
+    def test_associative(self, v1, v2, v3, w1, w2, w3):
+        a, b, c = encode(v1, w1), encode(v2, w2), encode(v3, w3)
+        assert bound_add(bound_add(a, b), c) == bound_add(a,
+                                                          bound_add(b, c))
+
+
+class TestNegation:
+    @given(values, weaks)
+    def test_negate_flips_strictness(self, value, weak):
+        result = negate_weak(encode(value, weak))
+        assert bound_value(result) == -value
+        assert bound_is_weak(result) is (not weak)
+
+    @given(values, weaks)
+    def test_negate_involution(self, value, weak):
+        bound = encode(value, weak)
+        assert negate_weak(negate_weak(bound)) == bound
+
+
+class TestText:
+    @pytest.mark.parametrize("value,weak,expected", [
+        (5, True, "<=5"),
+        (3, False, "<3"),
+        (-2, True, "<=-2"),
+        (0, False, "<0"),
+    ])
+    def test_finite(self, value, weak, expected):
+        assert bound_as_text(encode(value, weak)) == expected
+
+    def test_infinity(self):
+        assert bound_as_text(INF) == "<inf"
