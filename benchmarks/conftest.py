@@ -4,11 +4,44 @@ Heavy artifacts (the case-study PIM/PSM) are built once per session;
 every benchmark that reproduces a paper artifact also *asserts* the
 paper's qualitative claim, so ``pytest benchmarks/ --benchmark-only``
 doubles as the experiment regression suite.
+
+The suite needs the pytest-benchmark plugin (installed with the
+``bench`` extra, see ``setup.py``).  When the plugin is missing the
+``bench_*`` modules are skipped at collection time instead of erroring
+on the unknown ``benchmark`` fixture; ``benchmarks/run_benchmarks.py``
+offers a plugin-free runner that records the perf trajectory instead.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+try:
+    import pytest_benchmark  # noqa: F401 - presence check only
+except ImportError:  # pragma: no cover - exercised without the extra
+    collect_ignore_glob = ["bench_*.py"]
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Also skip when the plugin exists but was disabled (-p no:...).
+
+    The hook is session-wide (pytest hands every collected item to
+    every conftest), so scope the skip to items under benchmarks/ —
+    the unit suite must keep running without the [bench] extra.
+    """
+    if config.pluginmanager.hasplugin("benchmark"):
+        return
+    skip = pytest.mark.skip(
+        reason="pytest-benchmark plugin not active; install the "
+               "[bench] extra or use benchmarks/run_benchmarks.py")
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(skip)
 
 from repro.apps.infusion import build_infusion_pim
 from repro.apps.schemes import case_study_scheme

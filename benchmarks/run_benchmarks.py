@@ -1,0 +1,135 @@
+"""Plugin-free benchmark runner: track the perf trajectory across PRs.
+
+Runs the model-checking workloads that dominate every experiment
+(zone-graph construction for the tiny and case-study PSMs, the REQ1
+violation search) on every available zone backend and writes
+``BENCH_<YYYYMMDD>.json`` with states, transitions and wall time per
+benchmark.  Committing the file gives each PR a comparable perf
+record; the pytest-benchmark suite (``pytest benchmarks/``) remains
+the statistically careful harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
+        [--out DIR] [--backends numpy reference]
+
+``--quick`` skips the case-study workloads (~seconds instead of
+~minutes on the pure-Python backend).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
+from repro.apps.schemes import case_study_scheme
+from repro.core.transform import transform
+from repro.mc.observers import check_bounded_response
+from repro.mc.queries import zone_graph_stats
+from repro.zones.backend import available_backends
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.conftest import build_tiny_pim, build_tiny_scheme  # noqa: E402
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _record(results, name, backend, states, transitions, seconds,
+            **extra):
+    entry = {
+        "benchmark": name,
+        "backend": backend,
+        "states": states,
+        "transitions": transitions,
+        "seconds": round(seconds, 4),
+    }
+    entry.update(extra)
+    results.append(entry)
+    print(f"  {name:32s} [{backend:9s}] states={states:>7} "
+          f"transitions={transitions:>7} {seconds:8.3f}s")
+
+
+def run_suite(backends, quick: bool) -> list[dict]:
+    results: list[dict] = []
+    tiny = transform(build_tiny_pim(), build_tiny_scheme()).network
+    case_study = None if quick else transform(
+        build_infusion_pim(), case_study_scheme()).network
+
+    for backend in backends:
+        stats, seconds = _timed(
+            lambda: zone_graph_stats(tiny, zone_backend=backend))
+        _record(results, "s1_zone_graph_tiny", backend,
+                stats.states, stats.transitions, seconds)
+
+        if case_study is not None:
+            stats, seconds = _timed(lambda: zone_graph_stats(
+                case_study, zone_backend=backend))
+            _record(results, "bench_s1_case_study_psm", backend,
+                    stats.states, stats.transitions, seconds)
+
+            stats, seconds = _timed(lambda: zone_graph_stats(
+                case_study, zone_backend=backend,
+                lazy_subsumption=True))
+            _record(results, "s1_case_study_psm_lazy", backend,
+                    stats.states, stats.transitions, seconds,
+                    lazy_subsumption=True)
+
+            verdict, seconds = _timed(lambda: check_bounded_response(
+                case_study, "m_BolusReq", "c_StartInfusion",
+                REQ1_DEADLINE_MS, zone_backend=backend))
+            assert not verdict.holds, \
+                "REQ1 must be violated on the case-study PSM"
+            _record(results, "req1_psm_violation", backend,
+                    verdict.visited, verdict.transitions, seconds,
+                    holds=verdict.holds)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the case-study workloads")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory for BENCH_<date>.json")
+    parser.add_argument("--backends", nargs="+", default=None,
+                        help="zone backends to run "
+                             "(default: all available)")
+    args = parser.parse_args(argv)
+
+    backends = args.backends or list(available_backends())
+    print(f"zone backends: {', '.join(backends)}")
+    results = run_suite(backends, quick=args.quick)
+
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    payload = {
+        "schema": 1,
+        "generated": _dt.date.today().isoformat(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "quick": args.quick,
+        "results": results,
+    }
+    out_path = (args.out
+                / f"BENCH_{_dt.date.today().strftime('%Y%m%d')}.json")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,26 @@
-"""Legacy setup shim.
+"""Setup for ``pip install -e .`` (no pyproject in this environment).
 
-Metadata lives in pyproject.toml; this file only enables
-``pip install -e .`` on environments whose setuptools predates
-PEP 660 editable installs (no ``wheel`` package available).
+Core install is dependency-free; the ``bench`` extra pulls the
+optional performance stack: numpy (vectorized zone backend, see
+``repro.zones.backend``) and pytest-benchmark (the ``benchmarks/``
+suite; ``benchmarks/conftest.py`` skips collection cleanly when the
+plugin is absent).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-timing",
+    version="0.2.0",
+    description="Platform-specific timing verification framework "
+                "(DATE 2015 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["repro-timing = repro.cli:main"],
+    },
+    extras_require={
+        "bench": ["numpy", "pytest-benchmark"],
+    },
+)

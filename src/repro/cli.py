@@ -25,6 +25,7 @@ from repro.core.scheme import ReadPolicy
 from repro.core.transform import transform
 from repro.ta.render import network_summary, network_to_dot
 from repro.ta.uppaal import network_to_uppaal_xml
+from repro.zones.backend import set_backend
 
 __all__ = ["main"]
 
@@ -110,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-timing",
         description="Platform-specific timing verification framework "
                     "(DATE 2015 reproduction)")
+    parser.add_argument(
+        "--zone-backend", choices=["auto", "reference", "numpy"],
+        default=None,
+        help="DBM kernel for all model checking (default: auto — "
+             "numpy when importable, else the pure-Python reference; "
+             "also settable via REPRO_ZONE_BACKEND)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_verify = sub.add_parser("verify", help="full verification pipeline")
@@ -152,6 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.zone_backend is not None:
+        set_backend(args.zone_backend)
     return args.fn(args)
 
 

@@ -10,6 +10,38 @@ Termination comes from Extra_M extrapolation plus the passed-list
 inclusion check — the textbook algorithm (Bengtsson & Yi 2003), with
 UPPAAL's committed-location priority, urgent locations and urgent
 channels layered on top.
+
+Performance architecture (see ``docs/PERFORMANCE.md``):
+
+* **Memoized successor plans.**  Everything about a successor except
+  its zone — enabled moves, data-guard filtering, target locations,
+  variable updates, the clocks to free, the invariant constraints and
+  the delay decision — depends only on the *discrete* part of a state.
+  The explorer compiles this once per discrete configuration into a
+  list of :class:`_MovePlan` steps; expanding a state then runs pure
+  zone arithmetic.
+* **Fused, allocation-lean zone pipeline.**  Each plan step executes
+  copy → constrain* → reset*/copy* → free* → invariants → up →
+  extrapolate on a single reusable scratch matrix (``copy_from`` +
+  ``constrain_all`` with early exit on emptiness); a fresh zone is
+  materialized only for successors that survive all emptiness checks.
+* **Batched passed-list subsumption.**  Per discrete configuration the
+  stored zones live in a backend-paired bucket
+  (:mod:`repro.zones.store`) that answers inclusion/eviction sweeps in
+  one pass instead of per-zone ``includes`` calls.
+* **Subsumption-aware waiting list** (opt-in ``lazy_subsumption``):
+  when a newly stored zone evicts subsumed zones from the passed list,
+  their waiting-list entries are marked dead and skipped on pop
+  instead of expanded.  The final reduced zone graph is provably
+  unchanged (successor computation is monotone in the zone), but the
+  *visit order and the visited/transitions tallies* shrink, so the
+  default stays eager — ``zone_graph_stats`` and the paper experiments
+  report bit-identical numbers to the seed implementation.
+
+The zone backend (pure-Python reference or vectorized numpy) is chosen
+per explorer via ``zone_backend=``, the ``REPRO_ZONE_BACKEND``
+environment variable or :func:`repro.zones.backend.set_backend`; both
+backends yield bit-identical zone graphs.
 """
 
 from __future__ import annotations
@@ -20,7 +52,7 @@ from typing import Callable, Iterator, Mapping
 
 from repro.mc.state import CompiledEdge, CompiledNetwork, SymbolicState
 from repro.ta.model import ModelError, Network
-from repro.zones.dbm import DBM
+from repro.zones.backend import resolve_backend
 
 __all__ = [
     "ExplorationLimit",
@@ -57,6 +89,44 @@ class ExplorationResult:
 _NodeId = tuple[tuple[tuple[int, ...], tuple[int, ...]], tuple[int, ...]]
 
 
+class _MovePlan:
+    """One discrete move, fully resolved for a discrete configuration.
+
+    Built once per (locations, valuation) pair: the data guards have
+    already been evaluated (moves failing them never get a plan), the
+    variable updates have been folded into ``vals``, and the zone work
+    is reduced to op lists the fused pipeline replays on a scratch
+    matrix.  ``error`` carries a deferred range-check failure that the
+    seed semantics raise only when the guard-constrained zone is
+    non-empty.
+    """
+
+    __slots__ = ("guard_ops", "zone_ops", "free_clocks", "invariant_ops",
+                 "delay", "locs", "vals", "label", "error")
+
+    def __init__(self, guard_ops, zone_ops, free_clocks, invariant_ops,
+                 delay, locs, vals, label, error):
+        self.guard_ops = guard_ops
+        self.zone_ops = zone_ops
+        self.free_clocks = free_clocks
+        self.invariant_ops = invariant_ops
+        self.delay = delay
+        self.locs = locs
+        self.vals = vals
+        self.label = label
+        self.error = error
+
+
+class _WaitEntry:
+    """Waiting-list node; ``alive`` is cleared when the zone is evicted."""
+
+    __slots__ = ("state", "alive")
+
+    def __init__(self, state: SymbolicState):
+        self.state = state
+        self.alive = True
+
+
 class ZoneGraphExplorer:
     """Forward explorer over a compiled network.
 
@@ -72,18 +142,38 @@ class ZoneGraphExplorer:
         Record parent links so counterexample traces can be rebuilt.
     max_states:
         Hard cap on stored symbolic states.
+    zone_backend:
+        Zone-kernel choice (``auto``/``reference``/``numpy``); ``None``
+        defers to :func:`repro.zones.backend.resolve_backend`.
+    lazy_subsumption:
+        Skip waiting-list entries whose zone was evicted by a larger
+        one before they were expanded.  The reduced zone graph is
+        unchanged but visit order and the visited/transitions counts
+        shrink, so this is opt-in.
     """
 
     def __init__(self, network: Network, *,
                  extra_max_constants: Mapping[str, int] | None = None,
                  trace: bool = False,
                  max_states: int = 1_000_000,
-                 free_clock_when_zero: Mapping[str, str] | None = None):
+                 free_clock_when_zero: Mapping[str, str] | None = None,
+                 zone_backend: str | None = None,
+                 lazy_subsumption: bool = False):
         self.network = network
         self.compiled = CompiledNetwork(
             network, extra_max_constants=extra_max_constants)
         self.trace_enabled = trace
         self.max_states = max_states
+        self.backend = resolve_backend(zone_backend)
+        self.lazy_subsumption = lazy_subsumption
+        self._dbm = self.backend.dbm
+        self._bucket_cls = self.backend.bucket
+        # Successor plans, memoized per discrete configuration.  Built
+        # lazily so query compilation (protect_clocks) can still adjust
+        # the active-clock tables before the first expansion; the
+        # version check below drops stale plans if that happens after.
+        self._plans: dict[tuple, list[_MovePlan]] = {}
+        self._plans_version = self.compiled.reduction_version
         # Valuation-conditional clock freeing: {flag var -> clock}.
         # The named clock is freed in every state where the flag is 0.
         # Sound whenever the clock is only ever *read* under flag == 1
@@ -98,7 +188,7 @@ class ZoneGraphExplorer:
     # ------------------------------------------------------------------
     def initial_state(self) -> SymbolicState:
         compiled = self.compiled
-        zone = DBM.zero(compiled.n_clocks)
+        zone = self._dbm.zero(compiled.n_clocks)
         locs = compiled.initial_locs
         vals = compiled.initial_vals
         self._free_inactive(zone, locs)
@@ -114,21 +204,21 @@ class ZoneGraphExplorer:
         zone.extrapolate_max(compiled.max_constants)
         return SymbolicState(locs, vals, zone)
 
-    def _free_inactive(self, zone: DBM, locs: tuple[int, ...]) -> None:
+    def _free_inactive(self, zone, locs: tuple[int, ...]) -> None:
         """Active-clock reduction: free clocks dead at these locations."""
         compiled = self.compiled
         for a in range(compiled.n_automata):
             for clock_idx in compiled.inactive_clocks[a][locs[a]]:
                 zone.free(clock_idx)
 
-    def _free_conditional(self, zone: DBM,
+    def _free_conditional(self, zone,
                           vals: tuple[int, ...]) -> None:
         """Free clocks whose guarding flag is currently 0."""
         for var_pos, clock_idx in self._conditional_free:
             if vals[var_pos] == 0:
                 zone.free(clock_idx)
 
-    def _apply_invariants(self, zone: DBM, locs: tuple[int, ...]) -> None:
+    def _apply_invariants(self, zone, locs: tuple[int, ...]) -> None:
         compiled = self.compiled
         for a in range(compiled.n_automata):
             for i, j, bound in compiled.invariant_ops[a][locs[a]]:
@@ -142,63 +232,113 @@ class ZoneGraphExplorer:
                 or compiled.urgent_sync_enabled(locs, env))
 
     # ------------------------------------------------------------------
-    def successors(self, state: SymbolicState) \
-            -> Iterator[tuple[SymbolicState, str]]:
-        """All symbolic successors with their transition labels."""
+    # Successor plans
+    # ------------------------------------------------------------------
+    def _build_plans(self, locs: tuple[int, ...],
+                     vals: tuple[int, ...]) -> list[_MovePlan]:
+        """Resolve every enabled move of a discrete configuration."""
         compiled = self.compiled
-        env = compiled.data_env(state.vals)
-        for move in compiled.moves(state.locs, env):
+        env = compiled.data_env(vals)
+        plans: list[_MovePlan] = []
+        for move in compiled.moves(locs, env):
             # Data guards are evaluated on the pre-state (UPPAAL rule).
             if not all(e.guard_fn(env) for e in move):
                 continue
-            zone = state.zone.copy()
-            for edge in move:
-                for i, j, bound in edge.clock_ops:
-                    zone.constrain(i, j, bound)
-            if zone.is_empty():
-                continue
-            new_locs = list(state.locs)
-            for edge in move:
-                new_locs[edge.auto_idx] = edge.target_idx
-            locs = tuple(new_locs)
+            guard_ops = tuple(op for e in move for op in e.clock_ops)
+            label = self._move_label(move)
             # Updates in firing order (sender first), sequential data
-            # semantics; assignments are range-checked.
+            # semantics; assignments are range-checked.  A failing
+            # check is deferred: the seed raises it only when the
+            # guard-constrained zone turns out non-empty.
+            zone_ops: list[tuple] = []
             env2: dict[str, int] | None = None
+            error: ModelError | None = None
             for edge in move:
                 for op in edge.update_ops:
-                    kind = op[0]
-                    if kind == "reset":
-                        zone.reset(op[1], op[2])
-                    elif kind == "copy":
-                        zone.assign_clock(op[1], op[2])
-                    else:  # assign
+                    if op[0] == "assign":
                         if env2 is None:
                             env2 = dict(env)
                         decl = compiled.var_decls[op[1]]
                         try:
                             env2[op[1]] = decl.check(op[2].eval(env2))
                         except ModelError as exc:
-                            raise ModelError(
-                                f"{exc} (while firing "
-                                f"{self._move_label(move)} from "
-                                f"{compiled.state_description(state)})"
-                            ) from exc
-            vals = state.vals if env2 is None else tuple(
+                            error = exc
+                            break
+                    else:  # reset / copy: pure zone work
+                        zone_ops.append(op)
+                if error is not None:
+                    break
+            if error is not None:
+                plans.append(_MovePlan(
+                    guard_ops, (), (), (), False, locs, vals, label,
+                    error))
+                continue
+            new_locs = list(locs)
+            for edge in move:
+                new_locs[edge.auto_idx] = edge.target_idx
+            locs2 = tuple(new_locs)
+            vals2 = vals if env2 is None else tuple(
                 env2[name] for name in compiled.var_names)
-            self._free_inactive(zone, locs)
-            if self._conditional_free:
-                self._free_conditional(zone, vals)
-            self._apply_invariants(zone, locs)
-            if zone.is_empty():
-                continue
+            free_clocks: list[int] = []
+            for a in range(compiled.n_automata):
+                free_clocks.extend(compiled.inactive_clocks[a][locs2[a]])
+            for var_pos, clock_idx in self._conditional_free:
+                if vals2[var_pos] == 0:
+                    free_clocks.append(clock_idx)
+            invariant_ops = tuple(
+                op for a in range(compiled.n_automata)
+                for op in compiled.invariant_ops[a][locs2[a]])
             post_env = env if env2 is None else env2
-            if not self._delay_forbidden(locs, post_env):
-                zone.up()
-                self._apply_invariants(zone, locs)
-            zone.extrapolate_max(compiled.max_constants)
-            if zone.is_empty():
+            delay = not self._delay_forbidden(locs2, post_env)
+            plans.append(_MovePlan(
+                guard_ops, tuple(zone_ops), tuple(free_clocks),
+                invariant_ops, delay, locs2, vals2, label, None))
+        return plans
+
+    def successors(self, state: SymbolicState) \
+            -> Iterator[tuple[SymbolicState, str]]:
+        """All symbolic successors with their transition labels."""
+        if self._plans_version != self.compiled.reduction_version:
+            self._plans.clear()
+            self._plans_version = self.compiled.reduction_version
+        key = (state.locs, state.vals)
+        plans = self._plans.get(key)
+        if plans is None:
+            plans = self._plans[key] = self._build_plans(*key)
+        if not plans:
+            return
+        src = state.zone
+        scratch = None
+        max_consts = self.compiled.max_constants
+        for plan in plans:
+            if scratch is None:
+                scratch = src.copy()
+            else:
+                scratch.copy_from(src)
+            if not scratch.constrain_all(plan.guard_ops):
                 continue
-            yield SymbolicState(locs, vals, zone), self._move_label(move)
+            if plan.error is not None:
+                raise ModelError(
+                    f"{plan.error} (while firing {plan.label} from "
+                    f"{self.compiled.state_description(state)})"
+                ) from plan.error
+            for op in plan.zone_ops:
+                if op[0] == "reset":
+                    scratch.reset(op[1], op[2])
+                else:  # copy
+                    scratch.assign_clock(op[1], op[2])
+            if plan.free_clocks:
+                scratch.free_many(plan.free_clocks)
+            if not scratch.constrain_all(plan.invariant_ops):
+                continue
+            if plan.delay:
+                scratch.up()
+                scratch.constrain_all(plan.invariant_ops)
+            scratch.extrapolate_max(max_consts)
+            if scratch.is_empty():
+                continue
+            yield SymbolicState(plan.locs, plan.vals,
+                                scratch.copy()), plan.label
 
     @staticmethod
     def _move_label(move: tuple[CompiledEdge, ...]) -> str:
@@ -218,12 +358,17 @@ class ZoneGraphExplorer:
         trace is reconstructed when tracing is on); ``visit`` is called
         once per stored state — use it to accumulate sup-style metrics.
         """
-        compiled = self.compiled
+        bucket_cls = self._bucket_cls
+        lazy = self.lazy_subsumption
+        trace_on = self.trace_enabled
         init = self.initial_state()
-        passed: dict[tuple, list[DBM]] = {init.key(): [init.zone]}
+        init_entry = _WaitEntry(init)
+        bucket = bucket_cls()
+        bucket.insert(init.zone, init_entry)
+        passed: dict[tuple, object] = {init.key(): bucket}
         parents: dict[_NodeId, tuple[_NodeId | None, str]] = {}
-        init_id = (init.key(), init.zone.frozen())
-        if self.trace_enabled:
+        if trace_on:
+            init_id = (init.key(), init.zone.frozen())
             parents[init_id] = (None, "<init>")
         stored = 1
         transitions = 0
@@ -232,36 +377,46 @@ class ZoneGraphExplorer:
         if stop is not None and stop(init):
             return ExplorationResult(
                 visited=stored, stopped=init,
-                trace=self._rebuild(parents, init_id), complete=False,
-                transitions=transitions)
-        waiting: deque[SymbolicState] = deque([init])
+                trace=self._rebuild(
+                    parents,
+                    (init.key(), init.zone.frozen())),
+                complete=False, transitions=transitions)
+        waiting: deque[_WaitEntry] = deque([init_entry])
         while waiting:
-            state = waiting.popleft()
-            state_id = (state.key(), state.zone.frozen())
+            entry = waiting.popleft()
+            if lazy and not entry.alive:
+                continue
+            state = entry.state
+            state_id = ((state.key(), state.zone.frozen())
+                        if trace_on else None)
             for succ, label in self.successors(state):
                 transitions += 1
                 key = succ.key()
-                zones = passed.setdefault(key, [])
-                if any(z.includes(succ.zone) for z in zones):
+                bucket = passed.get(key)
+                if bucket is None:
+                    bucket = bucket_cls()
+                    passed[key] = bucket
+                elif bucket.covers(succ.zone):
                     continue
-                zones[:] = [z for z in zones if not succ.zone.includes(z)]
-                zones.append(succ.zone)
+                succ_entry = _WaitEntry(succ)
+                for evicted in bucket.insert(succ.zone, succ_entry):
+                    evicted.alive = False
                 stored += 1
                 if stored > self.max_states:
                     raise ExplorationLimit(
                         f"exceeded {self.max_states} symbolic states "
                         f"exploring {self.network.name!r}")
-                succ_id = (key, succ.zone.frozen())
-                if self.trace_enabled:
-                    parents[succ_id] = (state_id, label)
+                if trace_on:
+                    parents[(key, succ.zone.frozen())] = (state_id, label)
                 if visit is not None:
                     visit(succ)
                 if stop is not None and stop(succ):
                     return ExplorationResult(
                         visited=stored, stopped=succ,
-                        trace=self._rebuild(parents, succ_id),
+                        trace=self._rebuild(
+                            parents, (key, succ.zone.frozen())),
                         complete=False, transitions=transitions)
-                waiting.append(succ)
+                waiting.append(succ_entry)
         return ExplorationResult(visited=stored, complete=True,
                                  transitions=transitions)
 

@@ -137,6 +137,8 @@ class BoundedResponseResult:
     visited: int
     counterexample: str | None = None
     trace: list[str] | None = None
+    #: Successor computations performed before the verdict.
+    transitions: int = 0
 
     def __bool__(self) -> bool:
         return self.holds
@@ -156,6 +158,8 @@ def check_bounded_response(
     *,
     trace: bool = True,
     max_states: int = 1_000_000,
+    zone_backend: str | None = None,
+    lazy_subsumption: bool = False,
 ) -> BoundedResponseResult:
     """Check ``P(Δ)``: after ``trigger``, ``response`` within ``deadline``.
 
@@ -173,7 +177,9 @@ def check_bounded_response(
         instrumented, bad, trace=trace,
         extra_max_constants={OBS_CLOCK: deadline + 1},
         free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
-        max_states=max_states)
+        max_states=max_states,
+        zone_backend=zone_backend,
+        lazy_subsumption=lazy_subsumption)
     return BoundedResponseResult(
         holds=not reach.reachable,
         trigger=trigger,
@@ -182,6 +188,7 @@ def check_bounded_response(
         visited=reach.visited,
         counterexample=reach.witness,
         trace=reach.trace,
+        transitions=reach.transitions,
     )
 
 
@@ -214,6 +221,7 @@ def max_response_delay(
     cap: int = 1 << 22,
     initial_ceiling: int | None = None,
     max_states: int = 1_000_000,
+    zone_backend: str | None = None,
 ) -> DelayBound:
     """Exact supremum of the trigger→response delay.
 
@@ -231,7 +239,8 @@ def max_response_delay(
             instrumented,
             extra_max_constants={OBS_CLOCK: ceiling},
             free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
-            max_states=max_states)
+            max_states=max_states,
+            zone_backend=zone_backend)
         compiled = explorer.compiled
         flag_pos = compiled.var_pos(OBS_FLAG)
         clock_idx = compiled.clock_id_by_name(OBS_CLOCK)

@@ -27,6 +27,7 @@ def sup_clock(
     cap: int = 1 << 22,
     initial_ceiling: int = 1024,
     max_states: int = 1_000_000,
+    zone_backend: str | None = None,
 ) -> DelayBound:
     """Supremum of a clock over reachable states satisfying a formula.
 
@@ -38,7 +39,7 @@ def sup_clock(
     while True:
         explorer = ZoneGraphExplorer(
             network, extra_max_constants={clock_name: ceiling},
-            max_states=max_states)
+            max_states=max_states, zone_backend=zone_backend)
         compiled = explorer.compiled
         clock_idx = compiled.clock_id_by_name(clock_name)
         compiled.protect_clocks([clock_idx])
@@ -91,11 +92,21 @@ def zone_graph_stats(
     *,
     extra_max_constants: Mapping[str, int] | None = None,
     max_states: int = 1_000_000,
+    zone_backend: str | None = None,
+    lazy_subsumption: bool = False,
 ) -> ZoneGraphStats:
-    """Fully explore a network and report its zone-graph size."""
+    """Fully explore a network and report its zone-graph size.
+
+    ``zone_backend`` selects the DBM kernel (identical results either
+    way); ``lazy_subsumption`` skips expanding waiting states whose
+    zones were evicted by larger ones — the reduced zone graph is
+    unchanged but the states/transitions tallies shrink, so leave it
+    off when comparing against published seed numbers.
+    """
     explorer = ZoneGraphExplorer(
         network, extra_max_constants=extra_max_constants,
-        max_states=max_states)
+        max_states=max_states, zone_backend=zone_backend,
+        lazy_subsumption=lazy_subsumption)
     keys: set = set()
 
     def visit(state: SymbolicState) -> None:

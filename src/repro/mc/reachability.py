@@ -70,6 +70,11 @@ class StateFormula:
             compiled.protect_clocks(
                 idx for op in clock_ops for idx in op[:2] if idx)
 
+        # One reusable probe zone per compiled predicate: the zone part
+        # of the formula is checked by constraining a scratch copy in
+        # place (fused ops, no per-state allocation).
+        probe_scratch: list = []
+
         def predicate(state: SymbolicState) -> bool:
             for a_idx, loc_idx in loc_tests:
                 if state.locs[a_idx] != loc_idx:
@@ -79,10 +84,12 @@ class StateFormula:
                 if not data_expr.eval(env):
                     return False
             if clock_ops:
-                probe = state.zone.copy()
-                for i, j, bound in clock_ops:
-                    probe.constrain(i, j, bound)
-                if probe.is_empty():
+                if probe_scratch:
+                    probe = probe_scratch[0].copy_from(state.zone)
+                else:
+                    probe = state.zone.copy()
+                    probe_scratch.append(probe)
+                if not probe.constrain_all(clock_ops):
                     return False
             return True
 
@@ -106,6 +113,8 @@ class ReachabilityResult:
     visited: int
     witness: str | None = None
     trace: list[str] | None = None
+    #: Successor computations performed before the verdict.
+    transitions: int = 0
 
     def __bool__(self) -> bool:
         return self.reachable
@@ -123,12 +132,16 @@ def check_reachable(
     extra_max_constants: Mapping[str, int] | None = None,
     max_states: int = 1_000_000,
     free_clock_when_zero: Mapping[str, str] | None = None,
+    zone_backend: str | None = None,
+    lazy_subsumption: bool = False,
 ) -> ReachabilityResult:
     """Decide ``E<> formula`` by forward zone exploration."""
     explorer = ZoneGraphExplorer(
         network, trace=trace, extra_max_constants=extra_max_constants,
         max_states=max_states,
-        free_clock_when_zero=free_clock_when_zero)
+        free_clock_when_zero=free_clock_when_zero,
+        zone_backend=zone_backend,
+        lazy_subsumption=lazy_subsumption)
     predicate = formula.compile(explorer.compiled)
     result: ExplorationResult = explorer.explore(stop=predicate)
     if result.found:
@@ -139,10 +152,11 @@ def check_reachable(
             visited=result.visited,
             witness=explorer.compiled.state_description(result.stopped),
             trace=result.trace,
+            transitions=result.transitions,
         )
     return ReachabilityResult(
         reachable=False, formula=formula.describe(),
-        visited=result.visited)
+        visited=result.visited, transitions=result.transitions)
 
 
 @dataclass
@@ -154,6 +168,8 @@ class SafetyResult:
     visited: int
     counterexample: str | None = None
     trace: list[str] | None = None
+    #: Successor computations performed before the verdict.
+    transitions: int = 0
 
     def __bool__(self) -> bool:
         return self.holds
@@ -170,15 +186,19 @@ def check_safety(
     trace: bool = True,
     extra_max_constants: Mapping[str, int] | None = None,
     max_states: int = 1_000_000,
+    zone_backend: str | None = None,
+    lazy_subsumption: bool = False,
 ) -> SafetyResult:
     """Decide ``A[] ¬bad`` (safety) via the dual reachability query."""
     reach = check_reachable(
         network, bad, trace=trace,
-        extra_max_constants=extra_max_constants, max_states=max_states)
+        extra_max_constants=extra_max_constants, max_states=max_states,
+        zone_backend=zone_backend, lazy_subsumption=lazy_subsumption)
     return SafetyResult(
         holds=not reach.reachable,
         formula=bad.describe(),
         visited=reach.visited,
         counterexample=reach.witness,
         trace=reach.trace,
+        transitions=reach.transitions,
     )

@@ -252,6 +252,12 @@ class CompiledNetwork:
         self.max_constants = self._compute_max_constants(
             extra_max_constants or {})
 
+        # ---- evaluation-environment memo ---------------------------------
+        # One dict per distinct valuation; the explorer looks these up
+        # once per discrete configuration instead of rebuilding them
+        # for every expanded state.  Treat returned dicts as read-only.
+        self._env_cache: dict[tuple[int, ...], dict[str, int]] = {}
+
         # ---- active-clock reduction (Daws & Yovine) -----------------------
         # inactive_clocks[a][l] = tuple of global clock indices of
         # automaton a's local clocks that are irrelevant at location l
@@ -259,6 +265,9 @@ class CompiledNetwork:
         # explorer frees them, collapsing dead timer phases.  Global
         # clocks are never freed (observers read them externally).
         self.inactive_clocks = self._compute_inactive_clocks()
+        #: Bumped by :meth:`protect_clocks`; explorers compare it to
+        #: invalidate successor plans built against stale tables.
+        self.reduction_version = 0
 
     # ------------------------------------------------------------------
     def _automaton_clock_ids(self, auto: Automaton) -> dict[str, int]:
@@ -400,6 +409,7 @@ class CompiledNetwork:
              for per_loc in per_auto]
             for per_auto in self.inactive_clocks
         ]
+        self.reduction_version += 1
 
     # ------------------------------------------------------------------
     # State helpers
@@ -420,10 +430,19 @@ class CompiledNetwork:
             raise ModelError(f"unknown variable {name!r}") from None
 
     def data_env(self, vals: Sequence[int]) -> dict[str, int]:
-        """Evaluation environment for data guards and assignments."""
-        env = dict(self.constants)
-        for name, value in zip(self.var_names, vals):
-            env[name] = value
+        """Evaluation environment for data guards and assignments.
+
+        Memoized per valuation — callers must treat the returned dict
+        as read-only (copy before mutating, as the explorer does for
+        sequential assignment semantics).
+        """
+        key = tuple(vals)
+        env = self._env_cache.get(key)
+        if env is None:
+            env = dict(self.constants)
+            for name, value in zip(self.var_names, key):
+                env[name] = value
+            self._env_cache[key] = env
         return env
 
     def location_name(self, a_idx: int, loc_idx: int) -> str:

@@ -1,5 +1,18 @@
-"""Zone (difference bound matrix) substrate for timed-automata checking."""
+"""Zone (difference bound matrix) substrate for timed-automata checking.
 
+The list-based :class:`DBM` is the portable reference backend; a
+vectorized numpy backend lives in :mod:`repro.zones.dbm_numpy` and is
+auto-selected via :mod:`repro.zones.backend` (``REPRO_ZONE_BACKEND``
+environment variable, ``set_backend`` or the CLI ``--zone-backend``
+flag) when numpy is importable.
+"""
+
+from repro.zones.backend import (
+    ZoneBackend,
+    available_backends,
+    resolve_backend,
+    set_backend,
+)
 from repro.zones.bounds import (
     INF,
     LE_ZERO,
@@ -12,6 +25,7 @@ from repro.zones.bounds import (
     encode,
     negate_weak,
 )
+from repro.zones.common import ZoneMatrix
 from repro.zones.dbm import DBM
 
 __all__ = [
@@ -19,6 +33,9 @@ __all__ = [
     "INF",
     "LE_ZERO",
     "LT_ZERO",
+    "ZoneBackend",
+    "ZoneMatrix",
+    "available_backends",
     "bound_add",
     "bound_as_text",
     "bound_is_weak",
@@ -26,4 +43,6 @@ __all__ = [
     "decode",
     "encode",
     "negate_weak",
+    "resolve_backend",
+    "set_backend",
 ]

@@ -1,0 +1,122 @@
+"""Zone-backend selection: one DBM API, pluggable kernels.
+
+Two interchangeable backends implement the
+:class:`~repro.zones.common.ZoneMatrix` contract:
+
+``reference``
+    The portable list-based :class:`~repro.zones.dbm.DBM` (aliases:
+    ``python``, ``list``).  No dependencies, arbitrary-precision ints.
+``numpy``
+    The vectorized :class:`~repro.zones.dbm_numpy.NumpyDBM`, paired
+    with a batched passed-list store.  Requires numpy.
+
+Selection order for :func:`resolve_backend`:
+
+1. an explicit name passed by the caller (e.g. the explorer's
+   ``zone_backend=`` parameter or the CLI ``--zone-backend`` flag),
+2. a process-wide override installed via :func:`set_backend`,
+3. the ``REPRO_ZONE_BACKEND`` environment variable,
+4. ``auto``: numpy when importable, the reference backend otherwise.
+
+Both backends produce bit-identical matrices, hashes and emptiness
+verdicts (enforced by the differential tests), so switching backends
+never changes verification results — only wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple
+
+from repro.zones.dbm import DBM
+from repro.zones.store import ReferencePassedBucket
+
+__all__ = [
+    "ENV_VAR",
+    "ZoneBackend",
+    "available_backends",
+    "resolve_backend",
+    "set_backend",
+]
+
+ENV_VAR = "REPRO_ZONE_BACKEND"
+
+_ALIASES = {
+    "reference": "reference",
+    "python": "reference",
+    "list": "reference",
+    "numpy": "numpy",
+}
+
+
+class ZoneBackend(NamedTuple):
+    """A DBM implementation plus its matching passed-list store."""
+
+    name: str
+    dbm: type
+    bucket: type
+
+
+_REFERENCE = ZoneBackend("reference", DBM, ReferencePassedBucket)
+_numpy_backend: ZoneBackend | None = None
+_forced: str | None = None
+
+
+def _load_numpy() -> ZoneBackend:
+    global _numpy_backend
+    if _numpy_backend is None:
+        from repro.zones.dbm_numpy import NumpyDBM
+        from repro.zones.store import NumpyPassedBucket
+        _numpy_backend = ZoneBackend("numpy", NumpyDBM, NumpyPassedBucket)
+    return _numpy_backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Canonical names of the backends importable right now."""
+    names = ["reference"]
+    try:
+        _load_numpy()
+    except ImportError:
+        pass
+    else:
+        names.append("numpy")
+    return tuple(names)
+
+
+def set_backend(name: str | None) -> None:
+    """Install a process-wide backend override (``None`` clears it).
+
+    Accepts ``auto``, ``reference`` (aliases ``python``/``list``) or
+    ``numpy``; validation of availability happens at resolve time so
+    an early CLI call cannot crash on a missing optional dependency.
+    """
+    global _forced
+    if name is not None and name != "auto" and name not in _ALIASES:
+        raise ValueError(
+            f"unknown zone backend {name!r} "
+            f"(choose from: auto, {', '.join(sorted(set(_ALIASES)))})")
+    _forced = name
+
+
+def resolve_backend(name: str | None = None) -> ZoneBackend:
+    """Resolve a backend spec (see the module docstring for the order)."""
+    if name is None:
+        name = _forced or os.environ.get(ENV_VAR, "").strip() or "auto"
+    if name == "auto":
+        try:
+            return _load_numpy()
+        except ImportError:
+            return _REFERENCE
+    key = _ALIASES.get(name)
+    if key is None:
+        raise ValueError(
+            f"unknown zone backend {name!r} "
+            f"(choose from: auto, {', '.join(sorted(set(_ALIASES)))})")
+    if key == "numpy":
+        try:
+            return _load_numpy()
+        except ImportError as exc:
+            raise RuntimeError(
+                "the numpy zone backend was requested but numpy is "
+                "not importable") from exc
+    return _REFERENCE

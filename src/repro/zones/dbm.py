@@ -1,4 +1,4 @@
-"""Difference Bound Matrices — the symbolic zone representation.
+"""Difference Bound Matrices — the portable reference zone backend.
 
 A *zone* is a conjunction of clock constraints ``x - y ≺ n``; it is the
 canonical symbolic representation for timed-automata model checking.
@@ -12,6 +12,7 @@ zone-based reachability (Bengtsson & Yi 2003):
 ``close``              Floyd–Warshall canonicalization
 ``close_clock``        incremental O(n²) re-closure after tightening
 ``constrain``          intersection with one constraint
+``constrain_all``      fused constraint sequence with early exit
 ``up``                 delay (future) operator
 ``reset`` / ``assign`` clock reset ``x := c`` and copy ``x := y``
 ``includes``           zone inclusion (on canonical forms)
@@ -20,36 +21,48 @@ zone-based reachability (Bengtsson & Yi 2003):
 
 Instances are small (the framework's PSMs use well under 16 clocks),
 so the matrix is a flat Python list; no numpy dependency is needed and
-arbitrary-precision integers make overflow a non-issue.
+arbitrary-precision integers make overflow a non-issue.  A vectorized
+drop-in replacement lives in :mod:`repro.zones.dbm_numpy`; backends are
+selected via :mod:`repro.zones.backend`.
+
+Allocation discipline (this is the model checker's innermost data
+structure): emptiness is tracked as a flag maintained at tightening
+time (``None`` = unknown, recomputed lazily after raw edits),
+``frozen()`` snapshots are cached on canonical zones and invalidated by
+mutation, and ``copy_from`` overwrites a scratch zone in place so
+successor computation does not churn intermediate matrices.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.zones.bounds import (
     INF,
     LE_ZERO,
     bound_add,
-    bound_as_text,
     bound_value,
-    decode,
     encode,
 )
+from repro.zones.common import ZoneMatrix
 
 __all__ = ["DBM"]
 
 
-class DBM:
+class DBM(ZoneMatrix):
     """A difference bound matrix over ``size`` clocks (clock 0 = reference).
 
     The matrix is kept *canonical* (all-pairs-tightened) by every public
     mutating operation, so equality, hashing and inclusion tests are
     meaningful at all times.  An *empty* zone is represented by a
-    negative diagonal entry; :meth:`is_empty` checks for it.
+    negative diagonal entry; :meth:`is_empty` reports the cached
+    emptiness flag (set when a tightening discovers the contradiction,
+    recomputed lazily after :meth:`set_raw`/:meth:`close`).  The flag is
+    sticky: updating an already-empty zone keeps it empty even when the
+    update happens to overwrite the negative diagonal witness.
     """
 
-    __slots__ = ("size", "_m")
+    __slots__ = ("size", "_m", "_empty", "_frozen")
 
     def __init__(self, size: int, _m: list[int] | None = None):
         if size < 1:
@@ -62,7 +75,11 @@ class DBM:
                 _m[i * size + i] = LE_ZERO
                 _m[0 * size + i] = LE_ZERO  # x0 - xi <= 0  (xi >= 0)
             _m[0] = LE_ZERO
+            self._empty = False
+        else:
+            self._empty = None  # unknown — computed lazily
         self._m = _m
+        self._frozen = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -77,14 +94,28 @@ class DBM:
         """The singleton zone where every clock equals 0."""
         zone = cls(size)
         m = zone._m
-        n = size
-        for i in range(n):
-            for j in range(n):
-                m[i * n + j] = LE_ZERO
+        for k in range(size * size):
+            m[k] = LE_ZERO
         return zone
 
     def copy(self) -> "DBM":
-        return DBM(self.size, list(self._m))
+        clone = DBM.__new__(DBM)
+        clone.size = self.size
+        clone._m = self._m.copy()
+        clone._empty = self._empty
+        clone._frozen = self._frozen
+        return clone
+
+    def copy_from(self, other: "DBM") -> "DBM":
+        """Overwrite this zone in place from a same-size zone.
+
+        The allocation-free counterpart of :meth:`copy`, used to reuse
+        one scratch matrix across an explorer's successor computations.
+        """
+        self._m[:] = other._m
+        self._empty = other._empty
+        self._frozen = other._frozen
+        return self
 
     # ------------------------------------------------------------------
     # Raw access
@@ -100,6 +131,8 @@ class DBM:
         :meth:`close_clock` before using comparison operations.
         """
         self._m[i * self.size + j] = bound
+        self._empty = None
+        self._frozen = None
 
     # ------------------------------------------------------------------
     # Canonical form
@@ -108,6 +141,7 @@ class DBM:
         """Floyd–Warshall all-pairs tightening.  Returns self."""
         n = self.size
         m = self._m
+        self._frozen = None
         for k in range(n):
             row_k = k * n
             for i in range(n):
@@ -122,12 +156,14 @@ class DBM:
                     via = bound_add(d_ik, d_kj)
                     if via < m[row_i + j]:
                         m[row_i + j] = via
+        self._empty = None
         return self
 
     def close_clock(self, x: int) -> "DBM":
         """Re-close after only row/column ``x`` was tightened (O(n²))."""
         n = self.size
         m = self._m
+        self._frozen = None
         for i in range(n):
             d_ix = m[i * n + x]
             row_i = i * n
@@ -140,13 +176,18 @@ class DBM:
                     via = bound_add(d_ix, d_xj)
                     if via < m[row_i + j]:
                         m[row_i + j] = via
+        self._empty = None
         return self
 
     def is_empty(self) -> bool:
         """True when the zone contains no valuation."""
-        n = self.size
-        m = self._m
-        return any(m[i * n + i] < LE_ZERO for i in range(n))
+        empty = self._empty
+        if empty is None:
+            n = self.size
+            m = self._m
+            empty = self._empty = any(
+                m[i * n + i] < LE_ZERO for i in range(n))
+        return empty
 
     # ------------------------------------------------------------------
     # Zone operations
@@ -154,13 +195,18 @@ class DBM:
     def constrain(self, i: int, j: int, bound: int) -> "DBM":
         """Intersect with ``x_i - x_j ≺ bound``.  Returns self.
 
-        Keeps canonical form; emptiness shows on the diagonal.
+        Keeps canonical form; emptiness shows on the diagonal and is
+        recorded in the cached flag the moment the contradiction is
+        discovered.
         """
         n = self.size
         m = self._m
+        self._frozen = None
         # Unsatisfiable together with the existing opposite bound?
-        if bound_add(m[j * n + i], bound) < LE_ZERO:
-            m[i * n + i] = bound_add(m[j * n + i], bound)
+        cross = bound_add(m[j * n + i], bound)
+        if cross < LE_ZERO:
+            m[i * n + i] = cross
+            self._empty = True
             return self
         if bound < m[i * n + j]:
             m[i * n + j] = bound
@@ -183,6 +229,7 @@ class DBM:
         """Delay operator: remove all upper bounds (future closure)."""
         n = self.size
         m = self._m
+        self._frozen = None
         for i in range(1, n):
             m[i * n + 0] = INF
         return self
@@ -191,6 +238,7 @@ class DBM:
         """Assignment ``x := value`` (non-negative integer)."""
         n = self.size
         m = self._m
+        self._frozen = None
         pos = encode(value, True)
         neg = encode(-value, True)
         for j in range(n):
@@ -205,6 +253,7 @@ class DBM:
             return self
         n = self.size
         m = self._m
+        self._frozen = None
         for j in range(n):
             if j != x:
                 m[x * n + j] = m[y * n + j]
@@ -216,6 +265,7 @@ class DBM:
         """Remove all constraints on clock ``x`` (unbounded value)."""
         n = self.size
         m = self._m
+        self._frozen = None
         for j in range(n):
             if j != x:
                 m[x * n + j] = INF
@@ -225,35 +275,28 @@ class DBM:
     # ------------------------------------------------------------------
     # Comparisons
     # ------------------------------------------------------------------
-    def includes(self, other: "DBM") -> bool:
+    def includes(self, other: "ZoneMatrix") -> bool:
         """Zone inclusion ``other ⊆ self`` (both canonical)."""
         if self.size != other.size:
             raise ValueError("DBM size mismatch")
-        mine = self._m
-        theirs = other._m
-        return all(mine[k] >= theirs[k] for k in range(len(mine)))
+        theirs = other._m if type(other) is DBM else other.frozen()
+        for a, b in zip(self._m, theirs):
+            if a < b:
+                return False
+        return True
 
-    def intersects(self, other: "DBM") -> bool:
-        """True when the two zones share at least one valuation."""
-        merged = self.copy()
-        n = self.size
-        for i in range(n):
-            for j in range(n):
-                b = other.get(i, j)
-                if b < merged.get(i, j):
-                    merged.set_raw(i, j, b)
-        merged.close()
-        return not merged.is_empty()
+    def intersects(self, other: "ZoneMatrix") -> bool:
+        """True when the two zones share at least one valuation.
 
-    def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, DBM)
-            and self.size == other.size
-            and self._m == other._m
-        )
-
-    def __hash__(self) -> int:
-        return hash((self.size, tuple(self._m)))
+        Works directly on the raw bound lists: the intersection of two
+        DBMs is the elementwise minimum, re-closed to surface emptiness
+        on the diagonal.
+        """
+        if self.size != other.size:
+            raise ValueError("DBM size mismatch")
+        theirs = other._m if type(other) is DBM else other.frozen()
+        merged = DBM(self.size, list(map(min, self._m, theirs)))
+        return not merged.close().is_empty()
 
     # ------------------------------------------------------------------
     # Abstraction
@@ -289,105 +332,21 @@ class DBM:
                     m[row + j] = encode(-max_consts[j], False)
                     changed = True
         if changed:
+            was_empty = self._empty
+            self._frozen = None
             self.close()
+            # Widening cannot change emptiness: keep the known verdict
+            # instead of forcing a diagonal rescan.
+            if was_empty is not None:
+                self._empty = was_empty
         return self
 
     # ------------------------------------------------------------------
-    # Concrete queries
+    # Snapshots
     # ------------------------------------------------------------------
-    def upper_bound(self, x: int) -> int:
-        """Encoded upper bound of clock ``x`` (``D[x][0]``)."""
-        return self._m[x * self.size + 0]
-
-    def lower_bound(self, x: int) -> int:
-        """Largest lower bound of ``x`` as a non-negative value.
-
-        Decodes ``D[0][x]`` (which encodes ``-lower``); returns the
-        value only — strictness is available via :meth:`get`.
-        """
-        return -bound_value(self._m[0 * self.size + x])
-
-    def contains_point(self, values: Sequence[int]) -> bool:
-        """Membership test for a concrete valuation.
-
-        ``values[i]`` is the value of clock ``i`` for ``i ≥ 1``;
-        ``values[0]`` must be 0 (the reference clock).
-        """
-        if len(values) != self.size:
-            raise ValueError("valuation length must equal DBM size")
-        n = self.size
-        for i in range(n):
-            for j in range(n):
-                b = self._m[i * n + j]
-                if b == INF:
-                    continue
-                bound, weak = decode(b)
-                diff = values[i] - values[j]
-                if diff > bound or (diff == bound and not weak):
-                    return False
-        return True
-
-    def sample_point(self, limit: int = 1 << 20) -> list[int] | None:
-        """A concrete integer valuation inside the zone, if one exists.
-
-        Uses the canonical form: picking each clock at its lower bound
-        (rounded up past strict bounds) and re-tightening is sufficient
-        for the integer zones produced by integer-constant automata.
-        Returns ``None`` for empty zones.
-        """
-        if self.is_empty():
-            return None
-        work = self.copy()
-        values = [0] * self.size
-        for x in range(1, self.size):
-            low = work.get(0, x)
-            value, weak = decode(low)
-            candidate = -value if weak else -value + 1
-            candidate = max(candidate, 0)
-            if candidate > limit:
-                return None
-            work.constrain(x, 0, encode(candidate, True))
-            work.constrain(0, x, encode(-candidate, True))
-            if work.is_empty():
-                return None
-            values[x] = candidate
-        return values
-
-    # ------------------------------------------------------------------
-    # Debug rendering
-    # ------------------------------------------------------------------
-    def as_text(self, clock_names: Sequence[str] | None = None) -> str:
-        """Readable constraint list, e.g. ``x<=5 ∧ x-y<2``."""
-        names = list(clock_names) if clock_names else [
-            "0" if i == 0 else f"x{i}" for i in range(self.size)
-        ]
-        parts: list[str] = []
-        n = self.size
-        for i in range(n):
-            for j in range(n):
-                if i == j:
-                    continue
-                b = self._m[i * n + j]
-                if b == INF:
-                    continue
-                if i == 0:
-                    value, weak = decode(b)
-                    if value == 0 and weak:
-                        continue  # trivial xj >= 0
-                    parts.append(f"{names[j]}>{'=' if weak else ''}{-value}")
-                elif j == 0:
-                    parts.append(f"{names[i]}{bound_as_text(b)}")
-                else:
-                    parts.append(f"{names[i]}-{names[j]}{bound_as_text(b)}")
-        return " ∧ ".join(parts) if parts else "true"
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"DBM({self.as_text()})"
-
     def frozen(self) -> tuple[int, ...]:
-        """Immutable snapshot usable as a dict key."""
-        return tuple(self._m)
-
-    @classmethod
-    def from_frozen(cls, size: int, snapshot: Iterable[int]) -> "DBM":
-        return cls(size, list(snapshot))
+        """Immutable snapshot usable as a dict key (cached)."""
+        snapshot = self._frozen
+        if snapshot is None:
+            snapshot = self._frozen = tuple(self._m)
+        return snapshot

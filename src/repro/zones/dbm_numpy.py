@@ -1,0 +1,404 @@
+"""Vectorized DBM backend on numpy int64 matrices.
+
+Drop-in replacement for the list-based reference backend in
+:mod:`repro.zones.dbm`: same operation set, same encoded-bound algebra
+(:mod:`repro.zones.bounds`), bit-identical matrices — the differential
+tests in ``tests/test_zones_backends.py`` drive random operation
+sequences through both backends and require equal snapshots, emptiness
+verdicts and hashes at every step.
+
+The payoff is in the O(n²) kernel steps (incremental closure after
+``constrain``, ``reset``/``free``/``assign``, Extra_M) and in the
+explorer's passed-list inclusion sweeps
+(:class:`repro.zones.store.NumpyPassedBucket`), which become single
+vectorized comparisons instead of per-element Python loops.
+
+Encoding notes: bounds are ``(value << 1) | weak`` exactly as in
+:mod:`repro.zones.bounds`.  ``INF`` is ``1 << 62``, so int64 holds any
+finite bound the framework produces, but ``INF`` must never flow into
+a vectorized shift/add — every kernel masks infinite entries first and
+re-inserts ``INF`` afterwards (the scalar helpers in ``bounds`` would
+have short-circuited instead).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.zones.bounds import INF, LE_ZERO, bound_add, encode
+from repro.zones.common import ZoneMatrix
+
+__all__ = ["NumpyDBM"]
+
+_off_diagonal_cache: dict[int, np.ndarray] = {}
+
+
+def _off_diagonal(n: int) -> np.ndarray:
+    mask = _off_diagonal_cache.get(n)
+    if mask is None:
+        mask = ~np.eye(n, dtype=bool)
+        mask.setflags(write=False)
+        _off_diagonal_cache[n] = mask
+    return mask
+
+
+class _Workspace:
+    """Reusable per-size scratch buffers for the vectorized kernels.
+
+    The zone engine is single-threaded per process (one explorer at a
+    time inside an exploration loop), so sharing one workspace per
+    matrix size keeps every hot operation allocation-free.  Buffers
+    are consumed within one kernel call — nothing keeps a reference
+    past the call that filled it.
+    """
+
+    __slots__ = ("via", "vals", "mask", "mask2", "mask3", "weak", "vec",
+                 "vecmask")
+
+    def __init__(self, n: int):
+        self.via = np.empty((n, n), dtype=np.int64)
+        self.vals = np.empty((n, n), dtype=np.int64)
+        self.mask = np.empty((n, n), dtype=bool)
+        self.mask2 = np.empty((n, n), dtype=bool)
+        self.mask3 = np.empty((n, n), dtype=bool)
+        self.weak = np.empty((n, n), dtype=np.int64)
+        self.vec = np.empty(n, dtype=np.int64)
+        self.vecmask = np.empty(n, dtype=bool)
+
+
+_workspace_cache: dict[int, _Workspace] = {}
+
+
+def _workspace(n: int) -> _Workspace:
+    ws = _workspace_cache.get(n)
+    if ws is None:
+        ws = _workspace_cache[n] = _Workspace(n)
+    return ws
+
+
+_free_index_cache: dict[tuple[int, ...], tuple[np.ndarray, tuple]] = {}
+
+
+def _free_indices(clocks: tuple[int, ...]) -> tuple[np.ndarray, tuple]:
+    """Cached fancy-index arrays for a static batch of freed clocks."""
+    cached = _free_index_cache.get(clocks)
+    if cached is None:
+        idx = np.array(clocks, dtype=np.intp)
+        cached = _free_index_cache[clocks] = (idx, np.ix_(idx, idx))
+    return cached
+
+
+_ceiling_cache: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _ceiling_arrays(max_consts) -> tuple[np.ndarray, np.ndarray]:
+    """Per-clock ceilings and the matching strict lower-bound encodings."""
+    key = tuple(max_consts)
+    cached = _ceiling_cache.get(key)
+    if cached is None:
+        ceilings = np.array(key, dtype=np.int64)
+        ceilings.setflags(write=False)
+        strict_floor = np.broadcast_to(
+            (-ceilings) << 1, (len(key), len(key)))
+        cached = _ceiling_cache[key] = (ceilings, strict_floor)
+    return cached
+
+
+def _vec_add_scalar(vec: np.ndarray, bound: int) -> np.ndarray:
+    """Vectorized ``bound_add(vec, bound)`` for a finite scalar bound."""
+    finite = vec != INF
+    values = np.where(finite, vec >> 1, 0) + (bound >> 1)
+    out = (values << 1) | (vec & bound & 1)
+    return np.where(finite, out, INF)
+
+
+def _outer_add_into(col: np.ndarray, row: np.ndarray,
+                    ws: _Workspace) -> np.ndarray:
+    """``bound_add`` outer sum ``out[a][b] = col[a] ⊕ row[b]`` into ``ws.via``.
+
+    Infinite operands are masked before the value shift so the packed
+    encoding never overflows int64.
+    """
+    np.bitwise_and((col != INF)[:, None], (row != INF)[None, :],
+                   out=ws.mask)
+    np.add((col >> 1)[:, None], (row >> 1)[None, :], out=ws.vals)
+    np.multiply(ws.vals, ws.mask, out=ws.vals)  # zero masked pre-shift
+    np.bitwise_and((col & 1)[:, None], (row & 1)[None, :], out=ws.weak)
+    np.left_shift(ws.vals, 1, out=ws.vals)
+    np.bitwise_or(ws.vals, ws.weak, out=ws.via)
+    np.logical_not(ws.mask, out=ws.mask2)
+    np.copyto(ws.via, INF, where=ws.mask2)
+    return ws.via
+
+
+class NumpyDBM(ZoneMatrix):
+    """Difference bound matrix stored as an ``(n, n)`` int64 array.
+
+    Semantics are identical to :class:`repro.zones.dbm.DBM`, including
+    the sticky emptiness flag and the cached ``frozen()`` snapshot; see
+    that class for the operation documentation.
+    """
+
+    __slots__ = ("size", "_m", "_empty", "_frozen")
+
+    def __init__(self, size: int, _m=None):
+        if size < 1:
+            raise ValueError("a DBM needs at least the reference clock")
+        self.size = size
+        if _m is None:
+            m = np.full((size, size), INF, dtype=np.int64)
+            m[0, :] = LE_ZERO
+            np.fill_diagonal(m, LE_ZERO)
+            self._empty = False
+        else:
+            m = np.array(_m, dtype=np.int64).reshape(size, size)
+            self._empty = None
+        self._m = m
+        self._frozen = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def universal(cls, size: int) -> "NumpyDBM":
+        """All clock valuations with non-negative clocks."""
+        return cls(size)
+
+    @classmethod
+    def zero(cls, size: int) -> "NumpyDBM":
+        """The singleton zone where every clock equals 0."""
+        zone = cls(size)
+        zone._m.fill(LE_ZERO)
+        return zone
+
+    def copy(self) -> "NumpyDBM":
+        clone = NumpyDBM.__new__(NumpyDBM)
+        clone.size = self.size
+        clone._m = self._m.copy()
+        clone._empty = self._empty
+        clone._frozen = self._frozen
+        return clone
+
+    def copy_from(self, other: "NumpyDBM") -> "NumpyDBM":
+        """Overwrite this zone in place from a same-size zone."""
+        np.copyto(self._m, other._m)
+        self._empty = other._empty
+        self._frozen = other._frozen
+        return self
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def get(self, i: int, j: int) -> int:
+        """Encoded bound of ``x_i - x_j`` as a Python int."""
+        return int(self._m[i, j])
+
+    def set_raw(self, i: int, j: int, bound: int) -> None:
+        """Set an entry without re-closing (see the reference backend)."""
+        self._m[i, j] = bound
+        self._empty = None
+        self._frozen = None
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def close(self) -> "NumpyDBM":
+        """Floyd–Warshall all-pairs tightening.  Returns self."""
+        m = self._m
+        self._frozen = None
+        ws = _workspace(self.size)
+        for k in range(self.size):
+            np.minimum(m, _outer_add_into(m[:, k], m[k, :], ws), out=m)
+        self._empty = None
+        return self
+
+    def close_clock(self, x: int) -> "NumpyDBM":
+        """Re-close after only row/column ``x`` was tightened (O(n²))."""
+        m = self._m
+        self._frozen = None
+        np.minimum(m, _outer_add_into(m[:, x], m[x, :],
+                                      _workspace(self.size)), out=m)
+        self._empty = None
+        return self
+
+    def is_empty(self) -> bool:
+        """True when the zone contains no valuation."""
+        empty = self._empty
+        if empty is None:
+            empty = self._empty = bool(
+                (np.diagonal(self._m) < LE_ZERO).any())
+        return empty
+
+    # ------------------------------------------------------------------
+    # Zone operations
+    # ------------------------------------------------------------------
+    def constrain(self, i: int, j: int, bound: int) -> "NumpyDBM":
+        """Intersect with ``x_i - x_j ≺ bound``.  Returns self."""
+        m = self._m
+        self._frozen = None
+        cross = bound_add(int(m[j, i]), bound)
+        if cross < LE_ZERO:
+            m[i, i] = cross
+            self._empty = True
+            return self
+        if bound < m[i, j]:
+            m[i, j] = bound
+            # Re-close via the two touched clocks: the tightest new
+            # path from a to b uses the fresh (i, j) edge exactly once,
+            # so min(m, col_i ⊕ bound ⊕ row_j) restores canonical form.
+            ws = _workspace(self.size)
+            col = m[:, i]
+            np.not_equal(col, INF, out=ws.vecmask)
+            np.multiply(col >> 1, ws.vecmask, out=ws.vec)
+            ws.vec += bound >> 1
+            np.left_shift(ws.vec, 1, out=ws.vec)
+            np.bitwise_or(ws.vec, col & bound & 1, out=ws.vec)
+            np.logical_not(ws.vecmask, out=ws.vecmask)
+            np.copyto(ws.vec, INF, where=ws.vecmask)
+            np.minimum(m, _outer_add_into(ws.vec, m[j, :], ws), out=m)
+        return self
+
+    def up(self) -> "NumpyDBM":
+        """Delay operator: remove all upper bounds (future closure)."""
+        self._frozen = None
+        self._m[1:, 0] = INF
+        return self
+
+    def reset(self, x: int, value: int = 0) -> "NumpyDBM":
+        """Assignment ``x := value`` (non-negative integer)."""
+        m = self._m
+        self._frozen = None
+        row0 = m[0, :].copy()
+        col0 = m[:, 0].copy()
+        m[x, :] = _vec_add_scalar(row0, encode(value, True))
+        m[:, x] = _vec_add_scalar(col0, encode(-value, True))
+        m[x, x] = LE_ZERO
+        return self
+
+    def assign_clock(self, x: int, y: int) -> "NumpyDBM":
+        """Clock copy ``x := y``."""
+        if x == y:
+            return self
+        m = self._m
+        self._frozen = None
+        row_y = m[y, :].copy()
+        col_y = m[:, y].copy()
+        m[x, :] = row_y
+        m[:, x] = col_y
+        m[x, x] = LE_ZERO
+        return self
+
+    def free(self, x: int) -> "NumpyDBM":
+        """Remove all constraints on clock ``x`` (unbounded value)."""
+        m = self._m
+        self._frozen = None
+        col0 = m[:, 0].copy()
+        diagonal = int(m[x, x])
+        m[x, :] = INF
+        m[:, x] = col0
+        m[x, x] = diagonal
+        return self
+
+    def free_many(self, clocks) -> "NumpyDBM":
+        """Free several clocks at once (≡ sequential :meth:`free` calls).
+
+        One fused kernel for the explorer's per-successor batch of
+        active-clock-reduction and observer frees: freed rows go to
+        ``INF``, freed columns take the pre-free reference column, all
+        pairs of freed clocks decouple to ``INF`` and diagonal entries
+        are preserved — exactly the fixpoint of applying :meth:`free`
+        clock by clock.
+        """
+        if not clocks:
+            return self
+        if len(clocks) == 1:
+            return self.free(clocks[0])
+        m = self._m
+        self._frozen = None
+        idx, ixgrid = _free_indices(tuple(clocks))
+        col0 = m[:, 0].copy()
+        diagonal = m[idx, idx]  # fancy indexing copies
+        m[idx, :] = INF
+        m[:, idx] = col0[:, None]
+        m[ixgrid] = INF
+        m[idx, idx] = diagonal
+        return self
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def _peer_matrix(self, other: "ZoneMatrix") -> np.ndarray:
+        if type(other) is NumpyDBM:
+            return other._m
+        return np.array(other.frozen(),
+                        dtype=np.int64).reshape(self.size, self.size)
+
+    def includes(self, other: "ZoneMatrix") -> bool:
+        """Zone inclusion ``other ⊆ self`` (both canonical)."""
+        if self.size != other.size:
+            raise ValueError("DBM size mismatch")
+        return bool((self._m >= self._peer_matrix(other)).all())
+
+    def intersects(self, other: "ZoneMatrix") -> bool:
+        """True when the two zones share at least one valuation."""
+        if self.size != other.size:
+            raise ValueError("DBM size mismatch")
+        merged = NumpyDBM.__new__(NumpyDBM)
+        merged.size = self.size
+        merged._m = np.minimum(self._m, self._peer_matrix(other))
+        merged._empty = None
+        merged._frozen = None
+        return not merged.close().is_empty()
+
+    # ------------------------------------------------------------------
+    # Abstraction
+    # ------------------------------------------------------------------
+    def extrapolate_max(self, max_consts: Sequence[int]) -> "NumpyDBM":
+        """Extra_M abstraction on per-clock maximum constants."""
+        n = self.size
+        if len(max_consts) != n:
+            raise ValueError("need one max constant per clock")
+        m = self._m
+        ws = _workspace(n)
+        ceilings, strict_floor = _ceiling_arrays(max_consts)
+        # candidates: finite off-diagonal entries.
+        np.not_equal(m, INF, out=ws.mask)
+        np.logical_and(ws.mask, _off_diagonal(n), out=ws.mask)
+        np.right_shift(m, 1, out=ws.vals)
+        # widen_up: value above the row clock's ceiling → INF.
+        np.greater(ws.vals, ceilings[:, None], out=ws.mask2)
+        np.logical_and(ws.mask2, ws.mask, out=ws.mask2)
+        # widen_low: value below the column clock's -ceiling (and not
+        # widened up) → strict floor encode(-max_consts[j], False).
+        np.less(ws.vals, -ceilings[None, :], out=ws.mask3)
+        np.logical_and(ws.mask3, ws.mask, out=ws.mask3)
+        np.logical_not(ws.mask2, out=ws.mask)
+        np.logical_and(ws.mask3, ws.mask, out=ws.mask3)
+        changed = False
+        if ws.mask2.any():
+            np.copyto(m, INF, where=ws.mask2)
+            changed = True
+        if ws.mask3.any():
+            np.copyto(m, strict_floor, where=ws.mask3)
+            changed = True
+        if changed:
+            was_empty = self._empty
+            self._frozen = None
+            self.close()
+            # Widening cannot change emptiness: keep the known verdict
+            # instead of forcing a diagonal rescan.
+            if was_empty is not None:
+                self._empty = was_empty
+        return self
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def frozen(self) -> tuple[int, ...]:
+        """Immutable snapshot usable as a dict key (cached)."""
+        snapshot = self._frozen
+        if snapshot is None:
+            snapshot = self._frozen = tuple(self._m.ravel().tolist())
+        return snapshot

@@ -1,0 +1,156 @@
+"""Passed-list zone stores for subsumption-aware exploration.
+
+The explorer keeps, per discrete state, the antichain of stored zones
+and answers two questions on every candidate successor:
+
+* ``covers(zone)`` — is the candidate already included in a stored
+  zone? (if so it is discarded);
+* ``insert(zone, entry)`` — store the candidate, evicting every stored
+  zone it subsumes and returning the waiting-list entries of the
+  evicted zones so the explorer can mark them dead.
+
+In the seed these were per-zone :meth:`DBM.includes` calls — by far
+the hottest code in every experiment (millions of Python-level matrix
+comparisons).  The buckets here batch the sweep over the whole
+antichain: the reference bucket runs an early-exit elementwise loop
+over the raw bound lists, the numpy bucket keeps the zones stacked in
+one ``(capacity, n²)`` int64 array and answers both questions with a
+single broadcast comparison.
+
+Buckets deliberately reach into the backing storage (``zone._m``) of
+their matching backend — they are the other half of each backend's
+representation, paired with it in :mod:`repro.zones.backend`.  Stored
+zones must never be mutated afterwards (the explorer guarantees this:
+stored zones are freshly materialized and only read from then on).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ReferencePassedBucket", "NumpyPassedBucket"]
+
+
+class ReferencePassedBucket:
+    """Antichain of list-backed DBMs with early-exit inclusion sweeps."""
+
+    __slots__ = ("_rows", "entries")
+
+    def __init__(self):
+        self._rows: list[list[int]] = []
+        self.entries: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def covers(self, zone) -> bool:
+        """True when a stored zone includes ``zone``."""
+        m = zone._m
+        for row in self._rows:
+            for a, b in zip(row, m):
+                if a < b:
+                    break
+            else:
+                return True
+        return False
+
+    def insert(self, zone, entry) -> list:
+        """Store ``zone``; return entries of evicted (subsumed) zones."""
+        m = zone._m
+        evicted: list[Any] = []
+        kept_rows: list[list[int]] = []
+        kept_entries: list[Any] = []
+        for row, stored in zip(self._rows, self.entries):
+            for a, b in zip(m, row):
+                if a < b:
+                    kept_rows.append(row)
+                    kept_entries.append(stored)
+                    break
+            else:
+                evicted.append(stored)
+        kept_rows.append(m)
+        kept_entries.append(entry)
+        self._rows = kept_rows
+        self.entries = kept_entries
+        return evicted
+
+
+class NumpyPassedBucket:
+    """Antichain of numpy-backed DBMs stacked in one comparison array.
+
+    Besides the row stack the bucket keeps two elementwise envelopes
+    as O(n²) prefilters:
+
+    * ``_upper`` — elementwise maximum of the stored rows.  A stored
+      zone can only include a candidate whose every bound lies below
+      the envelope, so a failed ``candidate ≤ upper`` test refutes
+      ``covers`` with one vector comparison.
+    * ``_lower`` — elementwise minimum of the stored rows.  A candidate
+      can only evict a stored zone when it dominates the envelope, so
+      a failed ``candidate ≥ lower`` test skips the eviction sweep.
+
+    Evictions leave the envelopes conservatively wide (they are not
+    recomputed), which keeps them sound as prefilters.
+    """
+
+    __slots__ = ("_np", "_stack", "_count", "_upper", "_lower",
+                 "entries")
+
+    def __init__(self):
+        import numpy
+        self._np = numpy
+        self._stack = None  # (capacity, n²) int64, rows 0.._count valid
+        self._count = 0
+        self._upper = None
+        self._lower = None
+        self.entries: list[Any] = []
+
+    def __len__(self) -> int:
+        return self._count
+
+    def covers(self, zone) -> bool:
+        """True when a stored zone includes ``zone``."""
+        if self._count == 0:
+            return False
+        row = zone._m.reshape(-1)
+        if not (row <= self._upper).all():
+            return False
+        stack = self._stack[:self._count]
+        return bool((stack >= row).all(axis=1).any())
+
+    def insert(self, zone, entry) -> list:
+        """Store ``zone``; return entries of evicted (subsumed) zones."""
+        np = self._np
+        row = zone._m.reshape(-1)
+        count = self._count
+        evicted: list[Any] = []
+        if self._stack is None:
+            self._stack = np.empty((4, row.shape[0]), dtype=np.int64)
+            self._upper = row.copy()
+            self._lower = row.copy()
+        else:
+            if count and (row >= self._lower).all():
+                stack = self._stack[:count]
+                subsumed = (row >= stack).all(axis=1)
+                if subsumed.any():
+                    flags = subsumed.tolist()
+                    evicted = [e for e, dead in zip(self.entries, flags)
+                               if dead]
+                    self.entries = [e for e, dead
+                                    in zip(self.entries, flags)
+                                    if not dead]
+                    keep = ~subsumed
+                    kept = int(keep.sum())
+                    # Fancy indexing copies; in-place compaction is safe.
+                    self._stack[:kept] = stack[keep]
+                    count = kept
+            np.maximum(self._upper, row, out=self._upper)
+            np.minimum(self._lower, row, out=self._lower)
+        if count == self._stack.shape[0]:
+            grown = np.empty((2 * count, row.shape[0]), dtype=np.int64)
+            grown[:count] = self._stack[:count]
+            self._stack = grown
+        self._stack[count] = row
+        self.entries.append(entry)
+        self._count = count + 1
+        return evicted

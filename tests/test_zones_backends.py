@@ -1,0 +1,240 @@
+"""Differential tests: the numpy zone backend against the reference.
+
+Random operation sequences are driven through both backends in
+lockstep; after every step the two matrices must agree bit for bit —
+same ``frozen()`` snapshot, same emptiness verdict, same hash.  Once a
+zone turns empty only the verdict is compared (the incremental-closure
+order on inconsistent matrices is implementation-defined; emptiness is
+sticky in both backends).
+
+Also covers the backend registry (selection rules, env var, aliases)
+and the passed-list buckets that pair with each backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.zones.backend import (
+    available_backends,
+    resolve_backend,
+    set_backend,
+)
+from repro.zones.bounds import encode
+from repro.zones.dbm import DBM
+from repro.zones.dbm_numpy import NumpyDBM
+from repro.zones.store import NumpyPassedBucket, ReferencePassedBucket
+
+SIZE = 4
+MAX_CONST = 8
+
+
+def _op_strategy():
+    constrain = st.tuples(
+        st.just("constrain"),
+        st.integers(0, SIZE - 1),
+        st.integers(0, SIZE - 1),
+        st.integers(-MAX_CONST, MAX_CONST),
+        st.booleans(),
+    ).filter(lambda t: t[1] != t[2])
+    reset = st.tuples(st.just("reset"), st.integers(1, SIZE - 1),
+                      st.integers(0, MAX_CONST))
+    assign = st.tuples(st.just("assign"), st.integers(1, SIZE - 1),
+                       st.integers(1, SIZE - 1))
+    free = st.tuples(st.just("free"), st.integers(1, SIZE - 1))
+    free_many = st.tuples(
+        st.just("free_many"),
+        st.lists(st.integers(1, SIZE - 1), min_size=1, max_size=SIZE - 1,
+                 unique=True))
+    extrapolate = st.tuples(
+        st.just("extrapolate"),
+        st.lists(st.integers(0, MAX_CONST), min_size=SIZE - 1,
+                 max_size=SIZE - 1))
+    simple = st.sampled_from([("up",), ("close",)])
+    return st.one_of(constrain, reset, assign, free, free_many,
+                     extrapolate, simple)
+
+
+def _apply(zone, op):
+    kind = op[0]
+    if kind == "constrain":
+        zone.constrain(op[1], op[2], encode(op[3], op[4]))
+    elif kind == "reset":
+        zone.reset(op[1], op[2])
+    elif kind == "assign":
+        zone.assign_clock(op[1], op[2])
+    elif kind == "free":
+        zone.free(op[1])
+    elif kind == "free_many":
+        zone.free_many(tuple(op[1]))
+    elif kind == "extrapolate":
+        zone.extrapolate_max([0, *op[1]])
+    elif kind == "up":
+        zone.up()
+    else:
+        zone.close()
+
+
+def _assert_lockstep(ops, start):
+    reference = start(DBM)
+    vectorized = start(NumpyDBM)
+    for op in ops:
+        _apply(reference, op)
+        _apply(vectorized, op)
+        assert reference.is_empty() == vectorized.is_empty(), op
+        if reference.is_empty():
+            return
+        assert reference.frozen() == vectorized.frozen(), op
+        assert hash(reference) == hash(vectorized)
+        assert reference == vectorized
+        assert reference.includes(vectorized)
+        assert vectorized.includes(reference)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op_strategy(), min_size=1, max_size=24))
+def test_backends_agree_from_zero(ops):
+    _assert_lockstep(ops, lambda cls: cls.zero(SIZE))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op_strategy(), min_size=1, max_size=24))
+def test_backends_agree_from_universal(ops):
+    _assert_lockstep(ops, lambda cls: cls.universal(SIZE))
+
+
+def test_backends_agree_long_random_walk():
+    """Seeded high-volume sweep complementing the hypothesis runs."""
+    rng = random.Random(2015)
+    for _ in range(300):
+        n = rng.randint(2, 7)
+        a, b = DBM.zero(n), NumpyDBM.zero(n)
+        for _ in range(rng.randint(1, 30)):
+            kind = rng.choice(
+                ["constrain", "up", "reset", "assign", "free",
+                 "free_many", "extrapolate", "close"])
+            if kind == "constrain":
+                i, j = rng.sample(range(n), 2)
+                op = ("constrain", i, j, rng.randint(-8, 8),
+                      rng.random() < 0.5)
+            elif kind == "reset":
+                op = ("reset", rng.randint(1, n - 1), rng.randint(0, 6))
+            elif kind == "assign":
+                op = ("assign", rng.randint(1, n - 1),
+                      rng.randint(1, n - 1))
+            elif kind == "free":
+                op = ("free", rng.randint(1, n - 1))
+            elif kind == "free_many":
+                op = ("free_many",
+                      rng.sample(range(1, n), rng.randint(1, n - 1)))
+            elif kind == "extrapolate":
+                op = ("extrapolate",
+                      [rng.randint(0, 8) for _ in range(n - 1)])
+            else:
+                op = (kind,)
+            _apply(a, op)
+            _apply(b, op)
+            assert a.is_empty() == b.is_empty(), op
+            if a.is_empty():
+                break
+            assert a.frozen() == b.frozen(), op
+            assert hash(a) == hash(b)
+
+
+def test_cross_backend_comparisons():
+    a = DBM.universal(3)
+    a.constrain(1, 0, encode(5, True))
+    b = NumpyDBM.universal(3)
+    b.constrain(1, 0, encode(5, True))
+    assert a == b and b == a
+    assert a.includes(b) and b.includes(a)
+    assert a.intersects(b) and b.intersects(a)
+    wider = NumpyDBM.universal(3)
+    assert wider.includes(a)
+    assert not a.includes(wider)
+
+
+def test_numpy_roundtrip_and_sampling():
+    zone = NumpyDBM.universal(3)
+    zone.constrain(1, 0, encode(10, True))
+    zone.constrain(0, 1, encode(-3, True))
+    again = NumpyDBM.from_frozen(3, zone.frozen())
+    assert again == zone
+    point = zone.sample_point()
+    assert point is not None and zone.contains_point(point)
+    assert DBM.from_frozen(3, zone.frozen()) == zone
+
+
+# ----------------------------------------------------------------------
+# Passed-list buckets
+# ----------------------------------------------------------------------
+def _random_zone(cls, rng, n):
+    zone = cls.universal(n)
+    for _ in range(rng.randint(0, 5)):
+        i, j = rng.sample(range(n), 2)
+        zone.constrain(i, j, encode(rng.randint(0, 8), True))
+        if zone.is_empty():
+            return _random_zone(cls, rng, n)
+    return zone
+
+
+def test_buckets_agree_with_reference():
+    rng = random.Random(7)
+    n = 4
+    for _ in range(60):
+        ref_bucket = ReferencePassedBucket()
+        np_bucket = NumpyPassedBucket()
+        for step in range(rng.randint(1, 20)):
+            seed_state = rng.getstate()
+            ref_zone = _random_zone(DBM, rng, n)
+            rng.setstate(seed_state)
+            np_zone = _random_zone(NumpyDBM, rng, n)
+            assert ref_zone == np_zone
+            assert ref_bucket.covers(ref_zone) == \
+                np_bucket.covers(np_zone)
+            if ref_bucket.covers(ref_zone):
+                continue
+            ref_evicted = ref_bucket.insert(ref_zone, f"e{step}")
+            np_evicted = np_bucket.insert(np_zone, f"e{step}")
+            assert ref_evicted == np_evicted
+            assert len(ref_bucket) == len(np_bucket)
+            assert ref_bucket.entries == np_bucket.entries
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+def test_available_backends_include_both():
+    assert available_backends() == ("reference", "numpy")
+
+
+def test_resolve_names_and_aliases():
+    assert resolve_backend("numpy").dbm is NumpyDBM
+    for alias in ("reference", "python", "list"):
+        assert resolve_backend(alias).dbm is DBM
+    assert resolve_backend("auto").dbm is NumpyDBM  # numpy importable
+    with pytest.raises(ValueError, match="unknown zone backend"):
+        resolve_backend("fortran")
+
+
+def test_env_var_and_forced_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_ZONE_BACKEND", "reference")
+    assert resolve_backend().dbm is DBM
+    set_backend("numpy")
+    try:
+        # A forced backend wins over the environment variable.
+        assert resolve_backend().dbm is NumpyDBM
+    finally:
+        set_backend(None)
+    assert resolve_backend().dbm is DBM
+    monkeypatch.delenv("REPRO_ZONE_BACKEND")
+    assert resolve_backend().dbm is NumpyDBM
+    with pytest.raises(ValueError):
+        set_backend("no-such-backend")
