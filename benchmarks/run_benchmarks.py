@@ -2,16 +2,22 @@
 
 Runs the model-checking workloads that dominate every experiment
 (zone-graph construction for the tiny and case-study PSMs, the REQ1
-violation search) on every available zone backend and writes
-``BENCH_<YYYYMMDD>.json`` with states, transitions and wall time per
-benchmark.  Committing the file gives each PR a comparable perf
-record; the pytest-benchmark suite (``pytest benchmarks/``) remains
-the statistically careful harness.
+violation search, the batched paper-query suite) on every available
+zone backend — sequentially and through the sharded parallel explorer
+— and writes ``BENCH_<YYYYMMDD>.json`` with states, transitions and
+wall time per benchmark.  Committing the file gives each PR a
+comparable perf record; the pytest-benchmark suite
+(``pytest benchmarks/``) remains the statistically careful harness.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
-        [--out DIR] [--backends numpy reference]
+        [--out DIR] [--backends numpy reference] [--jobs 1 4]
+
+    # CI regression gate: re-run the headline workloads and fail on a
+    # >25% slowdown of bench_s1_case_study_psm vs a committed record
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --check BENCH_20260727.json
 
 ``--quick`` skips the case-study workloads (~seconds instead of
 ~minutes on the pure-Python backend).
@@ -31,11 +37,22 @@ from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
 from repro.apps.schemes import case_study_scheme
 from repro.core.transform import transform
 from repro.mc.observers import check_bounded_response
-from repro.mc.queries import zone_graph_stats
+from repro.mc.queries import (
+    BoundedResponseQuery,
+    ResponseSupQuery,
+    StatsQuery,
+    check_many,
+    zone_graph_stats,
+)
 from repro.zones.backend import available_backends
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from tests.conftest import build_tiny_pim, build_tiny_scheme  # noqa: E402
+
+#: The regression gate guards this benchmark (the paper's S1 workload).
+HEADLINE = "bench_s1_case_study_psm"
+#: Allowed slowdown in ``--check`` mode before the gate fails.
+REGRESSION_TOLERANCE = 1.25
 
 
 def _timed(fn):
@@ -55,15 +72,30 @@ def _record(results, name, backend, states, transitions, seconds,
     }
     entry.update(extra)
     results.append(entry)
-    print(f"  {name:32s} [{backend:9s}] states={states:>7} "
+    jobs = extra.get("jobs")
+    tag = f"{backend}:j{jobs}" if jobs else backend
+    print(f"  {name:32s} [{tag:11s}] states={states:>7} "
           f"transitions={transitions:>7} {seconds:8.3f}s")
 
 
-def run_suite(backends, quick: bool) -> list[dict]:
+def _case_study_network():
+    return transform(build_infusion_pim(), case_study_scheme()).network
+
+
+def _paper_query_batch():
+    """The paper's query set: S1 stats, REQ1 violation, M-C sup."""
+    return [
+        StatsQuery(),
+        BoundedResponseQuery("m_BolusReq", "c_StartInfusion",
+                             REQ1_DEADLINE_MS),
+        ResponseSupQuery("m_BolusReq", "c_StartInfusion"),
+    ]
+
+
+def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
     results: list[dict] = []
     tiny = transform(build_tiny_pim(), build_tiny_scheme()).network
-    case_study = None if quick else transform(
-        build_infusion_pim(), case_study_scheme()).network
+    case_study = None if quick else _case_study_network()
 
     for backend in backends:
         stats, seconds = _timed(
@@ -71,28 +103,108 @@ def run_suite(backends, quick: bool) -> list[dict]:
         _record(results, "s1_zone_graph_tiny", backend,
                 stats.states, stats.transitions, seconds)
 
-        if case_study is not None:
-            stats, seconds = _timed(lambda: zone_graph_stats(
-                case_study, zone_backend=backend))
-            _record(results, "bench_s1_case_study_psm", backend,
-                    stats.states, stats.transitions, seconds)
+        if case_study is None:
+            continue
 
-            stats, seconds = _timed(lambda: zone_graph_stats(
-                case_study, zone_backend=backend,
-                lazy_subsumption=True))
-            _record(results, "s1_case_study_psm_lazy", backend,
-                    stats.states, stats.transitions, seconds,
-                    lazy_subsumption=True)
+        stats, seconds = _timed(lambda: zone_graph_stats(
+            case_study, zone_backend=backend))
+        _record(results, HEADLINE, backend,
+                stats.states, stats.transitions, seconds)
 
-            verdict, seconds = _timed(lambda: check_bounded_response(
-                case_study, "m_BolusReq", "c_StartInfusion",
-                REQ1_DEADLINE_MS, zone_backend=backend))
-            assert not verdict.holds, \
-                "REQ1 must be violated on the case-study PSM"
-            _record(results, "req1_psm_violation", backend,
-                    verdict.visited, verdict.transitions, seconds,
-                    holds=verdict.holds)
+        if backend == "numpy":
+            for jobs in jobs_list:
+                sharded, seconds = _timed(lambda: zone_graph_stats(
+                    case_study, zone_backend=backend, jobs=jobs))
+                assert (sharded.states, sharded.transitions) == \
+                    (stats.states, stats.transitions), \
+                    "sharded exploration diverged from sequential"
+                _record(results, HEADLINE, backend,
+                        sharded.states, sharded.transitions, seconds,
+                        jobs=jobs)
+
+        lazy, seconds = _timed(lambda: zone_graph_stats(
+            case_study, zone_backend=backend,
+            lazy_subsumption=True))
+        _record(results, "s1_case_study_psm_lazy", backend,
+                lazy.states, lazy.transitions, seconds,
+                lazy_subsumption=True)
+
+        verdict, seconds = _timed(lambda: check_bounded_response(
+            case_study, "m_BolusReq", "c_StartInfusion",
+            REQ1_DEADLINE_MS, zone_backend=backend))
+        assert not verdict.holds, \
+            "REQ1 must be violated on the case-study PSM"
+        _record(results, "req1_psm_violation", backend,
+                verdict.visited, verdict.transitions, seconds,
+                holds=verdict.holds)
+
+        if backend == "numpy":
+            jobs = jobs_list[-1] if jobs_list else None
+            outcome, seconds = _timed(lambda: check_many(
+                case_study, _paper_query_batch(),
+                zone_backend=backend, jobs=jobs))
+            assert outcome.explorations == 1, \
+                "the paper query batch must share one exploration"
+            assert not outcome.results[1].holds
+            _record(results, "paper_queries_check_many", backend,
+                    outcome.visited, outcome.transitions, seconds,
+                    jobs=jobs, explorations=outcome.explorations,
+                    mc_sup=outcome.results[2].sup)
     return results
+
+
+# ----------------------------------------------------------------------
+# Regression gate (--check)
+# ----------------------------------------------------------------------
+def run_check(baseline_path: Path, repeats: int = 3) -> int:
+    """Re-run the headline workloads; fail on a >25% regression.
+
+    Each workload runs ``repeats`` times and the best wall time
+    counts — single runs on shared CI boxes jitter by far more than
+    the 25% tolerance the gate is meant to catch.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    targets = [entry for entry in baseline["results"]
+               if entry["benchmark"] == HEADLINE
+               and entry["backend"] == "numpy"]
+    if not targets:
+        print(f"error: {baseline_path} has no numpy "
+              f"{HEADLINE!r} rows to check against", file=sys.stderr)
+        return 2
+
+    case_study = _case_study_network()
+    failures = []
+    for entry in targets:
+        jobs = entry.get("jobs")
+        seconds = None
+        for _ in range(repeats):
+            stats, elapsed = _timed(lambda: zone_graph_stats(
+                case_study, zone_backend="numpy", jobs=jobs))
+            seconds = elapsed if seconds is None \
+                else min(seconds, elapsed)
+        tag = f"numpy:j{jobs}" if jobs else "numpy"
+        ratio = seconds / entry["seconds"]
+        status = "ok" if ratio <= REGRESSION_TOLERANCE else "REGRESSED"
+        print(f"  {HEADLINE:32s} [{tag:11s}] {seconds:7.3f}s vs "
+              f"{entry['seconds']:7.3f}s  x{ratio:4.2f}  {status}")
+        if (stats.states, stats.transitions) != \
+                (entry["states"], entry["transitions"]):
+            failures.append(
+                f"{tag}: states/transitions "
+                f"{stats.states}/{stats.transitions} != recorded "
+                f"{entry['states']}/{entry['transitions']}")
+        if ratio > REGRESSION_TOLERANCE:
+            failures.append(
+                f"{tag}: {seconds:.3f}s is {ratio:.2f}x the recorded "
+                f"{entry['seconds']:.3f}s "
+                f"(tolerance {REGRESSION_TOLERANCE}x)")
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf regression gate passed")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,11 +217,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backends", nargs="+", default=None,
                         help="zone backends to run "
                              "(default: all available)")
+    parser.add_argument("--jobs", nargs="+", type=int, default=[1, 4],
+                        help="sharded-explorer worker counts to "
+                             "benchmark on the numpy backend "
+                             "(default: 1 4)")
+    parser.add_argument("--check", type=Path, metavar="BENCH.json",
+                        help="regression-gate mode: re-run the "
+                             "headline workloads and fail on a >25%% "
+                             "slowdown vs this record")
     args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return run_check(args.check)
 
     backends = args.backends or list(available_backends())
     print(f"zone backends: {', '.join(backends)}")
-    results = run_suite(backends, quick=args.quick)
+    results = run_suite(backends, quick=args.quick, jobs_list=args.jobs)
 
     try:
         import numpy
@@ -117,15 +240,19 @@ def main(argv: list[str] | None = None) -> int:
     except ImportError:
         numpy_version = None
     payload = {
-        "schema": 1,
+        "schema": 2,
         "generated": _dt.date.today().isoformat(),
         "python": platform.python_version(),
         "numpy": numpy_version,
         "quick": args.quick,
         "results": results,
     }
+    # Quick runs get their own file: a fast iteration must never
+    # clobber the committed full record for the same date.
+    suffix = "-quick" if args.quick else ""
     out_path = (args.out
-                / f"BENCH_{_dt.date.today().strftime('%Y%m%d')}.json")
+                / f"BENCH_{_dt.date.today().strftime('%Y%m%d')}"
+                  f"{suffix}.json")
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
     return 0

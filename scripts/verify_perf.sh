@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Perf regression gate, callable from `verify` tooling/CI.
+#
+# Re-runs the headline zone-graph benchmark (bench_s1_case_study_psm,
+# numpy backend, sequential + sharded jobs variants) and fails when any
+# variant is >25% slower than the newest committed BENCH_<date>.json —
+# or when states/transitions stop being bit-identical to the record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+latest=$(ls BENCH_*.json 2>/dev/null | grep -v -- '-quick' | sort | tail -1)
+if [[ -z "${latest}" ]]; then
+    echo "verify_perf: no committed BENCH_<date>.json found" >&2
+    exit 2
+fi
+
+echo "verify_perf: checking against ${latest}"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python benchmarks/run_benchmarks.py --check "${latest}"

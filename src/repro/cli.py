@@ -23,6 +23,7 @@ from repro.apps.schemes import case_study_scheme
 from repro.core.framework import TimingVerificationFramework
 from repro.core.scheme import ReadPolicy
 from repro.core.transform import transform
+from repro.mc.parallel import set_default_jobs
 from repro.ta.render import network_summary, network_to_dot
 from repro.ta.uppaal import network_to_uppaal_xml
 from repro.zones.backend import set_backend
@@ -117,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="DBM kernel for all model checking (default: auto — "
              "numpy when importable, else the pure-Python reference; "
              "also settable via REPRO_ZONE_BACKEND)")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for sharded parallel exploration (threads "
+             "on the numpy backend, processes on the reference one; "
+             "N=1 still enables the batched wave pipeline; default: "
+             "sequential engine; also settable via REPRO_JOBS)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_verify = sub.add_parser("verify", help="full verification pipeline")
@@ -161,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.zone_backend is not None:
         set_backend(args.zone_backend)
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
     return args.fn(args)
 
 

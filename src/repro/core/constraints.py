@@ -61,7 +61,8 @@ class ConstraintResult:
 
 
 def _flags_reachable(psm: PSM, flags: list[str], what: str, *,
-                     max_states: int) -> ConstraintResult:
+                     max_states: int,
+                     jobs: int | None = None) -> ConstraintResult:
     """Shared machinery: is any of the given flags settable?"""
     flags = [f for f in flags if f]
     if not flags:
@@ -70,7 +71,7 @@ def _flags_reachable(psm: PSM, flags: list[str], what: str, *,
             detail="no applicable flags (mechanism not used)")
     condition = " || ".join(f"{flag} == 1" for flag in flags)
     reach = check_reachable(psm.network, StateFormula(data=condition),
-                            max_states=max_states)
+                            max_states=max_states, jobs=jobs)
     if reach.reachable:
         return ConstraintResult(
             constraint=what, holds=False,
@@ -172,7 +173,8 @@ def check_all_constraints(psm: PSM, *,
                           min_interarrival_ms: int | None = None,
                           include_progress: bool = False,
                           single_pass: bool = True,
-                          max_states: int = 1_000_000) -> ConstraintReport:
+                          max_states: int = 1_000_000,
+                          jobs: int | None = None) -> ConstraintReport:
     """Run Constraints 1–4 (plus the optional progress sanity check).
 
     With ``single_pass`` (the default) one full exploration evaluates
@@ -196,15 +198,17 @@ def check_all_constraints(psm: PSM, *,
         return report
     report.results.extend(_single_pass_constraints(
         psm, min_interarrival_ms=min_interarrival_ms,
-        max_states=max_states))
+        max_states=max_states, jobs=jobs))
     return report
 
 
 def _single_pass_constraints(psm: PSM, *,
                              min_interarrival_ms: int | None,
-                             max_states: int) -> list[ConstraintResult]:
+                             max_states: int,
+                             jobs: int | None = None,
+                             ) -> list[ConstraintResult]:
     """One exploration deciding Constraints 1–4 together."""
-    from repro.mc.explorer import ZoneGraphExplorer
+    from repro.mc.parallel import make_explorer
 
     groups: dict[str, list[str]] = {
         "Constraint 1 (detection of all input signals)":
@@ -216,7 +220,8 @@ def _single_pass_constraints(psm: PSM, *,
         "Constraint 4 (no internal-transition interference)":
             [psm.code_drop_flag],
     }
-    explorer = ZoneGraphExplorer(psm.network, max_states=max_states)
+    explorer = make_explorer(psm.network, jobs=jobs,
+                             max_states=max_states)
     compiled = explorer.compiled
     positions = {
         flag: compiled.var_pos(flag)

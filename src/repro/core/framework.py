@@ -27,9 +27,6 @@ from repro.core.delays import (
     analytic_input_delay_bound,
     analytic_output_delay_bound,
     internal_delay,
-    symbolic_input_delay,
-    symbolic_mc_delay,
-    symbolic_output_delay,
 )
 from repro.core.pim import PIM
 from repro.core.psm import PSM
@@ -115,10 +112,17 @@ class VerificationReport:
 
 
 class TimingVerificationFramework:
-    """Front door of the library: PIM + scheme + requirement → report."""
+    """Front door of the library: PIM + scheme + requirement → report.
 
-    def __init__(self, *, max_states: int = 1_000_000):
+    ``jobs`` selects the sharded parallel explorer for every model-
+    checking step (``None`` keeps the sequential engine; results are
+    identical either way).
+    """
+
+    def __init__(self, *, max_states: int = 1_000_000,
+                 jobs: int | None = None):
         self.max_states = max_states
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
     def verify_pim(self, pim: PIM, input_channel: str,
@@ -127,7 +131,7 @@ class TimingVerificationFramework:
         """Step 1: ``PIM ⊨ P(Δ_mc)``?"""
         return check_bounded_response(
             pim.network, input_channel, output_channel, deadline_ms,
-            max_states=self.max_states)
+            max_states=self.max_states, jobs=self.jobs)
 
     def transform(self, pim: PIM,
                   scheme: ImplementationScheme) -> PSM:
@@ -142,14 +146,15 @@ class TimingVerificationFramework:
         return check_all_constraints(
             psm, min_interarrival_ms=min_interarrival_ms,
             include_progress=include_progress,
-            max_states=self.max_states)
+            max_states=self.max_states, jobs=self.jobs)
 
     def derive_bounds(self, pim: PIM, scheme: ImplementationScheme,
                       input_channel: str,
                       output_channel: str) -> DelayBounds:
         """Step 4: Lemma 1 bounds + the PIM's internal sup (Lemma 2)."""
         internal = internal_delay(pim, input_channel, output_channel,
-                                  max_states=self.max_states)
+                                  max_states=self.max_states,
+                                  jobs=self.jobs)
         if not internal.bounded:
             raise ValueError(
                 f"internal {input_channel}→{output_channel} delay is "
@@ -169,19 +174,46 @@ class TimingVerificationFramework:
         """Steps 5/6: ``PSM ⊨ P(Δ)`` for any deadline."""
         return check_bounded_response(
             psm.network, input_channel, output_channel, deadline_ms,
-            max_states=self.max_states)
+            max_states=self.max_states, jobs=self.jobs)
+
+    def verify_psm_deadlines(self, psm: PSM, input_channel: str,
+                             output_channel: str,
+                             deadlines_ms: list[int],
+                             ) -> list[BoundedResponseResult]:
+        """Steps 5+6 fused: every deadline from one shared sweep."""
+        from repro.mc.queries import BoundedResponseQuery, check_many
+
+        outcome = check_many(
+            psm.network,
+            [BoundedResponseQuery(input_channel, output_channel,
+                                  deadline)
+             for deadline in deadlines_ms],
+            max_states=self.max_states, jobs=self.jobs)
+        return list(outcome.results)
 
     def measure_psm(self, psm: PSM, input_channel: str,
                     output_channel: str) -> dict[str, DelayBound]:
-        """Exact suprema on the PSM (diagnostics / Lemma-1 validation)."""
+        """Exact suprema on the PSM (diagnostics / Lemma-1 validation).
+
+        The three sups share one multi-observer exploration; values
+        are identical to the individual :func:`max_response_delay`
+        runs in :mod:`repro.core.delays`.
+        """
+        from repro.mc.queries import ResponseSupQuery, check_many
+
+        outcome = check_many(
+            psm.network,
+            [ResponseSupQuery(input_channel,
+                              psm.io_name(input_channel)),
+             ResponseSupQuery(psm.io_name(output_channel),
+                              output_channel),
+             ResponseSupQuery(input_channel, output_channel)],
+            trace=False, max_states=self.max_states, jobs=self.jobs)
+        input_sup, output_sup, mc_sup = outcome.results
         return {
-            "Input-Delay": symbolic_input_delay(
-                psm, input_channel, max_states=self.max_states),
-            "Output-Delay": symbolic_output_delay(
-                psm, output_channel, max_states=self.max_states),
-            "M-C delay": symbolic_mc_delay(
-                psm, input_channel, output_channel,
-                max_states=self.max_states),
+            "Input-Delay": input_sup,
+            "Output-Delay": output_sup,
+            "M-C delay": mc_sup,
         }
 
     # ------------------------------------------------------------------
@@ -204,10 +236,12 @@ class TimingVerificationFramework:
             include_progress=include_progress)
         report.bounds = self.derive_bounds(
             pim, scheme, input_channel, output_channel)
-        report.psm_original_result = self.verify_psm(
-            psm, input_channel, output_channel, deadline_ms)
-        report.psm_relaxed_result = self.verify_psm(
-            psm, input_channel, output_channel, report.bounds.relaxed)
+        # Steps 5 and 6 ask about the same (m, c) pair — one shared
+        # sweep answers both deadlines.
+        report.psm_original_result, report.psm_relaxed_result = \
+            self.verify_psm_deadlines(
+                psm, input_channel, output_channel,
+                [deadline_ms, report.bounds.relaxed])
         if measure_suprema:
             report.symbolic = self.measure_psm(
                 psm, input_channel, output_channel)

@@ -6,8 +6,10 @@ Public API:
 * :func:`check_bounded_response` — the paper's ``P(Δ)`` properties
 * :func:`max_response_delay` — exact sup of a trigger→response delay
 * :func:`sup_clock` — generic clock suprema
+* :func:`check_many` — one shared exploration answering a query batch
 * :func:`find_deadlocks` — stuck-state detection
 * :class:`ZoneGraphExplorer` — the underlying engine
+* :class:`ShardedZoneGraphExplorer` — its parallel twin (``jobs=``)
 """
 
 from repro.mc.deadlock import DeadlockReport, find_deadlocks
@@ -25,7 +27,24 @@ from repro.mc.observers import (
     instrument_response,
     max_response_delay,
 )
-from repro.mc.queries import ZoneGraphStats, sup_clock, zone_graph_stats
+from repro.mc.parallel import (
+    ShardedZoneGraphExplorer,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.mc.queries import (
+    BatchOutcome,
+    BoundedResponseQuery,
+    ClockSupQuery,
+    ReachQuery,
+    ResponseSupQuery,
+    SafetyQuery,
+    StatsQuery,
+    ZoneGraphStats,
+    check_many,
+    sup_clock,
+    zone_graph_stats,
+)
 from repro.mc.reachability import (
     ReachabilityResult,
     SafetyResult,
@@ -39,7 +58,15 @@ from repro.mc.traces import format_trace, trace_channels
 __all__ = [
     "OBS_CLOCK",
     "OBS_FLAG",
+    "BatchOutcome",
+    "BoundedResponseQuery",
     "BoundedResponseResult",
+    "ClockSupQuery",
+    "ReachQuery",
+    "ResponseSupQuery",
+    "SafetyQuery",
+    "ShardedZoneGraphExplorer",
+    "StatsQuery",
     "CompiledNetwork",
     "DeadlockReport",
     "DelayBound",
@@ -52,10 +79,13 @@ __all__ = [
     "ZoneGraphExplorer",
     "ZoneGraphStats",
     "check_bounded_response",
+    "check_many",
     "check_reachable",
     "check_safety",
     "find_deadlocks",
     "format_trace",
+    "resolve_jobs",
+    "set_default_jobs",
     "instrument_response",
     "max_response_delay",
     "sup_clock",

@@ -58,11 +58,28 @@ __all__ = [
     "ExplorationLimit",
     "ExplorationResult",
     "ZoneGraphExplorer",
+    "exploration_count",
 ]
 
 
 class ExplorationLimit(Exception):
     """Raised when the state-space budget is exhausted."""
+
+
+#: Process-wide tally of exploration runs (sequential and sharded).
+#: The shared-exploration query planner asserts against it: a batch of
+#: queries compiled into one sweep must bump this exactly once.
+_EXPLORATIONS = 0
+
+
+def exploration_count() -> int:
+    """How many zone-graph explorations this process has started."""
+    return _EXPLORATIONS
+
+
+def _count_exploration() -> None:
+    global _EXPLORATIONS
+    _EXPLORATIONS += 1
 
 
 @dataclass
@@ -118,11 +135,15 @@ class _MovePlan:
 
 
 class _WaitEntry:
-    """Waiting-list node; ``alive`` is cleared when the zone is evicted."""
+    """Waiting-list node; ``alive`` is cleared when the zone is evicted.
+
+    Shared with the sharded explorer, which creates entries before a
+    candidate's state is materialized (hence the ``None`` default).
+    """
 
     __slots__ = ("state", "alive")
 
-    def __init__(self, state: SymbolicState):
+    def __init__(self, state: SymbolicState | None = None):
         self.state = state
         self.alive = True
 
@@ -184,6 +205,10 @@ class ZoneGraphExplorer:
             self._conditional_free.append(
                 (self.compiled.var_pos(flag),
                  self.compiled.clock_id_by_name(clock)))
+        #: Parent links of the most recent traced exploration
+        #: (``{node_id: (parent_id | None, label)}``); lets the query
+        #: planner rebuild one trace per observer after a shared sweep.
+        self.parents: dict[_NodeId, tuple[_NodeId | None, str]] = {}
 
     # ------------------------------------------------------------------
     def initial_state(self) -> SymbolicState:
@@ -295,16 +320,20 @@ class ZoneGraphExplorer:
                 invariant_ops, delay, locs2, vals2, label, None))
         return plans
 
-    def successors(self, state: SymbolicState) \
-            -> Iterator[tuple[SymbolicState, str]]:
-        """All symbolic successors with their transition labels."""
+    def plans_for(self, key: tuple) -> list[_MovePlan]:
+        """Memoized successor plans of one discrete configuration."""
         if self._plans_version != self.compiled.reduction_version:
             self._plans.clear()
             self._plans_version = self.compiled.reduction_version
-        key = (state.locs, state.vals)
         plans = self._plans.get(key)
         if plans is None:
             plans = self._plans[key] = self._build_plans(*key)
+        return plans
+
+    def successors(self, state: SymbolicState) \
+            -> Iterator[tuple[SymbolicState, str]]:
+        """All symbolic successors with their transition labels."""
+        plans = self.plans_for(state.key())
         if not plans:
             return
         src = state.zone
@@ -358,6 +387,7 @@ class ZoneGraphExplorer:
         trace is reconstructed when tracing is on); ``visit`` is called
         once per stored state — use it to accumulate sup-style metrics.
         """
+        _count_exploration()
         bucket_cls = self._bucket_cls
         lazy = self.lazy_subsumption
         trace_on = self.trace_enabled
@@ -366,7 +396,7 @@ class ZoneGraphExplorer:
         bucket = bucket_cls()
         bucket.insert(init.zone, init_entry)
         passed: dict[tuple, object] = {init.key(): bucket}
-        parents: dict[_NodeId, tuple[_NodeId | None, str]] = {}
+        parents = self.parents = {}
         if trace_on:
             init_id = (init.key(), init.zone.frozen())
             parents[init_id] = (None, "<init>")
@@ -419,6 +449,16 @@ class ZoneGraphExplorer:
                 waiting.append(succ_entry)
         return ExplorationResult(visited=stored, complete=True,
                                  transitions=transitions)
+
+    def rebuild_trace(self, node_id: _NodeId) -> list[str] | None:
+        """Trace to ``node_id`` from the most recent traced exploration.
+
+        ``node_id`` is ``(state.key(), state.zone.frozen())`` of a
+        state stored during the last :meth:`explore` call with tracing
+        on; used by the query planner to extract one witness trace per
+        observer from a single shared sweep.
+        """
+        return self._rebuild(self.parents, node_id)
 
     def _rebuild(self, parents: dict, node_id: _NodeId) \
             -> list[str] | None:

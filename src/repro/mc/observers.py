@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.mc.explorer import ZoneGraphExplorer
+from repro.mc.parallel import make_explorer
 from repro.mc.reachability import (
     ReachabilityResult,
     StateFormula,
@@ -160,6 +160,7 @@ def check_bounded_response(
     max_states: int = 1_000_000,
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
+    jobs: int | None = None,
 ) -> BoundedResponseResult:
     """Check ``P(Δ)``: after ``trigger``, ``response`` within ``deadline``.
 
@@ -179,7 +180,8 @@ def check_bounded_response(
         free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
         max_states=max_states,
         zone_backend=zone_backend,
-        lazy_subsumption=lazy_subsumption)
+        lazy_subsumption=lazy_subsumption,
+        jobs=jobs)
     return BoundedResponseResult(
         holds=not reach.reachable,
         trigger=trigger,
@@ -213,6 +215,38 @@ class DelayBound:
         return f"{op}={self.sup}"
 
 
+def resolve_sup_step(best: int | None, ceiling: int, cap: int,
+                     visited: int) -> tuple[DelayBound | None, int]:
+    """One resolution step of the iterative-ceiling sup scheme.
+
+    ``best`` is the largest encoded upper bound observed during a
+    sweep run with extrapolation ceiling ``ceiling``.  Returns
+    ``(result, next_ceiling)``: a final :class:`DelayBound` when the
+    measurement is conclusive — never triggered (sup 0), exact
+    (strictly below the ceiling, so Extra_M did not widen it), or
+    unbounded past ``cap`` — else ``(None, 4 * ceiling)`` asking for
+    a re-sweep.  The single implementation shared by
+    :func:`max_response_delay`, :func:`repro.mc.queries.sup_clock`
+    and :func:`repro.mc.queries.check_many`, so the three can never
+    drift apart on cap/growth semantics.
+    """
+    if best is None:
+        return DelayBound(bounded=True, sup=0, attained=True,
+                          visited=visited, ceiling=ceiling), ceiling
+    if best >= INF or bound_value(best) >= ceiling:
+        if ceiling > cap:
+            return DelayBound(bounded=False, visited=visited,
+                              ceiling=ceiling), ceiling
+        return None, ceiling * 4
+    return DelayBound(
+        bounded=True,
+        sup=bound_value(best),
+        attained=bool(best & 1),
+        visited=visited,
+        ceiling=ceiling,
+    ), ceiling
+
+
 def max_response_delay(
     network: Network,
     trigger: str,
@@ -222,6 +256,7 @@ def max_response_delay(
     initial_ceiling: int | None = None,
     max_states: int = 1_000_000,
     zone_backend: str | None = None,
+    jobs: int | None = None,
 ) -> DelayBound:
     """Exact supremum of the trigger→response delay.
 
@@ -235,8 +270,8 @@ def max_response_delay(
     ceiling = initial_ceiling or _default_ceiling(network)
 
     while True:
-        explorer = ZoneGraphExplorer(
-            instrumented,
+        explorer = make_explorer(
+            instrumented, jobs=jobs,
             extra_max_constants={OBS_CLOCK: ceiling},
             free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
             max_states=max_states,
@@ -255,24 +290,10 @@ def max_response_delay(
                 best["bound"] = upper
 
         result = explorer.explore(visit=visit)
-        if best["bound"] is None:
-            # Trigger never observed: vacuously zero delay.
-            return DelayBound(bounded=True, sup=0, attained=True,
-                              visited=result.visited, ceiling=ceiling)
-        if best["bound"] >= INF or bound_value(best["bound"]) >= ceiling:
-            if ceiling > cap:
-                return DelayBound(bounded=False, visited=result.visited,
-                                  ceiling=ceiling)
-            ceiling *= 4
-            continue
-        encoded = best["bound"]
-        return DelayBound(
-            bounded=True,
-            sup=bound_value(encoded),
-            attained=bool(encoded & 1),
-            visited=result.visited,
-            ceiling=ceiling,
-        )
+        done, ceiling = resolve_sup_step(best["bound"], ceiling, cap,
+                                         result.visited)
+        if done is not None:
+            return done
 
 
 def _default_ceiling(network: Network) -> int:

@@ -1,0 +1,635 @@
+"""Sharded parallel zone-graph exploration.
+
+:class:`ShardedZoneGraphExplorer` runs the same breadth-first
+fixpoint as :class:`~repro.mc.explorer.ZoneGraphExplorer` but
+restructures each BFS wave into three phases:
+
+1. **Expand** — the frontier is partitioned by discrete-configuration
+   key (the same bucket key the passed store shards on).  All states
+   of a group share one memoized plan list, so the numpy backend
+   expands a whole group through the batched broadcast pipeline
+   (:class:`repro.zones.batch.BatchExpander`) instead of state by
+   state; the reference backend expands scalarly.  Groups are
+   distributed over a worker pool — threads with work-stealing deques
+   (numpy kernels release the GIL while a batch is in C code) or a
+   ``multiprocessing`` pool for the pure-Python reference backend,
+   whose expansion never leaves the interpreter.  A
+   termination-detection barrier ends the phase when every group of
+   the wave has been expanded.
+2. **Commit** — candidate successors are merged into the per-key
+   passed buckets *in the exact global order the sequential explorer
+   would produce them* (frontier order × plan order).  Per shard the
+   merge is one batched antichain update
+   (:meth:`~repro.zones.store.NumpyPassedBucket.commit_batch`); the
+   proof that batching preserves sequential outcomes rests on coverage
+   monotonicity (evictions replace zones by supersets).
+3. **Scan** — one ordered pass over the wave's candidates replays the
+   sequential explorer's observable effects: ``transitions``/``stored``
+   tallies, ``max_states`` enforcement, deferred-error raising, trace
+   parent links, ``visit``/``stop`` callbacks and the next frontier.
+
+Because successor computation reads nothing from the passed store,
+phases 1 and 2+3 commute with the sequential interleaving — the
+states, transitions, traces, witnesses and sup values are **bit
+identical** to the sequential engine for every ``jobs`` count and
+backend (the differential tests in ``tests/test_mc_parallel.py`` pin
+this).  The one documented divergence: with ``lazy_subsumption`` the
+wave structure prunes slightly *less* than the sequential lazy
+explorer (kills discovered mid-wave arrive after the wave was already
+expanded), so lazy tallies sit between the eager and sequential-lazy
+counts while the reduced zone graph stays identical.
+
+Stored zones are routed through the global zone intern table
+(:mod:`repro.zones.intern`), so identical zones recurring across
+discrete configurations — and across the queries of a
+:func:`repro.mc.queries.check_many` batch — share one matrix and one
+``frozen()`` snapshot, and the cross-process merge only materializes
+snapshots it has never seen.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from typing import Callable, Iterator, Mapping
+
+from repro.mc.explorer import (
+    ExplorationLimit,
+    ExplorationResult,
+    ZoneGraphExplorer,
+    _WaitEntry,
+    _count_exploration,
+)
+from repro.mc.state import SymbolicState
+from repro.ta.model import ModelError, Network
+from repro.zones.intern import ZoneInternTable, global_intern_table
+
+__all__ = [
+    "ENV_JOBS",
+    "ShardedZoneGraphExplorer",
+    "make_explorer",
+    "resolve_jobs",
+    "set_default_jobs",
+]
+
+#: Environment override for the default worker count (like
+#: ``REPRO_ZONE_BACKEND`` for the kernel choice).
+ENV_JOBS = "REPRO_JOBS"
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Process-wide default for ``jobs`` (the CLI ``--jobs`` flag)."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: int | None = None) -> int | None:
+    """Resolve a ``jobs`` spec: explicit > ``set_default_jobs`` > env.
+
+    ``None`` means "sequential engine"; any integer >= 1 selects the
+    sharded explorer (``jobs=1`` runs its wave pipeline inline — on
+    the numpy backend that alone buys the batched-kernel speedup).
+    """
+    if jobs is None:
+        if _default_jobs is not None:
+            jobs = _default_jobs
+        else:
+            raw = os.environ.get(ENV_JOBS, "").strip()
+            if raw:
+                try:
+                    jobs = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"{ENV_JOBS} must be an integer >= 1, "
+                        f"got {raw!r}") from None
+    if jobs is None:
+        return None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def make_explorer(network: Network, *, jobs: int | None = None,
+                  parallel_mode: str = "auto", **kwargs):
+    """Explorer factory honoring the resolved ``jobs`` setting."""
+    resolved = resolve_jobs(jobs)
+    if resolved is None:
+        return ZoneGraphExplorer(network, **kwargs)
+    return ShardedZoneGraphExplorer(network, jobs=resolved,
+                                    mode=parallel_mode, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Work-stealing thread pool with a termination-detection barrier
+# ----------------------------------------------------------------------
+class _WorkStealingPool:
+    """Per-worker deques + stealing; one wave of tasks per barrier.
+
+    Owners pop from the bottom of their own deque (LIFO keeps a
+    worker's cache hot on its shard), idle workers steal from the top
+    of a victim's deque (FIFO steals take the oldest, largest-grained
+    work).  ``run_wave`` blocks on the termination-detection barrier:
+    a shared pending counter that the last finishing worker drives to
+    zero before notifying the waiter.
+    """
+
+    def __init__(self, workers: int):
+        self._n = workers
+        self._deques: list[deque] = [deque() for _ in range(workers)]
+        self._lock = threading.Lock()
+        self._work_cv = threading.Condition(self._lock)
+        self._done_cv = threading.Condition(self._lock)
+        self._pending = 0
+        self._shutdown = False
+        self._error: BaseException | None = None
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(i,),
+                             name=f"shard-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def run_wave(self, tasks: list[Callable[[], None]]) -> None:
+        """Run all tasks; return when every one finished (the barrier)."""
+        if not tasks:
+            return
+        with self._lock:
+            for i, task in enumerate(tasks):
+                self._deques[i % self._n].append(task)
+            self._pending = len(tasks)
+            self._error = None
+            self._work_cv.notify_all()
+            while self._pending:
+                self._done_cv.wait()
+            if self._error is not None:
+                error = self._error
+                self._error = None
+                raise error
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            self._work_cv.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    # -- worker side ---------------------------------------------------
+    def _steal(self, me: int):
+        own = self._deques[me]
+        if own:
+            return own.pop()
+        for offset in range(1, self._n):
+            victim = self._deques[(me + offset) % self._n]
+            if victim:
+                return victim.popleft()
+        return None
+
+    def _worker_loop(self, me: int) -> None:
+        while True:
+            with self._lock:
+                task = self._steal(me)
+                while task is None:
+                    if self._shutdown:
+                        return
+                    self._work_cv.wait()
+                    task = self._steal(me)
+            try:
+                task()
+            except BaseException as exc:  # propagated via run_wave
+                with self._lock:
+                    if self._error is None:
+                        self._error = exc
+            finally:
+                with self._lock:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._done_cv.notify_all()
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing fallback (reference backend)
+# ----------------------------------------------------------------------
+_PROC_EXPLORER: ZoneGraphExplorer | None = None
+
+
+def _proc_init(network, backend_name, extra_max_constants,
+               free_clock_when_zero, protected_clocks,
+               max_states) -> None:
+    """Build this worker process's private explorer."""
+    global _PROC_EXPLORER
+    explorer = ZoneGraphExplorer(
+        network,
+        extra_max_constants=extra_max_constants,
+        max_states=max_states,
+        free_clock_when_zero=free_clock_when_zero,
+        zone_backend=backend_name)
+    if protected_clocks:
+        explorer.compiled.protect_clocks(protected_clocks)
+    _PROC_EXPLORER = explorer
+
+
+def _proc_expand(chunk):
+    """Expand a chunk of ``(pos, locs, vals, snapshot)`` states.
+
+    Returns ``(pos, items)`` pairs where each item is either a
+    successor tuple ``(locs, vals, snapshot, label)`` or the deferred
+    :class:`ModelError` raised at that point of the plan sequence.
+    """
+    explorer = _PROC_EXPLORER
+    dbm_cls = explorer._dbm
+    n = explorer.compiled.n_clocks
+    out = []
+    for pos, locs, vals, snapshot in chunk:
+        zone = dbm_cls.from_frozen(n, snapshot)
+        zone._empty = False
+        zone._frozen = snapshot
+        state = SymbolicState(locs, vals, zone)
+        items: list = []
+        try:
+            for succ, label in explorer.successors(state):
+                items.append((succ.locs, succ.vals, succ.zone.frozen(),
+                              label))
+        except ModelError as exc:
+            items.append(exc)
+        out.append((pos, items))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Wave bookkeeping
+# ----------------------------------------------------------------------
+class _Cand:
+    """One candidate successor awaiting its ordered commit."""
+
+    __slots__ = ("key", "locs", "vals", "label", "zone", "row", "src",
+                 "entry", "inserted")
+
+    def __init__(self, key, locs, vals, label, zone, row, src):
+        self.key = key
+        self.locs = locs
+        self.vals = vals
+        self.label = label
+        self.zone = zone   # materialized DBM (scalar / process paths)
+        self.row = row     # (n, n) int64 view (batched numpy path)
+        self.src = src
+        self.entry = _WaitEntry()
+        self.inserted = False
+
+
+class _Err:
+    """A deferred range-check error positioned in the commit order."""
+
+    __slots__ = ("error", "label", "src")
+
+    def __init__(self, error, label, src):
+        self.error = error
+        self.label = label
+        self.src = src
+
+
+class ShardedZoneGraphExplorer:
+    """Wave-synchronized parallel twin of :class:`ZoneGraphExplorer`.
+
+    Accepts the sequential explorer's parameters plus:
+
+    jobs:
+        Worker count (>= 1).  ``jobs=1`` runs the wave pipeline inline
+        — still worthwhile on the numpy backend, whose groups expand
+        through the batched kernels.
+    mode:
+        ``"thread"``, ``"process"`` or ``"auto"`` (threads for the
+        numpy backend, processes for the reference backend).  Thread
+        workers share the compiled network and plan cache; process
+        workers rebuild them once per worker and exchange ``frozen()``
+        zone snapshots.
+    intern:
+        Zone interning policy: ``True`` (the global table), ``False``
+        (no interning) or a private :class:`ZoneInternTable`.
+    """
+
+    def __init__(self, network: Network, *,
+                 jobs: int = 1,
+                 mode: str = "auto",
+                 extra_max_constants: Mapping[str, int] | None = None,
+                 trace: bool = False,
+                 max_states: int = 1_000_000,
+                 free_clock_when_zero: Mapping[str, str] | None = None,
+                 zone_backend: str | None = None,
+                 lazy_subsumption: bool = False,
+                 intern: bool | ZoneInternTable = True):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if mode not in ("auto", "thread", "process"):
+            raise ValueError(f"unknown parallel mode {mode!r}")
+        self.core = ZoneGraphExplorer(
+            network, extra_max_constants=extra_max_constants,
+            trace=trace, max_states=max_states,
+            free_clock_when_zero=free_clock_when_zero,
+            zone_backend=zone_backend,
+            lazy_subsumption=lazy_subsumption)
+        self.network = network
+        self.compiled = self.core.compiled
+        self.backend = self.core.backend
+        self.jobs = jobs
+        self.mode = mode if mode != "auto" else (
+            "thread" if self.backend.name == "numpy" else "process")
+        self.trace_enabled = trace
+        self.max_states = max_states
+        self.lazy_subsumption = lazy_subsumption
+        self.batched = self.backend.name == "numpy"
+        if intern is True:
+            self.intern_table: ZoneInternTable | None = \
+                global_intern_table()
+        elif intern is False:
+            self.intern_table = None
+        else:
+            self.intern_table = intern
+        # Captured for process-worker initialization.
+        self._worker_args = (network, self.backend.name,
+                             dict(extra_max_constants or {}),
+                             dict(free_clock_when_zero or {}),
+                             max_states)
+        self.parents: dict = {}
+        # Stored zones are post-extrapolation, so every finite bound
+        # is at most 2·max_constant + 1 in the packed encoding — when
+        # that provably fits int32 the buckets may skip per-batch
+        # range validation before narrowing.
+        self._trust_narrow = False
+        if self.batched:
+            from repro.zones.store import NumpyPassedBucket
+            ceiling = max(self.compiled.max_constants, default=0)
+            self._trust_narrow = (
+                2 * ceiling + 1 < NumpyPassedBucket.NARROW_LIMIT)
+
+    def _new_bucket(self):
+        bucket = self.core._bucket_cls()
+        if self._trust_narrow:
+            bucket.trusted_narrow = True
+        return bucket
+
+    # -- API parity with the sequential explorer ------------------------
+    def initial_state(self) -> SymbolicState:
+        return self.core.initial_state()
+
+    def successors(self, state: SymbolicState):
+        return self.core.successors(state)
+
+    def rebuild_trace(self, node_id) -> list[str] | None:
+        return self.core._rebuild(self.parents, node_id)
+
+    def iter_states(self) -> Iterator[SymbolicState]:
+        """Materialize every reachable symbolic state (full search)."""
+        states: list[SymbolicState] = []
+        self.explore(visit=states.append)
+        return iter(states)
+
+    # -- expansion phases -----------------------------------------------
+    def _expand_group_batched(self, expander, key, members, slots):
+        """Batched numpy expansion of one discrete-configuration group."""
+        import numpy as np
+
+        plans = self.core.plans_for(key)
+        if not plans:
+            return
+        src_stack = np.stack([state.zone._m for _, state in members])
+        positions = [pos for pos, _ in members]
+        sources = [state for _, state in members]
+        for plan in plans:
+            work, alive = expander.run_plan(src_stack, plan)
+            if plan.error is not None:
+                for b in np.flatnonzero(alive):
+                    slots[positions[b]].append(
+                        _Err(plan.error, plan.label, sources[b]))
+                continue
+            target_key = (plan.locs, plan.vals)
+            for b in np.flatnonzero(alive):
+                slots[positions[b]].append(_Cand(
+                    target_key, plan.locs, plan.vals, plan.label,
+                    None, work[b], sources[b]))
+
+    def _expand_group_scalar(self, key, members, slots):
+        """Scalar expansion (reference backend / forced thread mode)."""
+        for pos, state in members:
+            out = slots[pos]
+            try:
+                for succ, label in self.core.successors(state):
+                    out.append(_Cand(succ.key(), succ.locs, succ.vals,
+                                     label, succ.zone, None, state))
+            except ModelError as exc:
+                out.append(_Err(exc, None, state))
+
+    def _expand_wave_processes(self, pool, active, slots):
+        """Ship the wave to the process pool as frozen snapshots."""
+        jobs = self.jobs
+        payload = [(pos, state.locs, state.vals, state.zone.frozen())
+                   for pos, state in enumerate(active)]
+        chunk = max(1, (len(payload) + jobs - 1) // jobs)
+        chunks = [payload[i:i + chunk]
+                  for i in range(0, len(payload), chunk)]
+        dbm_cls = self.core._dbm
+        n = self.compiled.n_clocks
+        table = self.intern_table
+        for result in pool.imap(_proc_expand, chunks):
+            for pos, items in result:
+                src = active[pos]
+                out = slots[pos]
+                for item in items:
+                    if isinstance(item, ModelError):
+                        out.append(_Err(item, None, src))
+                        continue
+                    locs, vals, snapshot, label = item
+                    if table is not None:
+                        zone = table.intern_frozen(dbm_cls, n, snapshot)
+                    else:
+                        zone = dbm_cls.from_frozen(n, snapshot)
+                        zone._empty = False
+                        zone._frozen = snapshot
+                    out.append(_Cand((locs, vals), locs, vals, label,
+                                     zone, None, src))
+
+    # -- the wave loop ---------------------------------------------------
+    def explore(
+        self,
+        stop: Callable[[SymbolicState], bool] | None = None,
+        visit: Callable[[SymbolicState], None] | None = None,
+    ) -> ExplorationResult:
+        """Sharded breadth-first exploration (sequential-identical)."""
+        _count_exploration()
+        core = self.core
+        trace_on = self.trace_enabled
+        lazy = self.lazy_subsumption
+        table = self.intern_table
+        np = None
+        expander = None
+        if self.batched:
+            import numpy as np  # noqa: F811 - local alias on purpose
+            from repro.zones.batch import BatchExpander
+            expander = BatchExpander(self.compiled.n_clocks,
+                                     self.compiled.max_constants)
+
+        init = core.initial_state()
+        if table is not None:
+            init = SymbolicState(init.locs, init.vals,
+                                 table.intern(init.zone))
+        init_entry = _WaitEntry(init)
+        bucket = self._new_bucket()
+        bucket.insert(init.zone, init_entry)
+        passed: dict[tuple, object] = {init.key(): bucket}
+        parents = self.parents = {}
+        if trace_on:
+            parents[(init.key(), init.zone.frozen())] = (None, "<init>")
+        stored = 1
+        transitions = 0
+        if visit is not None:
+            visit(init)
+        if stop is not None and stop(init):
+            return ExplorationResult(
+                visited=stored, stopped=init,
+                trace=self.rebuild_trace(
+                    (init.key(), init.zone.frozen())),
+                complete=False, transitions=transitions)
+
+        use_threads = self.jobs > 1 and self.mode == "thread"
+        use_processes = self.jobs > 1 and self.mode == "process"
+        pool = proc_pool = None
+        try:
+            if use_threads:
+                pool = _WorkStealingPool(self.jobs)
+            elif use_processes:
+                import multiprocessing
+
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    ctx = multiprocessing.get_context()
+                network, backend_name, extra_max, free_map, max_states \
+                    = self._worker_args
+                proc_pool = ctx.Pool(
+                    self.jobs, initializer=_proc_init,
+                    initargs=(network, backend_name, extra_max,
+                              free_map,
+                              sorted(self.compiled.protected_clocks),
+                              max_states))
+
+            frontier: list[_WaitEntry] = [init_entry]
+            while frontier:
+                active = [entry.state for entry in frontier
+                          if not lazy or entry.alive]
+                frontier = []
+                if not active:
+                    break
+                # Phase 1: expand, sharded by discrete key.
+                slots: list[list] = [[] for _ in active]
+                if use_processes:
+                    self._expand_wave_processes(proc_pool, active, slots)
+                else:
+                    groups: dict[tuple, list] = {}
+                    for pos, state in enumerate(active):
+                        groups.setdefault(state.key(), []).append(
+                            (pos, state))
+                    if self.batched:
+                        def task(key, members):
+                            self._expand_group_batched(
+                                expander, key, members, slots)
+                    else:
+                        def task(key, members):
+                            self._expand_group_scalar(
+                                key, members, slots)
+                    if pool is not None and len(groups) > 1:
+                        pool.run_wave([
+                            (lambda k=key, m=members: task(k, m))
+                            for key, members in groups.items()])
+                    else:
+                        for key, members in groups.items():
+                            task(key, members)
+
+                # Phase 2: deterministic per-shard merge in global order.
+                wave: list = []
+                per_key: dict[tuple, list[_Cand]] = {}
+                for out in slots:
+                    for item in out:
+                        wave.append(item)
+                        if isinstance(item, _Cand):
+                            per_key.setdefault(item.key, []).append(item)
+                for key, cands in per_key.items():
+                    bucket = passed.get(key)
+                    if bucket is None:
+                        bucket = passed[key] = self._new_bucket()
+                    entries = [cand.entry for cand in cands]
+                    if self.batched:
+                        # The numpy bucket commits on a stacked row
+                        # matrix (candidates arrive as pipeline rows
+                        # in thread mode, as zones in process mode).
+                        rows = np.stack(
+                            [cand.row.reshape(-1) if cand.row is not None
+                             else cand.zone._m.reshape(-1)
+                             for cand in cands])
+                        flags = bucket.commit_batch(rows, entries)
+                    else:
+                        flags = bucket.commit_batch(
+                            [cand.zone for cand in cands], entries)
+                    for cand, flag in zip(cands, flags):
+                        cand.inserted = flag
+
+                # Phase 3: ordered scan — sequential-observable replay.
+                for item in wave:
+                    if isinstance(item, _Err):
+                        if item.label is None:
+                            raise item.error
+                        raise ModelError(
+                            f"{item.error} (while firing {item.label} "
+                            f"from "
+                            f"{self.compiled.state_description(item.src)})"
+                        ) from item.error
+                    transitions += 1
+                    if not item.inserted:
+                        continue
+                    stored += 1
+                    if stored > self.max_states:
+                        raise ExplorationLimit(
+                            f"exceeded {self.max_states} symbolic "
+                            f"states exploring {self.network.name!r}")
+                    zone = item.zone
+                    if zone is None:
+                        zone = self._materialize(item.row)
+                    if table is not None:
+                        zone = table.intern(zone)
+                    succ = SymbolicState(item.locs, item.vals, zone)
+                    item.entry.state = succ
+                    if trace_on:
+                        src = item.src
+                        parents[(succ.key(), zone.frozen())] = (
+                            (src.key(), src.zone.frozen()), item.label)
+                    if visit is not None:
+                        visit(succ)
+                    if stop is not None and stop(succ):
+                        return ExplorationResult(
+                            visited=stored, stopped=succ,
+                            trace=self.rebuild_trace(
+                                (succ.key(), zone.frozen())),
+                            complete=False, transitions=transitions)
+                    frontier.append(item.entry)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            if proc_pool is not None:
+                proc_pool.terminate()
+                proc_pool.join()
+        return ExplorationResult(visited=stored, complete=True,
+                                 transitions=transitions)
+
+    def _materialize(self, row):
+        """A fresh backend zone from a batched-pipeline result row."""
+        dbm_cls = self.core._dbm
+        zone = dbm_cls.__new__(dbm_cls)
+        zone.size = self.compiled.n_clocks
+        zone._m = row.copy()
+        zone._empty = False
+        zone._frozen = None
+        return zone

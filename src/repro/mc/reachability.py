@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.mc.explorer import ExplorationResult, ZoneGraphExplorer
+from repro.mc.explorer import ExplorationResult
+from repro.mc.parallel import make_explorer
 from repro.mc.state import CompiledNetwork, SymbolicState, encode_constraint
 from repro.ta.expr import Expr
 from repro.ta.model import Network
@@ -134,10 +135,17 @@ def check_reachable(
     free_clock_when_zero: Mapping[str, str] | None = None,
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
+    jobs: int | None = None,
 ) -> ReachabilityResult:
-    """Decide ``E<> formula`` by forward zone exploration."""
-    explorer = ZoneGraphExplorer(
-        network, trace=trace, extra_max_constants=extra_max_constants,
+    """Decide ``E<> formula`` by forward zone exploration.
+
+    ``jobs`` routes the search through the sharded parallel explorer
+    (identical states, tallies and traces — see
+    :mod:`repro.mc.parallel`).
+    """
+    explorer = make_explorer(
+        network, jobs=jobs, trace=trace,
+        extra_max_constants=extra_max_constants,
         max_states=max_states,
         free_clock_when_zero=free_clock_when_zero,
         zone_backend=zone_backend,
@@ -188,12 +196,14 @@ def check_safety(
     max_states: int = 1_000_000,
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
+    jobs: int | None = None,
 ) -> SafetyResult:
     """Decide ``A[] ¬bad`` (safety) via the dual reachability query."""
     reach = check_reachable(
         network, bad, trace=trace,
         extra_max_constants=extra_max_constants, max_states=max_states,
-        zone_backend=zone_backend, lazy_subsumption=lazy_subsumption)
+        zone_backend=zone_backend, lazy_subsumption=lazy_subsumption,
+        jobs=jobs)
     return SafetyResult(
         holds=not reach.reachable,
         formula=bad.describe(),

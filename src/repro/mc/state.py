@@ -126,18 +126,36 @@ def compile_data_guard(expr: Expr):
 
 
 class SymbolicState:
-    """Triple (locations, valuation, zone); key = discrete part."""
+    """Triple (locations, valuation, zone); key = discrete part.
 
-    __slots__ = ("locs", "vals", "zone")
+    The discrete key and its hash are memoized: the explorer consults
+    them repeatedly (passed-bucket lookup, waiting-list dedup, shard
+    assignment, trace-node construction), and before the memo every
+    call re-allocated the pair tuple and re-hashed it.
+    """
+
+    __slots__ = ("locs", "vals", "zone", "_key", "_key_hash")
 
     def __init__(self, locs: tuple[int, ...], vals: tuple[int, ...],
                  zone: DBM):
         self.locs = locs
         self.vals = vals
         self.zone = zone
+        self._key = None
+        self._key_hash = None
 
     def key(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        return (self.locs, self.vals)
+        key = self._key
+        if key is None:
+            key = self._key = (self.locs, self.vals)
+        return key
+
+    def key_hash(self) -> int:
+        """Cached ``hash(self.key())`` — the shard-assignment key."""
+        value = self._key_hash
+        if value is None:
+            value = self._key_hash = hash(self.key())
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SymbolicState(locs={self.locs}, vals={self.vals}, " \
@@ -268,6 +286,9 @@ class CompiledNetwork:
         #: Bumped by :meth:`protect_clocks`; explorers compare it to
         #: invalidate successor plans built against stale tables.
         self.reduction_version = 0
+        #: Clock indices exempted so far — the sharded explorer's
+        #: process workers replay these on their own compiled copies.
+        self.protected_clocks: set[int] = set()
 
     # ------------------------------------------------------------------
     def _automaton_clock_ids(self, auto: Automaton) -> dict[str, int]:
@@ -404,6 +425,7 @@ class CompiledNetwork:
         itself no longer needs it, making its value meaningless there.
         """
         protect = set(indices)
+        self.protected_clocks |= protect
         self.inactive_clocks = [
             [tuple(c for c in per_loc if c not in protect)
              for per_loc in per_auto]

@@ -1,0 +1,209 @@
+"""Batched successor pipeline: one plan applied to a stack of zones.
+
+The sharded explorer groups every wave of the breadth-first frontier
+by discrete-configuration key.  All states in a group share the same
+memoized successor plans, so instead of running the scalar pipeline
+(copy → guard constraints → resets → frees → invariants → delay →
+Extra_M) once per state, the group's zones are stacked into one
+``(B, n, n)`` int64 array and each plan is applied to the whole batch
+with broadcast kernels.  On the paper's case-study PSM the average
+group holds ~5 zones, so the per-call numpy dispatch overhead — the
+dominant cost of the scalar numpy backend on small matrices — is paid
+once per *group* instead of once per *state*.
+
+Bit-identity contract: for every batch element that survives all
+emptiness checks, the resulting matrix equals the scalar
+:class:`~repro.zones.dbm_numpy.NumpyDBM` pipeline bit for bit (the
+kernels mirror the scalar ones op by op, including the incremental
+re-closure in ``constrain`` and the changed-only closure after
+Extra_M).  Elements that go empty are only *flagged* — their matrices
+keep receiving the remaining ops and may hold garbage, exactly like a
+discarded scalar scratch would; the flag is sticky so they can never
+resurface.  Encoded-bound arithmetic masks ``INF`` before every value
+shift, so the packed encoding cannot overflow int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.zones.bounds import INF, LE_ZERO, encode
+
+__all__ = ["BatchExpander"]
+
+
+def _vec_add_scalar(vec: np.ndarray, bound: int) -> np.ndarray:
+    """Vectorized ``bound_add(vec, bound)`` for a finite scalar bound.
+
+    Uses the additive identity of the packed encoding
+    (``e = 2·value | weak``): for finite operands
+
+        a ⊕ b = a − (a & 1) + b − (b & 1) + ((a & 1) & (b & 1)),
+
+    which for a *weak* scalar bound collapses to ``vec + bound − 1``
+    and for a strict one to ``vec − (vec & 1) + bound`` — one to three
+    kernels instead of the mask-shift-or cascade.  ``INF`` entries are
+    restored afterwards (the intermediate modular wraparound on
+    ``INF``-tainted lanes is discarded by the ``where``).
+    """
+    if bound & 1:
+        out = vec + (bound - 1)
+    else:
+        out = vec - (vec & 1) + bound
+    return np.where(vec != INF, out, INF)
+
+
+def _outer_add(col: np.ndarray, row: np.ndarray) -> np.ndarray:
+    """Batched ``bound_add`` outer sum ``out[b, p, q] = col[b, p] ⊕ row[b, q]``.
+
+    Same additive-identity trick as :func:`_vec_add_scalar`; lanes
+    with an ``INF`` operand may wrap modularly mid-computation and are
+    overwritten with ``INF`` at the end.
+    """
+    weak_col = col & 1
+    weak_row = row & 1
+    out = (col - weak_col)[:, :, None] + (row - weak_row)[:, None, :]
+    out += weak_col[:, :, None] & weak_row[:, None, :]
+    mask = (col != INF)[:, :, None] & (row != INF)[:, None, :]
+    return np.where(mask, out, INF)
+
+
+_off_diagonal_cache: dict[int, np.ndarray] = {}
+
+
+def _off_diagonal(n: int) -> np.ndarray:
+    mask = _off_diagonal_cache.get(n)
+    if mask is None:
+        mask = ~np.eye(n, dtype=bool)
+        mask.setflags(write=False)
+        _off_diagonal_cache[n] = mask
+    return mask
+
+
+class BatchExpander:
+    """Apply one :class:`_MovePlan` op sequence to a zone stack.
+
+    Instances are cheap and hold no state between :meth:`run_plan`
+    calls, so every worker thread can own one without sharing the
+    scalar backend's per-size workspace cache.
+    """
+
+    __slots__ = ("n", "max_consts", "_ceilings", "_strict_floor")
+
+    def __init__(self, n_clocks: int, max_consts):
+        self.n = n_clocks
+        self.max_consts = max_consts
+        self._ceilings = np.array(max_consts, dtype=np.int64)
+        self._strict_floor = (-self._ceilings) << 1  # encode(-c, False)
+
+    # -- individual kernels -------------------------------------------
+    def constrain(self, m: np.ndarray, alive: np.ndarray,
+                  i: int, j: int, bound: int) -> None:
+        """Intersect each live element with ``x_i - x_j ≺ bound``."""
+        col_ji = m[:, j, i]
+        # Emptiness test ``(col ⊕ bound) < LE_ZERO`` without masking:
+        # an INF operand keeps the sum hugely positive, so it can never
+        # flag empty — exactly the scalar semantics.
+        if bound & 1:
+            cross = col_ji + (bound - 1)
+        else:
+            cross = col_ji - (col_ji & 1) + bound
+        np.logical_and(alive, cross >= LE_ZERO, out=alive)
+        tighten = alive & (bound < m[:, i, j])
+        if not tighten.any():
+            return
+        m[tighten, i, j] = bound
+        # Incremental re-closure through the fresh (i, j) edge, exactly
+        # as the scalar kernel: min(m, (col_i ⊕ bound) ⊕ row_j).
+        col_b = _vec_add_scalar(m[:, :, i], bound)
+        via = _outer_add(col_b, m[:, j, :])
+        np.minimum(m, via, out=m, where=tighten[:, None, None])
+
+    def up(self, m: np.ndarray) -> None:
+        m[:, 1:, 0] = INF
+
+    def reset(self, m: np.ndarray, x: int, value: int) -> None:
+        row0 = m[:, 0, :].copy()
+        col0 = m[:, :, 0].copy()
+        m[:, x, :] = _vec_add_scalar(row0, encode(value, True))
+        m[:, :, x] = _vec_add_scalar(col0, encode(-value, True))
+        m[:, x, x] = LE_ZERO
+
+    def assign_clock(self, m: np.ndarray, x: int, y: int) -> None:
+        if x == y:
+            return
+        row_y = m[:, y, :].copy()
+        col_y = m[:, :, y].copy()
+        m[:, x, :] = row_y
+        m[:, :, x] = col_y
+        m[:, x, x] = LE_ZERO
+
+    def free_many(self, m: np.ndarray, clocks) -> None:
+        idx = np.asarray(clocks, dtype=np.intp)
+        col0 = m[:, :, 0].copy()
+        diagonal = m[:, idx, idx].copy()
+        m[:, idx, :] = INF
+        m[:, :, idx] = col0[:, :, None]
+        m[:, idx[:, None], idx[None, :]] = INF
+        m[:, idx, idx] = diagonal
+
+    def close(self, m: np.ndarray) -> None:
+        """Batched Floyd–Warshall (idempotent on canonical elements)."""
+        for k in range(self.n):
+            np.minimum(m, _outer_add(m[:, :, k], m[:, k, :]), out=m)
+
+    def extrapolate_max(self, m: np.ndarray, alive: np.ndarray) -> None:
+        """Extra_M widening + changed-only closure, per live element."""
+        n = self.n
+        vals = m >> 1
+        finite_off = (m != INF) & _off_diagonal(n)[None, :, :]
+        widen_up = finite_off & (vals > self._ceilings[None, :, None])
+        widen_low = (finite_off & ~widen_up
+                     & (vals < -self._ceilings[None, None, :]))
+        changed = (widen_up.any(axis=(1, 2))
+                   | widen_low.any(axis=(1, 2))) & alive
+        if not changed.any():
+            return
+        np.copyto(m, INF, where=widen_up)
+        np.copyto(m, np.broadcast_to(self._strict_floor,
+                                     (m.shape[0], n, n)),
+                  where=widen_low)
+        sub = m[changed]
+        self.close(sub)
+        m[changed] = sub
+
+    # -- whole-plan pipeline ------------------------------------------
+    def run_plan(self, src_stack: np.ndarray, plan):
+        """Run one successor plan over a stack of source zones.
+
+        Returns ``(work, alive)``: the transformed ``(B, n, n)`` stack
+        and the boolean survival mask, or ``(None, alive)`` for error
+        plans (whose zone work stops at the guard; the caller raises
+        the deferred :class:`~repro.ta.model.ModelError` for the first
+        live element, matching the scalar explorer).
+        """
+        work = src_stack.copy()
+        alive = np.ones(work.shape[0], dtype=bool)
+        for i, j, bound in plan.guard_ops:
+            self.constrain(work, alive, i, j, bound)
+            if not alive.any():
+                return work, alive
+        if plan.error is not None:
+            return None, alive
+        for op in plan.zone_ops:
+            if op[0] == "reset":
+                self.reset(work, op[1], op[2])
+            else:  # copy
+                self.assign_clock(work, op[1], op[2])
+        if plan.free_clocks:
+            self.free_many(work, plan.free_clocks)
+        for i, j, bound in plan.invariant_ops:
+            self.constrain(work, alive, i, j, bound)
+            if not alive.any():
+                return work, alive
+        if plan.delay:
+            self.up(work)
+            for i, j, bound in plan.invariant_ops:
+                self.constrain(work, alive, i, j, bound)
+        self.extrapolate_max(work, alive)
+        return work, alive

@@ -1,0 +1,135 @@
+"""Global zone intern table: one object per distinct canonical zone.
+
+Identical zones recur constantly across discrete configurations — the
+case-study PSM stores ~12k symbolic states but far fewer distinct
+zones, because the platform automata cycle through the same timing
+envelopes in many discrete contexts.  The intern table maps a zone's
+``frozen()`` snapshot to a single shared instance per backend, so
+
+* storage is deduplicated (every :class:`SymbolicState` of an equal
+  zone points at the same matrix),
+* equality between interned zones degenerates to a pointer check
+  (``a is b``), which the sharded explorer exploits when merging
+  per-shard passed lists and reconstructing traces, and
+* the ``frozen()`` tuple itself is shared, so trace node ids and
+  cross-process snapshots hash the same object instead of re-tupling.
+
+Interned zones are *immutable by contract*: callers must never mutate
+a zone obtained from the table (the explorers guarantee this — stored
+zones are only read after insertion, and scratch matrices are never
+interned).
+
+The default table is process-global (:func:`global_intern_table`) so
+batches of queries over the same model share storage across
+explorations.  Memory stays bounded: ``max_zones`` (default 1M
+entries) drops the cache and starts a fresh generation when exceeded;
+pass a private table or call :meth:`ZoneInternTable.clear` for finer
+control.
+
+Thread-safety: the explorers intern only from the coordinating
+thread (the ordered commit scan), so the table sees no concurrent
+mutation in practice.  If callers do race, the worst case is two
+transient canonical instances for one snapshot — wasteful, never
+incorrect, since nothing relies on pointer identity across callers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["ZoneInternTable", "global_intern_table"]
+
+
+class ZoneInternTable:
+    """Deduplicating map ``(backend, frozen snapshot) -> zone``.
+
+    ``max_zones`` bounds the table: when a new entry would exceed it,
+    the table drops every cached zone and starts a fresh generation
+    (``resets`` counts these).  Zones already handed out stay valid —
+    nothing relies on pointer identity *across* generations — so the
+    cap only trades deduplication for bounded memory in long-lived
+    processes that sweep many unrelated models.
+    """
+
+    __slots__ = ("_zones", "max_zones", "hits", "misses", "resets")
+
+    #: Default generation cap (~1 GiB worst case at 11-clock zones).
+    DEFAULT_MAX_ZONES = 1_000_000
+
+    def __init__(self, max_zones: int | None = DEFAULT_MAX_ZONES):
+        self._zones: dict[tuple, object] = {}
+        self.max_zones = max_zones
+        #: Lookups answered with an existing instance.
+        self.hits = 0
+        #: Lookups that stored a new canonical instance.
+        self.misses = 0
+        #: Generation restarts forced by ``max_zones``.
+        self.resets = 0
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def _make_room(self) -> None:
+        if (self.max_zones is not None
+                and len(self._zones) >= self.max_zones):
+            self._zones.clear()
+            self.resets += 1
+
+    def intern(self, zone):
+        """The canonical instance equal to ``zone`` (``zone`` if new).
+
+        The returned zone is of the same backend class as ``zone`` and
+        bit-identical to it; its ``frozen()`` snapshot is the shared
+        tuple used as the table key.
+        """
+        snapshot = zone.frozen()
+        key = (type(zone), snapshot)
+        canonical = self._zones.get(key)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        self._make_room()
+        self._zones[key] = zone
+        self.misses += 1
+        return zone
+
+    def intern_frozen(self, dbm_cls, size: int,
+                      snapshot: tuple, *, empty: bool = False):
+        """Canonical zone for a snapshot, building one only on a miss.
+
+        The allocation-avoiding entry point for cross-process merges:
+        worker processes ship ``frozen()`` tuples, and the merge only
+        materializes a matrix for snapshots never seen before.
+        """
+        key = (dbm_cls, snapshot)
+        canonical = self._zones.get(key)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        zone = dbm_cls.from_frozen(size, snapshot)
+        zone._empty = empty
+        zone._frozen = snapshot
+        self._make_room()
+        self._zones[key] = zone
+        self.misses += 1
+        return zone
+
+    def clear(self) -> None:
+        """Drop every interned zone (counters are kept)."""
+        self._zones.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"zones": len(self._zones), "hits": self.hits,
+                "misses": self.misses, "resets": self.resets}
+
+    # Mostly a debugging aid: which snapshots are interned right now.
+    def snapshots(self) -> Iterable[tuple]:  # pragma: no cover
+        return (key[1] for key in self._zones)
+
+
+_GLOBAL = ZoneInternTable()
+
+
+def global_intern_table() -> ZoneInternTable:
+    """The process-wide default table used by the sharded explorer."""
+    return _GLOBAL

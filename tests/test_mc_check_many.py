@@ -1,0 +1,210 @@
+"""Shared-exploration query planner: parity with individual queries.
+
+The contract: ``check_many`` answers a batch of queries from **one**
+zone-graph sweep (asserted via the process-wide exploration counter),
+and every per-query verdict, witness, sup value and trace matches the
+corresponding individual ``check_reachable`` / ``check_safety`` /
+``check_bounded_response`` / ``max_response_delay`` / ``sup_clock``
+call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transform import transform
+from repro.mc.explorer import exploration_count
+from repro.mc.observers import check_bounded_response, max_response_delay
+from repro.mc.queries import (
+    BoundedResponseQuery,
+    ClockSupQuery,
+    ReachQuery,
+    ResponseSupQuery,
+    SafetyQuery,
+    StatsQuery,
+    check_many,
+    sup_clock,
+    zone_graph_stats,
+)
+from repro.mc.reachability import StateFormula, check_reachable, check_safety
+from repro.ta.builder import NetworkBuilder
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    return transform(build_tiny_pim(), build_tiny_scheme()).network
+
+
+def ping_pong(lo=2, hi=5, think=10):
+    net = NetworkBuilder("pp")
+    net.channel("ping")
+    net.channel("pong")
+    m = net.automaton("M", clocks=["x"])
+    m.location("Idle", initial=True)
+    m.location("Work", invariant=f"x <= {hi}")
+    m.edge("Idle", "Work", sync="ping?", update="x = 0")
+    m.edge("Work", "Idle", guard=f"x >= {lo}", sync="pong!")
+    env = net.automaton("ENV", clocks=["ex"])
+    env.location("Ready", initial=True)
+    env.location("Waiting")
+    env.edge("Ready", "Waiting", guard=f"ex >= {think}", sync="ping!",
+             update="ex = 0")
+    env.edge("Waiting", "Ready", sync="pong?", update="ex = 0")
+    return net.build()
+
+
+class TestSingleExploration:
+    def test_paper_query_set_explores_once(self, tiny_network):
+        """Stats + violation + sup — the paper's suite — in one sweep."""
+        before = exploration_count()
+        outcome = check_many(tiny_network, [
+            StatsQuery(),
+            BoundedResponseQuery("m_Req", "c_Ack", 10),
+            ResponseSupQuery("m_Req", "c_Ack"),
+        ])
+        assert exploration_count() - before == 1
+        assert outcome.explorations == 1
+
+    def test_counter_counts_individual_runs(self, tiny_network):
+        before = exploration_count()
+        zone_graph_stats(tiny_network)
+        check_bounded_response(tiny_network, "m_Req", "c_Ack", 10)
+        assert exploration_count() - before == 2
+
+
+class TestParity:
+    def test_bounded_response_parity(self, tiny_network):
+        individual = check_bounded_response(
+            tiny_network, "m_Req", "c_Ack", 10)
+        batched = check_many(tiny_network, [
+            BoundedResponseQuery("m_Req", "c_Ack", 10),
+            StatsQuery(),
+        ]).results[0]
+        assert batched.holds == individual.holds
+        assert batched.counterexample is not None
+
+    def test_single_query_is_fully_identical(self, tiny_network):
+        """With one query the shared sweep IS the individual run."""
+        individual = check_bounded_response(
+            tiny_network, "m_Req", "c_Ack", 10)
+        batched = check_many(tiny_network, [
+            BoundedResponseQuery("m_Req", "c_Ack", 10)]).results[0]
+        assert batched.holds == individual.holds
+        assert batched.visited == individual.visited
+        assert batched.transitions == individual.transitions
+        assert batched.counterexample == individual.counterexample
+        assert batched.trace == individual.trace
+
+    def test_response_sup_parity(self, tiny_network):
+        individual = max_response_delay(tiny_network, "m_Req", "c_Ack")
+        batched = check_many(tiny_network, [
+            ResponseSupQuery("m_Req", "c_Ack"),
+            StatsQuery(),
+        ]).results[0]
+        assert (batched.bounded, batched.sup, batched.attained) == \
+            (individual.bounded, individual.sup, individual.attained)
+
+    def test_reach_and_safety_parity(self, tiny_network):
+        reach_formula = StateFormula(data="cnt_i_Req == 1")
+        bad_formula = StateFormula(data="ovf_i_Req == 1")
+        reach = check_reachable(tiny_network, reach_formula)
+        safe = check_safety(tiny_network, bad_formula)
+        batched = check_many(tiny_network, [
+            ReachQuery(reach_formula),
+            SafetyQuery(bad_formula),
+        ])
+        assert batched.results[0].reachable == reach.reachable
+        assert batched.results[1].holds == safe.holds
+
+    def test_clock_sup_parity(self):
+        network = ping_pong(lo=2, hi=5)
+        condition = StateFormula(locations={"M": "Work"})
+        individual = sup_clock(network, "x", condition)
+        batched = check_many(network, [
+            ClockSupQuery("x", condition),
+        ]).results[0]
+        assert (batched.bounded, batched.sup) == \
+            (individual.bounded, individual.sup)
+
+    def test_stats_without_instrumentation_matches(self, tiny_network):
+        individual = zone_graph_stats(tiny_network)
+        batched = check_many(tiny_network, [StatsQuery()]).results[0]
+        assert (batched.states, batched.transitions,
+                batched.discrete_configurations) == \
+            (individual.states, individual.transitions,
+             individual.discrete_configurations)
+
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_jobs_variants_identical(self, tiny_network, jobs):
+        base = check_many(tiny_network, [
+            BoundedResponseQuery("m_Req", "c_Ack", 10),
+            ResponseSupQuery("m_Req", "c_Ack"),
+            StatsQuery(),
+        ])
+        sharded = check_many(tiny_network, [
+            BoundedResponseQuery("m_Req", "c_Ack", 10),
+            ResponseSupQuery("m_Req", "c_Ack"),
+            StatsQuery(),
+        ], jobs=jobs)
+        assert sharded.results[0].holds == base.results[0].holds
+        assert sharded.results[1].sup == base.results[1].sup
+        assert (sharded.visited, sharded.transitions) == \
+            (base.visited, base.transitions)
+
+
+class TestCeilingLoop:
+    def test_sup_retries_raise_exploration_count(self):
+        # Sup 200 with a tiny initial ceiling forces re-sweeps; the
+        # final value must still be exact.
+        network = ping_pong(lo=1, hi=200, think=1)
+        individual = max_response_delay(network, "ping", "pong",
+                                        initial_ceiling=8)
+        outcome = check_many(network, [
+            ResponseSupQuery("ping", "pong", initial_ceiling=8),
+        ])
+        assert outcome.explorations > 1
+        assert outcome.results[0].bounded
+        assert outcome.results[0].sup == individual.sup == 200
+
+    def test_unbounded_sup_detected(self):
+        net = NetworkBuilder("n")
+        net.channel("ping")
+        net.channel("pong")
+        m = net.automaton("M", clocks=["x"])
+        m.location("Idle", initial=True)
+        m.location("Work")  # no invariant: may stall forever
+        m.edge("Idle", "Work", sync="ping?", update="x = 0")
+        m.edge("Work", "Idle", guard="x >= 1", sync="pong!")
+        env = net.automaton("ENV")
+        env.location("Ready", initial=True)
+        env.location("Waiting")
+        env.edge("Ready", "Waiting", sync="ping!")
+        env.edge("Waiting", "Ready", sync="pong?")
+        network = net.build()
+        outcome = check_many(network, [
+            ResponseSupQuery("ping", "pong", cap=4096),
+        ])
+        assert not outcome.results[0].bounded
+
+
+class TestMultiPairInstrumentation:
+    def test_two_pairs_share_one_sweep(self):
+        network = ping_pong(lo=2, hi=5)
+        hold = check_bounded_response(network, "ping", "pong", 100)
+        tight = check_bounded_response(network, "pong", "ping", 1)
+        before = exploration_count()
+        outcome = check_many(network, [
+            BoundedResponseQuery("ping", "pong", 100),
+            BoundedResponseQuery("pong", "ping", 1),
+        ])
+        assert outcome.results[0].holds == hold.holds
+        assert outcome.results[1].holds == tight.holds
+        assert outcome.explorations == 1
+        assert exploration_count() - before == 1
+
+
+def test_unknown_query_type_rejected(tiny_network):
+    with pytest.raises(TypeError, match="unsupported query"):
+        check_many(tiny_network, [object()])

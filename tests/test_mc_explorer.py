@@ -308,3 +308,24 @@ class TestExplorationMachinery:
         join_zones = [s for s in explorer.iter_states()
                       if s.locs[0] == 3]
         assert join_zones
+
+
+class TestSymbolicStateKeyMemo:
+    """The discrete key and its hash are computed once per state."""
+
+    def test_key_is_cached_object(self):
+        from repro.mc.state import SymbolicState
+        from repro.zones.dbm import DBM
+
+        state = SymbolicState((0, 1), (2, 3), DBM.zero(2))
+        first = state.key()
+        assert first == ((0, 1), (2, 3))
+        assert state.key() is first  # memoized, not rebuilt
+
+    def test_key_hash_matches_tuple_hash(self):
+        from repro.mc.state import SymbolicState
+        from repro.zones.dbm import DBM
+
+        state = SymbolicState((4,), (7, 0), DBM.zero(2))
+        assert state.key_hash() == hash(state.key())
+        assert state.key_hash() == state.key_hash()  # stable

@@ -1,0 +1,103 @@
+"""Zone intern table: deduplication, pointer equality, explorer use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transform import transform
+from repro.mc.parallel import ShardedZoneGraphExplorer
+from repro.zones.backend import available_backends, resolve_backend
+from repro.zones.intern import ZoneInternTable, global_intern_table
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+BACKENDS = available_backends()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestInternTable:
+    def test_equal_zones_become_one_object(self, backend):
+        dbm = resolve_backend(backend).dbm
+        table = ZoneInternTable()
+        a = dbm.zero(3).up().constrain(1, 0, 10)
+        b = dbm.zero(3).up().constrain(1, 0, 10)
+        assert a is not b and a.frozen() == b.frozen()
+        assert table.intern(a) is a
+        assert table.intern(b) is a  # pointer equality from now on
+        assert len(table) == 1
+        assert table.hits == 1 and table.misses == 1
+
+    def test_distinct_zones_stay_distinct(self, backend):
+        dbm = resolve_backend(backend).dbm
+        table = ZoneInternTable()
+        a = table.intern(dbm.zero(3))
+        b = table.intern(dbm.universal(3))
+        assert a is not b
+        assert len(table) == 2
+
+    def test_intern_frozen_materializes_once(self, backend):
+        dbm = resolve_backend(backend).dbm
+        table = ZoneInternTable()
+        snapshot = dbm.zero(3).frozen()
+        first = table.intern_frozen(dbm, 3, snapshot)
+        second = table.intern_frozen(dbm, 3, snapshot)
+        assert first is second
+        assert first.frozen() == snapshot
+        assert not first.is_empty()
+
+    def test_clear(self, backend):
+        dbm = resolve_backend(backend).dbm
+        table = ZoneInternTable()
+        table.intern(dbm.zero(2))
+        table.clear()
+        assert len(table) == 0
+
+    def test_stats(self, backend):
+        dbm = resolve_backend(backend).dbm
+        table = ZoneInternTable()
+        table.intern(dbm.zero(2))
+        table.intern(dbm.zero(2))
+        stats = table.stats()
+        assert stats["zones"] == 1
+        assert stats["hits"] + stats["misses"] == 2
+
+
+def test_backends_do_not_alias():
+    """Same snapshot, different backend classes: two table entries."""
+    if len(BACKENDS) < 2:
+        pytest.skip("needs both backends")
+    table = ZoneInternTable()
+    zones = [resolve_backend(name).dbm.zero(3) for name in BACKENDS]
+    assert zones[0].frozen() == zones[1].frozen()
+    interned = [table.intern(zone) for zone in zones]
+    assert interned[0] is not interned[1]
+    assert len(table) == 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_explorer_shares_zone_storage(backend):
+    """Equal zones across an exploration collapse to one instance."""
+    network = transform(build_tiny_pim(), build_tiny_scheme()).network
+    table = ZoneInternTable()
+    states: list = []
+    ShardedZoneGraphExplorer(
+        network, jobs=1, zone_backend=backend,
+        intern=table).explore(visit=states.append)
+    by_snapshot: dict = {}
+    for state in states:
+        snapshot = state.zone.frozen()
+        if snapshot in by_snapshot:
+            assert state.zone is by_snapshot[snapshot]
+        else:
+            by_snapshot[snapshot] = state.zone
+    assert len(table) >= len(by_snapshot)
+
+
+def test_global_table_is_shared_and_default():
+    assert global_intern_table() is global_intern_table()
+    network = transform(build_tiny_pim(), build_tiny_scheme()).network
+    explorer = ShardedZoneGraphExplorer(network, jobs=1)
+    assert explorer.intern_table is global_intern_table()
+    disabled = ShardedZoneGraphExplorer(network, jobs=1, intern=False)
+    assert disabled.intern_table is None
+    disabled.explore()  # still explores correctly without interning

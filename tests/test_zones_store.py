@@ -1,0 +1,171 @@
+"""Passed-bucket invariants: envelopes, compaction, batched commits.
+
+The numpy bucket's eviction path must compact the stacked comparison
+array *and* recompute the min/max envelopes from the surviving rows
+(stale envelope contributions from evicted rows degrade the
+prefilters to always-pass).  ``commit_batch`` — the sharded
+explorer's merge primitive — must be observationally identical to the
+sequential ``covers``/``insert`` loop, including which waiting
+entries it kills, across the int32-narrowed and int64 storage modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.zones.backend import available_backends, resolve_backend
+from repro.zones.bounds import INF
+
+numpy = pytest.importorskip("numpy")
+
+BACKENDS = available_backends()
+
+
+class Entry:
+    __slots__ = ("alive", "tag")
+
+    def __init__(self, tag):
+        self.alive = True
+        self.tag = tag
+
+
+def random_zone(dbm_cls, size, rng):
+    zone = dbm_cls.zero(size)
+    zone.up()
+    for _ in range(rng.randint(1, 4)):
+        i = rng.randrange(size)
+        j = rng.randrange(size)
+        if i == j:
+            continue
+        zone.constrain(i, j, rng.randrange(2, 40) * 2 + 1)
+        if zone.is_empty():
+            return None
+    return zone
+
+
+def _bucket_rows(bucket):
+    return [tuple(int(v) for v in bucket._stack[i])
+            for i in range(bucket._count)]
+
+
+@pytest.fixture
+def numpy_backend():
+    if "numpy" not in BACKENDS:
+        pytest.skip("numpy backend unavailable")
+    return resolve_backend("numpy")
+
+
+class TestEnvelopes:
+    def test_eviction_recomputes_envelopes(self, numpy_backend):
+        dbm = numpy_backend.dbm
+        bucket = numpy_backend.bucket()
+        small = dbm.universal(3).constrain(1, 0, 11)
+        other = dbm.universal(3).constrain(2, 0, 7)
+        big = dbm.universal(3).constrain(1, 0, 21)
+        bucket.insert(small, Entry("small"))
+        bucket.insert(other, Entry("other"))
+        evicted = bucket.insert(big, Entry("big"))
+        assert [e.tag for e in evicted] == ["small"]
+        assert len(bucket) == 2
+        # Envelopes are exactly the max/min of the LIVE rows — no
+        # stale contribution from the evicted one.
+        live = bucket._stack[:bucket._count]
+        assert (bucket._upper == live.max(axis=0)).all()
+        assert (bucket._lower == live.min(axis=0)).all()
+
+    def test_covers_after_eviction(self, numpy_backend):
+        dbm = numpy_backend.dbm
+        bucket = numpy_backend.bucket()
+        bucket.insert(dbm.universal(3).constrain(1, 0, 11), Entry(0))
+        bucket.insert(dbm.universal(3).constrain(1, 0, 21), Entry(1))
+        assert bucket.covers(dbm.universal(3).constrain(1, 0, 7))
+        assert not bucket.covers(dbm.universal(3))
+
+
+class TestNarrowing:
+    def test_narrow_roundtrip_preserves_rows(self, numpy_backend):
+        dbm = numpy_backend.dbm
+        bucket = numpy_backend.bucket()
+        zone = dbm.zero(3).up().constrain(1, 0, 11)
+        bucket.insert(zone, Entry(0))
+        rows_before = _bucket_rows(bucket)
+        assert bucket._try_narrow()
+        assert bucket._stack.dtype == numpy.int32
+        # INF maps to the order-preserving sentinel, not a wrapped int.
+        assert (bucket._stack[:1] == bucket.NARROW_INF).sum() == \
+            rows_before[0].count(INF)
+        bucket._to_wide()
+        assert bucket._stack.dtype == numpy.int64
+        assert _bucket_rows(bucket) == rows_before
+
+    def test_out_of_range_bound_forces_wide(self, numpy_backend):
+        dbm = numpy_backend.dbm
+        bucket = numpy_backend.bucket()
+        huge = dbm.zero(2).up().constrain(1, 0, (1 << 31) + 7)
+        row = huge._m.reshape(1, -1)
+        flags = bucket.commit_batch(row.copy(), [Entry(0)])
+        assert flags == [True]
+        assert bucket._stack.dtype == numpy.int64
+        assert bucket._mode == bucket._WIDE_FORCED
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(4))
+def test_commit_batch_matches_sequential(backend, seed):
+    """Random zone batches: batched commit ≡ ordered covers/insert."""
+    spec = resolve_backend(backend)
+    rng = random.Random(seed)
+    size = 4
+    zones = []
+    while len(zones) < 24:
+        zone = random_zone(spec.dbm, size, rng)
+        if zone is not None:
+            zones.append(zone)
+
+    sequential = spec.bucket()
+    expected_flags = []
+    seq_entries = [Entry(i) for i in range(len(zones))]
+    for zone, entry in zip(zones, seq_entries):
+        if sequential.covers(zone):
+            expected_flags.append(False)
+            continue
+        for evicted in sequential.insert(zone, entry):
+            evicted.alive = False
+        expected_flags.append(True)
+
+    batched = spec.bucket()
+    batch_entries = [Entry(i) for i in range(len(zones))]
+    # Split the stream into a few waves, as the explorer would.
+    flags = []
+    for start in (0, 7, 15):
+        end = {0: 7, 7: 15, 15: len(zones)}[start]
+        chunk = zones[start:end]
+        entries = batch_entries[start:end]
+        if backend == "numpy":
+            rows = numpy.stack([z._m.reshape(-1) for z in chunk])
+            flags.extend(batched.commit_batch(rows, entries))
+        else:
+            flags.extend(batched.commit_batch(chunk, entries))
+
+    assert flags == expected_flags
+    assert [e.alive for e in batch_entries] == \
+        [e.alive for e in seq_entries]
+    if backend == "numpy":
+        batched._to_wide()
+        assert _bucket_rows(batched) == [
+            tuple(row) for row in sequential._stack[:len(sequential)]
+            .tolist()]
+    else:
+        assert batched._rows == sequential._rows
+
+
+def test_commit_batch_trusted_narrow_skips_validation(numpy_backend):
+    bucket = numpy_backend.bucket()
+    bucket.trusted_narrow = True
+    dbm = numpy_backend.dbm
+    zone = dbm.zero(3).up().constrain(1, 0, 11)
+    rows = zone._m.reshape(1, -1)
+    assert bucket.commit_batch(rows.copy(), [Entry(0)]) == [True]
+    assert bucket._stack.dtype == numpy.int32
