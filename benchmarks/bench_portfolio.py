@@ -1,0 +1,66 @@
+"""Portfolio verification benchmarks — the many-tenant scheduler.
+
+The plugin-free record for the full 16-scheme case-study sweep lives
+in ``run_benchmarks.py`` (``bench_portfolio_16_schemes``); this file
+keeps the statistically careful pytest-benchmark harness on a grid
+small enough to iterate on, and asserts the qualitative claims: every
+scheme verifies, rows commit in job order, and the portfolio path is
+bit-identical to per-scheme sequential verification.
+"""
+
+from repro.apps.schemes import scheme_grid
+from repro.core.framework import TimingVerificationFramework
+from repro.mc.portfolio import PortfolioVerifier, portfolio_jobs
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+CHANNELS = dict(input_channel="m_Req", output_channel="c_Ack")
+DEADLINE = 10
+
+
+def _grid():
+    return scheme_grid(build_tiny_scheme,
+                       buffer_size=(1, 2, 3), period=(4, 5, 6))
+
+
+def bench_portfolio_tiny_grid_sequential(benchmark):
+    pim = build_tiny_pim()
+    schemes = _grid()
+    outcome = benchmark.pedantic(
+        lambda: PortfolioVerifier(jobs=1).run(portfolio_jobs(
+            pim, schemes, deadline_ms=DEADLINE, **CHANNELS)),
+        rounds=1, iterations=1)
+    assert len(outcome) == 9 and outcome.all_ok
+    assert [row.name for row in outcome] == [s.name for s in schemes]
+
+
+def bench_portfolio_tiny_grid_concurrent(benchmark):
+    pim = build_tiny_pim()
+    schemes = _grid()
+    outcome = benchmark.pedantic(
+        lambda: PortfolioVerifier(jobs=4).run(portfolio_jobs(
+            pim, schemes, deadline_ms=DEADLINE, **CHANNELS)),
+        rounds=1, iterations=1)
+    assert len(outcome) == 9 and outcome.all_ok
+    print(f"\n{outcome.summary()}")
+
+
+def bench_portfolio_matches_sequential_verify(benchmark):
+    pim = build_tiny_pim()
+    schemes = _grid()[:4]
+    framework = TimingVerificationFramework()
+
+    def differential():
+        outcome = PortfolioVerifier(jobs=4).run(portfolio_jobs(
+            pim, schemes, deadline_ms=DEADLINE, **CHANNELS))
+        for scheme, row in zip(schemes, outcome):
+            report = framework.verify(pim, scheme,
+                                      deadline_ms=DEADLINE, **CHANNELS)
+            assert row.report.bounds == report.bounds
+            assert row.states == report.psm_relaxed_result.visited
+            assert row.transitions == \
+                report.psm_relaxed_result.transitions
+        return outcome
+
+    outcome = benchmark.pedantic(differential, rounds=1, iterations=1)
+    assert outcome.all_ok

@@ -14,9 +14,18 @@ offers a plugin-free runner that records the perf trajectory instead.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
+
+# `pytest benchmarks/` roots itself here (scoped pytest.ini), so the
+# repo-root conftest's src-layout path hook never loads — replicate it
+# for a clean checkout.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
 
 try:
     import pytest_benchmark  # noqa: F401 - presence check only

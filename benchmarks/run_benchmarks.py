@@ -2,8 +2,8 @@
 
 Runs the model-checking workloads that dominate every experiment
 (zone-graph construction for the tiny and case-study PSMs, the REQ1
-violation search, the batched paper-query suite) on every available
-zone backend — sequentially and through the sharded parallel explorer
+violation search, the batched paper-query suite, the 16-scheme
+portfolio sweep) on every available zone backend — sequentially and through the sharded parallel explorer
 — and writes ``BENCH_<YYYYMMDD>.json`` with states, transitions and
 wall time per benchmark.  Committing the file gives each PR a
 comparable perf record; the pytest-benchmark suite
@@ -33,10 +33,19 @@ import sys
 import time
 from pathlib import Path
 
-from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
-from repro.apps.schemes import case_study_scheme
+# Self-sufficient from a clean checkout (same bootstrap as the repo
+# root conftest.py): the src/ layout for `repro`, the repo root for
+# the `tests.conftest` tiny-model helpers.
+_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim  # noqa: E402
+from repro.apps.schemes import case_study_grid_16, case_study_scheme
 from repro.core.transform import transform
 from repro.mc.observers import check_bounded_response
+from repro.mc.portfolio import PortfolioVerifier, portfolio_jobs
 from repro.mc.queries import (
     BoundedResponseQuery,
     ResponseSupQuery,
@@ -44,9 +53,8 @@ from repro.mc.queries import (
     check_many,
     zone_graph_stats,
 )
-from repro.zones.backend import available_backends
+from repro.zones.backend import available_backends, set_backend
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from tests.conftest import build_tiny_pim, build_tiny_scheme  # noqa: E402
 
 #: The regression gate guards this benchmark (the paper's S1 workload).
@@ -150,42 +158,90 @@ def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
                     outcome.visited, outcome.transitions, seconds,
                     jobs=jobs, explorations=outcome.explorations,
                     mc_sup=outcome.results[2].sup)
+
+            _bench_portfolio(results, backend, jobs)
     return results
+
+
+def _bench_portfolio(results, backend, jobs):
+    """The 16-scheme design-space sweep over the shared worker pool."""
+    pim = build_infusion_pim()
+    schemes = case_study_grid_16()
+    verifier = PortfolioVerifier(jobs=jobs, max_states=2_000_000)
+    # The portfolio pipeline has no zone_backend parameter (it runs
+    # whole framework pipelines); pin the ambient backend so the
+    # recorded label matches what was actually measured even under a
+    # REPRO_ZONE_BACKEND override.
+    set_backend(backend)
+    try:
+        outcome, seconds = _timed(lambda: verifier.run(portfolio_jobs(
+            pim, schemes,
+            input_channel="m_BolusReq",
+            output_channel="c_StartInfusion",
+            deadline_ms=REQ1_DEADLINE_MS)))
+    finally:
+        set_backend(None)
+    assert outcome.all_ok, [row.error for row in outcome if not row.ok]
+    canonical = [row for row in outcome
+                 if "buffer_size=5,period=100,bolus_poll=380,"
+                    "read_policy=read-all" in row.name]
+    assert canonical and canonical[0].relaxed_deadline_ms == 1430, \
+        "the canonical scheme must reproduce Table I's 1430 ms bound"
+    states = sum(row.states for row in outcome)
+    transitions = sum(row.transitions for row in outcome)
+    _record(results, "bench_portfolio_16_schemes", backend,
+            states, transitions, seconds, jobs=jobs,
+            schemes=len(outcome),
+            guaranteed=len(outcome.guaranteed),
+            per_scheme=[row.row() for row in outcome])
 
 
 # ----------------------------------------------------------------------
 # Regression gate (--check)
 # ----------------------------------------------------------------------
-def run_check(baseline_path: Path, repeats: int = 3) -> int:
+def run_check(baseline_path: Path, repeats: int = 3,
+              quick: bool = False) -> int:
     """Re-run the headline workloads; fail on a >25% regression.
 
     Each workload runs ``repeats`` times and the best wall time
     counts — single runs on shared CI boxes jitter by far more than
     the 25% tolerance the gate is meant to catch.
+
+    ``quick`` swaps the case-study workload for the tiny PSM: wall
+    times are then jitter-dominated (milliseconds), so the gate only
+    enforces bit-identical states/transitions and reports timing
+    informationally — the mode CI runs on every push, with the full
+    gate reserved for perf-minded runs.
     """
     baseline = json.loads(baseline_path.read_text())
+    target_name = "s1_zone_graph_tiny" if quick else HEADLINE
     targets = [entry for entry in baseline["results"]
-               if entry["benchmark"] == HEADLINE
-               and entry["backend"] == "numpy"]
+               if entry["benchmark"] == target_name
+               and entry["backend"] in available_backends()
+               and (quick or entry["backend"] == "numpy")]
     if not targets:
-        print(f"error: {baseline_path} has no numpy "
-              f"{HEADLINE!r} rows to check against", file=sys.stderr)
+        print(f"error: {baseline_path} has no "
+              f"{target_name!r} rows to check against", file=sys.stderr)
         return 2
 
-    case_study = _case_study_network()
+    network = (transform(build_tiny_pim(), build_tiny_scheme()).network
+               if quick else _case_study_network())
     failures = []
     for entry in targets:
         jobs = entry.get("jobs")
+        backend = entry["backend"]
         seconds = None
         for _ in range(repeats):
             stats, elapsed = _timed(lambda: zone_graph_stats(
-                case_study, zone_backend="numpy", jobs=jobs))
+                network, zone_backend=backend, jobs=jobs))
             seconds = elapsed if seconds is None \
                 else min(seconds, elapsed)
-        tag = f"numpy:j{jobs}" if jobs else "numpy"
+        tag = f"{backend}:j{jobs}" if jobs else backend
         ratio = seconds / entry["seconds"]
-        status = "ok" if ratio <= REGRESSION_TOLERANCE else "REGRESSED"
-        print(f"  {HEADLINE:32s} [{tag:11s}] {seconds:7.3f}s vs "
+        timed_gate = not quick
+        status = "ok" if (ratio <= REGRESSION_TOLERANCE
+                          or not timed_gate) else "REGRESSED"
+        print(f"  {target_name:32s} [{tag:11s}] {seconds:7.3f}s vs "
               f"{entry['seconds']:7.3f}s  x{ratio:4.2f}  {status}")
         if (stats.states, stats.transitions) != \
                 (entry["states"], entry["transitions"]):
@@ -193,7 +249,7 @@ def run_check(baseline_path: Path, repeats: int = 3) -> int:
                 f"{tag}: states/transitions "
                 f"{stats.states}/{stats.transitions} != recorded "
                 f"{entry['states']}/{entry['transitions']}")
-        if ratio > REGRESSION_TOLERANCE:
+        if timed_gate and ratio > REGRESSION_TOLERANCE:
             failures.append(
                 f"{tag}: {seconds:.3f}s is {ratio:.2f}x the recorded "
                 f"{entry['seconds']:.3f}s "
@@ -224,11 +280,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", type=Path, metavar="BENCH.json",
                         help="regression-gate mode: re-run the "
                              "headline workloads and fail on a >25%% "
-                             "slowdown vs this record")
+                             "slowdown vs this record (with --quick: "
+                             "tiny workload, bit-identity gate only)")
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        return run_check(args.check)
+        return run_check(args.check, quick=args.quick)
 
     backends = args.backends or list(available_backends())
     print(f"zone backends: {', '.join(backends)}")

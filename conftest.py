@@ -1,0 +1,26 @@
+"""Repo-root pytest bootstrap: make a clean checkout testable.
+
+The package lives in a ``src/`` layout, so test runs used to need
+``PYTHONPATH=src`` (and ``python -m pytest`` rather than ``pytest``,
+for the ``tests.conftest`` helper imports).  This hook makes plain
+
+    pytest -x -q
+
+work from a fresh clone with no installation and no environment
+setup: it prepends ``src/`` (the ``repro`` package) and the repo root
+(the ``tests`` helper package) to ``sys.path`` before collection.
+An installed ``repro`` distribution still wins only if it shadows the
+checkout *after* these entries — i.e. the checkout is authoritative,
+which is what a test run of this repository should mean.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+
+for _entry in (str(_ROOT), str(_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)

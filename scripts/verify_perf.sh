@@ -1,12 +1,25 @@
 #!/usr/bin/env bash
 # Perf regression gate, callable from `verify` tooling/CI.
 #
-# Re-runs the headline zone-graph benchmark (bench_s1_case_study_psm,
-# numpy backend, sequential + sharded jobs variants) and fails when any
-# variant is >25% slower than the newest committed BENCH_<date>.json —
-# or when states/transitions stop being bit-identical to the record.
+# Default: re-runs the headline zone-graph benchmark
+# (bench_s1_case_study_psm, numpy backend, sequential + sharded jobs
+# variants) and fails when any variant is >25% slower than the newest
+# committed BENCH_<date>.json — or when states/transitions stop being
+# bit-identical to the record.
+#
+# --quick: CI mode — re-runs only the tiny PSM workload and gates on
+# bit-identical states/transitions (tiny wall times are jitter, so
+# they are reported but never fail the gate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=""
+for arg in "$@"; do
+    case "${arg}" in
+        --quick) quick="--quick" ;;
+        *) echo "verify_perf: unknown argument ${arg}" >&2; exit 2 ;;
+    esac
+done
 
 latest=$(ls BENCH_*.json 2>/dev/null | grep -v -- '-quick' | sort | tail -1)
 if [[ -z "${latest}" ]]; then
@@ -14,6 +27,6 @@ if [[ -z "${latest}" ]]; then
     exit 2
 fi
 
-echo "verify_perf: checking against ${latest}"
+echo "verify_perf: checking against ${latest}${quick:+ (quick mode)}"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
-    python benchmarks/run_benchmarks.py --check "${latest}"
+    python benchmarks/run_benchmarks.py --check "${latest}" ${quick}

@@ -1,10 +1,15 @@
 """Setup for ``pip install -e .`` (no pyproject in this environment).
 
-Core install is dependency-free; the ``bench`` extra pulls the
-optional performance stack: numpy (vectorized zone backend, see
-``repro.zones.backend``) and pytest-benchmark (the ``benchmarks/``
-suite; ``benchmarks/conftest.py`` skips collection cleanly when the
-plugin is absent).
+Core install is dependency-free.  Extras:
+
+* ``test`` — the unit/property suite's stack: pytest plus hypothesis
+  (``tests/test_properties.py``, ``tests/test_schemes_properties.py``).
+  The suite also runs straight from a checkout with no install at all
+  (the repo-root ``conftest.py`` wires up the ``src/`` layout).
+* ``bench`` — the optional performance stack: numpy (vectorized zone
+  backend, see ``repro.zones.backend``) and pytest-benchmark (the
+  ``benchmarks/`` suite; ``benchmarks/conftest.py`` skips collection
+  cleanly when the plugin is absent).
 """
 
 from setuptools import find_packages, setup
@@ -21,6 +26,7 @@ setup(
         "console_scripts": ["repro-timing = repro.cli:main"],
     },
     extras_require={
+        "test": ["pytest", "hypothesis"],
         "bench": ["numpy", "pytest-benchmark"],
     },
 )

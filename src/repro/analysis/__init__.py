@@ -2,6 +2,7 @@
 
 from repro.analysis.blocks import render_blocks
 from repro.analysis.delays import RequestTiming, pair_requests
+from repro.analysis.portfolio import portfolio_rows, render_portfolio
 from repro.analysis.stats import DelayStats, summarize
 from repro.analysis.table1 import (
     MeasuredDelays,
@@ -20,7 +21,9 @@ __all__ = [
     "Table1",
     "fig3_scenario",
     "pair_requests",
+    "portfolio_rows",
     "render_blocks",
+    "render_portfolio",
     "render_timeline",
     "run_case_study",
     "simulate_trials",

@@ -1,0 +1,115 @@
+"""Portfolio comparison report — Table I generalized across schemes.
+
+The paper's Table I compares one scheme's verified bounds against
+measurements.  A portfolio run produces the *verified* half for many
+candidate schemes at once; :func:`render_portfolio` lays the rows out
+side by side so a designer can read off which platform configurations
+keep REQ1-style deadlines satisfiable and at what Lemma-2 cost::
+
+    PORTFOLIO VERIFICATION ... (Δ_mc = 500ms)
+    +----------------------------+------+------+-------+-------+ ...
+    | scheme                     | Δ̄_mi | Δ̄_oc | Δ'_mc | P(Δ)  | ...
+
+Columns: the Lemma-1 Input/Output-Delay bounds, the Lemma-2 relaxed
+deadline, the PSM verdicts for the original and relaxed deadlines,
+the Section-V constraint check, Theorem 1's conclusion, and the
+deadline-sweep size/wall-time — everything a
+:class:`repro.mc.portfolio.PortfolioResult` row carries.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mc.portfolio import PortfolioOutcome, PortfolioResult
+
+__all__ = ["portfolio_rows", "render_portfolio"]
+
+_HEADERS = ("scheme", "Δ̄_mi", "Δ̄_oc", "Δ'_mc", "P(Δ)", "P(Δ')",
+            "constraints", "Thm 1", "states", "time")
+
+
+def _display_width(text: str) -> int:
+    """Terminal columns, not code points — the Δ̄ headers carry a
+    combining macron (U+0304) that ``len`` counts but terminals
+    render at zero width."""
+    return sum(0 if unicodedata.combining(char) else 1
+               for char in text)
+
+
+def _pad(text: str, width: int, *, left: bool) -> str:
+    fill = " " * (width - _display_width(text))
+    return text + fill if left else fill + text
+
+
+def _verdict(value: bool | None, *, yes: str = "yes",
+             no: str = "no") -> str:
+    if value is None:
+        return "--"
+    return yes if value else no
+
+
+def _cells(result: "PortfolioResult") -> tuple[str, ...]:
+    if not result.ok:
+        reason = {"budget-exceeded": "budget exceeded"}.get(
+            result.status, result.status)
+        return (result.name, "--", "--", "--", "--", "--", reason,
+                "--", "--", f"{result.wall_seconds:.2f}s")
+    bounds = result.bounds
+    return (
+        result.name,
+        f"{bounds.input_bound}ms",
+        f"{bounds.output_bound}ms",
+        f"{bounds.relaxed}ms",
+        _verdict(result.original_holds),
+        _verdict(result.relaxed_holds),
+        _verdict(result.constraints_hold, yes="satisfied",
+                 no="VIOLATED"),
+        _verdict(result.guarantee),
+        str(result.states),
+        f"{result.wall_seconds:.2f}s",
+    )
+
+
+def portfolio_rows(outcome: "PortfolioOutcome") -> list[dict]:
+    """JSON-ready rows (the shape the benchmark record commits)."""
+    return [result.row() for result in outcome]
+
+
+def render_portfolio(outcome: "PortfolioOutcome", *,
+                     deadline_ms: int | None = None) -> str:
+    """ASCII comparison table across every scheme of the portfolio."""
+    if deadline_ms is None and len(outcome):
+        deadline_ms = outcome[0].deadline_ms
+    rows = [_cells(result) for result in outcome]
+    widths = [max(_display_width(header),
+                  *(_display_width(row[i]) for row in rows))
+              if rows else _display_width(header)
+              for i, header in enumerate(_HEADERS)]
+
+    def line(cells) -> str:
+        # First column left-aligned (names), numbers right-aligned.
+        body = " | ".join(
+            _pad(cell, widths[i], left=(i == 0))
+            for i, cell in enumerate(cells))
+        return f"| {body} |"
+
+    sep = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+    guaranteed = len(outcome.guaranteed)
+    lines = [
+        f"PORTFOLIO VERIFICATION — {len(outcome)} schemes, "
+        f"{guaranteed} guaranteed (Δ_mc = {deadline_ms}ms)",
+        sep,
+        line(_HEADERS),
+        sep,
+    ]
+    lines.extend(line(row) for row in rows)
+    lines.append(sep)
+    lines.append(
+        f"workers={outcome.jobs or 'sequential'} "
+        f"concurrency={outcome.concurrency}"
+        f"{' fused' if outcome.fused else ''} "
+        f"wall={outcome.wall_seconds:.2f}s")
+    return "\n".join(lines)

@@ -14,9 +14,19 @@ reproduce Table I exactly:
 
 :func:`example_is1_scheme` is the paper's Example 1 verbatim (all
 inputs pulse/interrupt) for the Fig. 3 timeline experiment.
+
+:func:`scheme_grid` generates *portfolios* of candidate schemes —
+the cartesian sweep over platform parameters (buffer sizes, polling
+intervals, periods, invocation kinds, read policies) that
+:class:`repro.mc.portfolio.PortfolioVerifier` verifies concurrently.
 """
 
 from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from enum import Enum
+from typing import Callable, Iterable
 
 from repro.apps.infusion import INPUT_CHANNELS, OUTPUT_CHANNELS
 from repro.core.scheme import (
@@ -36,8 +46,10 @@ from repro.core.scheme import (
 __all__ = [
     "BOLUS_POLL_MS",
     "OUTPUT_POLL_MS",
+    "case_study_grid_16",
     "case_study_scheme",
     "example_is1_scheme",
+    "scheme_grid",
 ]
 
 #: Polling interval of the bolus-request input (ms).
@@ -51,8 +63,17 @@ def case_study_scheme(*, buffer_size: int = 5,
                       bolus_poll: int = BOLUS_POLL_MS,
                       output_poll: int = OUTPUT_POLL_MS,
                       read_policy: ReadPolicy = ReadPolicy.READ_ALL,
+                      invocation_kind: InvocationKind =
+                      InvocationKind.PERIODIC,
                       ) -> ImplementationScheme:
-    """The Section-VI platform (IS1 + polled bolus input)."""
+    """The Section-VI platform (IS1 + polled bolus input).
+
+    ``invocation_kind`` opens the scheme up as a grid axis: the
+    aperiodic variant keeps the paper's execution-time envelope
+    (bcet 1 / wcet 10) and reuses ``period`` as the worst-case
+    scheduling latency, so the Lemma-1 delivery-wait term stays
+    comparable across the two kinds.
+    """
     inputs = {
         # The bolus button presents a latched level to a poller.
         "m_BolusReq": InputSpec(
@@ -93,14 +114,21 @@ def case_study_scheme(*, buffer_size: int = 5,
                         buffer_size=buffer_size)
         for channel in OUTPUT_CHANNELS
     }
+    if invocation_kind is InvocationKind.PERIODIC:
+        invocation = InvocationSpec(kind=InvocationKind.PERIODIC,
+                                    period=period, bcet=1, wcet=10)
+    else:
+        invocation = InvocationSpec(
+            kind=InvocationKind.APERIODIC, period=None, bcet=1,
+            wcet=10, latency_min=0, latency_max=period,
+            min_separation=10)
     return ImplementationScheme(
         name="IS1-case-study",
         inputs=inputs,
         outputs=outputs,
         io_inputs=io_inputs,
         io_outputs=io_outputs,
-        invocation=InvocationSpec(kind=InvocationKind.PERIODIC,
-                                  period=period, bcet=1, wcet=10),
+        invocation=invocation,
     ).validate()
 
 
@@ -109,3 +137,71 @@ def example_is1_scheme(*, buffer_size: int = 5,
     """The paper's Example 1 (IS1) applied to the pump's channels."""
     return example_is1(INPUT_CHANNELS, OUTPUT_CHANNELS,
                        buffer_size=buffer_size, period=period)
+
+
+# ----------------------------------------------------------------------
+# Scheme portfolios (design-space sweeps)
+# ----------------------------------------------------------------------
+def _axis_label(value: object) -> str:
+    if isinstance(value, Enum):
+        return str(value.value)
+    return str(value)
+
+
+def scheme_grid(factory: Callable[..., ImplementationScheme] =
+                case_study_scheme,
+                **axes: Iterable) -> list[ImplementationScheme]:
+    """Cartesian sweep of scheme parameters → a validated portfolio.
+
+    Every keyword names a ``factory`` parameter and supplies the values
+    to sweep; the grid is the cartesian product in the given axis
+    order, with the *last* axis varying fastest (``itertools.product``
+    order), so the portfolio's job order is deterministic.  Each
+    scheme is built (and therefore validated) by ``factory`` and
+    renamed ``"<base>[axis=value,...]"`` so portfolio rows, benchmark
+    records and reports stay self-describing::
+
+        scheme_grid(buffer_size=(1, 5), period=(50, 100))
+        # -> IS1-case-study[buffer_size=1,period=50], ... (4 schemes)
+
+    Works with any scheme factory — the test suite sweeps its tiny
+    conftest scheme the same way.
+    """
+    if not axes:
+        raise ValueError("scheme_grid needs at least one axis to sweep")
+    names = list(axes)
+    value_lists = [list(axes[name]) for name in names]
+    for name, values in zip(names, value_lists):
+        if not values:
+            raise ValueError(f"axis {name!r} has no values to sweep")
+    portfolio: list[ImplementationScheme] = []
+    for combo in itertools.product(*value_lists):
+        kwargs = dict(zip(names, combo))
+        scheme = factory(**kwargs)
+        label = ",".join(f"{name}={_axis_label(value)}"
+                         for name, value in kwargs.items())
+        portfolio.append(replace(scheme,
+                                 name=f"{scheme.name}[{label}]"))
+    return portfolio
+
+
+def case_study_grid_16() -> list[ImplementationScheme]:
+    """The canonical 16-scheme design-space sweep of the case study.
+
+    Buffer sizes {2, 5} × invocation periods {50, 100} ms × bolus
+    polling intervals {190, 380} ms × read policies {read-all,
+    read-one} — the portfolio the ``bench_portfolio_16_schemes``
+    benchmark and the ``repro-timing portfolio`` CLI default verify.
+    The invocation-kind axis is spelled out (periodic only) so these
+    scheme names match the CLI's default grid rows exactly — rows in
+    the committed BENCH record and a default CLI run cross-reference
+    by name.
+    """
+    return scheme_grid(
+        case_study_scheme,
+        buffer_size=(2, 5),
+        period=(50, 100),
+        bolus_poll=(190, 380),
+        read_policy=(ReadPolicy.READ_ALL, ReadPolicy.READ_ONE),
+        invocation_kind=(InvocationKind.PERIODIC,),
+    )

@@ -2,12 +2,15 @@
 
 Commands mirror the paper's workflow:
 
-* ``verify``   — run the full framework pipeline on the case study
-* ``table1``   — regenerate Table I (verification + 60 trials)
-* ``simulate`` — run only the measured half (fast)
-* ``timeline`` — regenerate the Fig. 3 interaction timeline
-* ``render``   — dump the PIM / PSM as Graphviz dot or a summary
-* ``scheme``   — print the case-study implementation scheme
+* ``verify``    — run the full framework pipeline on the case study
+* ``portfolio`` — verify a whole scheme grid concurrently (design-
+  space sweep over buffer sizes × periods × polling intervals × read
+  policies × invocation kinds)
+* ``table1``    — regenerate Table I (verification + 60 trials)
+* ``simulate``  — run only the measured half (fast)
+* ``timeline``  — regenerate the Fig. 3 interaction timeline
+* ``render``    — dump the PIM / PSM as Graphviz dot or a summary
+* ``scheme``    — print the case-study implementation scheme
 """
 
 from __future__ import annotations
@@ -16,12 +19,13 @@ import argparse
 import sys
 
 from repro.analysis.blocks import render_blocks
+from repro.analysis.portfolio import render_portfolio
 from repro.analysis.table1 import run_case_study, simulate_trials
 from repro.analysis.timeline import fig3_scenario
 from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
-from repro.apps.schemes import case_study_scheme
+from repro.apps.schemes import case_study_scheme, scheme_grid
 from repro.core.framework import TimingVerificationFramework
-from repro.core.scheme import ReadPolicy
+from repro.core.scheme import InvocationKind, ReadPolicy
 from repro.core.transform import transform
 from repro.mc.parallel import set_default_jobs
 from repro.ta.render import network_summary, network_to_dot
@@ -29,6 +33,9 @@ from repro.ta.uppaal import network_to_uppaal_xml
 from repro.zones.backend import set_backend
 
 __all__ = ["main"]
+
+_READ_POLICIES = {policy.value: policy for policy in ReadPolicy}
+_INVOCATION_KINDS = {kind.value: kind for kind in InvocationKind}
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -43,6 +50,29 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         measure_suprema=args.suprema)
     print(report.summary())
     return 0 if report.implementation_guarantee else 1
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    pim = build_infusion_pim()
+    axes = {
+        "buffer_size": args.buffer_sizes,
+        "period": args.periods,
+        "bolus_poll": args.bolus_polls,
+        "read_policy": [_READ_POLICIES[v] for v in args.read_policies],
+        "invocation_kind": [_INVOCATION_KINDS[v]
+                            for v in args.invocation_kinds],
+    }
+    schemes = scheme_grid(case_study_scheme, **axes)
+    framework = TimingVerificationFramework(max_states=args.max_states)
+    outcome = framework.verify_portfolio(
+        pim, schemes,
+        input_channel="m_BolusReq",
+        output_channel="c_StartInfusion",
+        deadline_ms=args.deadline,
+        measure_suprema=args.suprema,
+        fused=args.fused)
+    print(render_portfolio(outcome, deadline_ms=args.deadline))
+    return 0 if outcome.all_ok else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -133,6 +163,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--suprema", action="store_true",
                           help="also measure exact PSM delay suprema")
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_port = sub.add_parser(
+        "portfolio",
+        help="verify a scheme grid concurrently (design-space sweep)",
+        description="Sweep the case-study platform over a cartesian "
+                    "grid of scheme parameters and verify every "
+                    "candidate concurrently over one shared worker "
+                    "pool.  Grid syntax: each --<axis> flag takes one "
+                    "or more values; the portfolio is the cartesian "
+                    "product (e.g. --buffer-sizes 2 5 --periods 50 "
+                    "100 gives 4 schemes).  The default grid is the "
+                    "benchmarked 16-scheme sweep.")
+    p_port.add_argument("--buffer-sizes", type=int, nargs="+",
+                        default=[2, 5], metavar="N",
+                        help="io-buffer sizes to sweep (default: 2 5)")
+    p_port.add_argument("--periods", type=int, nargs="+",
+                        default=[50, 100], metavar="MS",
+                        help="invocation periods in ms "
+                             "(default: 50 100)")
+    p_port.add_argument("--bolus-polls", type=int, nargs="+",
+                        default=[190, 380], metavar="MS",
+                        help="bolus-input polling intervals in ms "
+                             "(default: 190 380)")
+    p_port.add_argument("--read-policies", nargs="+",
+                        choices=sorted(_READ_POLICIES),
+                        default=["read-all", "read-one"],
+                        help="io read policies (default: both)")
+    p_port.add_argument("--invocation-kinds", nargs="+",
+                        choices=sorted(_INVOCATION_KINDS),
+                        default=["periodic"],
+                        help="code invocation kinds "
+                             "(default: periodic)")
+    p_port.add_argument("--deadline", type=int,
+                        default=REQ1_DEADLINE_MS)
+    p_port.add_argument("--max-states", type=int, default=2_000_000,
+                        help="per-scheme exploration budget")
+    p_port.add_argument("--suprema", action="store_true",
+                        help="also measure exact PSM delay suprema "
+                             "per scheme")
+    p_port.add_argument("--fused", action="store_true",
+                        help="compile each scheme's deadline+suprema "
+                             "queries into one shared sweep (same "
+                             "verdicts; shared-sweep state tallies)")
+    p_port.set_defaults(fn=_cmd_portfolio)
 
     p_table = sub.add_parser("table1", help="regenerate Table I")
     p_table.add_argument("--trials", type=int, default=60)

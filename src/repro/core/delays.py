@@ -41,6 +41,7 @@ __all__ = [
     "DelayBounds",
     "analytic_input_delay_bound",
     "analytic_output_delay_bound",
+    "bounds_from_internal",
     "relaxed_deadline",
     "symbolic_input_delay",
     "symbolic_output_delay",
@@ -127,16 +128,21 @@ class DelayBounds:
                 f"→ Δ'_mc={self.relaxed}ms")
 
 
-def derive_bounds(pim: PIM, scheme: ImplementationScheme,
-                  input_channel: str, output_channel: str, *,
-                  max_states: int = 1_000_000) -> DelayBounds:
-    """Lemma 1 + the PIM's internal sup, packaged for Lemma 2."""
-    internal = internal_delay(pim, input_channel, output_channel,
-                              max_states=max_states)
+def bounds_from_internal(scheme: ImplementationScheme,
+                         input_channel: str, output_channel: str,
+                         internal: DelayBound) -> DelayBounds:
+    """Assemble the Lemma-2 package from a *precomputed* internal sup.
+
+    The single assembly point shared by
+    :meth:`repro.core.framework.TimingVerificationFramework.derive_bounds`
+    and the portfolio verifier (which caches the scheme-independent
+    internal sup across jobs) — so the two pipelines cannot drift on
+    how Lemma-1 terms combine.
+    """
     if not internal.bounded:
         raise ValueError(
-            f"the PIM's internal {input_channel}→{output_channel} delay "
-            f"is unbounded; Lemma 2 does not apply (Remark 1)")
+            f"internal {input_channel}→{output_channel} delay is "
+            f"unbounded (Remark 1)")
     return DelayBounds(
         input_channel=input_channel,
         output_channel=output_channel,
@@ -144,3 +150,13 @@ def derive_bounds(pim: PIM, scheme: ImplementationScheme,
         output_bound=analytic_output_delay_bound(scheme, output_channel),
         internal_bound=internal.sup,
     )
+
+
+def derive_bounds(pim: PIM, scheme: ImplementationScheme,
+                  input_channel: str, output_channel: str, *,
+                  max_states: int = 1_000_000) -> DelayBounds:
+    """Lemma 1 + the PIM's internal sup, packaged for Lemma 2."""
+    internal = internal_delay(pim, input_channel, output_channel,
+                              max_states=max_states)
+    return bounds_from_internal(scheme, input_channel, output_channel,
+                                internal)

@@ -15,17 +15,23 @@ way Section VI does:
 
 The resulting :class:`VerificationReport` carries every verified
 number Table I's upper row needs.
+
+Beyond the paper, :meth:`TimingVerificationFramework.verify_portfolio`
+runs the same pipeline over a whole *portfolio* of candidate schemes
+(a :func:`repro.apps.schemes.scheme_grid` sweep), scheduled
+concurrently over one shared worker pool — see
+:mod:`repro.mc.portfolio`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.constraints import ConstraintReport, check_all_constraints
 from repro.core.delays import (
     DelayBounds,
-    analytic_input_delay_bound,
-    analytic_output_delay_bound,
+    bounds_from_internal,
     internal_delay,
 )
 from repro.core.pim import PIM
@@ -155,18 +161,8 @@ class TimingVerificationFramework:
         internal = internal_delay(pim, input_channel, output_channel,
                                   max_states=self.max_states,
                                   jobs=self.jobs)
-        if not internal.bounded:
-            raise ValueError(
-                f"internal {input_channel}→{output_channel} delay is "
-                f"unbounded (Remark 1)")
-        return DelayBounds(
-            input_channel=input_channel,
-            output_channel=output_channel,
-            input_bound=analytic_input_delay_bound(scheme, input_channel),
-            output_bound=analytic_output_delay_bound(scheme,
-                                                     output_channel),
-            internal_bound=internal.sup,
-        )
+        return bounds_from_internal(scheme, input_channel,
+                                    output_channel, internal)
 
     def verify_psm(self, psm: PSM, input_channel: str,
                    output_channel: str,
@@ -246,3 +242,36 @@ class TimingVerificationFramework:
             report.symbolic = self.measure_psm(
                 psm, input_channel, output_channel)
         return report
+
+    # ------------------------------------------------------------------
+    def verify_portfolio(self, pim: PIM,
+                         schemes: Sequence[ImplementationScheme], *,
+                         input_channel: str, output_channel: str,
+                         deadline_ms: int,
+                         min_interarrival_ms: int | None = None,
+                         measure_suprema: bool = False,
+                         include_progress: bool = False,
+                         concurrency: int | None = None,
+                         fused: bool = False):
+        """Step 7: verify a whole portfolio of candidate schemes.
+
+        One :meth:`verify` pipeline per scheme, scheduled concurrently
+        over a shared worker pool by
+        :class:`repro.mc.portfolio.PortfolioVerifier` (``self.jobs``
+        sets the pool width; results per scheme are bit-identical to
+        calling :meth:`verify` one scheme at a time).  Returns the
+        job-ordered :class:`repro.mc.portfolio.PortfolioOutcome`;
+        render it with
+        :func:`repro.analysis.portfolio.render_portfolio`.
+        """
+        from repro.mc.portfolio import PortfolioVerifier
+
+        verifier = PortfolioVerifier(
+            jobs=self.jobs, concurrency=concurrency,
+            max_states=self.max_states, fused=fused)
+        return verifier.verify_schemes(
+            pim, schemes, input_channel=input_channel,
+            output_channel=output_channel, deadline_ms=deadline_ms,
+            min_interarrival_ms=min_interarrival_ms,
+            measure_suprema=measure_suprema,
+            include_progress=include_progress)

@@ -10,6 +10,9 @@ Public API:
 * :func:`find_deadlocks` — stuck-state detection
 * :class:`ZoneGraphExplorer` — the underlying engine
 * :class:`ShardedZoneGraphExplorer` — its parallel twin (``jobs=``)
+* :mod:`repro.mc.portfolio` — cross-model portfolio verification
+  (import the submodule directly: it sits above the core framework
+  layer, so re-exporting it here would create an import cycle)
 """
 
 from repro.mc.deadlock import DeadlockReport, find_deadlocks

@@ -46,6 +46,7 @@ backends yield bit-identical zone graphs.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
@@ -68,8 +69,11 @@ class ExplorationLimit(Exception):
 
 #: Process-wide tally of exploration runs (sequential and sharded).
 #: The shared-exploration query planner asserts against it: a batch of
-#: queries compiled into one sweep must bump this exactly once.
+#: queries compiled into one sweep must bump this exactly once.  The
+#: lock keeps the tally exact when portfolio scheduler threads start
+#: explorations concurrently (``int += 1`` is not atomic in CPython).
 _EXPLORATIONS = 0
+_EXPLORATIONS_LOCK = threading.Lock()
 
 
 def exploration_count() -> int:
@@ -79,7 +83,8 @@ def exploration_count() -> int:
 
 def _count_exploration() -> None:
     global _EXPLORATIONS
-    _EXPLORATIONS += 1
+    with _EXPLORATIONS_LOCK:
+        _EXPLORATIONS += 1
 
 
 @dataclass

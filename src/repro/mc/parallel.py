@@ -52,6 +52,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import deque
+from contextlib import contextmanager
 from typing import Callable, Iterator, Mapping
 
 from repro.mc.explorer import (
@@ -68,6 +69,9 @@ from repro.zones.intern import ZoneInternTable, global_intern_table
 __all__ = [
     "ENV_JOBS",
     "ShardedZoneGraphExplorer",
+    "WorkStealingPool",
+    "current_exploration_context",
+    "exploration_context",
     "make_explorer",
     "resolve_jobs",
     "set_default_jobs",
@@ -127,26 +131,41 @@ def make_explorer(network: Network, *, jobs: int | None = None,
 # ----------------------------------------------------------------------
 # Work-stealing thread pool with a termination-detection barrier
 # ----------------------------------------------------------------------
-class _WorkStealingPool:
-    """Per-worker deques + stealing; one wave of tasks per barrier.
+class _Wave:
+    """Barrier state for one ``run_wave`` call (supports concurrency)."""
+
+    __slots__ = ("pending", "error", "cv")
+
+    def __init__(self, cv: threading.Condition, pending: int):
+        self.cv = cv
+        self.pending = pending
+        self.error: BaseException | None = None
+
+
+class WorkStealingPool:
+    """Per-worker deques + stealing; one barrier per submitted wave.
 
     Owners pop from the bottom of their own deque (LIFO keeps a
     worker's cache hot on its shard), idle workers steal from the top
     of a victim's deque (FIFO steals take the oldest, largest-grained
-    work).  ``run_wave`` blocks on the termination-detection barrier:
-    a shared pending counter that the last finishing worker drives to
-    zero before notifying the waiter.
+    work).  ``run_wave`` blocks on a termination-detection barrier: a
+    per-wave pending counter that the last finishing worker drives to
+    zero before notifying that wave's submitter.
+
+    Waves are independent, so *multiple* coordinating threads may call
+    :meth:`run_wave` concurrently — the portfolio scheduler
+    (:mod:`repro.mc.portfolio`) runs many explorations over one pool,
+    and their waves interleave freely across the workers.  Errors stay
+    scoped to the wave whose task raised them.
     """
 
     def __init__(self, workers: int):
-        self._n = workers
+        self.width = workers
         self._deques: list[deque] = [deque() for _ in range(workers)]
         self._lock = threading.Lock()
         self._work_cv = threading.Condition(self._lock)
-        self._done_cv = threading.Condition(self._lock)
-        self._pending = 0
+        self._rr = 0  # rotating placement offset across waves
         self._shutdown = False
-        self._error: BaseException | None = None
         self._threads = [
             threading.Thread(target=self._worker_loop, args=(i,),
                              name=f"shard-worker-{i}", daemon=True)
@@ -159,18 +178,20 @@ class _WorkStealingPool:
         """Run all tasks; return when every one finished (the barrier)."""
         if not tasks:
             return
+        wave = _Wave(threading.Condition(self._lock), len(tasks))
         with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool is shut down")
+            offset = self._rr
+            self._rr = (offset + len(tasks)) % self.width
             for i, task in enumerate(tasks):
-                self._deques[i % self._n].append(task)
-            self._pending = len(tasks)
-            self._error = None
+                self._deques[(offset + i) % self.width].append(
+                    (wave, task))
             self._work_cv.notify_all()
-            while self._pending:
-                self._done_cv.wait()
-            if self._error is not None:
-                error = self._error
-                self._error = None
-                raise error
+            while wave.pending:
+                wave.cv.wait()
+            if wave.error is not None:
+                raise wave.error
 
     def shutdown(self) -> None:
         with self._lock:
@@ -184,8 +205,8 @@ class _WorkStealingPool:
         own = self._deques[me]
         if own:
             return own.pop()
-        for offset in range(1, self._n):
-            victim = self._deques[(me + offset) % self._n]
+        for offset in range(1, self.width):
+            victim = self._deques[(me + offset) % self.width]
             if victim:
                 return victim.popleft()
         return None
@@ -193,23 +214,74 @@ class _WorkStealingPool:
     def _worker_loop(self, me: int) -> None:
         while True:
             with self._lock:
-                task = self._steal(me)
-                while task is None:
+                item = self._steal(me)
+                while item is None:
                     if self._shutdown:
                         return
                     self._work_cv.wait()
-                    task = self._steal(me)
+                    item = self._steal(me)
+            wave, task = item
             try:
                 task()
             except BaseException as exc:  # propagated via run_wave
                 with self._lock:
-                    if self._error is None:
-                        self._error = exc
+                    if wave.error is None:
+                        wave.error = exc
             finally:
                 with self._lock:
-                    self._pending -= 1
-                    if self._pending == 0:
-                        self._done_cv.notify_all()
+                    wave.pending -= 1
+                    if wave.pending == 0:
+                        wave.cv.notify_all()
+
+
+# Backwards-compatible private alias (pre-portfolio name).
+_WorkStealingPool = WorkStealingPool
+
+
+# ----------------------------------------------------------------------
+# Thread-local exploration context (shared pool / intern table)
+# ----------------------------------------------------------------------
+class _ExplorationContext:
+    """Defaults injected into every explorer built on this thread."""
+
+    __slots__ = ("pool", "intern")
+
+    def __init__(self, pool: WorkStealingPool | None,
+                 intern: bool | ZoneInternTable | None):
+        self.pool = pool
+        self.intern = intern
+
+
+_context = threading.local()
+
+
+def current_exploration_context() -> _ExplorationContext | None:
+    """The context installed on this thread, if any."""
+    return getattr(_context, "value", None)
+
+
+@contextmanager
+def exploration_context(*, pool: WorkStealingPool | None = None,
+                        intern: bool | ZoneInternTable | None = None):
+    """Route every exploration started on this thread through shared
+    infrastructure.
+
+    While active, :class:`ShardedZoneGraphExplorer` instances built on
+    the current thread default to ``pool``/``intern`` instead of
+    creating a private worker pool or using the global intern table.
+    The query helpers and the verification framework build their
+    explorers deep inside their call chains, so the context is how the
+    portfolio scheduler threads one shared pool through a whole
+    pipeline without widening every signature.  Contexts nest; the
+    previous one is restored on exit.  The context is thread-local by
+    design — concurrent portfolio jobs each install their own view.
+    """
+    previous = current_exploration_context()
+    _context.value = _ExplorationContext(pool, intern)
+    try:
+        yield
+    finally:
+        _context.value = previous
 
 
 # ----------------------------------------------------------------------
@@ -311,6 +383,14 @@ class ShardedZoneGraphExplorer:
     intern:
         Zone interning policy: ``True`` (the global table), ``False``
         (no interning) or a private :class:`ZoneInternTable`.
+    pool:
+        An external :class:`WorkStealingPool` to run expansion waves
+        on instead of a private per-exploration pool.  Shared pools
+        are never shut down by :meth:`explore` and force thread mode
+        (a cross-job process pool cannot share compiled networks).
+        When omitted, the thread-local :func:`exploration_context`
+        supplies the default — that is how portfolio jobs all land on
+        one pool.
     """
 
     def __init__(self, network: Network, *,
@@ -322,11 +402,18 @@ class ShardedZoneGraphExplorer:
                  free_clock_when_zero: Mapping[str, str] | None = None,
                  zone_backend: str | None = None,
                  lazy_subsumption: bool = False,
-                 intern: bool | ZoneInternTable = True):
+                 intern: bool | ZoneInternTable = True,
+                 pool: WorkStealingPool | None = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if mode not in ("auto", "thread", "process"):
             raise ValueError(f"unknown parallel mode {mode!r}")
+        context = current_exploration_context()
+        if context is not None:
+            if pool is None:
+                pool = context.pool
+            if intern is True and context.intern is not None:
+                intern = context.intern
         self.core = ZoneGraphExplorer(
             network, extra_max_constants=extra_max_constants,
             trace=trace, max_states=max_states,
@@ -337,8 +424,15 @@ class ShardedZoneGraphExplorer:
         self.compiled = self.core.compiled
         self.backend = self.core.backend
         self.jobs = jobs
-        self.mode = mode if mode != "auto" else (
-            "thread" if self.backend.name == "numpy" else "process")
+        self.shared_pool = pool
+        if pool is not None:
+            # External pools are thread pools; its width caps useful
+            # parallelism regardless of the requested job count.
+            self.mode = "thread"
+            self.jobs = max(jobs, 2) if pool.width > 1 else 1
+        else:
+            self.mode = mode if mode != "auto" else (
+                "thread" if self.backend.name == "numpy" else "process")
         self.trace_enabled = trace
         self.max_states = max_states
         self.lazy_subsumption = lazy_subsumption
@@ -498,9 +592,14 @@ class ShardedZoneGraphExplorer:
         use_threads = self.jobs > 1 and self.mode == "thread"
         use_processes = self.jobs > 1 and self.mode == "process"
         pool = proc_pool = None
+        own_pool = False
         try:
             if use_threads:
-                pool = _WorkStealingPool(self.jobs)
+                if self.shared_pool is not None:
+                    pool = self.shared_pool
+                else:
+                    pool = WorkStealingPool(self.jobs)
+                    own_pool = True
             elif use_processes:
                 import multiprocessing
 
@@ -616,7 +715,7 @@ class ShardedZoneGraphExplorer:
                             complete=False, transitions=transitions)
                     frontier.append(item.entry)
         finally:
-            if pool is not None:
+            if pool is not None and own_pool:
                 pool.shutdown()
             if proc_pool is not None:
                 proc_pool.terminate()

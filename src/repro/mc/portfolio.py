@@ -1,0 +1,562 @@
+"""Cross-model portfolio verification: whole scheme sweeps, one pool.
+
+The paper's workflow verifies one implementation scheme at a time:
+transform the PIM for the chosen scheme, check the Section-V
+constraints, derive the Lemma-1/2 bounds, re-verify the deadline on
+the PSM.  Design-space exploration — "which buffer size / polling
+interval / period combination still meets REQ1?" — needs that whole
+pipeline over *many* candidate schemes, and the schemes are
+independent, so the verifier can be run as a many-tenant service
+instead of a single-model checker.
+
+:class:`PortfolioVerifier` schedules N ``(PIM, scheme, queries)`` jobs
+concurrently:
+
+* **One shared worker pool.**  Every job's zone-graph sweeps run over
+  a single :class:`~repro.mc.parallel.WorkStealingPool` (threaded via
+  :func:`~repro.mc.parallel.exploration_context`), so expansion waves
+  from different schemes interleave across the same workers instead of
+  each job spawning its own pool.  Python-only phases of one job
+  overlap with numpy kernel phases of another.
+* **One shared zone-intern table.**  Candidate PSMs differ only in
+  platform parameters, so their zone graphs overlap heavily; interning
+  across jobs dedups that storage (:mod:`repro.zones.intern`).
+* **Deterministic job-ordered commit.**  Results are committed into a
+  slot per submission index; :meth:`PortfolioVerifier.run` returns
+  rows in job order no matter which scheme finishes first.
+* **Per-job budgets and fault isolation.**  Each job carries its own
+  ``max_states`` budget; a job that exhausts it (or whose scheme is
+  invalid for the PIM) becomes a structured failure row, and every
+  other job completes normally.
+* **Shared PIM obligations.**  Jobs over the same PIM and requirement
+  share step 1 (``PIM ⊨ P(Δ)``) and the Lemma-2 internal supremum —
+  both are scheme-independent, so the portfolio computes each distinct
+  obligation once (the values are exactly what every per-scheme run
+  would produce; disable with ``share_pim_obligations=False``).
+
+Bit-identity contract: in the default mode each job runs *exactly* the
+sweeps of :meth:`repro.core.framework.TimingVerificationFramework.verify`
+— same constraint pass, same fused step-5/6 deadline sweep, same
+optional suprema batch — so every bound, verdict, sup and per-sweep
+states/transitions tally equals the sequential per-scheme run, for
+every worker count and backend (``tests/test_portfolio.py`` pins the
+matrix).  ``fused=True`` additionally compiles each job's deadline and
+suprema queries into **one** :func:`~repro.mc.queries.check_many`
+sweep: verdicts, bounds and sup values are unchanged, but the tallies
+are those of the shared sweep (documented divergence, same as
+``check_many`` itself).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TYPE_CHECKING
+
+from repro.mc.explorer import ExplorationLimit
+from repro.mc.parallel import (
+    WorkStealingPool,
+    exploration_context,
+    resolve_jobs,
+)
+from repro.zones.intern import ZoneInternTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids core cycle
+    from repro.core.framework import VerificationReport
+    from repro.core.pim import PIM
+    from repro.core.scheme import ImplementationScheme
+    from repro.mc.observers import BoundedResponseResult, DelayBound
+
+__all__ = [
+    "PortfolioJob",
+    "PortfolioOutcome",
+    "PortfolioResult",
+    "PortfolioVerifier",
+    "portfolio_jobs",
+]
+
+
+@dataclass(frozen=True)
+class PortfolioJob:
+    """One tenant of the portfolio: a (PIM, scheme, requirement) triple.
+
+    ``max_states`` is this job's private exploration budget (``None``
+    inherits the verifier default); exhausting it fails only this job.
+    """
+
+    name: str
+    pim: "PIM"
+    scheme: "ImplementationScheme"
+    input_channel: str
+    output_channel: str
+    deadline_ms: int
+    min_interarrival_ms: int | None = None
+    measure_suprema: bool = False
+    include_progress: bool = False
+    max_states: int | None = None
+
+
+def portfolio_jobs(pim: "PIM",
+                   schemes: Sequence["ImplementationScheme"], *,
+                   input_channel: str, output_channel: str,
+                   deadline_ms: int,
+                   **job_kwargs) -> list[PortfolioJob]:
+    """One job per scheme, named after the scheme (grid sweeps)."""
+    return [
+        PortfolioJob(name=scheme.name, pim=pim, scheme=scheme,
+                     input_channel=input_channel,
+                     output_channel=output_channel,
+                     deadline_ms=deadline_ms, **job_kwargs)
+        for scheme in schemes
+    ]
+
+
+@dataclass
+class PortfolioResult:
+    """Structured verification row for one scheme of the portfolio."""
+
+    index: int
+    name: str
+    scheme: "ImplementationScheme"
+    deadline_ms: int
+    #: ``"ok"``, ``"budget-exceeded"`` or ``"error"``.
+    status: str = "ok"
+    error: str | None = None
+    #: The full per-scheme report (partial when the job failed).
+    report: "VerificationReport | None" = None
+    wall_seconds: float = 0.0
+
+    # -- flattened row accessors ---------------------------------------
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def bounds(self):
+        return self.report.bounds if self.report else None
+
+    @property
+    def relaxed_deadline_ms(self) -> int | None:
+        return self.bounds.relaxed if self.bounds else None
+
+    @property
+    def constraints_hold(self) -> bool | None:
+        if self.report is None or self.report.constraints is None:
+            return None
+        return self.report.constraints.all_hold
+
+    @property
+    def original_holds(self) -> bool | None:
+        """``PSM ⊨ P(Δ_mc)`` — pass/fail against the *original* deadline."""
+        result = self.report.psm_original_result if self.report else None
+        return result.holds if result is not None else None
+
+    @property
+    def relaxed_holds(self) -> bool | None:
+        """``PSM ⊨ P(Δ'_mc)`` — pass/fail against the Lemma-2 deadline."""
+        result = self.report.psm_relaxed_result if self.report else None
+        return result.holds if result is not None else None
+
+    @property
+    def guarantee(self) -> bool:
+        """Theorem 1's conclusion for this scheme."""
+        return bool(self.report
+                    and self.report.implementation_guarantee)
+
+    @property
+    def sups(self) -> "dict[str, DelayBound]":
+        return self.report.symbolic if self.report else {}
+
+    @property
+    def states(self) -> int | None:
+        """States of this job's PSM deadline sweep (steps 5+6)."""
+        result = self.report.psm_relaxed_result if self.report else None
+        return result.visited if result is not None else None
+
+    @property
+    def transitions(self) -> int | None:
+        result = self.report.psm_relaxed_result if self.report else None
+        return result.transitions if result is not None else None
+
+    def row(self) -> dict:
+        """JSON-ready summary (the benchmark record's shape)."""
+        out = {
+            "name": self.name,
+            "status": self.status,
+            "deadline_ms": self.deadline_ms,
+            "relaxed_ms": self.relaxed_deadline_ms,
+            "constraints_hold": self.constraints_hold,
+            "original_holds": self.original_holds,
+            "relaxed_holds": self.relaxed_holds,
+            "guarantee": self.guarantee,
+            "states": self.states,
+            "transitions": self.transitions,
+            "seconds": round(self.wall_seconds, 4),
+        }
+        if self.error:
+            out["error"] = self.error
+        if self.sups:
+            out["sups"] = {name: str(bound)
+                           for name, bound in self.sups.items()}
+        return out
+
+    def summary(self) -> str:
+        if not self.ok:
+            return f"{self.name}: {self.status} ({self.error})"
+        verdict = "guaranteed" if self.guarantee else "NOT guaranteed"
+        orig = {True: "holds", False: "fails", None: "?"}[
+            self.original_holds]
+        return (f"{self.name}: Δ'={self.relaxed_deadline_ms}ms "
+                f"P(Δ') {verdict}, P({self.deadline_ms}) {orig}, "
+                f"{self.states} states, {self.wall_seconds:.2f}s")
+
+
+@dataclass
+class PortfolioOutcome:
+    """All rows of one portfolio run, in submission order."""
+
+    results: list[PortfolioResult] = field(default_factory=list)
+    #: Resolved worker-pool width (``None`` = sequential engine).
+    jobs: int | None = None
+    #: Scheme pipelines that ran concurrently.
+    concurrency: int = 1
+    fused: bool = False
+    wall_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index) -> PortfolioResult:
+        return self.results[index]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def guaranteed(self) -> list[PortfolioResult]:
+        """Schemes Theorem 1 accepts (constraints + relaxed deadline)."""
+        return [r for r in self.results if r.guarantee]
+
+    def summary(self) -> str:
+        lines = [
+            f"portfolio: {len(self.results)} schemes, "
+            f"{len(self.guaranteed)} guaranteed, "
+            f"workers={self.jobs or 'sequential'} "
+            f"concurrency={self.concurrency}, "
+            f"{self.wall_seconds:.2f}s",
+        ]
+        lines.extend(f"  {result.summary()}" for result in self.results)
+        return "\n".join(lines)
+
+
+class _SharedObligation:
+    """Once-per-key computation shared across portfolio jobs."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class PortfolioVerifier:
+    """Verify a portfolio of implementation schemes concurrently.
+
+    jobs:
+        Worker-pool width shared by every sweep (resolved like every
+        other ``jobs=`` in the library: explicit > ``set_default_jobs``
+        > ``REPRO_JOBS``; ``None`` keeps the sequential engine and runs
+        the jobs one after another).
+    concurrency:
+        How many scheme pipelines run at once (default: the resolved
+        worker count).  Coordinator threads are cheap; the pool bounds
+        the actual parallel zone work.
+    max_states:
+        Default per-job exploration budget
+        (:class:`PortfolioJob.max_states` overrides it per scheme).
+    fused:
+        Compile each job's deadline + suprema queries into one
+        :func:`~repro.mc.queries.check_many` sweep (identical verdicts
+        and sups; shared-sweep tallies).  Off by default so every row
+        is bit-identical to the per-scheme sequential ``verify``.
+    intern:
+        Zone-interning policy shared by all jobs: ``True`` (global
+        table), ``False``, or a private
+        :class:`~repro.zones.intern.ZoneInternTable`.  Interning is a
+        property of the sharded engine, so with ``jobs=None`` (the
+        sequential explorer, which never interns) this setting has no
+        effect — exactly as everywhere else in the library.
+    share_pim_obligations:
+        Compute each distinct (PIM, requirement) obligation — step 1
+        and the internal supremum — once instead of once per scheme.
+    """
+
+    def __init__(self, *, jobs: int | None = None,
+                 concurrency: int | None = None,
+                 max_states: int = 1_000_000,
+                 fused: bool = False,
+                 intern: bool | ZoneInternTable = True,
+                 share_pim_obligations: bool = True):
+        if concurrency is not None and concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {concurrency}")
+        self.jobs = jobs
+        self.concurrency = concurrency
+        self.max_states = max_states
+        self.fused = fused
+        self.intern = intern
+        self.share_pim_obligations = share_pim_obligations
+        self._pim_cache: dict[tuple, _SharedObligation] = {}
+        self._pim_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[PortfolioJob], *,
+            on_result: Callable[[PortfolioResult], None] | None = None,
+            ) -> PortfolioOutcome:
+        """Verify every job; rows come back in submission order.
+
+        ``on_result`` (optional) observes rows as they complete — in
+        *completion* order, from the coordinator thread that finished
+        the job; the returned outcome stays job-ordered either way.
+        An exception raised by the callback never disturbs the jobs
+        themselves: every row still completes, and the first callback
+        error re-raises after the run (identically in the inline and
+        threaded schedulers — a dying observer must not orphan
+        coordinator threads or leave half-filled outcomes).
+        """
+        job_list = list(jobs)
+        started = time.perf_counter()
+        resolved = resolve_jobs(self.jobs)
+        width = resolved or 0
+        pool = WorkStealingPool(width) if width > 1 else None
+        concurrency = self.concurrency or width or 1
+        concurrency = max(1, min(concurrency, len(job_list) or 1))
+        results: list[PortfolioResult | None] = [None] * len(job_list)
+        callback_errors: list[BaseException] = []
+        self._pim_cache.clear()
+
+        def execute(index: int) -> None:
+            result = self._run_one(index, job_list[index], resolved,
+                                   pool)
+            results[index] = result
+            if on_result is not None:
+                try:
+                    on_result(result)
+                except Exception as exc:
+                    if not callback_errors:
+                        callback_errors.append(exc)
+
+        try:
+            if concurrency == 1:
+                for index in range(len(job_list)):
+                    execute(index)
+            else:
+                self._run_threaded(len(job_list), concurrency, execute)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        if callback_errors:
+            raise callback_errors[0]
+        return PortfolioOutcome(
+            results=list(results), jobs=resolved,
+            concurrency=concurrency, fused=self.fused,
+            wall_seconds=time.perf_counter() - started)
+
+    def verify_schemes(self, pim: "PIM",
+                       schemes: Sequence["ImplementationScheme"], *,
+                       input_channel: str, output_channel: str,
+                       deadline_ms: int,
+                       **job_kwargs) -> PortfolioOutcome:
+        """Grid front door: one job per scheme, then :meth:`run`."""
+        return self.run(portfolio_jobs(
+            pim, schemes, input_channel=input_channel,
+            output_channel=output_channel, deadline_ms=deadline_ms,
+            **job_kwargs))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_threaded(count: int, concurrency: int,
+                      execute: Callable[[int], None]) -> None:
+        """Drain job indices in order over ``concurrency`` threads.
+
+        Per-job failures become rows inside ``execute``; anything
+        that still escapes it (``SystemExit``/``KeyboardInterrupt``
+        or a scheduler bug) is *fatal*: draining stops and the first
+        such error re-raises here — exactly what the inline scheduler
+        does — rather than dying silently on a coordinator thread and
+        returning an outcome with ``None`` holes.
+        """
+        cursor = {"next": 0}
+        lock = threading.Lock()
+        fatal: list[BaseException] = []
+
+        def drain() -> None:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if fatal or index >= count:
+                        return
+                    cursor["next"] = index + 1
+                try:
+                    execute(index)
+                except BaseException as exc:
+                    with lock:
+                        if not fatal:
+                            fatal.append(exc)
+                    return
+
+        threads = [threading.Thread(target=drain,
+                                    name=f"portfolio-job-{i}")
+                   for i in range(concurrency)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if fatal:
+            raise fatal[0]
+
+    def _run_one(self, index: int, job: PortfolioJob,
+                 resolved: int | None,
+                 pool: WorkStealingPool | None) -> PortfolioResult:
+        from repro.core.framework import (
+            TimingVerificationFramework,
+            VerificationReport,
+        )
+
+        started = time.perf_counter()
+        report = VerificationReport(
+            input_channel=job.input_channel,
+            output_channel=job.output_channel,
+            deadline_ms=job.deadline_ms)
+        result = PortfolioResult(
+            index=index, name=job.name, scheme=job.scheme,
+            deadline_ms=job.deadline_ms, report=report)
+        framework = TimingVerificationFramework(
+            max_states=job.max_states or self.max_states, jobs=resolved)
+        intern = self.intern if self.intern is not True else None
+        try:
+            with exploration_context(pool=pool, intern=intern):
+                self._verify_job(job, framework, report)
+        except ExplorationLimit as exc:
+            result.status = "budget-exceeded"
+            result.error = str(exc)
+        except Exception as exc:
+            # Fault isolation is the contract: *any* job failure —
+            # invalid scheme (SchemeError/ValueError), model error,
+            # or an outright bug on a malformed job — must become a
+            # structured row, never a dead coordinator thread leaving
+            # a None slot behind.
+            result.status = "error"
+            result.error = f"{type(exc).__name__}: {exc}"
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _verify_job(self, job: PortfolioJob, framework,
+                    report: "VerificationReport") -> None:
+        """The Section-VI pipeline for one scheme (mutates ``report``).
+
+        Mirrors ``TimingVerificationFramework.verify`` step by step;
+        the only reordering is that the scheme-independent PIM
+        obligations may come from the shared cache.
+        """
+        from repro.core.delays import bounds_from_internal
+
+        pim_result, internal = self._pim_obligations(job, framework)
+        report.pim_result = pim_result
+        psm = framework.transform(job.pim, job.scheme)
+        report.psm = psm
+        report.constraints = framework.check_constraints(
+            psm, min_interarrival_ms=job.min_interarrival_ms,
+            include_progress=job.include_progress)
+        report.bounds = bounds_from_internal(
+            job.scheme, job.input_channel, job.output_channel,
+            internal)
+        deadlines = [job.deadline_ms, report.bounds.relaxed]
+        if self.fused:
+            self._fused_psm_queries(job, framework, report, psm,
+                                    deadlines)
+        else:
+            report.psm_original_result, report.psm_relaxed_result = \
+                framework.verify_psm_deadlines(
+                    psm, job.input_channel, job.output_channel,
+                    deadlines)
+            if job.measure_suprema:
+                report.symbolic = framework.measure_psm(
+                    psm, job.input_channel, job.output_channel)
+
+    def _fused_psm_queries(self, job: PortfolioJob, framework, report,
+                           psm, deadlines: list[int]) -> None:
+        """One ``check_many`` sweep for steps 5+6 (+ optional sups)."""
+        from repro.mc.queries import (
+            BoundedResponseQuery,
+            ResponseSupQuery,
+            check_many,
+        )
+
+        queries: list[object] = [
+            BoundedResponseQuery(job.input_channel, job.output_channel,
+                                 deadline)
+            for deadline in deadlines
+        ]
+        if job.measure_suprema:
+            queries += [
+                ResponseSupQuery(job.input_channel,
+                                 psm.io_name(job.input_channel)),
+                ResponseSupQuery(psm.io_name(job.output_channel),
+                                 job.output_channel),
+                ResponseSupQuery(job.input_channel, job.output_channel),
+            ]
+        outcome = check_many(
+            psm.network, queries, max_states=framework.max_states,
+            jobs=framework.jobs)
+        report.psm_original_result = outcome[0]
+        report.psm_relaxed_result = outcome[1]
+        if job.measure_suprema:
+            report.symbolic = {
+                "Input-Delay": outcome[2],
+                "Output-Delay": outcome[3],
+                "M-C delay": outcome[4],
+            }
+
+    # ------------------------------------------------------------------
+    def _pim_obligations(self, job: PortfolioJob, framework):
+        """Step 1 + the Lemma-2 internal sup, deduped across jobs."""
+        from repro.core.delays import internal_delay
+
+        def compute():
+            pim_result = framework.verify_pim(
+                job.pim, job.input_channel, job.output_channel,
+                job.deadline_ms)
+            internal = internal_delay(
+                job.pim, job.input_channel, job.output_channel,
+                max_states=framework.max_states, jobs=framework.jobs)
+            return pim_result, internal
+
+        if not self.share_pim_obligations:
+            return compute()
+        key = (id(job.pim), job.input_channel, job.output_channel,
+               job.deadline_ms, framework.max_states)
+        with self._pim_lock:
+            entry = self._pim_cache.get(key)
+            owner = entry is None
+            if owner:
+                entry = self._pim_cache[key] = _SharedObligation()
+        if owner:
+            try:
+                entry.value = compute()
+            except BaseException as exc:
+                entry.error = exc
+                raise
+            finally:
+                entry.event.set()
+            return entry.value
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        return entry.value

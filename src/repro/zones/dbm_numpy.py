@@ -23,6 +23,7 @@ have short-circuited instead).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -47,11 +48,13 @@ def _off_diagonal(n: int) -> np.ndarray:
 class _Workspace:
     """Reusable per-size scratch buffers for the vectorized kernels.
 
-    The zone engine is single-threaded per process (one explorer at a
-    time inside an exploration loop), so sharing one workspace per
-    matrix size keeps every hot operation allocation-free.  Buffers
-    are consumed within one kernel call — nothing keeps a reference
-    past the call that filled it.
+    Each *thread* shares one workspace per matrix size, which keeps
+    every hot operation allocation-free.  Buffers are consumed within
+    one kernel call — nothing keeps a reference past the call that
+    filled it.  The cache is thread-local because the portfolio
+    scheduler (:mod:`repro.mc.portfolio`) drives several explorations
+    from concurrent coordinator threads; a process-global workspace
+    would let two scalar kernels scribble over each other's scratch.
     """
 
     __slots__ = ("via", "vals", "mask", "mask2", "mask3", "weak", "vec",
@@ -68,13 +71,16 @@ class _Workspace:
         self.vecmask = np.empty(n, dtype=bool)
 
 
-_workspace_cache: dict[int, _Workspace] = {}
+_workspace_local = threading.local()
 
 
 def _workspace(n: int) -> _Workspace:
-    ws = _workspace_cache.get(n)
+    cache = getattr(_workspace_local, "by_size", None)
+    if cache is None:
+        cache = _workspace_local.by_size = {}
+    ws = cache.get(n)
     if ws is None:
-        ws = _workspace_cache[n] = _Workspace(n)
+        ws = cache[n] = _Workspace(n)
     return ws
 
 

@@ -26,11 +26,14 @@ entries) drops the cache and starts a fresh generation when exceeded;
 pass a private table or call :meth:`ZoneInternTable.clear` for finer
 control.
 
-Thread-safety: the explorers intern only from the coordinating
-thread (the ordered commit scan), so the table sees no concurrent
-mutation in practice.  If callers do race, the worst case is two
-transient canonical instances for one snapshot — wasteful, never
-incorrect, since nothing relies on pointer identity across callers.
+Thread-safety: each explorer interns only from its coordinating
+thread (the ordered commit scan), but the portfolio scheduler
+(:mod:`repro.mc.portfolio`) runs several coordinators concurrently
+over one shared table.  CPython dict operations are individually
+atomic, so the worst case under such races is two transient canonical
+instances for one snapshot (and slightly under-counted hit/miss
+statistics) — wasteful, never incorrect, since nothing relies on
+pointer identity across callers.
 """
 
 from __future__ import annotations

@@ -20,6 +20,48 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
 
+    def test_portfolio_defaults_are_the_16_scheme_grid(self):
+        from repro.apps.schemes import case_study_grid_16, scheme_grid
+        from repro.cli import _INVOCATION_KINDS, _READ_POLICIES
+
+        args = build_parser().parse_args(["portfolio"])
+        grid = (len(args.buffer_sizes) * len(args.periods)
+                * len(args.bolus_polls) * len(args.read_policies)
+                * len(args.invocation_kinds))
+        assert grid == 16
+        assert args.deadline == 500
+        assert not args.fused
+        # The default CLI grid is *the* benchmarked sweep — scheme
+        # names must match the committed BENCH record's rows exactly.
+        from repro.apps.schemes import case_study_scheme
+        cli_schemes = scheme_grid(
+            case_study_scheme,
+            buffer_size=args.buffer_sizes,
+            period=args.periods,
+            bolus_poll=args.bolus_polls,
+            read_policy=[_READ_POLICIES[v]
+                         for v in args.read_policies],
+            invocation_kind=[_INVOCATION_KINDS[v]
+                             for v in args.invocation_kinds])
+        assert [s.name for s in cli_schemes] == \
+            [s.name for s in case_study_grid_16()]
+
+    def test_portfolio_grid_syntax(self):
+        args = build_parser().parse_args(
+            ["portfolio", "--buffer-sizes", "1", "3",
+             "--periods", "100", "--read-policies", "read-one",
+             "--invocation-kinds", "aperiodic", "--fused"])
+        assert args.buffer_sizes == [1, 3]
+        assert args.periods == [100]
+        assert args.read_policies == ["read-one"]
+        assert args.invocation_kinds == ["aperiodic"]
+        assert args.fused
+
+    def test_portfolio_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["portfolio", "--read-policies", "sometimes"])
+
 
 class TestCommands:
     def test_scheme(self, capsys):

@@ -1,0 +1,354 @@
+"""Differential + behavioral tests for the portfolio verifier.
+
+The headline contract: :class:`repro.mc.portfolio.PortfolioVerifier`
+over a scheme grid returns results **bit-identical** — bounds, sups,
+verdicts, witnesses and per-sweep states/transitions tallies — to
+running ``TimingVerificationFramework.verify`` per scheme
+sequentially, across both zone backends and worker counts.  On top of
+the matrix: deterministic job-ordered commit, per-job ``max_states``
+budgets, per-job fault isolation, shared PIM obligations, the fused
+single-sweep mode, and the concurrent-wave worker pool itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.schemes import scheme_grid
+from repro.core.framework import TimingVerificationFramework
+from repro.mc.portfolio import (
+    PortfolioJob,
+    PortfolioVerifier,
+    portfolio_jobs,
+)
+from repro.mc.parallel import WorkStealingPool
+from repro.zones.backend import available_backends, set_backend
+from repro.zones.intern import ZoneInternTable
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme
+
+BACKENDS = available_backends()
+JOBS = (1, 4)
+DEADLINE = 10
+CHANNELS = dict(input_channel="m_Req", output_channel="c_Ack")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Force one zone backend globally (framework calls honor it)."""
+    set_backend(request.param)
+    yield request.param
+    set_backend(None)
+
+
+def grid_3x2():
+    return scheme_grid(build_tiny_scheme,
+                       buffer_size=(1, 2, 3), period=(4, 5))
+
+
+def run_portfolio(schemes, *, jobs, **verifier_kwargs):
+    pim = build_tiny_pim()
+    verifier = PortfolioVerifier(jobs=jobs, **verifier_kwargs)
+    return verifier.run(portfolio_jobs(
+        pim, schemes, deadline_ms=DEADLINE, measure_suprema=True,
+        **CHANNELS))
+
+
+def sequential_reports(schemes):
+    pim = build_tiny_pim()
+    framework = TimingVerificationFramework()
+    return [
+        framework.verify(pim, scheme, deadline_ms=DEADLINE,
+                         measure_suprema=True, **CHANNELS)
+        for scheme in schemes
+    ]
+
+
+# ----------------------------------------------------------------------
+# The differential matrix: 3×2 grid × backends × jobs ∈ {1, 4}
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", JOBS)
+def test_differential_matrix(backend, jobs):
+    schemes = grid_3x2()
+    outcome = run_portfolio(schemes, jobs=jobs)
+    reports = sequential_reports(schemes)
+
+    assert len(outcome) == 6
+    assert outcome.all_ok
+    assert [row.name for row in outcome] == [s.name for s in schemes]
+    for row, expected in zip(outcome, reports):
+        actual = row.report
+        assert actual.bounds == expected.bounds
+        for step in ("pim_result", "psm_original_result",
+                     "psm_relaxed_result"):
+            mine = getattr(actual, step)
+            theirs = getattr(expected, step)
+            assert mine.holds == theirs.holds
+            assert mine.visited == theirs.visited
+            assert mine.transitions == theirs.transitions
+            assert mine.counterexample == theirs.counterexample
+            assert mine.trace == theirs.trace
+        assert row.constraints_hold == expected.constraints.all_hold
+        assert actual.symbolic == expected.symbolic
+        assert row.guarantee == expected.implementation_guarantee
+        assert row.states == expected.psm_relaxed_result.visited
+        assert row.transitions == expected.psm_relaxed_result.transitions
+
+
+def test_sixteen_scheme_grid_bit_identical_to_sequential():
+    """The acceptance-criterion grid size: 16 schemes, portfolio rows
+    bit-identical to per-scheme sequential verify (default backend)."""
+    schemes = scheme_grid(build_tiny_scheme,
+                          buffer_size=(1, 2, 3, 4), period=(4, 5),
+                          wcet=(0, 1))
+    assert len(schemes) == 16
+    outcome = run_portfolio(schemes, jobs=4)
+    assert outcome.all_ok
+    for row, expected in zip(outcome, sequential_reports(schemes)):
+        assert row.report.bounds == expected.bounds
+        assert row.states == expected.psm_relaxed_result.visited
+        assert row.transitions == expected.psm_relaxed_result.transitions
+        assert row.original_holds == expected.psm_original_result.holds
+        assert row.relaxed_holds == expected.psm_relaxed_result.holds
+        assert row.report.symbolic == expected.symbolic
+
+
+def test_concurrent_run_matches_sequential_run(backend):
+    """concurrency>1 commits the same rows as the inline scheduler."""
+    schemes = grid_3x2()
+    inline = run_portfolio(schemes, jobs=1)
+    threaded = run_portfolio(schemes, jobs=4, concurrency=3)
+    for a, b in zip(inline, threaded):
+        assert a.name == b.name
+        assert a.report.bounds == b.report.bounds
+        assert a.states == b.states
+        assert a.transitions == b.transitions
+        assert a.sups == b.sups
+
+
+# ----------------------------------------------------------------------
+# Scheduler semantics
+# ----------------------------------------------------------------------
+def test_results_commit_in_job_order():
+    schemes = grid_3x2()
+    completion: list[str] = []
+    outcome = PortfolioVerifier(jobs=4).run(
+        portfolio_jobs(build_tiny_pim(), schemes,
+                       deadline_ms=DEADLINE, **CHANNELS),
+        on_result=lambda row: completion.append(row.name))
+    assert sorted(completion) == sorted(s.name for s in schemes)
+    assert [row.name for row in outcome] == [s.name for s in schemes]
+    assert [row.index for row in outcome] == list(range(6))
+
+
+def test_on_result_error_never_orphans_jobs():
+    """A crashing observer callback must not kill coordinator threads:
+    every row still completes and the first callback error re-raises
+    after the run — identically for both schedulers."""
+    schemes = grid_3x2()
+    for workers in (1, 4):
+        seen: list[str] = []
+
+        def bad_callback(row):
+            seen.append(row.name)
+            raise RuntimeError("observer bug")
+
+        verifier = PortfolioVerifier(jobs=workers)
+        jobs = portfolio_jobs(build_tiny_pim(), schemes,
+                              deadline_ms=DEADLINE, **CHANNELS)
+        with pytest.raises(RuntimeError, match="observer bug"):
+            verifier.run(jobs, on_result=bad_callback)
+        assert len(seen) == len(schemes)  # no job was orphaned
+        # The verifier itself is unharmed.
+        assert verifier.run(jobs).all_ok
+
+
+def test_per_job_max_states_budget_isolated():
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme()
+    jobs = [
+        PortfolioJob(name="starved", pim=pim, scheme=scheme,
+                     deadline_ms=DEADLINE, max_states=5, **CHANNELS),
+        PortfolioJob(name="fine", pim=pim, scheme=scheme,
+                     deadline_ms=DEADLINE, **CHANNELS),
+    ]
+    outcome = PortfolioVerifier(jobs=2).run(jobs)
+    assert outcome[0].status == "budget-exceeded"
+    assert "5" in outcome[0].error
+    assert not outcome[0].guarantee
+    assert outcome[1].ok and outcome[1].guarantee
+    assert not outcome.all_ok
+
+
+def test_malformed_job_is_isolated_not_dropped():
+    """Even a job that crashes the pipeline outright (scheme=None →
+    AttributeError inside transform) must become a structured error
+    row — never a dead coordinator thread leaving a None slot."""
+    pim = build_tiny_pim()
+    good = build_tiny_scheme()
+    jobs = [
+        PortfolioJob(name="ok", pim=pim, scheme=good,
+                     deadline_ms=DEADLINE, **CHANNELS),
+        PortfolioJob(name="malformed", pim=pim, scheme=None,
+                     deadline_ms=DEADLINE, **CHANNELS),
+    ]
+    for workers in (1, 2):  # inline and threaded schedulers agree
+        outcome = PortfolioVerifier(jobs=workers).run(jobs)
+        assert [row.status for row in outcome] == ["ok", "error"]
+        assert outcome[1].error and "Error" in outcome[1].error
+        assert not outcome.all_ok
+
+
+def test_invalid_scheme_is_isolated():
+    pim = build_tiny_pim()
+    good = build_tiny_scheme()
+    broken = replace(good, name="broken", inputs={}, io_inputs={})
+    outcome = PortfolioVerifier(jobs=2).run(portfolio_jobs(
+        pim, [good, broken, good], deadline_ms=DEADLINE, **CHANNELS))
+    assert [row.status for row in outcome] == ["ok", "error", "ok"]
+    assert "broken" in outcome[1].error or "SchemeError" in \
+        outcome[1].error
+    assert outcome[0].states == outcome[2].states
+
+
+def test_shared_pim_obligations_computed_once():
+    schemes = grid_3x2()
+    outcome = run_portfolio(schemes, jobs=2)
+    first = outcome[0].report.pim_result
+    assert all(row.report.pim_result is first for row in outcome)
+    # Opting out re-computes per job (equal values, fresh objects).
+    private = run_portfolio(schemes, jobs=2,
+                            share_pim_obligations=False)
+    assert private[0].report.pim_result is not \
+        private[1].report.pim_result
+    assert private[0].report.pim_result.visited == first.visited
+
+
+def test_fused_mode_same_verdicts_one_sweep(backend):
+    from repro.mc.explorer import exploration_count
+
+    schemes = grid_3x2()
+    default = run_portfolio(schemes, jobs=1)
+    before = exploration_count()
+    fused = run_portfolio(schemes, jobs=1, fused=True)
+    fused_explorations = exploration_count() - before
+    for a, b in zip(default, fused):
+        assert a.report.bounds == b.report.bounds
+        assert a.original_holds == b.original_holds
+        assert a.relaxed_holds == b.relaxed_holds
+        # Sup *values* are sweep-independent; tallies are not.
+        assert {k: (v.bounded, v.sup, v.attained)
+                for k, v in a.sups.items()} == \
+            {k: (v.bounded, v.sup, v.attained)
+             for k, v in b.sups.items()}
+    # Per job: 1 shared PIM pair (first job only) + constraints +
+    # the fused deadline/sup sweep — strictly fewer sweeps than the
+    # default's separate deadline and suprema explorations.
+    default_explorations = 2 + 6 * 3
+    assert fused_explorations == 2 + 6 * 2
+    assert fused_explorations < default_explorations
+
+
+def test_private_intern_table_is_used():
+    table = ZoneInternTable()
+    assert len(table) == 0
+    outcome = run_portfolio(grid_3x2(), jobs=2, intern=table)
+    assert outcome.all_ok
+    assert len(table) > 0
+
+
+def test_verify_portfolio_framework_step():
+    schemes = grid_3x2()
+    framework = TimingVerificationFramework(jobs=2)
+    outcome = framework.verify_portfolio(
+        build_tiny_pim(), schemes, deadline_ms=DEADLINE, **CHANNELS)
+    assert outcome.all_ok
+    assert len(outcome.guaranteed) == 6
+    summary = outcome.summary()
+    for scheme in schemes:
+        assert scheme.name in summary
+
+
+def test_verify_portfolio_forwards_include_progress():
+    outcome = TimingVerificationFramework(jobs=1).verify_portfolio(
+        build_tiny_pim(), grid_3x2()[:1], deadline_ms=DEADLINE,
+        include_progress=True, **CHANNELS)
+    assert outcome.all_ok
+    constraints = outcome[0].report.constraints
+    # The progress sanity check rides along as an extra result row.
+    assert any("progress" in r.constraint.lower()
+               for r in constraints.results)
+
+
+def test_render_portfolio_table():
+    from repro.analysis.portfolio import portfolio_rows, \
+        render_portfolio
+
+    outcome = run_portfolio(grid_3x2()[:2], jobs=1)
+    table = render_portfolio(outcome)
+    assert "PORTFOLIO VERIFICATION — 2 schemes" in table
+    assert "Δ'_mc" in table
+    assert outcome[0].name in table
+    rows = portfolio_rows(outcome)
+    assert rows[0]["states"] == outcome[0].states
+    assert rows[0]["guarantee"] is True
+    # Every line of the box renders the same *display* width — the
+    # Δ̄ headers carry combining marks that len() overcounts.
+    import unicodedata
+
+    def display_width(text: str) -> int:
+        return sum(0 if unicodedata.combining(c) else 1 for c in text)
+
+    box = [line for line in table.splitlines()
+           if line.startswith(("|", "+"))]
+    assert len({display_width(line) for line in box}) == 1
+
+
+# ----------------------------------------------------------------------
+# The shared worker pool itself
+# ----------------------------------------------------------------------
+class TestWorkStealingPool:
+    def test_concurrent_waves_complete_independently(self):
+        pool = WorkStealingPool(2)
+        try:
+            counts = {}
+
+            def submit(tag: int) -> None:
+                done = []
+                pool.run_wave([lambda i=i: done.append(i)
+                               for i in range(25)])
+                counts[tag] = len(done)
+
+            threads = [threading.Thread(target=submit, args=(t,))
+                       for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert counts == {0: 25, 1: 25, 2: 25, 3: 25}
+        finally:
+            pool.shutdown()
+
+    def test_error_scoped_to_its_wave(self):
+        pool = WorkStealingPool(2)
+        try:
+            def boom() -> None:
+                raise RuntimeError("wave-scoped")
+
+            with pytest.raises(RuntimeError, match="wave-scoped"):
+                pool.run_wave([boom])
+            # The pool survives and the next wave is unaffected.
+            done = []
+            pool.run_wave([lambda: done.append(1)])
+            assert done == [1]
+        finally:
+            pool.shutdown()
+
+    def test_rejects_waves_after_shutdown(self):
+        pool = WorkStealingPool(2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.run_wave([lambda: None])

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for scheme grids and Lemma 1.
+
+Two families:
+
+* **Grid algebra** — :func:`repro.apps.schemes.scheme_grid` over
+  random axis sets always yields the full cartesian product of
+  *validated* schemes with unique, self-describing names, in a
+  deterministic order (the portfolio's job order).
+* **Bound monotonicity** — the Lemma-1 derived bounds are monotone in
+  the platform's slack parameters: a longer polling interval or a
+  longer period (or aperiodic scheduling latency) can only increase
+  the verified Input-Delay bound and hence the Lemma-2 relaxed
+  deadline.  This is the design-space sweep's sanity law: walking a
+  grid axis toward a slower platform never *shrinks* the bound the
+  portfolio reports.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.schemes import case_study_scheme, scheme_grid
+from repro.core.delays import (
+    analytic_input_delay_bound,
+    analytic_output_delay_bound,
+    relaxed_deadline,
+)
+from repro.core.scheme import InvocationKind
+
+from tests.conftest import build_tiny_scheme
+
+# The case-study factory's validity envelope: period must cover the
+# wcet of 10 ms; polling intervals just need to be positive.
+periods = st.integers(min_value=10, max_value=2_000)
+polls = st.integers(min_value=1, max_value=2_000)
+buffers = st.integers(min_value=1, max_value=8)
+kinds = st.sampled_from([InvocationKind.PERIODIC,
+                         InvocationKind.APERIODIC])
+
+axis = dict(min_size=1, max_size=3, unique=True)
+
+
+# ----------------------------------------------------------------------
+# scheme_grid algebra
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.lists(buffers, **axis), st.lists(periods, **axis),
+       st.lists(polls, **axis), kinds)
+def test_grid_is_full_validated_product(bufs, pers, poll_values, kind):
+    grid = scheme_grid(case_study_scheme,
+                       buffer_size=bufs, period=pers,
+                       bolus_poll=poll_values, invocation_kind=[kind])
+    assert len(grid) == len(bufs) * len(pers) * len(poll_values)
+    names = [scheme.name for scheme in grid]
+    assert len(set(names)) == len(names)
+    for scheme in grid:
+        # The factory validates; re-validating must be a no-op.
+        assert scheme.validate() is scheme
+        assert scheme.name.startswith("IS1-case-study[")
+        assert f"invocation_kind={kind.value}" in scheme.name
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(buffers, **axis), st.lists(periods, **axis))
+def test_grid_order_is_deterministic(bufs, pers):
+    once = scheme_grid(case_study_scheme, buffer_size=bufs,
+                       period=pers)
+    again = scheme_grid(case_study_scheme, buffer_size=bufs,
+                        period=pers)
+    assert [s.name for s in once] == [s.name for s in again]
+    # Last axis varies fastest (itertools.product order).
+    assert [s.name for s in once] == [
+        f"IS1-case-study[buffer_size={b},period={p}]"
+        for b in bufs for p in pers
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=4), **axis),
+       st.lists(st.integers(min_value=2, max_value=9), **axis))
+def test_grid_works_with_any_factory(bufs, pers):
+    grid = scheme_grid(build_tiny_scheme, buffer_size=bufs,
+                       period=pers)
+    assert len(grid) == len(bufs) * len(pers)
+    for scheme in grid:
+        assert scheme.name.startswith("tiny-scheme[")
+        assert scheme.validate() is scheme
+
+
+# ----------------------------------------------------------------------
+# Lemma-1 bound monotonicity along grid axes
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(polls, polls, periods, kinds)
+def test_input_bound_monotone_in_polling_interval(poll_a, poll_b,
+                                                  period, kind):
+    lo, hi = sorted((poll_a, poll_b))
+    bound = {
+        poll: analytic_input_delay_bound(
+            case_study_scheme(bolus_poll=poll, period=period,
+                              invocation_kind=kind),
+            "m_BolusReq")
+        for poll in (lo, hi)
+    }
+    assert bound[lo] <= bound[hi]
+    # The polling term enters the Lemma-1 sum exactly linearly.
+    assert bound[hi] - bound[lo] == hi - lo
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods, periods, polls, kinds)
+def test_input_bound_monotone_in_period(period_a, period_b, poll,
+                                        kind):
+    lo, hi = sorted((period_a, period_b))
+    bound = {
+        period: analytic_input_delay_bound(
+            case_study_scheme(period=period, bolus_poll=poll,
+                              invocation_kind=kind),
+            "m_BolusReq")
+        for period in (lo, hi)
+    }
+    assert bound[lo] <= bound[hi]
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, periods, polls, polls,
+       st.integers(min_value=0, max_value=1_000), kinds)
+def test_relaxed_deadline_monotone_along_both_axes(
+        period_a, period_b, poll_a, poll_b, internal, kind):
+    """Lemma 2 inherits monotonicity from its Lemma-1 summands."""
+    period_lo, period_hi = sorted((period_a, period_b))
+    poll_lo, poll_hi = sorted((poll_a, poll_b))
+
+    def relaxed(period: int, poll: int) -> int:
+        scheme = case_study_scheme(period=period, bolus_poll=poll,
+                                   invocation_kind=kind)
+        return relaxed_deadline(
+            analytic_input_delay_bound(scheme, "m_BolusReq"),
+            analytic_output_delay_bound(scheme, "c_StartInfusion"),
+            internal)
+
+    assert relaxed(period_lo, poll_lo) <= relaxed(period_lo, poll_hi)
+    assert relaxed(period_lo, poll_lo) <= relaxed(period_hi, poll_lo)
+    assert relaxed(period_lo, poll_lo) <= relaxed(period_hi, poll_hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(polls, min_size=2, max_size=4, unique=True), periods)
+def test_grid_rows_sorted_by_poll_sort_by_input_bound(poll_values,
+                                                      period):
+    """Along a grid's polling axis the bound sequence is co-monotone."""
+    grid = scheme_grid(case_study_scheme, period=[period],
+                       bolus_poll=sorted(poll_values))
+    bounds = [analytic_input_delay_bound(scheme, "m_BolusReq")
+              for scheme in grid]
+    assert bounds == sorted(bounds)
