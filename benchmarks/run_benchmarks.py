@@ -46,6 +46,7 @@ from repro.apps.schemes import case_study_grid_16, case_study_scheme
 from repro.core.transform import transform
 from repro.mc.observers import check_bounded_response
 from repro.mc.portfolio import PortfolioVerifier, portfolio_jobs
+from repro.mc.parallel import make_explorer
 from repro.mc.queries import (
     BoundedResponseQuery,
     ResponseSupQuery,
@@ -54,6 +55,7 @@ from repro.mc.queries import (
     zone_graph_stats,
 )
 from repro.zones.backend import available_backends, set_backend
+from repro.zones.intern import ZoneInternTable
 
 from tests.conftest import build_tiny_pim, build_tiny_scheme  # noqa: E402
 
@@ -90,6 +92,36 @@ def _case_study_network():
     return transform(build_infusion_pim(), case_study_scheme()).network
 
 
+def _stats_with_memory(network, *, backend, jobs=None,
+                       abstraction=None):
+    """zone_graph_stats plus memory proxies.
+
+    Returns ``(stats, extra)`` where ``extra`` carries the passed-store
+    row count (stored zones surviving subsumption — the checker's
+    dominant memory consumer) and, for sharded runs, the interned-zone
+    count of a run-private table.
+    """
+    from repro.mc.queries import ZoneGraphStats
+
+    table = ZoneInternTable() if jobs is not None else None
+    explorer = make_explorer(
+        network, jobs=jobs, zone_backend=backend,
+        abstraction=abstraction,
+        **({"intern": table} if table is not None else {}))
+    keys = set()
+    result = explorer.explore(visit=lambda s: keys.add(s.key()))
+    stats = ZoneGraphStats(states=result.visited,
+                           transitions=result.transitions,
+                           discrete_configurations=len(keys))
+    extra = {"passed_rows": sum(len(bucket) for bucket
+                                in explorer.passed_store.values())}
+    if table is not None:
+        extra["interned_zones"] = len(table)
+    if abstraction:
+        extra["abstraction"] = abstraction
+    return stats, extra
+
+
 def _paper_query_batch():
     """The paper's query set: S1 stats, REQ1 violation, M-C sup."""
     return [
@@ -114,21 +146,35 @@ def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
         if case_study is None:
             continue
 
-        stats, seconds = _timed(lambda: zone_graph_stats(
-            case_study, zone_backend=backend))
+        (stats, memory), seconds = _timed(lambda: _stats_with_memory(
+            case_study, backend=backend))
         _record(results, HEADLINE, backend,
-                stats.states, stats.transitions, seconds)
+                stats.states, stats.transitions, seconds, **memory)
 
         if backend == "numpy":
             for jobs in jobs_list:
-                sharded, seconds = _timed(lambda: zone_graph_stats(
-                    case_study, zone_backend=backend, jobs=jobs))
+                (sharded, memory), seconds = _timed(
+                    lambda: _stats_with_memory(
+                        case_study, backend=backend, jobs=jobs))
                 assert (sharded.states, sharded.transitions) == \
                     (stats.states, stats.transitions), \
                     "sharded exploration diverged from sequential"
                 _record(results, HEADLINE, backend,
                         sharded.states, sharded.transitions, seconds,
-                        jobs=jobs)
+                        jobs=jobs, **memory)
+
+            # The Extra+_LU variant of the headline: same reachable
+            # behavior, coarser abstraction, smaller zone graph.
+            jobs = jobs_list[0] if jobs_list else 1
+            (lu_stats, memory), seconds = _timed(
+                lambda: _stats_with_memory(
+                    case_study, backend=backend, jobs=jobs,
+                    abstraction="extra_lu"))
+            assert lu_stats.states < stats.states, \
+                "Extra_LU must shrink the case-study zone graph"
+            _record(results, "bench_s1_case_study_psm_lu", backend,
+                    lu_stats.states, lu_stats.transitions, seconds,
+                    jobs=jobs, **memory)
 
         lazy, seconds = _timed(lambda: zone_graph_stats(
             case_study, zone_backend=backend,
@@ -160,14 +206,21 @@ def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
                     mc_sup=outcome.results[2].sup)
 
             _bench_portfolio(results, backend, jobs)
+            _bench_portfolio(results, backend, jobs,
+                             abstraction="extra_lu")
     return results
 
 
-def _bench_portfolio(results, backend, jobs):
+def _bench_portfolio(results, backend, jobs, abstraction=None):
     """The 16-scheme design-space sweep over the shared worker pool."""
     pim = build_infusion_pim()
     schemes = case_study_grid_16()
-    verifier = PortfolioVerifier(jobs=jobs, max_states=2_000_000)
+    # A run-private intern table doubles as the memory proxy: its
+    # final size is the peak count of distinct zones the whole sweep
+    # interned (the scoped-per-run default would hide it).
+    table = ZoneInternTable()
+    verifier = PortfolioVerifier(jobs=jobs, max_states=2_000_000,
+                                 intern=table, abstraction=abstraction)
     # The portfolio pipeline has no zone_backend parameter (it runs
     # whole framework pipelines); pin the ambient backend so the
     # recorded label matches what was actually measured even under a
@@ -189,11 +242,17 @@ def _bench_portfolio(results, backend, jobs):
         "the canonical scheme must reproduce Table I's 1430 ms bound"
     states = sum(row.states for row in outcome)
     transitions = sum(row.transitions for row in outcome)
-    _record(results, "bench_portfolio_16_schemes", backend,
+    name = "bench_portfolio_16_schemes"
+    extra = {}
+    if abstraction:
+        name += "_lu"
+        extra["abstraction"] = abstraction
+    _record(results, name, backend,
             states, transitions, seconds, jobs=jobs,
             schemes=len(outcome),
             guaranteed=len(outcome.guaranteed),
-            per_scheme=[row.row() for row in outcome])
+            interned_zones=len(table),
+            per_scheme=[row.row() for row in outcome], **extra)
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +313,41 @@ def run_check(baseline_path: Path, repeats: int = 3,
                 f"{tag}: {seconds:.3f}s is {ratio:.2f}x the recorded "
                 f"{entry['seconds']:.3f}s "
                 f"(tolerance {REGRESSION_TOLERANCE}x)")
+    if quick:
+        # Abstraction parity gate: Extra+_LU must agree with Extra_M
+        # on verdicts and suprema while never growing the zone graph.
+        from repro.mc.observers import max_response_delay
+
+        # Both sides pinned explicitly: a REPRO_ABSTRACTION override
+        # must not turn this into a vacuous LU-vs-LU comparison.
+        verdict_m = check_bounded_response(
+            network, "m_Req", "c_Ack", 10, abstraction="extra_m")
+        verdict_lu = check_bounded_response(
+            network, "m_Req", "c_Ack", 10, abstraction="extra_lu")
+        sup_m = max_response_delay(network, "m_Req", "c_Ack",
+                                   abstraction="extra_m")
+        sup_lu = max_response_delay(network, "m_Req", "c_Ack",
+                                    abstraction="extra_lu")
+        stats_m = zone_graph_stats(network, abstraction="extra_m")
+        stats_lu = zone_graph_stats(network, abstraction="extra_lu")
+        if verdict_m.holds != verdict_lu.holds:
+            failures.append(
+                f"abstraction parity: P(10) verdict differs "
+                f"(extra_m={verdict_m.holds}, "
+                f"extra_lu={verdict_lu.holds})")
+        if (sup_m.bounded, sup_m.sup, sup_m.attained) != \
+                (sup_lu.bounded, sup_lu.sup, sup_lu.attained):
+            failures.append(
+                f"abstraction parity: M-C sup differs "
+                f"(extra_m={sup_m}, extra_lu={sup_lu})")
+        if stats_lu.states > stats_m.states:
+            failures.append(
+                f"abstraction parity: extra_lu grew the zone graph "
+                f"({stats_lu.states} > {stats_m.states} states)")
+        print(f"  abstraction parity                 P(10) "
+              f"{'ok' if verdict_m.holds == verdict_lu.holds else 'FAIL'}"
+              f", sup {sup_m} vs {sup_lu}, states "
+              f"{stats_m.states} -> {stats_lu.states}")
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -28,6 +28,7 @@ from repro.core.framework import TimingVerificationFramework
 from repro.core.scheme import InvocationKind, ReadPolicy
 from repro.core.transform import transform
 from repro.mc.parallel import set_default_jobs
+from repro.ta.bounds import set_abstraction
 from repro.ta.render import network_summary, network_to_dot
 from repro.ta.uppaal import network_to_uppaal_xml
 from repro.zones.backend import set_backend
@@ -154,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
              "on the numpy backend, processes on the reference one; "
              "N=1 still enables the batched wave pipeline; default: "
              "sequential engine; also settable via REPRO_JOBS)")
+    parser.add_argument(
+        "--abstraction", choices=["extra_m", "extra_lu"], default=None,
+        help="zone extrapolation operator for all model checking "
+             "(default: extra_m — global max constants, the published "
+             "seed behavior; extra_lu switches to per-location "
+             "Extra+_LU bounds: identical verdicts, Lemma-2 bounds "
+             "and suprema, but much smaller zone graphs — "
+             "recommended for portfolio sweeps; also settable via "
+             "REPRO_ABSTRACTION)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_verify = sub.add_parser("verify", help="full verification pipeline")
@@ -244,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
         set_backend(args.zone_backend)
     if args.jobs is not None:
         set_default_jobs(args.jobs)
+    if args.abstraction is not None:
+        set_abstraction(args.abstraction)
     return args.fn(args)
 
 

@@ -62,7 +62,8 @@ class ConstraintResult:
 
 def _flags_reachable(psm: PSM, flags: list[str], what: str, *,
                      max_states: int,
-                     jobs: int | None = None) -> ConstraintResult:
+                     jobs: int | None = None,
+                     abstraction: str | None = None) -> ConstraintResult:
     """Shared machinery: is any of the given flags settable?"""
     flags = [f for f in flags if f]
     if not flags:
@@ -71,7 +72,8 @@ def _flags_reachable(psm: PSM, flags: list[str], what: str, *,
             detail="no applicable flags (mechanism not used)")
     condition = " || ".join(f"{flag} == 1" for flag in flags)
     reach = check_reachable(psm.network, StateFormula(data=condition),
-                            max_states=max_states, jobs=jobs)
+                            max_states=max_states, jobs=jobs,
+                            abstraction=abstraction)
     if reach.reachable:
         return ConstraintResult(
             constraint=what, holds=False,
@@ -174,7 +176,9 @@ def check_all_constraints(psm: PSM, *,
                           include_progress: bool = False,
                           single_pass: bool = True,
                           max_states: int = 1_000_000,
-                          jobs: int | None = None) -> ConstraintReport:
+                          jobs: int | None = None,
+                          abstraction: str | None = None,
+                          ) -> ConstraintReport:
     """Run Constraints 1–4 (plus the optional progress sanity check).
 
     With ``single_pass`` (the default) one full exploration evaluates
@@ -198,7 +202,7 @@ def check_all_constraints(psm: PSM, *,
         return report
     report.results.extend(_single_pass_constraints(
         psm, min_interarrival_ms=min_interarrival_ms,
-        max_states=max_states, jobs=jobs))
+        max_states=max_states, jobs=jobs, abstraction=abstraction))
     return report
 
 
@@ -206,6 +210,7 @@ def _single_pass_constraints(psm: PSM, *,
                              min_interarrival_ms: int | None,
                              max_states: int,
                              jobs: int | None = None,
+                             abstraction: str | None = None,
                              ) -> list[ConstraintResult]:
     """One exploration deciding Constraints 1–4 together."""
     from repro.mc.parallel import make_explorer
@@ -221,7 +226,8 @@ def _single_pass_constraints(psm: PSM, *,
             [psm.code_drop_flag],
     }
     explorer = make_explorer(psm.network, jobs=jobs,
-                             max_states=max_states)
+                             max_states=max_states,
+                             abstraction=abstraction)
     compiled = explorer.compiled
     positions = {
         flag: compiled.var_pos(flag)

@@ -76,10 +76,12 @@ def relaxed_deadline(input_bound: int, output_bound: int,
 # ----------------------------------------------------------------------
 def internal_delay(pim: PIM, input_channel: str, output_channel: str,
                    *, max_states: int = 1_000_000,
-                   jobs: int | None = None) -> DelayBound:
+                   jobs: int | None = None,
+                   abstraction: str | None = None) -> DelayBound:
     """``Δ_io-internal``: the PIM's own m→c supremum."""
     return max_response_delay(pim.network, input_channel, output_channel,
-                              max_states=max_states, jobs=jobs)
+                              max_states=max_states, jobs=jobs,
+                              abstraction=abstraction)
 
 
 def symbolic_input_delay(psm: PSM, channel: str, *,

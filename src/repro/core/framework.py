@@ -122,13 +122,18 @@ class TimingVerificationFramework:
 
     ``jobs`` selects the sharded parallel explorer for every model-
     checking step (``None`` keeps the sequential engine; results are
-    identical either way).
+    identical either way).  ``abstraction`` selects the extrapolation
+    operator for every step (``"extra_m"`` — the default, or
+    ``"extra_lu"`` — same verdicts/bounds/sups, smaller zone graphs;
+    ``None`` defers to ``set_abstraction``/``REPRO_ABSTRACTION``).
     """
 
     def __init__(self, *, max_states: int = 1_000_000,
-                 jobs: int | None = None):
+                 jobs: int | None = None,
+                 abstraction: str | None = None):
         self.max_states = max_states
         self.jobs = jobs
+        self.abstraction = abstraction
 
     # ------------------------------------------------------------------
     def verify_pim(self, pim: PIM, input_channel: str,
@@ -137,7 +142,8 @@ class TimingVerificationFramework:
         """Step 1: ``PIM ⊨ P(Δ_mc)``?"""
         return check_bounded_response(
             pim.network, input_channel, output_channel, deadline_ms,
-            max_states=self.max_states, jobs=self.jobs)
+            max_states=self.max_states, jobs=self.jobs,
+            abstraction=self.abstraction)
 
     def transform(self, pim: PIM,
                   scheme: ImplementationScheme) -> PSM:
@@ -152,7 +158,8 @@ class TimingVerificationFramework:
         return check_all_constraints(
             psm, min_interarrival_ms=min_interarrival_ms,
             include_progress=include_progress,
-            max_states=self.max_states, jobs=self.jobs)
+            max_states=self.max_states, jobs=self.jobs,
+            abstraction=self.abstraction)
 
     def derive_bounds(self, pim: PIM, scheme: ImplementationScheme,
                       input_channel: str,
@@ -160,7 +167,8 @@ class TimingVerificationFramework:
         """Step 4: Lemma 1 bounds + the PIM's internal sup (Lemma 2)."""
         internal = internal_delay(pim, input_channel, output_channel,
                                   max_states=self.max_states,
-                                  jobs=self.jobs)
+                                  jobs=self.jobs,
+                                  abstraction=self.abstraction)
         return bounds_from_internal(scheme, input_channel,
                                     output_channel, internal)
 
@@ -170,7 +178,8 @@ class TimingVerificationFramework:
         """Steps 5/6: ``PSM ⊨ P(Δ)`` for any deadline."""
         return check_bounded_response(
             psm.network, input_channel, output_channel, deadline_ms,
-            max_states=self.max_states, jobs=self.jobs)
+            max_states=self.max_states, jobs=self.jobs,
+            abstraction=self.abstraction)
 
     def verify_psm_deadlines(self, psm: PSM, input_channel: str,
                              output_channel: str,
@@ -184,7 +193,8 @@ class TimingVerificationFramework:
             [BoundedResponseQuery(input_channel, output_channel,
                                   deadline)
              for deadline in deadlines_ms],
-            max_states=self.max_states, jobs=self.jobs)
+            max_states=self.max_states, jobs=self.jobs,
+            abstraction=self.abstraction)
         return list(outcome.results)
 
     def measure_psm(self, psm: PSM, input_channel: str,
@@ -204,7 +214,8 @@ class TimingVerificationFramework:
              ResponseSupQuery(psm.io_name(output_channel),
                               output_channel),
              ResponseSupQuery(input_channel, output_channel)],
-            trace=False, max_states=self.max_states, jobs=self.jobs)
+            trace=False, max_states=self.max_states, jobs=self.jobs,
+            abstraction=self.abstraction)
         input_sup, output_sup, mc_sup = outcome.results
         return {
             "Input-Delay": input_sup,
@@ -268,7 +279,8 @@ class TimingVerificationFramework:
 
         verifier = PortfolioVerifier(
             jobs=self.jobs, concurrency=concurrency,
-            max_states=self.max_states, fused=fused)
+            max_states=self.max_states, fused=fused,
+            abstraction=self.abstraction)
         return verifier.verify_schemes(
             pim, schemes, input_channel=input_channel,
             output_channel=output_channel, deadline_ms=deadline_ms,

@@ -40,8 +40,16 @@ class DeadlockReport:
 def find_deadlocks(network: Network, *,
                    max_states: int = 1_000_000,
                    limit: int = 10) -> DeadlockReport:
-    """Search the full zone graph for stuck (dead/time-locked) states."""
-    explorer = ZoneGraphExplorer(network, max_states=max_states)
+    """Search the full zone graph for stuck (dead/time-locked) states.
+
+    Always runs under Extra_M: the timelock test below reads clock
+    *upper bounds* of stored zones, which the coarser Extra⁺_LU
+    widening legitimately turns into ∞ — LU preserves reachability
+    verdicts, not boundedness of individual zones, so a process-wide
+    ``set_abstraction("extra_lu")`` must not leak into this query.
+    """
+    explorer = ZoneGraphExplorer(network, max_states=max_states,
+                                 abstraction="extra_m")
     compiled = explorer.compiled
     stuck: list[str] = []
     states = list(explorer.iter_states())

@@ -124,10 +124,10 @@ class _MovePlan:
     """
 
     __slots__ = ("guard_ops", "zone_ops", "free_clocks", "invariant_ops",
-                 "delay", "locs", "vals", "label", "error")
+                 "delay", "locs", "vals", "label", "error", "lu")
 
     def __init__(self, guard_ops, zone_ops, free_clocks, invariant_ops,
-                 delay, locs, vals, label, error):
+                 delay, locs, vals, label, error, lu=None):
         self.guard_ops = guard_ops
         self.zone_ops = zone_ops
         self.free_clocks = free_clocks
@@ -137,6 +137,9 @@ class _MovePlan:
         self.vals = vals
         self.label = label
         self.error = error
+        #: ``(lower, upper)`` Extra⁺_LU maps of the *target* location
+        #: vector, or ``None`` under Extra_M.
+        self.lu = lu
 
 
 class _WaitEntry:
@@ -176,6 +179,13 @@ class ZoneGraphExplorer:
         one before they were expanded.  The reduced zone graph is
         unchanged but visit order and the visited/transitions counts
         shrink, so this is opt-in.
+    abstraction:
+        Extrapolation operator: ``"extra_m"`` (the default — global
+        per-clock maximum constants, the seed behavior every pin is
+        tied to) or ``"extra_lu"`` (per-location Extra⁺_LU bounds —
+        same verdicts, bounds and suprema, smaller zone graphs).
+        ``None`` defers to :func:`repro.ta.bounds.resolve_abstraction`
+        (``set_abstraction`` override, then ``REPRO_ABSTRACTION``).
     """
 
     def __init__(self, network: Network, *,
@@ -184,10 +194,13 @@ class ZoneGraphExplorer:
                  max_states: int = 1_000_000,
                  free_clock_when_zero: Mapping[str, str] | None = None,
                  zone_backend: str | None = None,
-                 lazy_subsumption: bool = False):
+                 lazy_subsumption: bool = False,
+                 abstraction: str | None = None):
         self.network = network
         self.compiled = CompiledNetwork(
-            network, extra_max_constants=extra_max_constants)
+            network, extra_max_constants=extra_max_constants,
+            abstraction=abstraction)
+        self.abstraction = self.compiled.abstraction
         self.trace_enabled = trace
         self.max_states = max_states
         self.backend = resolve_backend(zone_backend)
@@ -214,6 +227,9 @@ class ZoneGraphExplorer:
         #: (``{node_id: (parent_id | None, label)}``); lets the query
         #: planner rebuild one trace per observer after a shared sweep.
         self.parents: dict[_NodeId, tuple[_NodeId | None, str]] = {}
+        #: Per-key passed buckets of the most recent exploration
+        #: (diagnostics/benchmarks only).
+        self.passed_store: dict | None = None
 
     # ------------------------------------------------------------------
     def initial_state(self) -> SymbolicState:
@@ -231,7 +247,10 @@ class ZoneGraphExplorer:
         if not self._delay_forbidden(locs, env):
             zone.up()
             self._apply_invariants(zone, locs)
-        zone.extrapolate_max(compiled.max_constants)
+        if self.abstraction.is_lu:
+            zone.extrapolate_lu(*compiled.lu_bounds_for(locs))
+        else:
+            zone.extrapolate_max(compiled.max_constants)
         return SymbolicState(locs, vals, zone)
 
     def _free_inactive(self, zone, locs: tuple[int, ...]) -> None:
@@ -269,6 +288,8 @@ class ZoneGraphExplorer:
         """Resolve every enabled move of a discrete configuration."""
         compiled = self.compiled
         env = compiled.data_env(vals)
+        lu_for = (compiled.lu_bounds_for if self.abstraction.is_lu
+                  else None)
         plans: list[_MovePlan] = []
         for move in compiled.moves(locs, env):
             # Data guards are evaluated on the pre-state (UPPAAL rule).
@@ -322,7 +343,8 @@ class ZoneGraphExplorer:
             delay = not self._delay_forbidden(locs2, post_env)
             plans.append(_MovePlan(
                 guard_ops, tuple(zone_ops), tuple(free_clocks),
-                invariant_ops, delay, locs2, vals2, label, None))
+                invariant_ops, delay, locs2, vals2, label, None,
+                lu_for(locs2) if lu_for is not None else None))
         return plans
 
     def plans_for(self, key: tuple) -> list[_MovePlan]:
@@ -368,7 +390,10 @@ class ZoneGraphExplorer:
             if plan.delay:
                 scratch.up()
                 scratch.constrain_all(plan.invariant_ops)
-            scratch.extrapolate_max(max_consts)
+            if plan.lu is not None:
+                scratch.extrapolate_lu(plan.lu[0], plan.lu[1])
+            else:
+                scratch.extrapolate_max(max_consts)
             if scratch.is_empty():
                 continue
             yield SymbolicState(plan.locs, plan.vals,
@@ -400,7 +425,11 @@ class ZoneGraphExplorer:
         init_entry = _WaitEntry(init)
         bucket = bucket_cls()
         bucket.insert(init.zone, init_entry)
+        # ``passed_store`` exposes the live per-key buckets of the most
+        # recent exploration — benchmarks read row counts off it as a
+        # memory proxy; it is never consulted by the search itself.
         passed: dict[tuple, object] = {init.key(): bucket}
+        self.passed_store = passed
         parents = self.parents = {}
         if trace_on:
             init_id = (init.key(), init.zone.frozen())

@@ -161,6 +161,7 @@ def check_bounded_response(
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
     jobs: int | None = None,
+    abstraction: str | None = None,
 ) -> BoundedResponseResult:
     """Check ``P(Δ)``: after ``trigger``, ``response`` within ``deadline``.
 
@@ -181,7 +182,7 @@ def check_bounded_response(
         max_states=max_states,
         zone_backend=zone_backend,
         lazy_subsumption=lazy_subsumption,
-        jobs=jobs)
+        jobs=jobs, abstraction=abstraction)
     return BoundedResponseResult(
         holds=not reach.reachable,
         trigger=trigger,
@@ -257,12 +258,19 @@ def max_response_delay(
     max_states: int = 1_000_000,
     zone_backend: str | None = None,
     jobs: int | None = None,
+    abstraction: str | None = None,
 ) -> DelayBound:
     """Exact supremum of the trigger→response delay.
 
     Runs full exploration with the observer clock's extrapolation
     ceiling raised geometrically: when the measured sup lies strictly
-    below the ceiling, Extra_M did not widen it and the value is exact.
+    below the ceiling, extrapolation did not widen it and the value is
+    exact.  Under Extra⁺_LU the ceiling floors only the observer
+    clock's *lower* map — that is the side whose widening rule could
+    invent values above the ceiling, so it alone keeps the
+    upper-bound reading exact, while leaving the upper map free to
+    erase the clock's lower-bound residue (see
+    ``CompiledNetwork.__init__``).
     Returns ``bounded=False`` when the sup exceeds ``cap`` (the delay
     is unbounded or practically so — Remark 1 of the paper).
     """
@@ -275,7 +283,8 @@ def max_response_delay(
             extra_max_constants={OBS_CLOCK: ceiling},
             free_clock_when_zero={OBS_FLAG: OBS_CLOCK},
             max_states=max_states,
-            zone_backend=zone_backend)
+            zone_backend=zone_backend,
+            abstraction=abstraction)
         compiled = explorer.compiled
         flag_pos = compiled.var_pos(OBS_FLAG)
         clock_idx = compiled.clock_id_by_name(OBS_CLOCK)

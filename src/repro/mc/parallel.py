@@ -292,7 +292,8 @@ _PROC_EXPLORER: ZoneGraphExplorer | None = None
 
 def _proc_init(network, backend_name, extra_max_constants,
                free_clock_when_zero, protected_clocks,
-               max_states) -> None:
+               max_states, abstraction, lu_lower_floors,
+               lu_upper_floors) -> None:
     """Build this worker process's private explorer."""
     global _PROC_EXPLORER
     explorer = ZoneGraphExplorer(
@@ -300,9 +301,17 @@ def _proc_init(network, backend_name, extra_max_constants,
         extra_max_constants=extra_max_constants,
         max_states=max_states,
         free_clock_when_zero=free_clock_when_zero,
-        zone_backend=backend_name)
+        zone_backend=backend_name,
+        abstraction=abstraction)
     if protected_clocks:
         explorer.compiled.protect_clocks(protected_clocks)
+    # Replay the coordinator's query-formula LU floors so worker
+    # extrapolation matches bit for bit (a superset of the extra
+    # ceilings above; raise_lu_floor max-merges, so this is idempotent).
+    for clock_idx, value in lu_lower_floors.items():
+        explorer.compiled.raise_lu_floor(clock_idx, value, upper=False)
+    for clock_idx, value in lu_upper_floors.items():
+        explorer.compiled.raise_lu_floor(clock_idx, value, lower=False)
     _PROC_EXPLORER = explorer
 
 
@@ -402,6 +411,7 @@ class ShardedZoneGraphExplorer:
                  free_clock_when_zero: Mapping[str, str] | None = None,
                  zone_backend: str | None = None,
                  lazy_subsumption: bool = False,
+                 abstraction: str | None = None,
                  intern: bool | ZoneInternTable = True,
                  pool: WorkStealingPool | None = None):
         if jobs < 1:
@@ -419,7 +429,9 @@ class ShardedZoneGraphExplorer:
             trace=trace, max_states=max_states,
             free_clock_when_zero=free_clock_when_zero,
             zone_backend=zone_backend,
-            lazy_subsumption=lazy_subsumption)
+            lazy_subsumption=lazy_subsumption,
+            abstraction=abstraction)
+        self.abstraction = self.core.abstraction
         self.network = network
         self.compiled = self.core.compiled
         self.backend = self.core.backend
@@ -448,18 +460,29 @@ class ShardedZoneGraphExplorer:
         self._worker_args = (network, self.backend.name,
                              dict(extra_max_constants or {}),
                              dict(free_clock_when_zero or {}),
-                             max_states)
+                             max_states, self.abstraction.name)
         self.parents: dict = {}
-        # Stored zones are post-extrapolation, so every finite bound
-        # is at most 2·max_constant + 1 in the packed encoding — when
-        # that provably fits int32 the buckets may skip per-batch
-        # range validation before narrowing.
+        #: Per-key passed buckets of the most recent exploration
+        #: (diagnostics/benchmarks only).
+        self.passed_store: dict | None = None
         self._trust_narrow = False
-        if self.batched:
-            from repro.zones.store import NumpyPassedBucket
-            ceiling = max(self.compiled.max_constants, default=0)
-            self._trust_narrow = (
-                2 * ceiling + 1 < NumpyPassedBucket.NARROW_LIMIT)
+
+    def _compute_trust_narrow(self) -> bool:
+        """Stored zones are post-extrapolation, so every finite bound
+        is at most 2·ceiling + 1 in the packed encoding — when that
+        provably fits int32 the buckets may skip per-batch range
+        validation before narrowing.  Resolved at explore() time: LU
+        floors raised by query-formula compilation can lift the
+        ceiling after construction."""
+        if not self.batched:
+            return False
+        from repro.zones.store import NumpyPassedBucket
+        ceiling = max(self.compiled.max_constants, default=0)
+        for floors in (self.compiled.lu_lower_floors,
+                       self.compiled.lu_upper_floors):
+            if floors:
+                ceiling = max(ceiling, max(floors.values()))
+        return 2 * ceiling + 1 < NumpyPassedBucket.NARROW_LIMIT
 
     def _new_bucket(self):
         bucket = self.core._bucket_cls()
@@ -568,6 +591,7 @@ class ShardedZoneGraphExplorer:
                                      self.compiled.max_constants)
 
         init = core.initial_state()
+        self._trust_narrow = self._compute_trust_narrow()
         if table is not None:
             init = SymbolicState(init.locs, init.vals,
                                  table.intern(init.zone))
@@ -575,6 +599,7 @@ class ShardedZoneGraphExplorer:
         bucket = self._new_bucket()
         bucket.insert(init.zone, init_entry)
         passed: dict[tuple, object] = {init.key(): bucket}
+        self.passed_store = passed
         parents = self.parents = {}
         if trace_on:
             parents[(init.key(), init.zone.frozen())] = (None, "<init>")
@@ -607,14 +632,16 @@ class ShardedZoneGraphExplorer:
                     ctx = multiprocessing.get_context("fork")
                 except ValueError:  # pragma: no cover - non-POSIX
                     ctx = multiprocessing.get_context()
-                network, backend_name, extra_max, free_map, max_states \
-                    = self._worker_args
+                (network, backend_name, extra_max, free_map,
+                 max_states, abstraction) = self._worker_args
                 proc_pool = ctx.Pool(
                     self.jobs, initializer=_proc_init,
                     initargs=(network, backend_name, extra_max,
                               free_map,
                               sorted(self.compiled.protected_clocks),
-                              max_states))
+                              max_states, abstraction,
+                              dict(self.compiled.lu_lower_floors),
+                              dict(self.compiled.lu_upper_floors)))
 
             frontier: list[_WaitEntry] = [init_entry]
             while frontier:

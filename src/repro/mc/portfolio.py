@@ -286,15 +286,32 @@ class PortfolioVerifier:
         and sups; shared-sweep tallies).  Off by default so every row
         is bit-identical to the per-scheme sequential ``verify``.
     intern:
-        Zone-interning policy shared by all jobs: ``True`` (global
-        table), ``False``, or a private
+        Zone-interning policy shared by all jobs: ``True`` (a table
+        scoped to each :meth:`run` call — see ``scoped_intern``),
+        ``False``, or a private
         :class:`~repro.zones.intern.ZoneInternTable`.  Interning is a
         property of the sharded engine, so with ``jobs=None`` (the
         sequential explorer, which never interns) this setting has no
         effect — exactly as everywhere else in the library.
+    scoped_intern:
+        With ``intern=True`` (the default), give every :meth:`run`
+        call its own fresh intern table instead of the process-global
+        one.  Cross-job dedup inside the run is unchanged, but a
+        long-lived CLI/service process sweeping many grids no longer
+        accumulates zones from prior portfolios.  Set to ``False`` to
+        restore the global table (cross-run dedup at the cost of
+        unbounded-until-reset growth); an explicit ``intern`` table is
+        always respected as-is.
     share_pim_obligations:
         Compute each distinct (PIM, requirement) obligation — step 1
         and the internal supremum — once instead of once per scheme.
+    abstraction:
+        Extrapolation operator for every sweep of every job
+        (``"extra_m"``/``"extra_lu"``; ``None`` defers to
+        ``set_abstraction``/``REPRO_ABSTRACTION``).  Rows are
+        verdict-, bound- and sup-identical either way; ``extra_lu``
+        shrinks the per-scheme zone graphs — the blow-up corners of a
+        grid most of all.
     """
 
     def __init__(self, *, jobs: int | None = None,
@@ -302,7 +319,9 @@ class PortfolioVerifier:
                  max_states: int = 1_000_000,
                  fused: bool = False,
                  intern: bool | ZoneInternTable = True,
-                 share_pim_obligations: bool = True):
+                 scoped_intern: bool = True,
+                 share_pim_obligations: bool = True,
+                 abstraction: str | None = None):
         if concurrency is not None and concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1, got {concurrency}")
@@ -311,7 +330,9 @@ class PortfolioVerifier:
         self.max_states = max_states
         self.fused = fused
         self.intern = intern
+        self.scoped_intern = scoped_intern
         self.share_pim_obligations = share_pim_obligations
+        self.abstraction = abstraction
         self._pim_cache: dict[tuple, _SharedObligation] = {}
         self._pim_lock = threading.Lock()
 
@@ -340,10 +361,18 @@ class PortfolioVerifier:
         results: list[PortfolioResult | None] = [None] * len(job_list)
         callback_errors: list[BaseException] = []
         self._pim_cache.clear()
+        # Interning scope: a fresh table per run (default) keeps
+        # long-lived processes from accumulating zones across grids;
+        # ``None`` defers to the explorer default (the global table).
+        if self.intern is True:
+            run_intern = (ZoneInternTable() if self.scoped_intern
+                          else None)
+        else:
+            run_intern = self.intern
 
         def execute(index: int) -> None:
             result = self._run_one(index, job_list[index], resolved,
-                                   pool)
+                                   pool, run_intern)
             results[index] = result
             if on_result is not None:
                 try:
@@ -423,7 +452,9 @@ class PortfolioVerifier:
 
     def _run_one(self, index: int, job: PortfolioJob,
                  resolved: int | None,
-                 pool: WorkStealingPool | None) -> PortfolioResult:
+                 pool: WorkStealingPool | None,
+                 intern: bool | ZoneInternTable | None,
+                 ) -> PortfolioResult:
         from repro.core.framework import (
             TimingVerificationFramework,
             VerificationReport,
@@ -438,8 +469,8 @@ class PortfolioVerifier:
             index=index, name=job.name, scheme=job.scheme,
             deadline_ms=job.deadline_ms, report=report)
         framework = TimingVerificationFramework(
-            max_states=job.max_states or self.max_states, jobs=resolved)
-        intern = self.intern if self.intern is not True else None
+            max_states=job.max_states or self.max_states, jobs=resolved,
+            abstraction=self.abstraction)
         try:
             with exploration_context(pool=pool, intern=intern):
                 self._verify_job(job, framework, report)
@@ -514,7 +545,7 @@ class PortfolioVerifier:
             ]
         outcome = check_many(
             psm.network, queries, max_states=framework.max_states,
-            jobs=framework.jobs)
+            jobs=framework.jobs, abstraction=framework.abstraction)
         report.psm_original_result = outcome[0]
         report.psm_relaxed_result = outcome[1]
         if job.measure_suprema:
@@ -535,7 +566,8 @@ class PortfolioVerifier:
                 job.deadline_ms)
             internal = internal_delay(
                 job.pim, job.input_channel, job.output_channel,
-                max_states=framework.max_states, jobs=framework.jobs)
+                max_states=framework.max_states, jobs=framework.jobs,
+                abstraction=framework.abstraction)
             return pim_result, internal
 
         if not self.share_pim_obligations:

@@ -61,6 +61,7 @@ def sup_clock(
     max_states: int = 1_000_000,
     zone_backend: str | None = None,
     jobs: int | None = None,
+    abstraction: str | None = None,
 ) -> DelayBound:
     """Supremum of a clock over reachable states satisfying a formula.
 
@@ -73,7 +74,8 @@ def sup_clock(
         explorer = make_explorer(
             network, jobs=jobs,
             extra_max_constants={clock_name: ceiling},
-            max_states=max_states, zone_backend=zone_backend)
+            max_states=max_states, zone_backend=zone_backend,
+            abstraction=abstraction)
         compiled = explorer.compiled
         clock_idx = compiled.clock_id_by_name(clock_name)
         compiled.protect_clocks([clock_idx])
@@ -117,6 +119,7 @@ def zone_graph_stats(
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
     jobs: int | None = None,
+    abstraction: str | None = None,
 ) -> ZoneGraphStats:
     """Fully explore a network and report its zone-graph size.
 
@@ -134,7 +137,7 @@ def zone_graph_stats(
     explorer = make_explorer(
         network, jobs=jobs, extra_max_constants=extra_max_constants,
         max_states=max_states, zone_backend=zone_backend,
-        lazy_subsumption=lazy_subsumption)
+        lazy_subsumption=lazy_subsumption, abstraction=abstraction)
     keys: set = set()
 
     def visit(state: SymbolicState) -> None:
@@ -279,6 +282,7 @@ def check_many(
     zone_backend: str | None = None,
     jobs: int | None = None,
     lazy_subsumption: bool = False,
+    abstraction: str | None = None,
 ) -> BatchOutcome:
     """Answer a batch of queries with one shared exploration.
 
@@ -378,7 +382,7 @@ def check_many(
             instrumented, jobs=jobs, trace=trace_on,
             extra_max_constants=extra, max_states=max_states,
             free_clock_when_zero=free_map, zone_backend=zone_backend,
-            lazy_subsumption=lazy_subsumption)
+            lazy_subsumption=lazy_subsumption, abstraction=abstraction)
         compiled = explorer.compiled
 
         observers: dict[int, object] = {}

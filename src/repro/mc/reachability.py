@@ -66,6 +66,22 @@ class StateFormula:
                     f"conjuncts")
             for atom in guard.clock_constraints:
                 clock_ops.extend(encode_constraint(atom, name_ids))
+                # Under Extra⁺_LU the formula's constants must floor
+                # the bound maps — the constraint lives outside the
+                # network, so the static analysis cannot see it.  Only
+                # the side the atom tests is needed: ``x > c`` fails
+                # spuriously only if the L-guarded rule invents larger
+                # values, ``x < c`` only if the U-guarded rule invents
+                # smaller ones (``==`` and difference atoms take both).
+                sides = {"<": (False, True), "<=": (False, True),
+                         ">": (True, False), ">=": (True, False),
+                         "==": (True, True)}[atom.op]
+                both = atom.other is not None
+                for clock in atom.clocks():
+                    compiled.raise_lu_floor(
+                        name_ids[clock], abs(atom.bound),
+                        lower=sides[0] or both,
+                        upper=sides[1] or both)
             # Clocks the query reads must survive active-clock
             # reduction everywhere.
             compiled.protect_clocks(
@@ -136,12 +152,15 @@ def check_reachable(
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
     jobs: int | None = None,
+    abstraction: str | None = None,
 ) -> ReachabilityResult:
     """Decide ``E<> formula`` by forward zone exploration.
 
     ``jobs`` routes the search through the sharded parallel explorer
     (identical states, tallies and traces — see
-    :mod:`repro.mc.parallel`).
+    :mod:`repro.mc.parallel`); ``abstraction`` selects the
+    extrapolation operator (verdict-identical — see
+    :mod:`repro.ta.bounds`).
     """
     explorer = make_explorer(
         network, jobs=jobs, trace=trace,
@@ -149,7 +168,8 @@ def check_reachable(
         max_states=max_states,
         free_clock_when_zero=free_clock_when_zero,
         zone_backend=zone_backend,
-        lazy_subsumption=lazy_subsumption)
+        lazy_subsumption=lazy_subsumption,
+        abstraction=abstraction)
     predicate = formula.compile(explorer.compiled)
     result: ExplorationResult = explorer.explore(stop=predicate)
     if result.found:
@@ -197,13 +217,14 @@ def check_safety(
     zone_backend: str | None = None,
     lazy_subsumption: bool = False,
     jobs: int | None = None,
+    abstraction: str | None = None,
 ) -> SafetyResult:
     """Decide ``A[] ¬bad`` (safety) via the dual reachability query."""
     reach = check_reachable(
         network, bad, trace=trace,
         extra_max_constants=extra_max_constants, max_states=max_states,
         zone_backend=zone_backend, lazy_subsumption=lazy_subsumption,
-        jobs=jobs)
+        jobs=jobs, abstraction=abstraction)
     return SafetyResult(
         holds=not reach.reachable,
         formula=bad.describe(),

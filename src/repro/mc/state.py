@@ -17,6 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
+from repro.ta.bounds import (
+    AbstractionSpec,
+    analyze_lu_bounds,
+    resolve_abstraction,
+)
 from repro.ta.channels import Channel
 from repro.ta.clocks import (
     Assignment,
@@ -166,15 +171,27 @@ class CompiledNetwork:
     """Index-resolved form of a network plus semantic lookup tables."""
 
     def __init__(self, network: Network,
-                 extra_max_constants: Mapping[str, int] | None = None):
+                 extra_max_constants: Mapping[str, int] | None = None,
+                 abstraction: AbstractionSpec | str | None = None):
         """Compile ``network``.
 
         ``extra_max_constants`` raises the extrapolation ceiling of the
         named clocks (display names, see ``Network.clock_names``) —
         required by sup queries, whose answers must stay below the
-        ceiling to be exact.
+        ceiling to be exact.  Under the LU abstraction the same
+        ceilings raise the *lower*-bound map: that is the side whose
+        widening rule could invent clock values above the ceiling, so
+        it alone keeps sup readings and lower-bound observer formulas
+        exact — the upper map stays free to erase the observer
+        clock's lower-bound residue (the blow-up driver).
+
+        ``abstraction`` selects the extrapolation operator
+        (:func:`repro.ta.bounds.resolve_abstraction` order:
+        explicit > ``set_abstraction`` > ``REPRO_ABSTRACTION`` >
+        ``extra_m``).
         """
         self.network = network
+        self.abstraction = resolve_abstraction(abstraction)
         self.automata: tuple[Automaton, ...] = network.automata
         self.n_automata = len(network.automata)
 
@@ -269,6 +286,26 @@ class CompiledNetwork:
         # ---- extrapolation constants -------------------------------------
         self.max_constants = self._compute_max_constants(
             extra_max_constants or {})
+        # ---- per-location LU bounds (Extra⁺_LU) ---------------------------
+        # The analysis and its composition caches exist only when the
+        # LU abstraction is selected; the Extra_M path stays untouched
+        # (and bit-identical to every published pin).
+        self._lu_map = None
+        #: Directional clock-index floors on the LU maps: the extra
+        #: ceilings above (lower side — they protect lower-bound
+        #: formulas and sup readings) plus any :meth:`raise_lu_floor`
+        #: calls made by query-formula compilation.  Ships to process
+        #: workers.
+        self.lu_lower_floors: dict[int, int] = {}
+        self.lu_upper_floors: dict[int, int] = {}
+        self._lu_state_cache: dict[tuple[int, ...],
+                                   tuple[tuple, tuple]] = {}
+        if self.abstraction.is_lu:
+            self._lu_map = analyze_lu_bounds(network)
+            for name, ceiling in (extra_max_constants or {}).items():
+                idx = self._name_to_clock[name]
+                self.lu_lower_floors[idx] = max(
+                    self.lu_lower_floors.get(idx, 0), ceiling)
 
         # ---- evaluation-environment memo ---------------------------------
         # One dict per distinct valuation; the explorer looks these up
@@ -432,6 +469,56 @@ class CompiledNetwork:
             for per_auto in self.inactive_clocks
         ]
         self.reduction_version += 1
+
+    # ------------------------------------------------------------------
+    # LU abstraction (Extra⁺_LU)
+    # ------------------------------------------------------------------
+    def lu_bounds_for(self, locs: tuple[int, ...]) \
+            -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Composed ``(lower, upper)`` maps for one location vector.
+
+        Memoized per location vector (the explorer resolves them once
+        per successor plan); invalidated together with the plan cache
+        when floors rise (``reduction_version``).
+        """
+        cached = self._lu_state_cache.get(locs)
+        if cached is None:
+            cached = self._lu_state_cache[locs] = \
+                self._lu_map.state_bounds(locs, self.lu_lower_floors,
+                                          self.lu_upper_floors)
+        return cached
+
+    def raise_lu_floor(self, clock_idx: int, value: int, *,
+                       lower: bool = True,
+                       upper: bool = True) -> None:
+        """Raise a clock's LU floors at every location.
+
+        Query formulas constrain zones from *outside* the network
+        (``StateFormula`` clock conditions), so their constants never
+        appear in the static analysis; compilation calls this so the
+        LU widening can never erase a distinction such a formula
+        tests.  Floors are directional: a lower-bound atom ``x > c``
+        only needs ``L(x) ≥ c`` (the rule erasing *upper* bounds must
+        not invent values above ``c``), an upper-bound atom ``x < c``
+        only needs ``U(x) ≥ c``.  No-op under Extra_M — its callers
+        already thread the needed ceilings through
+        ``extra_max_constants``, and the seed pins must stay
+        bit-identical.
+        """
+        if self._lu_map is None:
+            return
+        raised = False
+        if lower and value > self.lu_lower_floors.get(clock_idx, -1):
+            self.lu_lower_floors[clock_idx] = value
+            raised = True
+        if upper and value > self.lu_upper_floors.get(clock_idx, -1):
+            self.lu_upper_floors[clock_idx] = value
+            raised = True
+        if raised:
+            self._lu_state_cache.clear()
+            # Plans embed the composed maps; force a rebuild exactly
+            # like protect_clocks does.
+            self.reduction_version += 1
 
     # ------------------------------------------------------------------
     # State helpers

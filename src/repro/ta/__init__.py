@@ -5,6 +5,14 @@ them via :class:`Network`, and hand them to :mod:`repro.mc` for
 verification or :mod:`repro.codegen` for code generation.
 """
 
+from repro.ta.bounds import (
+    AbstractionSpec,
+    LUBoundsMap,
+    analyze_lu_bounds,
+    available_abstractions,
+    resolve_abstraction,
+    set_abstraction,
+)
 from repro.ta.builder import AutomatonBuilder, NetworkBuilder
 from repro.ta.channels import Channel, Sync
 from repro.ta.clocks import (
@@ -39,9 +47,11 @@ from repro.ta.uppaal import network_to_uppaal_xml
 from repro.ta.validate import Problem, check, validate
 
 __all__ = [
+    "AbstractionSpec",
     "Automaton",
     "AutomatonBuilder",
     "Assignment",
+    "LUBoundsMap",
     "Binary",
     "Channel",
     "ClockConstraint",
@@ -63,7 +73,9 @@ __all__ = [
     "Update",
     "Var",
     "VariableDecl",
+    "analyze_lu_bounds",
     "automaton_to_dot",
+    "available_abstractions",
     "boundary_rename_map",
     "check",
     "mc_to_io_name",
@@ -75,5 +87,7 @@ __all__ = [
     "parse_invariant",
     "parse_update",
     "rename_channels",
+    "resolve_abstraction",
+    "set_abstraction",
     "validate",
 ]

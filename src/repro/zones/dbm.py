@@ -341,6 +341,68 @@ class DBM(ZoneMatrix):
                 self._empty = was_empty
         return self
 
+    def extrapolate_lu(self, lower: Sequence[int],
+                       upper: Sequence[int]) -> "DBM":
+        """Extra⁺_LU abstraction on per-clock lower/upper bounds.
+
+        The coarser sibling of :meth:`extrapolate_max` (Behrmann,
+        Bouyer, Larsen & Pelánek): ``lower[i]``/``upper[i]`` are the
+        largest constants clock ``i`` is still compared against from
+        the current locations by lower-bound (``x > c``) respectively
+        upper-bound (``x < c``) constraints, with
+        :data:`~repro.ta.bounds.NO_BOUND` (−1) meaning "never".  The
+        reference-clock entries must be 0.  Widening rules (value
+        comparisons on the *pre-pass* matrix, UPPAAL's
+        ``dbm_extrapolateLUBounds``):
+
+        * ``D[i][j]`` → ∞ when its value exceeds ``lower[i]``,
+        * row ``i`` → ∞ when ``x_i``'s lower bound exceeds ``lower[i]``,
+        * ``D[i][j]`` (``i ≠ 0``) → ∞ when ``x_j``'s lower bound
+          exceeds ``upper[j]``,
+        * ``D[0][j]`` → ``(-upper[j], <)`` in that same case.
+
+        Every rule only loosens entries the Extra_M rules would also
+        loosen (for any ``lower``/``upper`` pointwise ≤ the max-constant
+        map), so the output zone always includes the Extra_M output.
+        Re-closed afterwards, with the same sticky-emptiness handling
+        as :meth:`extrapolate_max`.
+        """
+        n = self.size
+        if len(lower) != n or len(upper) != n:
+            raise ValueError("need one lower and upper bound per clock")
+        m = self._m
+        row0 = m[0:n]  # snapshot: the rules read the pre-pass bounds
+        changed = False
+        for i in range(1, n):
+            l_i = lower[i]
+            row = i * n
+            # Lower bound of x_i beyond L(x_i): the whole row widens.
+            row_dead = row0[i] != INF and -(row0[i] >> 1) > l_i
+            for j in range(n):
+                if i == j:
+                    continue
+                b = m[row + j]
+                if b == INF:
+                    continue
+                if row_dead or (b >> 1) > l_i \
+                        or (row0[j] != INF
+                            and -(row0[j] >> 1) > upper[j]):
+                    m[row + j] = INF
+                    changed = True
+        for j in range(1, n):
+            b = row0[j]
+            if b != INF and -(b >> 1) > upper[j]:
+                m[j] = (-upper[j]) << 1  # encode(-upper[j], strict)
+                changed = True
+        if changed:
+            was_empty = self._empty
+            self._frozen = None
+            self.close()
+            # Widening cannot change emptiness (same as Extra_M).
+            if was_empty is not None:
+                self._empty = was_empty
+        return self
+
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------

@@ -112,6 +112,33 @@ def _ceiling_arrays(max_consts) -> tuple[np.ndarray, np.ndarray]:
     return cached
 
 
+_lu_cache: dict[tuple[tuple[int, ...], tuple[int, ...]],
+                tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+#: Distinct (lower, upper) pairs are per *location vector* per model,
+#: so a long-lived process sweeping many models would grow the cache
+#: without bound; past the cap it restarts a generation (handed-out
+#: arrays stay valid — nothing relies on cache identity).
+_LU_CACHE_MAX = 4096
+
+
+def _lu_arrays(lower: tuple[int, ...], upper: tuple[int, ...]) \
+        -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached L/U vectors + strict row-0 replacements for Extra⁺_LU."""
+    key = (lower, upper)
+    cached = _lu_cache.get(key)
+    if cached is None:
+        if len(_lu_cache) >= _LU_CACHE_MAX:
+            _lu_cache.clear()
+        low = np.array(lower, dtype=np.int64)
+        up = np.array(upper, dtype=np.int64)
+        strict = (-up) << 1  # encode(-upper[j], strict)
+        for arr in (low, up, strict):
+            arr.setflags(write=False)
+        cached = _lu_cache[key] = (low, up, strict)
+    return cached
+
+
 def _vec_add_scalar(vec: np.ndarray, bound: int) -> np.ndarray:
     """Vectorized ``bound_add(vec, bound)`` for a finite scalar bound."""
     finite = vec != INF
@@ -395,6 +422,53 @@ class NumpyDBM(ZoneMatrix):
             self.close()
             # Widening cannot change emptiness: keep the known verdict
             # instead of forcing a diagonal rescan.
+            if was_empty is not None:
+                self._empty = was_empty
+        return self
+
+    def extrapolate_lu(self, lower: Sequence[int],
+                       upper: Sequence[int]) -> "NumpyDBM":
+        """Extra⁺_LU abstraction (see the reference backend)."""
+        n = self.size
+        if len(lower) != n or len(upper) != n:
+            raise ValueError("need one lower and upper bound per clock")
+        m = self._m
+        ws = _workspace(n)
+        low_arr, up_arr, strict_up = _lu_arrays(tuple(lower),
+                                                tuple(upper))
+        # All rule tests read the pre-pass matrix; ``vals`` snapshots
+        # the values (INF lanes shift to a huge positive that can only
+        # satisfy the "exceeds L(x_i)" test, which the finite mask
+        # filters out anyway).
+        np.right_shift(m, 1, out=ws.vals)
+        np.not_equal(m, INF, out=ws.mask)
+        np.logical_and(ws.mask, _off_diagonal(n), out=ws.mask)
+        row0_vals = ws.vals[0].copy()
+        row0_finite = m[0] != INF
+        # Rows whose lower bound exceeds L(x_i) widen entirely; the
+        # reference row never does (lower[0] == 0, D_00 == (0, ≤)).
+        row_dead = row0_finite & (-row0_vals > low_arr)
+        col_dead = row0_finite & (-row0_vals > up_arr)
+        np.greater(ws.vals, low_arr[:, None], out=ws.mask2)
+        np.logical_or(ws.mask2, row_dead[:, None], out=ws.mask2)
+        np.logical_or(ws.mask2, col_dead[None, :], out=ws.mask2)
+        np.logical_and(ws.mask2, ws.mask, out=ws.mask2)
+        ws.mask2[0, :] = False  # row 0 follows the replacement rule
+        # Row-0 replacement: lower bounds beyond U(x_j) flatten to the
+        # strict bound (-U(x_j), <).
+        replace0 = col_dead & ws.mask[0]
+        changed = False
+        if ws.mask2.any():
+            np.copyto(m, INF, where=ws.mask2)
+            changed = True
+        if replace0.any():
+            np.copyto(m[0], strict_up, where=replace0)
+            changed = True
+        if changed:
+            was_empty = self._empty
+            self._frozen = None
+            self.close()
+            # Widening cannot change emptiness (same as Extra_M).
             if was_empty is not None:
                 self._empty = was_empty
         return self

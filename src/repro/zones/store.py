@@ -314,6 +314,16 @@ class NumpyPassedBucket:
         entries get ``alive`` cleared).  The stack is rebuilt compacted
         and the envelopes exactly recomputed.
 
+        The intra-batch resolution itself is one triangular broadcast
+        instead of an ordered Python scan: ``j`` is blocked iff
+        ``pre[j]`` or some *earlier, non-pre* candidate includes it —
+        equivalent to "some earlier inserted candidate includes it"
+        because inclusion is transitive (a blocked earlier includer is
+        itself included by an inserted one, which then includes ``j``)
+        and ``pre`` is inclusion-upward-closed (a stored row covering
+        the includer covers ``j`` too).  Likewise an inserted
+        candidate dies iff a *later inserted* candidate includes it.
+
         Comparisons run on the narrowed int32 stack when the bounds
         fit (see the class docstring) — narrowing is order-preserving,
         so the verdicts are identical to the int64 sweeps.
@@ -351,37 +361,40 @@ class NumpyPassedBucket:
                     verdict[c] = bool(
                         (hits >= sub[c]).all(axis=1).any())
                 pre[may_cover] = verdict
-            pre = pre.tolist()
         else:
-            pre = [False] * n_cand
+            pre = np.zeros(n_cand, dtype=bool)
             may_evict = None
+
         if n_cand > 1:
-            inc = (rows[:, None, :] >= rows[None, :, :]) \
-                .all(axis=2).tolist()
+            inc = (rows[:, None, :] >= rows[None, :, :]).all(axis=2)
+            # earlier[i, j] ⇔ i precedes j in the commit order.
+            earlier = np.triu(np.ones((n_cand, n_cand), dtype=bool),
+                              k=1)
+            blocked = (inc & earlier & ~pre[:, None]).any(axis=0)
+            ins_mask = ~pre & ~blocked
+            # later[j, i] ⇔ j follows i: an inserted candidate dies
+            # when a later inserted candidate includes it.
+            killed = ((inc & earlier.T & ins_mask[:, None]).any(axis=0)
+                      & ins_mask)
         else:
-            inc = [[True]]
+            ins_mask = ~pre
+            killed = np.zeros(n_cand, dtype=bool)
 
         stored_alive = [True] * count
-        cand_alive = [False] * n_cand
-        inserted: list[int] = []
-        flags = [False] * n_cand
-        for j in range(n_cand):
-            if pre[j] or any(inc[i][j] for i in inserted):
-                continue
-            if may_evict is not None and may_evict[j]:
-                hits = (rows[j] >= stack).all(axis=1)
-                for s in np.flatnonzero(hits):
-                    if stored_alive[s]:
-                        stored_alive[s] = False
-                        self.entries[s].alive = False
-            inc_j = inc[j]
-            for i in inserted:
-                if cand_alive[i] and inc_j[i]:
-                    cand_alive[i] = False
-                    entries[i].alive = False
-            inserted.append(j)
-            cand_alive[j] = True
-            flags[j] = True
+        if count:
+            evictors = np.flatnonzero(
+                ins_mask & np.asarray(may_evict, dtype=bool))
+            if evictors.size:
+                dead = (rows[evictors][:, None, :]
+                        >= stack[None, :, :]).all(axis=2).any(axis=0)
+                for s in np.flatnonzero(dead):
+                    stored_alive[s] = False
+                    self.entries[s].alive = False
+        for i in np.flatnonzero(killed):
+            entries[i].alive = False
+        inserted = np.flatnonzero(ins_mask).tolist()
+        cand_alive = (ins_mask & ~killed).tolist()
+        flags = ins_mask.tolist()
         if not inserted:
             return flags
 

@@ -260,6 +260,29 @@ def test_private_intern_table_is_used():
     assert len(table) > 0
 
 
+def test_intern_table_scoped_per_run_by_default():
+    """A long-lived process sweeping many grids must not accumulate
+    zones across portfolio runs: the default interning policy scopes
+    a fresh table to each ``run`` call, leaving the process-global
+    table untouched.  ``scoped_intern=False`` restores the old
+    cross-run behavior."""
+    from repro.zones.intern import global_intern_table
+
+    table = global_intern_table()
+    table.clear()
+    assert run_portfolio(grid_3x2(), jobs=2).all_ok
+    assert len(table) == 0  # nothing leaked into the global table
+    # Results are identical either way (same grid, same rows).
+    scoped = run_portfolio(grid_3x2(), jobs=2)
+    legacy = run_portfolio(grid_3x2(), jobs=2, scoped_intern=False)
+    assert len(table) > 0   # the legacy mode populates the global
+    for a, b in zip(scoped, legacy):
+        assert a.report.bounds == b.report.bounds
+        assert a.states == b.states
+        assert a.transitions == b.transitions
+    table.clear()
+
+
 def test_verify_portfolio_framework_step():
     schemes = grid_3x2()
     framework = TimingVerificationFramework(jobs=2)

@@ -57,9 +57,17 @@ def _op_strategy():
         st.just("extrapolate"),
         st.lists(st.integers(0, MAX_CONST), min_size=SIZE - 1,
                  max_size=SIZE - 1))
+    # NO_BOUND (-1) is a legal LU entry: "this clock is never compared
+    # that way here" — the coarsest, most widening-happy value.
+    extrapolate_lu = st.tuples(
+        st.just("extrapolate_lu"),
+        st.lists(st.integers(-1, MAX_CONST), min_size=SIZE - 1,
+                 max_size=SIZE - 1),
+        st.lists(st.integers(-1, MAX_CONST), min_size=SIZE - 1,
+                 max_size=SIZE - 1))
     simple = st.sampled_from([("up",), ("close",)])
     return st.one_of(constrain, reset, assign, free, free_many,
-                     extrapolate, simple)
+                     extrapolate, extrapolate_lu, simple)
 
 
 def _apply(zone, op):
@@ -76,6 +84,8 @@ def _apply(zone, op):
         zone.free_many(tuple(op[1]))
     elif kind == "extrapolate":
         zone.extrapolate_max([0, *op[1]])
+    elif kind == "extrapolate_lu":
+        zone.extrapolate_lu([0, *op[1]], [0, *op[2]])
     elif kind == "up":
         zone.up()
     else:
@@ -119,7 +129,8 @@ def test_backends_agree_long_random_walk():
         for _ in range(rng.randint(1, 30)):
             kind = rng.choice(
                 ["constrain", "up", "reset", "assign", "free",
-                 "free_many", "extrapolate", "close"])
+                 "free_many", "extrapolate", "extrapolate_lu",
+                 "close"])
             if kind == "constrain":
                 i, j = rng.sample(range(n), 2)
                 op = ("constrain", i, j, rng.randint(-8, 8),
@@ -137,6 +148,10 @@ def test_backends_agree_long_random_walk():
             elif kind == "extrapolate":
                 op = ("extrapolate",
                       [rng.randint(0, 8) for _ in range(n - 1)])
+            elif kind == "extrapolate_lu":
+                op = ("extrapolate_lu",
+                      [rng.randint(-1, 8) for _ in range(n - 1)],
+                      [rng.randint(-1, 8) for _ in range(n - 1)])
             else:
                 op = (kind,)
             _apply(a, op)
