@@ -13,14 +13,26 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
         [--out DIR] [--backends numpy reference] [--jobs 1 4]
+        [--executors thread process] [--summary FILE|-]
 
     # CI regression gate: re-run the headline workloads and fail on a
     # >25% slowdown of bench_s1_case_study_psm vs a committed record
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
         --check BENCH_20260727.json
 
+    # CI scaling job (multi-core runner): tiny-PSM portfolio scaling
+    # over the jobs x executor grid, markdown table to the step summary
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick \
+        --jobs 1 2 4 --executors thread process \
+        --summary "$GITHUB_STEP_SUMMARY"
+
 ``--quick`` skips the case-study workloads (~seconds instead of
-~minutes on the pure-Python backend).
+~minutes on the pure-Python backend).  Every run measures the
+``bench_portfolio_tiny`` job-level scaling grid (backend × executor ×
+jobs) — the workload CI's ``scaling`` job charts on its 4-vCPU
+runners; ``--summary`` renders it as a GitHub-flavored markdown
+table.  ``--executors thread process`` also adds a process-executor
+row for the full 16-scheme sweep (non-quick runs).
 """
 
 from __future__ import annotations
@@ -42,7 +54,7 @@ for _entry in (str(_ROOT), str(_ROOT / "src")):
         sys.path.insert(0, _entry)
 
 from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim  # noqa: E402
-from repro.apps.schemes import case_study_grid_16, case_study_scheme
+from repro.apps.schemes import GridSpec, case_study_grid_16, case_study_scheme
 from repro.core.transform import transform
 from repro.mc.observers import check_bounded_response
 from repro.mc.portfolio import PortfolioVerifier, portfolio_jobs
@@ -63,6 +75,15 @@ from tests.conftest import build_tiny_pim, build_tiny_scheme  # noqa: E402
 HEADLINE = "bench_s1_case_study_psm"
 #: Allowed slowdown in ``--check`` mode before the gate fails.
 REGRESSION_TOLERANCE = 1.25
+#: The job-level scaling workload: a 36-scheme sweep of the tiny PSM —
+#: cheap enough for every CI push, heavy enough (~1-2 s sequential on
+#: the reference backend) that worker processes beat one core on a
+#: multi-core runner.
+TINY_SCALING_GRID = GridSpec.of(
+    "tests.conftest:build_tiny_scheme",
+    buffer_size=(1, 2, 3, 4), period=(4, 5, 6), wcet=(0, 1, 2))
+#: Row name of the scaling grid (the CI ``scaling`` job charts these).
+SCALING_BENCH = "bench_portfolio_tiny"
 
 
 def _timed(fn):
@@ -84,7 +105,10 @@ def _record(results, name, backend, states, transitions, seconds,
     results.append(entry)
     jobs = extra.get("jobs")
     tag = f"{backend}:j{jobs}" if jobs else backend
-    print(f"  {name:32s} [{tag:11s}] states={states:>7} "
+    executor = extra.get("executor")
+    if executor:
+        tag += f":{executor[:4]}"
+    print(f"  {name:32s} [{tag:16s}] states={states:>7} "
           f"transitions={transitions:>7} {seconds:8.3f}s")
 
 
@@ -132,7 +156,7 @@ def _paper_query_batch():
     ]
 
 
-def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
+def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
     results: list[dict] = []
     tiny = transform(build_tiny_pim(), build_tiny_scheme()).network
     case_study = None if quick else _case_study_network()
@@ -142,6 +166,8 @@ def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
             lambda: zone_graph_stats(tiny, zone_backend=backend))
         _record(results, "s1_zone_graph_tiny", backend,
                 stats.states, stats.transitions, seconds)
+
+        _bench_portfolio_tiny(results, backend, executors, jobs_list)
 
         if case_study is None:
             continue
@@ -208,18 +234,70 @@ def run_suite(backends, quick: bool, jobs_list) -> list[dict]:
             _bench_portfolio(results, backend, jobs)
             _bench_portfolio(results, backend, jobs,
                              abstraction="extra_lu")
+
+        if "process" in executors:
+            # The true-multi-core variant of the 16-scheme sweep:
+            # whole jobs partitioned across worker processes — the
+            # mode that lets the GIL-bound reference backend scale.
+            _bench_portfolio(results, backend,
+                             jobs_list[-1] if jobs_list else None,
+                             executor="process")
     return results
 
 
-def _bench_portfolio(results, backend, jobs, abstraction=None):
+def _bench_portfolio_tiny(results, backend, executors, jobs_list):
+    """Job-level scaling grid on the tiny PSM (the CI scaling job).
+
+    Sweeps ``TINY_SCALING_GRID`` once per (executor, jobs) cell and
+    asserts every cell's rows are bit-identical to the first — the
+    scaling table is only meaningful if every configuration does the
+    same verified work.
+    """
+    pim = build_tiny_pim()
+    schemes = TINY_SCALING_GRID.build()
+    baseline = None
+    for executor in executors:
+        for jobs in jobs_list:
+            verifier = PortfolioVerifier(jobs=jobs, executor=executor,
+                                         max_states=500_000)
+            set_backend(backend)
+            try:
+                outcome, seconds = _timed(
+                    lambda: verifier.run(portfolio_jobs(
+                        pim, schemes,
+                        input_channel="m_Req",
+                        output_channel="c_Ack",
+                        deadline_ms=10, measure_suprema=True)))
+            finally:
+                set_backend(None)
+            assert outcome.all_ok, \
+                [row.error for row in outcome if not row.ok]
+            key = [(row.states, row.transitions,
+                    row.relaxed_deadline_ms) for row in outcome]
+            if baseline is None:
+                baseline = key
+            assert key == baseline, \
+                f"{executor}:j{jobs} diverged from the first cell"
+            _record(results, SCALING_BENCH, backend,
+                    sum(row.states for row in outcome),
+                    sum(row.transitions for row in outcome),
+                    seconds, jobs=jobs, executor=executor,
+                    schemes=len(outcome),
+                    grid=TINY_SCALING_GRID.describe())
+
+
+def _bench_portfolio(results, backend, jobs, abstraction=None,
+                     executor=None):
     """The 16-scheme design-space sweep over the shared worker pool."""
     pim = build_infusion_pim()
     schemes = case_study_grid_16()
     # A run-private intern table doubles as the memory proxy: its
     # final size is the peak count of distinct zones the whole sweep
-    # interned (the scoped-per-run default would hide it).
+    # interned (the scoped-per-run default would hide it; process
+    # workers never intern, so the proxy reads 0 there).
     table = ZoneInternTable()
-    verifier = PortfolioVerifier(jobs=jobs, max_states=2_000_000,
+    verifier = PortfolioVerifier(jobs=jobs, executor=executor,
+                                 max_states=2_000_000,
                                  intern=table, abstraction=abstraction)
     # The portfolio pipeline has no zone_backend parameter (it runs
     # whole framework pipelines); pin the ambient backend so the
@@ -247,12 +325,68 @@ def _bench_portfolio(results, backend, jobs, abstraction=None):
     if abstraction:
         name += "_lu"
         extra["abstraction"] = abstraction
+    if executor and executor != "thread":
+        # Rows cross-reference by name (like the _lu suffix): the
+        # process-executor sweep must not shadow the thread row's
+        # (benchmark, backend, jobs) key.
+        name += "_proc"
+        extra["executor"] = executor
     _record(results, name, backend,
             states, transitions, seconds, jobs=jobs,
             schemes=len(outcome),
             guaranteed=len(outcome.guaranteed),
             interned_zones=len(table),
             per_scheme=[row.row() for row in outcome], **extra)
+
+
+# ----------------------------------------------------------------------
+# Scaling summary (--summary)
+# ----------------------------------------------------------------------
+def render_scaling_summary(results: list[dict]) -> str:
+    """The jobs × executor scaling grid as GitHub-flavored markdown.
+
+    The CI ``scaling`` job appends this to ``$GITHUB_STEP_SUMMARY``;
+    speedups are relative to each backend's ``thread``/``jobs=1``
+    cell (falling back to the backend's first row).
+    """
+    rows = [entry for entry in results
+            if entry["benchmark"] == SCALING_BENCH]
+    if not rows:
+        return ""
+    lines = ["## Portfolio scaling — tiny PSM "
+             f"({rows[0].get('schemes', '?')} schemes)", ""]
+    for backend in dict.fromkeys(entry["backend"] for entry in rows):
+        cells = [entry for entry in rows
+                 if entry["backend"] == backend]
+        base = next((entry for entry in cells
+                     if entry.get("executor") == "thread"
+                     and entry.get("jobs") == 1), cells[0])
+        base_label = (f"{base.get('executor', 'thread')} / "
+                      f"jobs={base.get('jobs', 1)}")
+        lines += [f"### backend: `{backend}`", "",
+                  f"| executor | jobs | wall (s) | speedup vs "
+                  f"{base_label} |",
+                  "|---|---:|---:|---:|"]
+        for entry in cells:
+            speedup = base["seconds"] / entry["seconds"] \
+                if entry["seconds"] else float("inf")
+            lines.append(
+                f"| {entry.get('executor', 'thread')} "
+                f"| {entry.get('jobs', 1)} "
+                f"| {entry['seconds']:.3f} | {speedup:.2f}× |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_summary(results: list[dict], target: str) -> None:
+    text = render_scaling_summary(results)
+    if not text:
+        return
+    if target == "-":
+        print(text)
+        return
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -371,6 +505,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="sharded-explorer worker counts to "
                              "benchmark on the numpy backend "
                              "(default: 1 4)")
+    parser.add_argument("--executors", nargs="+",
+                        choices=["thread", "process"],
+                        default=["thread"],
+                        help="portfolio job-level executors to sweep "
+                             "(default: thread; add process for the "
+                             "true multi-core reference-backend mode)")
+    parser.add_argument("--summary", metavar="FILE",
+                        help="append the jobs x executor scaling "
+                             "table as markdown to FILE ('-' prints "
+                             "it; CI passes $GITHUB_STEP_SUMMARY)")
     parser.add_argument("--check", type=Path, metavar="BENCH.json",
                         help="regression-gate mode: re-run the "
                              "headline workloads and fail on a >25%% "
@@ -383,7 +527,8 @@ def main(argv: list[str] | None = None) -> int:
 
     backends = args.backends or list(available_backends())
     print(f"zone backends: {', '.join(backends)}")
-    results = run_suite(backends, quick=args.quick, jobs_list=args.jobs)
+    results = run_suite(backends, quick=args.quick, jobs_list=args.jobs,
+                        executors=args.executors)
 
     try:
         import numpy
@@ -401,11 +546,14 @@ def main(argv: list[str] | None = None) -> int:
     # Quick runs get their own file: a fast iteration must never
     # clobber the committed full record for the same date.
     suffix = "-quick" if args.quick else ""
+    args.out.mkdir(parents=True, exist_ok=True)
     out_path = (args.out
                 / f"BENCH_{_dt.date.today().strftime('%Y%m%d')}"
                   f"{suffix}.json")
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
+    if args.summary:
+        write_summary(results, args.summary)
     return 0
 
 

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
 # Perf regression gate, callable from `verify` tooling/CI.
 #
-# Default: re-runs the headline zone-graph benchmark
-# (bench_s1_case_study_psm, numpy backend, sequential + sharded jobs
-# variants) and fails when any variant is >25% slower than the newest
-# committed BENCH_<date>.json — or when states/transitions stop being
-# bit-identical to the record.
+# Two modes, run as two *separate* CI jobs so correctness and timing
+# never share a failure policy:
 #
-# --quick: CI mode — re-runs only the tiny PSM workload and gates on
-# bit-identical states/transitions (tiny wall times are jitter, so
-# they are reported but never fail the gate).
+#   --quick    BLOCKING bit-identity gate: re-runs the tiny PSM
+#              workload and fails when states/transitions drift from
+#              the newest committed BENCH_<date>.json or when the
+#              Extra_M/Extra_LU parity checks disagree.  Tiny wall
+#              times are jitter, so timings are reported but never
+#              fail this mode — which is why it is safe to make the
+#              job blocking.
+#
+#   --timings  ADVISORY timed gate (also the default with no args):
+#              re-runs the headline zone-graph benchmark
+#              (bench_s1_case_study_psm, numpy backend, sequential +
+#              sharded jobs variants, best of 3) and fails when any
+#              variant is >25% slower than the committed record — or
+#              when states/transitions stop being bit-identical.
+#              Shared CI boxes jitter beyond the 25% tolerance, so CI
+#              wires this as a continue-on-error job; treat a red run
+#              as a prompt to re-measure, not a verdict.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +28,7 @@ quick=""
 for arg in "$@"; do
     case "${arg}" in
         --quick) quick="--quick" ;;
+        --timings) quick="" ;;
         *) echo "verify_perf: unknown argument ${arg}" >&2; exit 2 ;;
     esac
 done
@@ -27,6 +39,10 @@ if [[ -z "${latest}" ]]; then
     exit 2
 fi
 
-echo "verify_perf: checking against ${latest}${quick:+ (quick mode)}"
+mode="advisory timed gate"
+if [[ -n "${quick}" ]]; then
+    mode="blocking bit-identity gate"
+fi
+echo "verify_perf: checking against ${latest} (${mode})"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
     python benchmarks/run_benchmarks.py --check "${latest}" ${quick}

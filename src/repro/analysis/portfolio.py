@@ -109,6 +109,7 @@ def render_portfolio(outcome: "PortfolioOutcome", *,
     lines.append(sep)
     lines.append(
         f"workers={outcome.jobs or 'sequential'} "
+        f"executor={outcome.executor} "
         f"concurrency={outcome.concurrency}"
         f"{' fused' if outcome.fused else ''} "
         f"wall={outcome.wall_seconds:.2f}s")

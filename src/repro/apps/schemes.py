@@ -23,8 +23,9 @@ intervals, periods, invocation kinds, read policies) that
 
 from __future__ import annotations
 
+import importlib
 import itertools
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Callable, Iterable
 
@@ -45,6 +46,8 @@ from repro.core.scheme import (
 
 __all__ = [
     "BOLUS_POLL_MS",
+    "CASE_STUDY_GRID_16",
+    "GridSpec",
     "OUTPUT_POLL_MS",
     "case_study_grid_16",
     "case_study_scheme",
@@ -185,23 +188,83 @@ def scheme_grid(factory: Callable[..., ImplementationScheme] =
     return portfolio
 
 
-def case_study_grid_16() -> list[ImplementationScheme]:
-    """The canonical 16-scheme design-space sweep of the case study.
+@dataclass(frozen=True)
+class GridSpec:
+    """A *picklable, self-describing* scheme-grid recipe.
 
-    Buffer sizes {2, 5} × invocation periods {50, 100} ms × bolus
-    polling intervals {190, 380} ms × read policies {read-all,
-    read-one} — the portfolio the ``bench_portfolio_16_schemes``
-    benchmark and the ``repro-timing portfolio`` CLI default verify.
-    The invocation-kind axis is spelled out (periodic only) so these
-    scheme names match the CLI's default grid rows exactly — rows in
-    the committed BENCH record and a default CLI run cross-reference
-    by name.
+    The schemes a grid produces are plain dataclasses and pickle
+    fine, but a whole grid ships (and records) better as its recipe:
+    the factory named by ``module:qualname`` — resolvable in any
+    process that can import the code — plus the swept axes.  The
+    portfolio's process executor, benchmark JSON records and CI
+    scaling runs all describe grids this way; :meth:`build` expands
+    the spec through :func:`scheme_grid`, so job order and scheme
+    names are identical to building the grid in the parent.
     """
-    return scheme_grid(
-        case_study_scheme,
-        buffer_size=(2, 5),
-        period=(50, 100),
-        bolus_poll=(190, 380),
-        read_policy=(ReadPolicy.READ_ALL, ReadPolicy.READ_ONE),
-        invocation_kind=(InvocationKind.PERIODIC,),
-    )
+
+    #: ``"package.module:function"`` reference to the scheme factory.
+    factory: str
+    #: ``(axis_name, (value, ...))`` pairs, in sweep order.
+    axes: tuple[tuple[str, tuple], ...]
+
+    @classmethod
+    def of(cls, factory: "Callable[..., ImplementationScheme] | str" =
+           case_study_scheme, **axes: Iterable) -> "GridSpec":
+        """Spell a :func:`scheme_grid` call as a shippable spec.
+
+        ``factory`` is a callable or an already-spelled
+        ``"module:qualname"`` reference.
+        """
+        if not isinstance(factory, str):
+            factory = f"{factory.__module__}:{factory.__qualname__}"
+        return cls(factory=factory,
+                   axes=tuple((name, tuple(values))
+                              for name, values in axes.items()))
+
+    def resolve_factory(self) -> Callable[..., ImplementationScheme]:
+        module, _, qualname = self.factory.partition(":")
+        target = importlib.import_module(module)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+        return target
+
+    def build(self) -> list[ImplementationScheme]:
+        return scheme_grid(self.resolve_factory(),
+                           **{name: values for name, values in self.axes})
+
+    def describe(self) -> str:
+        """JSON/log-friendly one-liner (``factory[axis=v1|v2,...]``)."""
+        axes = ",".join(
+            f"{name}={'|'.join(_axis_label(v) for v in values)}"
+            for name, values in self.axes)
+        return f"{self.factory}[{axes}]"
+
+    def __len__(self) -> int:
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+
+#: The canonical 16-scheme design-space sweep of the case study:
+#: buffer sizes {2, 5} × invocation periods {50, 100} ms × bolus
+#: polling intervals {190, 380} ms × read policies {read-all,
+#: read-one} — the portfolio the ``bench_portfolio_16_schemes``
+#: benchmark and the ``repro-timing portfolio`` CLI default verify.
+#: The invocation-kind axis is spelled out (periodic only) so these
+#: scheme names match the CLI's default grid rows exactly — rows in
+#: the committed BENCH record and a default CLI run cross-reference
+#: by name.
+CASE_STUDY_GRID_16 = GridSpec.of(
+    case_study_scheme,
+    buffer_size=(2, 5),
+    period=(50, 100),
+    bolus_poll=(190, 380),
+    read_policy=(ReadPolicy.READ_ALL, ReadPolicy.READ_ONE),
+    invocation_kind=(InvocationKind.PERIODIC,),
+)
+
+
+def case_study_grid_16() -> list[ImplementationScheme]:
+    """Expand :data:`CASE_STUDY_GRID_16` (see its docstring)."""
+    return CASE_STUDY_GRID_16.build()

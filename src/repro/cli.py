@@ -71,7 +71,8 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         output_channel="c_StartInfusion",
         deadline_ms=args.deadline,
         measure_suprema=args.suprema,
-        fused=args.fused)
+        fused=args.fused,
+        executor=args.executor)
     print(render_portfolio(outcome, deadline_ms=args.deadline))
     return 0 if outcome.all_ok else 1
 
@@ -216,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compile each scheme's deadline+suprema "
                              "queries into one shared sweep (same "
                              "verdicts; shared-sweep state tallies)")
+    p_port.add_argument("--executor", choices=["thread", "process"],
+                        default=None,
+                        help="job-level execution mode (default: "
+                             "thread — scheme pipelines share one "
+                             "worker-thread pool, right for the numpy "
+                             "backend; process partitions whole jobs "
+                             "across --jobs worker processes — true "
+                             "multi-core for the pure-Python "
+                             "reference backend; also settable via "
+                             "REPRO_EXECUTOR)")
     p_port.set_defaults(fn=_cmd_portfolio)
 
     p_table = sub.add_parser("table1", help="regenerate Table I")

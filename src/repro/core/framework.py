@@ -263,14 +263,19 @@ class TimingVerificationFramework:
                          measure_suprema: bool = False,
                          include_progress: bool = False,
                          concurrency: int | None = None,
-                         fused: bool = False):
+                         fused: bool = False,
+                         executor: str | None = None):
         """Step 7: verify a whole portfolio of candidate schemes.
 
         One :meth:`verify` pipeline per scheme, scheduled concurrently
         over a shared worker pool by
         :class:`repro.mc.portfolio.PortfolioVerifier` (``self.jobs``
         sets the pool width; results per scheme are bit-identical to
-        calling :meth:`verify` one scheme at a time).  Returns the
+        calling :meth:`verify` one scheme at a time).
+        ``executor="process"`` partitions the jobs across
+        ``self.jobs`` worker *processes* instead of threads — true
+        multi-core for the pure-Python reference backend (``None``
+        defers to ``REPRO_EXECUTOR``, default thread).  Returns the
         job-ordered :class:`repro.mc.portfolio.PortfolioOutcome`;
         render it with
         :func:`repro.analysis.portfolio.render_portfolio`.
@@ -278,7 +283,7 @@ class TimingVerificationFramework:
         from repro.mc.portfolio import PortfolioVerifier
 
         verifier = PortfolioVerifier(
-            jobs=self.jobs, concurrency=concurrency,
+            jobs=self.jobs, executor=executor, concurrency=concurrency,
             max_states=self.max_states, fused=fused,
             abstraction=self.abstraction)
         return verifier.verify_schemes(

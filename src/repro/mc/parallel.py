@@ -53,6 +53,7 @@ import os
 import threading
 from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
 from repro.mc.explorer import (
@@ -68,6 +69,8 @@ from repro.zones.intern import ZoneInternTable, global_intern_table
 
 __all__ = [
     "ENV_JOBS",
+    "EngineConfig",
+    "ExplorerSpec",
     "ShardedZoneGraphExplorer",
     "WorkStealingPool",
     "current_exploration_context",
@@ -285,34 +288,139 @@ def exploration_context(*, pool: WorkStealingPool | None = None,
 
 
 # ----------------------------------------------------------------------
+# Worker-replay plumbing (shared by the sharded explorer's
+# multiprocessing fallback and the portfolio's process executor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """Picklable snapshot of the process-global engine knobs.
+
+    A fresh worker process must see the *same* zone backend,
+    extrapolation operator and worker-count default the coordinator
+    resolved — regardless of start method (``fork`` inherits globals,
+    ``spawn`` does not) and regardless of environment overrides that
+    may differ by the time the worker imports the library.
+    :meth:`capture` resolves the coordinator's view down to concrete
+    names; :meth:`apply` replays them in the worker and scrubs the
+    corresponding environment variables so nothing re-resolves
+    differently underneath.
+    """
+
+    #: Concrete backend name (``"reference"``/``"numpy"``).
+    backend: str
+    #: Concrete abstraction name (``"extra_m"``/``"extra_lu"``).
+    abstraction: str
+    #: Worker-count default to install (``None`` = sequential engine).
+    jobs: int | None = None
+
+    @classmethod
+    def capture(cls, *, backend: str | None = None,
+                abstraction: str | None = None,
+                jobs: int | None = None) -> "EngineConfig":
+        """Resolve the coordinator's effective configuration.
+
+        ``backend``/``abstraction`` follow the library-wide resolution
+        order (explicit > ``set_*`` override > environment > default);
+        ``jobs`` is stored verbatim — the caller decides what engine
+        its workers run internally.
+        """
+        from repro.ta.bounds import resolve_abstraction
+        from repro.zones.backend import resolve_backend
+
+        return cls(backend=resolve_backend(backend).name,
+                   abstraction=resolve_abstraction(abstraction).name,
+                   jobs=jobs)
+
+    def apply(self) -> None:
+        """Replay this configuration in the current (worker) process."""
+        from repro.ta.bounds import ENV_ABSTRACTION, set_abstraction
+        from repro.zones.backend import ENV_VAR as ENV_BACKEND
+        from repro.zones.backend import set_backend
+
+        set_backend(self.backend)
+        set_abstraction(self.abstraction)
+        set_default_jobs(self.jobs)
+        for var in (ENV_BACKEND, ENV_ABSTRACTION, ENV_JOBS):
+            os.environ.pop(var, None)
+
+
+@dataclass(frozen=True)
+class ExplorerSpec:
+    """Picklable recipe rebuilding one exploration's sequential
+    explorer in a fresh process.
+
+    Ships the *model* (the :class:`Network`) plus every knob the
+    coordinator's compiled network carries — never the live
+    ``CompiledNetwork``/DBM objects, which hold backend workspaces and
+    interned zones a foreign process cannot share.  The worker
+    compiles its own network and replays the protected clocks and the
+    query-formula LU floors so extrapolation matches bit for bit
+    (``raise_lu_floor`` max-merges, so the replay is idempotent).
+    """
+
+    network: Network
+    backend: str
+    extra_max_constants: tuple[tuple[str, int], ...]
+    free_clock_when_zero: tuple[tuple[str, str], ...]
+    max_states: int
+    abstraction: str
+    protected_clocks: tuple[str, ...] = ()
+    lu_lower_floors: tuple[tuple[int, int], ...] = ()
+    lu_upper_floors: tuple[tuple[int, int], ...] = ()
+
+    @classmethod
+    def of(cls, explorer: ZoneGraphExplorer, *,
+           extra_max_constants: Mapping[str, int] | None,
+           free_clock_when_zero: Mapping[str, str] | None,
+           ) -> "ExplorerSpec":
+        """Snapshot a coordinator explorer's rebuild recipe."""
+        compiled = explorer.compiled
+        return cls(
+            network=explorer.network,
+            backend=explorer.backend.name,
+            extra_max_constants=tuple(sorted(
+                (extra_max_constants or {}).items())),
+            free_clock_when_zero=tuple(sorted(
+                (free_clock_when_zero or {}).items())),
+            max_states=explorer.max_states,
+            abstraction=explorer.abstraction.name,
+            protected_clocks=tuple(sorted(compiled.protected_clocks)),
+            lu_lower_floors=tuple(sorted(
+                compiled.lu_lower_floors.items())),
+            lu_upper_floors=tuple(sorted(
+                compiled.lu_upper_floors.items())))
+
+    def build(self) -> ZoneGraphExplorer:
+        """Compile this worker process's private explorer."""
+        explorer = ZoneGraphExplorer(
+            self.network,
+            extra_max_constants=dict(self.extra_max_constants),
+            max_states=self.max_states,
+            free_clock_when_zero=dict(self.free_clock_when_zero),
+            zone_backend=self.backend,
+            abstraction=self.abstraction)
+        if self.protected_clocks:
+            explorer.compiled.protect_clocks(
+                list(self.protected_clocks))
+        for clock_idx, value in self.lu_lower_floors:
+            explorer.compiled.raise_lu_floor(clock_idx, value,
+                                             upper=False)
+        for clock_idx, value in self.lu_upper_floors:
+            explorer.compiled.raise_lu_floor(clock_idx, value,
+                                             lower=False)
+        return explorer
+
+
+# ----------------------------------------------------------------------
 # Multiprocessing fallback (reference backend)
 # ----------------------------------------------------------------------
 _PROC_EXPLORER: ZoneGraphExplorer | None = None
 
 
-def _proc_init(network, backend_name, extra_max_constants,
-               free_clock_when_zero, protected_clocks,
-               max_states, abstraction, lu_lower_floors,
-               lu_upper_floors) -> None:
+def _proc_init(spec: ExplorerSpec) -> None:
     """Build this worker process's private explorer."""
     global _PROC_EXPLORER
-    explorer = ZoneGraphExplorer(
-        network,
-        extra_max_constants=extra_max_constants,
-        max_states=max_states,
-        free_clock_when_zero=free_clock_when_zero,
-        zone_backend=backend_name,
-        abstraction=abstraction)
-    if protected_clocks:
-        explorer.compiled.protect_clocks(protected_clocks)
-    # Replay the coordinator's query-formula LU floors so worker
-    # extrapolation matches bit for bit (a superset of the extra
-    # ceilings above; raise_lu_floor max-merges, so this is idempotent).
-    for clock_idx, value in lu_lower_floors.items():
-        explorer.compiled.raise_lu_floor(clock_idx, value, upper=False)
-    for clock_idx, value in lu_upper_floors.items():
-        explorer.compiled.raise_lu_floor(clock_idx, value, lower=False)
-    _PROC_EXPLORER = explorer
+    _PROC_EXPLORER = spec.build()
 
 
 def _proc_expand(chunk):
@@ -456,11 +564,11 @@ class ShardedZoneGraphExplorer:
             self.intern_table = None
         else:
             self.intern_table = intern
-        # Captured for process-worker initialization.
-        self._worker_args = (network, self.backend.name,
-                             dict(extra_max_constants or {}),
-                             dict(free_clock_when_zero or {}),
-                             max_states, self.abstraction.name)
+        # Captured for process-worker initialization (floors are
+        # snapshotted at pool-creation time — query compilation can
+        # raise them after construction).
+        self._worker_maps = (dict(extra_max_constants or {}),
+                             dict(free_clock_when_zero or {}))
         self.parents: dict = {}
         #: Per-key passed buckets of the most recent exploration
         #: (diagnostics/benchmarks only).
@@ -632,16 +740,12 @@ class ShardedZoneGraphExplorer:
                     ctx = multiprocessing.get_context("fork")
                 except ValueError:  # pragma: no cover - non-POSIX
                     ctx = multiprocessing.get_context()
-                (network, backend_name, extra_max, free_map,
-                 max_states, abstraction) = self._worker_args
-                proc_pool = ctx.Pool(
-                    self.jobs, initializer=_proc_init,
-                    initargs=(network, backend_name, extra_max,
-                              free_map,
-                              sorted(self.compiled.protected_clocks),
-                              max_states, abstraction,
-                              dict(self.compiled.lu_lower_floors),
-                              dict(self.compiled.lu_upper_floors)))
+                extra_max, free_map = self._worker_maps
+                spec = ExplorerSpec.of(
+                    self.core, extra_max_constants=extra_max,
+                    free_clock_when_zero=free_map)
+                proc_pool = ctx.Pool(self.jobs, initializer=_proc_init,
+                                     initargs=(spec,))
 
             frontier: list[_WaitEntry] = [init_entry]
             while frontier:

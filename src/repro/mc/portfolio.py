@@ -12,8 +12,17 @@ instead of a single-model checker.
 :class:`PortfolioVerifier` schedules N ``(PIM, scheme, queries)`` jobs
 concurrently:
 
-* **One shared worker pool.**  Every job's zone-graph sweeps run over
-  a single :class:`~repro.mc.parallel.WorkStealingPool` (threaded via
+* **Two job-level executors.**  The default ``executor="thread"``
+  runs scheme pipelines on coordinator threads over one shared
+  worker pool (below) — right for the numpy backend, whose batched
+  kernels release the GIL.  ``executor="process"`` (CLI
+  ``--executor``, env ``REPRO_EXECUTOR``) partitions whole jobs
+  across ``jobs`` worker *processes* via picklable job specs — true
+  multi-core for the GIL-bound pure-Python reference backend.  Same
+  rows either way.
+* **One shared worker pool** (thread executor).  Every job's
+  zone-graph sweeps run over a single
+  :class:`~repro.mc.parallel.WorkStealingPool` (threaded via
   :func:`~repro.mc.parallel.exploration_context`), so expansion waves
   from different schemes interleave across the same workers instead of
   each job spawning its own pool.  Python-only phases of one job
@@ -39,8 +48,8 @@ sweeps of :meth:`repro.core.framework.TimingVerificationFramework.verify`
 — same constraint pass, same fused step-5/6 deadline sweep, same
 optional suprema batch — so every bound, verdict, sup and per-sweep
 states/transitions tally equals the sequential per-scheme run, for
-every worker count and backend (``tests/test_portfolio.py`` pins the
-matrix).  ``fused=True`` additionally compiles each job's deadline and
+every worker count, backend *and executor*
+(``tests/test_portfolio.py`` pins the matrix).  ``fused=True`` additionally compiles each job's deadline and
 suprema queries into **one** :func:`~repro.mc.queries.check_many`
 sweep: verdicts, bounds and sup values are unchanged, but the tallies
 are those of the shared sweep (documented divergence, same as
@@ -49,6 +58,7 @@ are those of the shared sweep (documented divergence, same as
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -56,6 +66,7 @@ from typing import Callable, Sequence, TYPE_CHECKING
 
 from repro.mc.explorer import ExplorationLimit
 from repro.mc.parallel import (
+    EngineConfig,
     WorkStealingPool,
     exploration_context,
     resolve_jobs,
@@ -69,12 +80,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids core cycle
     from repro.mc.observers import BoundedResponseResult, DelayBound
 
 __all__ = [
+    "ENV_EXECUTOR",
     "PortfolioJob",
     "PortfolioOutcome",
     "PortfolioResult",
     "PortfolioVerifier",
     "portfolio_jobs",
+    "resolve_executor",
 ]
+
+#: Environment override for the job-level executor (like ``REPRO_JOBS``
+#: for the worker count): ``thread`` or ``process``.
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+
+_EXECUTORS = ("thread", "process")
+
+
+def resolve_executor(executor: str | None = None) -> str:
+    """Resolve an executor spec: explicit > ``REPRO_EXECUTOR`` > thread.
+
+    ``thread`` schedules scheme pipelines on coordinator threads over
+    one shared :class:`WorkStealingPool` (zone-level parallelism);
+    ``process`` partitions whole jobs across worker *processes* — true
+    multi-core for the GIL-bound pure-Python reference backend.
+    """
+    if executor is None:
+        executor = os.environ.get(ENV_EXECUTOR, "").strip() or "thread"
+    if executor not in _EXECUTORS:
+        raise ValueError(
+            f"unknown portfolio executor {executor!r} (choose from: "
+            f"{', '.join(_EXECUTORS)}; also settable via "
+            f"{ENV_EXECUTOR})")
+    return executor
 
 
 @dataclass(frozen=True)
@@ -222,6 +259,8 @@ class PortfolioOutcome:
     #: Scheme pipelines that ran concurrently.
     concurrency: int = 1
     fused: bool = False
+    #: Job-level executor that produced the rows.
+    executor: str = "thread"
     wall_seconds: float = 0.0
 
     def __iter__(self):
@@ -247,6 +286,7 @@ class PortfolioOutcome:
             f"portfolio: {len(self.results)} schemes, "
             f"{len(self.guaranteed)} guaranteed, "
             f"workers={self.jobs or 'sequential'} "
+            f"executor={self.executor} "
             f"concurrency={self.concurrency}, "
             f"{self.wall_seconds:.2f}s",
         ]
@@ -272,11 +312,39 @@ class PortfolioVerifier:
         Worker-pool width shared by every sweep (resolved like every
         other ``jobs=`` in the library: explicit > ``set_default_jobs``
         > ``REPRO_JOBS``; ``None`` keeps the sequential engine and runs
-        the jobs one after another).
+        the jobs one after another).  Under ``executor="process"`` the
+        same number is the worker-*process* count instead.
+    executor:
+        Job-level execution mode (``None`` defers to
+        ``REPRO_EXECUTOR``, default ``thread``):
+
+        ``"thread"``
+            Scheme pipelines run on coordinator threads over one
+            shared :class:`WorkStealingPool` — parallelism lives at
+            the zone level (batched numpy kernels release the GIL),
+            so this is the right mode for the numpy backend.
+        ``"process"``
+            The job list is partitioned across ``jobs`` worker
+            processes; each worker receives a picklable job spec
+            (PIM + scheme parameters + requirement descriptors, never
+            live compiled networks), replays the coordinator's
+            backend/abstraction configuration
+            (:class:`~repro.mc.parallel.EngineConfig`), compiles its
+            own networks and runs the plain *sequential* per-scheme
+            pipeline — true multi-core for the GIL-bound pure-Python
+            reference backend.  Rows ship back as plain dataclasses
+            and commit in deterministic job order; a worker crash or
+            budget blow-up yields an error row, never a dead sweep.
+            Scheme-independent PIM obligations are computed once in
+            the parent and shipped to the workers, so the dedup win
+            survives.  ``intern``/``scoped_intern`` are no-ops here
+            (each worker's sequential engine never interns, and
+            intern tables cannot span processes).
     concurrency:
         How many scheme pipelines run at once (default: the resolved
         worker count).  Coordinator threads are cheap; the pool bounds
-        the actual parallel zone work.
+        the actual parallel zone work.  Thread executor only —
+        process mode's concurrency *is* its worker count.
     max_states:
         Default per-job exploration budget
         (:class:`PortfolioJob.max_states` overrides it per scheme).
@@ -315,6 +383,7 @@ class PortfolioVerifier:
     """
 
     def __init__(self, *, jobs: int | None = None,
+                 executor: str | None = None,
                  concurrency: int | None = None,
                  max_states: int = 1_000_000,
                  fused: bool = False,
@@ -325,7 +394,10 @@ class PortfolioVerifier:
         if concurrency is not None and concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1, got {concurrency}")
+        if executor is not None:
+            resolve_executor(executor)  # validate eagerly
         self.jobs = jobs
+        self.executor = executor
         self.concurrency = concurrency
         self.max_states = max_states
         self.fused = fused
@@ -354,6 +426,9 @@ class PortfolioVerifier:
         job_list = list(jobs)
         started = time.perf_counter()
         resolved = resolve_jobs(self.jobs)
+        if resolve_executor(self.executor) == "process":
+            return self._run_process(job_list, resolved, on_result,
+                                     started)
         width = resolved or 0
         pool = WorkStealingPool(width) if width > 1 else None
         concurrency = self.concurrency or width or 1
@@ -454,6 +529,7 @@ class PortfolioVerifier:
                  resolved: int | None,
                  pool: WorkStealingPool | None,
                  intern: bool | ZoneInternTable | None,
+                 obligation: tuple | None = None,
                  ) -> PortfolioResult:
         from repro.core.framework import (
             TimingVerificationFramework,
@@ -473,7 +549,8 @@ class PortfolioVerifier:
             abstraction=self.abstraction)
         try:
             with exploration_context(pool=pool, intern=intern):
-                self._verify_job(job, framework, report)
+                self._verify_job(job, framework, report,
+                                 obligation=obligation)
         except ExplorationLimit as exc:
             result.status = "budget-exceeded"
             result.error = str(exc)
@@ -489,16 +566,21 @@ class PortfolioVerifier:
         return result
 
     def _verify_job(self, job: PortfolioJob, framework,
-                    report: "VerificationReport") -> None:
+                    report: "VerificationReport",
+                    obligation: tuple | None = None) -> None:
         """The Section-VI pipeline for one scheme (mutates ``report``).
 
         Mirrors ``TimingVerificationFramework.verify`` step by step;
         the only reordering is that the scheme-independent PIM
-        obligations may come from the shared cache.
+        obligations may come from the shared cache — or, in a process
+        worker, arrive precomputed from the parent (``obligation``).
         """
         from repro.core.delays import bounds_from_internal
 
-        pim_result, internal = self._pim_obligations(job, framework)
+        if obligation is not None:
+            pim_result, internal = obligation
+        else:
+            pim_result, internal = self._pim_obligations(job, framework)
         report.pim_result = pim_result
         psm = framework.transform(job.pim, job.scheme)
         report.psm = psm
@@ -556,19 +638,180 @@ class PortfolioVerifier:
             }
 
     # ------------------------------------------------------------------
+    # Process executor
+    # ------------------------------------------------------------------
+    def _run_process(self, job_list: list[PortfolioJob],
+                     resolved: int | None,
+                     on_result: Callable[[PortfolioResult], None] | None,
+                     started: float) -> PortfolioOutcome:
+        """Partition the job list across worker processes.
+
+        Every job becomes a picklable :class:`_ProcessJobSpec`; rows
+        ship back as plain :class:`PortfolioResult` dataclasses and
+        commit into their submission slot, so the outcome is
+        job-ordered no matter which worker finishes first.
+        ``on_result`` streams rows in completion order from the
+        parent, exactly like the thread scheduler.  Fault isolation
+        covers the whole lifecycle: a job that cannot be shipped
+        (pickling), a worker that dies (``BrokenProcessPool``), and a
+        budget blow-up inside a worker each produce a structured
+        error row — never a dead sweep, never a ``None`` slot.
+        """
+        results: list[PortfolioResult | None] = [None] * len(job_list)
+        callback_errors: list[BaseException] = []
+        self._pim_cache.clear()
+
+        def commit(result: PortfolioResult) -> None:
+            results[result.index] = result
+            if on_result is not None:
+                try:
+                    on_result(result)
+                except Exception as exc:
+                    if not callback_errors:
+                        callback_errors.append(exc)
+
+        obligations, obligation_of = \
+            self._parent_obligations(job_list)
+        width = min(resolved or 1, len(job_list) or 1)
+        pending: list[_ProcessJobSpec] = []
+        for index, job in enumerate(job_list):
+            slot = obligation_of[index]
+            if slot is not None and obligations[slot][0] != "ok":
+                # The shared obligation itself failed: every sharer
+                # gets the same structured failure row — same status
+                # classification (budget-exceeded vs error) as the
+                # thread scheduler — and never reaches a worker.
+                commit(PortfolioResult(
+                    index=index, name=job.name, scheme=job.scheme,
+                    deadline_ms=job.deadline_ms,
+                    status=obligations[slot][0],
+                    error=obligations[slot][1]))
+                continue
+            pending.append(_ProcessJobSpec(index=index, job=job,
+                                           obligation=slot))
+        if width <= 1:
+            # No spare processes to partition onto: run the same
+            # per-job pipeline inline (identical rows, no fork).
+            values = [value for _, value in obligations]
+            verifier = self._worker_verifier()
+            for spec in pending:
+                commit(verifier._run_one(
+                    spec.index, spec.job, None, None, None,
+                    obligation=(values[spec.obligation]
+                                if spec.obligation is not None
+                                else None)))
+        elif pending:
+            self._run_process_pool(pending, obligations, width, commit)
+        if callback_errors:
+            raise callback_errors[0]
+        return PortfolioOutcome(
+            results=list(results), jobs=resolved,
+            concurrency=width, fused=self.fused, executor="process",
+            wall_seconds=time.perf_counter() - started)
+
+    def _worker_verifier(self) -> "PortfolioVerifier":
+        """The verifier a worker (or the inline fallback) runs jobs
+        on: sequential engine, no cross-job sharing — each row is
+        exactly the per-scheme sequential ``verify``."""
+        return PortfolioVerifier(
+            jobs=None, executor="thread", max_states=self.max_states,
+            fused=self.fused, intern=False,
+            share_pim_obligations=False, abstraction=self.abstraction)
+
+    def _run_process_pool(self, pending: list["_ProcessJobSpec"],
+                          obligations: list[tuple], width: int,
+                          commit: Callable[[PortfolioResult], None],
+                          ) -> None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context()
+        config = _ProcessConfig(
+            engine=EngineConfig.capture(abstraction=self.abstraction,
+                                        jobs=None),
+            max_states=self.max_states, fused=self.fused,
+            obligations=tuple(value for _, value in obligations))
+        executor = ProcessPoolExecutor(
+            max_workers=width, mp_context=ctx,
+            initializer=_process_worker_init, initargs=(config,))
+        try:
+            futures = {executor.submit(_process_worker_run, spec): spec
+                       for spec in pending}
+            for future in as_completed(futures):
+                spec = futures[future]
+                try:
+                    row = future.result()
+                except Exception as exc:
+                    # Submission pickling failures land here too (the
+                    # executor sets them on the affected future); a
+                    # dead worker breaks the pool and every pending
+                    # future raises — each becomes its own error row.
+                    # Only Exception: BrokenProcessPool and pickling
+                    # errors are Exceptions, while a parent-side
+                    # KeyboardInterrupt/SystemExit must abort the
+                    # sweep, not become a fake worker failure.
+                    row = PortfolioResult(
+                        index=spec.index, name=spec.job.name,
+                        scheme=spec.job.scheme,
+                        deadline_ms=spec.job.deadline_ms,
+                        status="error",
+                        error=f"worker failed: "
+                              f"{type(exc).__name__}: {exc}")
+                # Outside the except: a KeyboardInterrupt/SystemExit
+                # raised by the on_result callback must stay fatal
+                # (as in the thread scheduler), not masquerade as a
+                # worker failure.
+                commit(row)
+        finally:
+            executor.shutdown(wait=True)
+
+    def _parent_obligations(self, job_list: list[PortfolioJob]):
+        """Step 1 + the Lemma-2 internal sup, once per distinct key,
+        computed *in the parent* for shipping to process workers.
+
+        Returns ``(values, obligation_of)`` where ``values[i]`` is
+        ``("ok", (pim_result, internal))`` or ``("error", message)``
+        and ``obligation_of[j]`` indexes the value job ``j`` shares
+        (``None`` with ``share_pim_obligations=False`` — every worker
+        then computes its own).
+        """
+        if not self.share_pim_obligations:
+            return [], [None] * len(job_list)
+        from repro.core.framework import TimingVerificationFramework
+
+        values: list[tuple] = []
+        index_of: dict[tuple, int] = {}
+        obligation_of: list[int | None] = []
+        for job in job_list:
+            max_states = job.max_states or self.max_states
+            key = (id(job.pim), job.input_channel, job.output_channel,
+                   job.deadline_ms, max_states)
+            slot = index_of.get(key)
+            if slot is None:
+                framework = TimingVerificationFramework(
+                    max_states=max_states, jobs=None,
+                    abstraction=self.abstraction)
+                try:
+                    value = ("ok", _compute_obligation(job, framework))
+                except ExplorationLimit as exc:
+                    # Same classification the per-job handler gives a
+                    # blown budget, so thread and process rows agree.
+                    value = ("budget-exceeded", str(exc))
+                except Exception as exc:
+                    value = ("error", f"{type(exc).__name__}: {exc}")
+                slot = index_of[key] = len(values)
+                values.append(value)
+            obligation_of.append(slot)
+        return values, obligation_of
+
+    # ------------------------------------------------------------------
     def _pim_obligations(self, job: PortfolioJob, framework):
         """Step 1 + the Lemma-2 internal sup, deduped across jobs."""
-        from repro.core.delays import internal_delay
-
         def compute():
-            pim_result = framework.verify_pim(
-                job.pim, job.input_channel, job.output_channel,
-                job.deadline_ms)
-            internal = internal_delay(
-                job.pim, job.input_channel, job.output_channel,
-                max_states=framework.max_states, jobs=framework.jobs,
-                abstraction=framework.abstraction)
-            return pim_result, internal
+            return _compute_obligation(job, framework)
 
         if not self.share_pim_obligations:
             return compute()
@@ -592,3 +835,71 @@ class PortfolioVerifier:
         if entry.error is not None:
             raise entry.error
         return entry.value
+
+
+def _compute_obligation(job: PortfolioJob, framework) -> tuple:
+    """One (PIM, requirement) obligation: step 1 + the internal sup."""
+    from repro.core.delays import internal_delay
+
+    pim_result = framework.verify_pim(
+        job.pim, job.input_channel, job.output_channel,
+        job.deadline_ms)
+    internal = internal_delay(
+        job.pim, job.input_channel, job.output_channel,
+        max_states=framework.max_states, jobs=framework.jobs,
+        abstraction=framework.abstraction)
+    return pim_result, internal
+
+
+# ----------------------------------------------------------------------
+# Process-worker side (module level: picklable by reference)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ProcessConfig:
+    """Everything a worker process needs, shipped once per worker.
+
+    ``engine`` replays the coordinator's resolved backend/abstraction
+    (and pins the inner engine to sequential, ``jobs=None``);
+    ``obligations`` carries the parent-computed shared PIM obligation
+    values the job specs index into.
+    """
+
+    engine: EngineConfig
+    max_states: int
+    fused: bool
+    obligations: tuple = ()
+
+
+@dataclass(frozen=True)
+class _ProcessJobSpec:
+    """One job's picklable shipping form: the :class:`PortfolioJob`
+    (PIM + scheme parameters + requirement descriptors — plain
+    dataclasses, never compiled networks or zones) plus the index of
+    its shared-obligation value, if any."""
+
+    index: int
+    job: PortfolioJob
+    obligation: int | None = None
+
+
+_PROC_PORTFOLIO: _ProcessConfig | None = None
+
+
+def _process_worker_init(config: _ProcessConfig) -> None:
+    """Replay the coordinator's engine configuration in this worker."""
+    global _PROC_PORTFOLIO
+    os.environ.pop(ENV_EXECUTOR, None)  # workers never recurse
+    config.engine.apply()
+    _PROC_PORTFOLIO = config
+
+
+def _process_worker_run(spec: _ProcessJobSpec) -> PortfolioResult:
+    """Run one job in this worker; always returns a structured row."""
+    config = _PROC_PORTFOLIO
+    verifier = PortfolioVerifier(
+        jobs=None, executor="thread", max_states=config.max_states,
+        fused=config.fused, intern=False, share_pim_obligations=False)
+    obligation = (config.obligations[spec.obligation]
+                  if spec.obligation is not None else None)
+    return verifier._run_one(spec.index, spec.job, None, None, None,
+                             obligation=obligation)

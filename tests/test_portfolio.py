@@ -4,10 +4,15 @@ The headline contract: :class:`repro.mc.portfolio.PortfolioVerifier`
 over a scheme grid returns results **bit-identical** — bounds, sups,
 verdicts, witnesses and per-sweep states/transitions tallies — to
 running ``TimingVerificationFramework.verify`` per scheme
-sequentially, across both zone backends and worker counts.  On top of
-the matrix: deterministic job-ordered commit, per-job ``max_states``
-budgets, per-job fault isolation, shared PIM obligations, the fused
-single-sweep mode, and the concurrent-wave worker pool itself.
+sequentially, across both zone backends, worker counts and *both
+job-level executors* (coordinator threads over one shared pool, and
+the process executor that partitions whole jobs across worker
+processes).  On top of the matrix: deterministic job-ordered commit,
+per-job ``max_states`` budgets, per-job fault isolation (including a
+worker process that dies outright), shared PIM obligations (computed
+in the parent and shipped to process workers), the fused single-sweep
+mode, executor resolution via ``REPRO_EXECUTOR``, and the
+concurrent-wave worker pool itself.
 """
 
 from __future__ import annotations
@@ -20,9 +25,11 @@ import pytest
 from repro.apps.schemes import scheme_grid
 from repro.core.framework import TimingVerificationFramework
 from repro.mc.portfolio import (
+    ENV_EXECUTOR,
     PortfolioJob,
     PortfolioVerifier,
     portfolio_jobs,
+    resolve_executor,
 )
 from repro.mc.parallel import WorkStealingPool
 from repro.zones.backend import available_backends, set_backend
@@ -32,6 +39,7 @@ from tests.conftest import build_tiny_pim, build_tiny_scheme
 
 BACKENDS = available_backends()
 JOBS = (1, 4)
+EXECUTORS = ("thread", "process")
 DEADLINE = 10
 CHANNELS = dict(input_channel="m_Req", output_channel="c_Ack")
 
@@ -68,14 +76,17 @@ def sequential_reports(schemes):
 
 
 # ----------------------------------------------------------------------
-# The differential matrix: 3×2 grid × backends × jobs ∈ {1, 4}
+# The differential matrix:
+# 3×2 grid × backends × jobs ∈ {1, 4} × executor ∈ {thread, process}
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("jobs", JOBS)
-def test_differential_matrix(backend, jobs):
+def test_differential_matrix(backend, jobs, executor):
     schemes = grid_3x2()
-    outcome = run_portfolio(schemes, jobs=jobs)
+    outcome = run_portfolio(schemes, jobs=jobs, executor=executor)
     reports = sequential_reports(schemes)
 
+    assert outcome.executor == executor
     assert len(outcome) == 6
     assert outcome.all_ok
     assert [row.name for row in outcome] == [s.name for s in schemes]
@@ -328,6 +339,232 @@ def test_render_portfolio_table():
     box = [line for line in table.splitlines()
            if line.startswith(("|", "+"))]
     assert len({display_width(line) for line in box}) == 1
+
+
+# ----------------------------------------------------------------------
+# Process executor
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("abstraction", ("extra_m", "extra_lu"))
+def test_process_differential_both_abstractions(backend, abstraction):
+    """Process rows are bit-identical to sequential per-scheme verify
+    under either extrapolation operator, on either backend (workers
+    replay the parent's resolved backend/abstraction)."""
+    schemes = grid_3x2()
+    outcome = run_portfolio(schemes, jobs=3, executor="process",
+                            abstraction=abstraction)
+    pim = build_tiny_pim()
+    framework = TimingVerificationFramework(abstraction=abstraction)
+    assert outcome.all_ok and outcome.executor == "process"
+    for row, scheme in zip(outcome, schemes):
+        expected = framework.verify(pim, scheme, deadline_ms=DEADLINE,
+                                    measure_suprema=True, **CHANNELS)
+        actual = row.report
+        assert actual.bounds == expected.bounds
+        for step in ("pim_result", "psm_original_result",
+                     "psm_relaxed_result"):
+            mine = getattr(actual, step)
+            theirs = getattr(expected, step)
+            assert mine.holds == theirs.holds
+            assert mine.visited == theirs.visited
+            assert mine.transitions == theirs.transitions
+            assert mine.counterexample == theirs.counterexample
+            assert mine.trace == theirs.trace
+        assert actual.symbolic == expected.symbolic
+        assert row.guarantee == expected.implementation_guarantee
+
+
+def test_process_budget_blowup_is_isolated():
+    """A worker whose job exceeds ``max_states`` yields a structured
+    budget row; its siblings (including jobs that land on the *same*
+    worker afterwards) complete normally."""
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme()
+    jobs = [
+        PortfolioJob(name="fine-1", pim=pim, scheme=scheme,
+                     deadline_ms=DEADLINE, **CHANNELS),
+        PortfolioJob(name="starved", pim=pim, scheme=scheme,
+                     deadline_ms=DEADLINE, max_states=5, **CHANNELS),
+        PortfolioJob(name="fine-2", pim=pim, scheme=scheme,
+                     deadline_ms=DEADLINE, **CHANNELS),
+    ]
+    outcome = PortfolioVerifier(jobs=2, executor="process").run(jobs)
+    assert [row.status for row in outcome] == \
+        ["ok", "budget-exceeded", "ok"]
+    assert "5" in outcome[1].error
+    assert outcome[0].states == outcome[2].states
+    assert not outcome.all_ok
+
+
+def test_obligation_budget_blowup_same_status_both_executors():
+    """A budget so small even the shared PIM obligation blows up must
+    classify identically under both executors: ``budget-exceeded``,
+    not a generic error row."""
+    job = PortfolioJob(name="tiny-budget", pim=build_tiny_pim(),
+                       scheme=build_tiny_scheme(),
+                       deadline_ms=DEADLINE, max_states=1, **CHANNELS)
+    threaded = PortfolioVerifier(jobs=2).run([job])
+    processed = PortfolioVerifier(jobs=2, executor="process").run([job])
+    assert threaded[0].status == "budget-exceeded"
+    assert processed[0].status == "budget-exceeded"
+    assert threaded[0].error == processed[0].error
+
+
+def test_process_malformed_job_is_isolated():
+    pim = build_tiny_pim()
+    jobs = [
+        PortfolioJob(name="ok", pim=pim, scheme=build_tiny_scheme(),
+                     deadline_ms=DEADLINE, **CHANNELS),
+        PortfolioJob(name="malformed", pim=pim, scheme=None,
+                     deadline_ms=DEADLINE, **CHANNELS),
+    ]
+    for workers in (1, 2):  # inline fallback and real pool agree
+        outcome = PortfolioVerifier(jobs=workers,
+                                    executor="process").run(jobs)
+        assert [row.status for row in outcome] == ["ok", "error"]
+        assert outcome[1].error and "Error" in outcome[1].error
+
+
+class _ExitBomb:
+    """Pickles in the parent; unpickling kills the worker process."""
+
+    def __reduce__(self):
+        import os
+
+        return (os._exit, (13,))
+
+
+def test_process_worker_crash_yields_error_rows_not_a_dead_sweep():
+    """A worker that dies outright (here: killed mid-unpickle) breaks
+    the pool — every affected job must come back as a structured
+    error row, never a hang, an exception or a ``None`` slot, and the
+    verifier must be reusable afterwards."""
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme()
+    jobs = [
+        PortfolioJob(name="ok", pim=pim, scheme=scheme,
+                     deadline_ms=DEADLINE, **CHANNELS),
+        PortfolioJob(name="bomb", pim=pim, scheme=_ExitBomb(),
+                     deadline_ms=DEADLINE, **CHANNELS),
+    ]
+    verifier = PortfolioVerifier(jobs=2, executor="process")
+    outcome = verifier.run(jobs)
+    assert len(outcome) == 2
+    assert all(row is not None for row in outcome.results)
+    assert outcome[1].status == "error"
+    assert "worker failed" in outcome[1].error
+    # The sweep survives the broken pool, and so does the verifier.
+    healthy = verifier.run([jobs[0]])
+    assert healthy.all_ok
+
+
+def test_process_results_commit_in_job_order_and_stream():
+    schemes = grid_3x2()
+    completion: list[str] = []
+    outcome = PortfolioVerifier(jobs=4, executor="process").run(
+        portfolio_jobs(build_tiny_pim(), schemes,
+                       deadline_ms=DEADLINE, **CHANNELS),
+        on_result=lambda row: completion.append(row.name))
+    assert sorted(completion) == sorted(s.name for s in schemes)
+    assert [row.name for row in outcome] == [s.name for s in schemes]
+    assert [row.index for row in outcome] == list(range(6))
+
+
+def test_process_on_result_error_reraises_after_all_rows():
+    seen: list[str] = []
+
+    def bad_callback(row):
+        seen.append(row.name)
+        raise RuntimeError("observer bug")
+
+    jobs = portfolio_jobs(build_tiny_pim(), grid_3x2(),
+                          deadline_ms=DEADLINE, **CHANNELS)
+    verifier = PortfolioVerifier(jobs=2, executor="process")
+    with pytest.raises(RuntimeError, match="observer bug"):
+        verifier.run(jobs, on_result=bad_callback)
+    assert len(seen) == len(jobs)  # no job was orphaned
+    assert verifier.run(jobs).all_ok
+
+
+def test_process_obligations_computed_once_in_parent():
+    """With sharing on, the parent runs exactly the two
+    scheme-independent sweeps (step 1 + internal sup) and ships the
+    values; with sharing off, *all* exploration happens in workers."""
+    from repro.mc.explorer import exploration_count
+
+    jobs = portfolio_jobs(build_tiny_pim(), grid_3x2(),
+                          deadline_ms=DEADLINE, **CHANNELS)
+    before = exploration_count()
+    outcome = PortfolioVerifier(jobs=2, executor="process").run(jobs)
+    shared_sweeps = exploration_count() - before
+    assert outcome.all_ok
+    assert shared_sweeps == 2
+    before = exploration_count()
+    private = PortfolioVerifier(jobs=2, executor="process",
+                                share_pim_obligations=False).run(jobs)
+    assert exploration_count() - before == 0
+    assert private.all_ok
+    for a, b in zip(outcome, private):
+        assert a.report.bounds == b.report.bounds
+        assert a.states == b.states
+
+
+def test_process_fused_mode_same_verdicts():
+    schemes = grid_3x2()
+    default = run_portfolio(schemes, jobs=2, executor="process")
+    fused = run_portfolio(schemes, jobs=2, executor="process",
+                          fused=True)
+    for a, b in zip(default, fused):
+        assert a.report.bounds == b.report.bounds
+        assert a.original_holds == b.original_holds
+        assert a.relaxed_holds == b.relaxed_holds
+        assert {k: (v.bounded, v.sup, v.attained)
+                for k, v in a.sups.items()} == \
+            {k: (v.bounded, v.sup, v.attained)
+             for k, v in b.sups.items()}
+
+
+def test_executor_resolution_and_validation(monkeypatch):
+    monkeypatch.delenv(ENV_EXECUTOR, raising=False)
+    assert resolve_executor() == "thread"
+    assert resolve_executor("process") == "process"
+    monkeypatch.setenv(ENV_EXECUTOR, "process")
+    assert resolve_executor() == "process"
+    jobs = portfolio_jobs(build_tiny_pim(), grid_3x2()[:1],
+                          deadline_ms=DEADLINE, **CHANNELS)
+    outcome = PortfolioVerifier(jobs=1).run(jobs)
+    assert outcome.executor == "process"  # env reached the verifier
+    monkeypatch.setenv(ENV_EXECUTOR, "goroutine")
+    with pytest.raises(ValueError, match="goroutine"):
+        resolve_executor()
+    with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+        PortfolioVerifier(jobs=1).run(jobs)
+    with pytest.raises(ValueError, match="fiber"):
+        PortfolioVerifier(executor="fiber")  # eager validation
+
+
+def test_engine_config_capture_and_pickle_roundtrip():
+    """The worker-replay snapshot resolves to concrete names and
+    survives pickling (it crosses the process boundary)."""
+    import pickle
+
+    from repro.mc.parallel import EngineConfig
+    from repro.ta.bounds import set_abstraction
+
+    set_backend(BACKENDS[0])
+    set_abstraction("extra_lu")
+    try:
+        config = EngineConfig.capture(jobs=None)
+        assert config.backend == BACKENDS[0]
+        assert config.abstraction == "extra_lu"
+        assert config.jobs is None
+        assert pickle.loads(pickle.dumps(config)) == config
+        # Explicit arguments beat the globals, as everywhere else.
+        explicit = EngineConfig.capture(abstraction="extra_m", jobs=3)
+        assert explicit.abstraction == "extra_m"
+        assert explicit.jobs == 3
+    finally:
+        set_backend(None)
+        set_abstraction(None)
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.apps.schemes import case_study_scheme, scheme_grid
+from repro.apps.schemes import GridSpec, case_study_scheme, scheme_grid
 from repro.core.delays import (
     analytic_input_delay_bound,
     analytic_output_delay_bound,
@@ -155,3 +155,27 @@ def test_grid_rows_sorted_by_poll_sort_by_input_bound(poll_values,
     bounds = [analytic_input_delay_bound(scheme, "m_BolusReq")
               for scheme in grid]
     assert bounds == sorted(bounds)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                max_size=3, unique=True),
+       st.lists(st.integers(min_value=3, max_value=8), min_size=1,
+                max_size=3, unique=True))
+def test_grid_spec_roundtrips_through_pickle(bufs, pers):
+    """A GridSpec expands to the same named schemes before and after
+    crossing a (simulated) process boundary — the property the
+    portfolio's process executor and the CI scaling job rely on."""
+    import pickle
+
+    spec = GridSpec.of(build_tiny_scheme, buffer_size=bufs,
+                       period=pers)
+    assert len(spec) == len(bufs) * len(pers)
+    shipped = pickle.loads(pickle.dumps(spec))
+    assert shipped == spec
+    local = [s.name for s in spec.build()]
+    remote = [s.name for s in shipped.build()]
+    direct = [s.name for s in scheme_grid(build_tiny_scheme,
+                                          buffer_size=bufs,
+                                          period=pers)]
+    assert local == remote == direct
