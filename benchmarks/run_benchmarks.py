@@ -234,6 +234,11 @@ def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
             _bench_portfolio(results, backend, jobs)
             _bench_portfolio(results, backend, jobs,
                              abstraction="extra_lu")
+            # The cross-scheme-reuse variants: memo folds the buffer
+            # axis, dominance pruning the poll/period axes.
+            _bench_portfolio(results, backend, jobs, reuse=True)
+            _bench_portfolio(results, backend, jobs,
+                             abstraction="extra_lu", reuse=True)
 
         if "process" in executors:
             # The true-multi-core variant of the 16-scheme sweep:
@@ -287,7 +292,7 @@ def _bench_portfolio_tiny(results, backend, executors, jobs_list):
 
 
 def _bench_portfolio(results, backend, jobs, abstraction=None,
-                     executor=None):
+                     executor=None, reuse=False):
     """The 16-scheme design-space sweep over the shared worker pool."""
     pim = build_infusion_pim()
     schemes = case_study_grid_16()
@@ -298,7 +303,8 @@ def _bench_portfolio(results, backend, jobs, abstraction=None,
     table = ZoneInternTable()
     verifier = PortfolioVerifier(jobs=jobs, executor=executor,
                                  max_states=2_000_000,
-                                 intern=table, abstraction=abstraction)
+                                 intern=table, abstraction=abstraction,
+                                 reuse=reuse, prune_dominated=reuse)
     # The portfolio pipeline has no zone_backend parameter (it runs
     # whole framework pipelines); pin the ambient backend so the
     # recorded label matches what was actually measured even under a
@@ -318,8 +324,10 @@ def _bench_portfolio(results, backend, jobs, abstraction=None,
                     "read_policy=read-all" in row.name]
     assert canonical and canonical[0].relaxed_deadline_ms == 1430, \
         "the canonical scheme must reproduce Table I's 1430 ms bound"
-    states = sum(row.states for row in outcome)
-    transitions = sum(row.transitions for row in outcome)
+    # Memoized rows keep their donor's tallies; dominance-derived
+    # rows ran no sweep at all and tally as 0.
+    states = sum(row.states or 0 for row in outcome)
+    transitions = sum(row.transitions or 0 for row in outcome)
     name = "bench_portfolio_16_schemes"
     extra = {}
     if abstraction:
@@ -331,6 +339,11 @@ def _bench_portfolio(results, backend, jobs, abstraction=None,
         # (benchmark, backend, jobs) key.
         name += "_proc"
         extra["executor"] = executor
+    if reuse:
+        name += "_reuse"
+        extra.update(explored=outcome.explored,
+                     memo_hits=outcome.memoized,
+                     pruned=outcome.pruned)
     _record(results, name, backend,
             states, transitions, seconds, jobs=jobs,
             schemes=len(outcome),
@@ -375,6 +388,19 @@ def render_scaling_summary(results: list[dict]) -> str:
                 f"| {entry.get('jobs', 1)} "
                 f"| {entry['seconds']:.3f} | {speedup:.2f}× |")
         lines.append("")
+    reuse_rows = [entry for entry in results
+                  if "memo_hits" in entry]
+    if reuse_rows:
+        lines += ["## Cross-scheme reuse — 16-scheme sweep", "",
+                  "| benchmark | backend | explored | memoized | "
+                  "pruned | wall (s) |",
+                  "|---|---|---:|---:|---:|---:|"]
+        for entry in reuse_rows:
+            lines.append(
+                f"| {entry['benchmark']} | {entry['backend']} "
+                f"| {entry['explored']} | {entry['memo_hits']} "
+                f"| {entry['pruned']} | {entry['seconds']:.3f} |")
+        lines.append("")
     return "\n".join(lines)
 
 
@@ -392,6 +418,50 @@ def write_summary(results: list[dict], target: str) -> None:
 # ----------------------------------------------------------------------
 # Regression gate (--check)
 # ----------------------------------------------------------------------
+def _check_memo_parity() -> list[str]:
+    """Blocking quick-gate: memo-on rows == memo-off rows, bit for
+    bit, on a tiny 3-buffers × 2-periods grid — with at least one
+    actual memo hit so the gate cannot pass vacuously."""
+    pim = build_tiny_pim()
+    schemes = GridSpec.of("tests.conftest:build_tiny_scheme",
+                          buffer_size=(1, 2, 3),
+                          period=(4, 5)).build()
+
+    def sweep(reuse):
+        verifier = PortfolioVerifier(max_states=500_000, reuse=reuse)
+        return verifier.run(portfolio_jobs(
+            pim, schemes, input_channel="m_Req",
+            output_channel="c_Ack", deadline_ms=10,
+            measure_suprema=True))
+
+    off, on = sweep(False), sweep(True)
+    failures = []
+    for a, b in zip(off, on):
+        key_a = (a.name, a.status, a.relaxed_deadline_ms,
+                 a.constraints_hold, a.original_holds, a.relaxed_holds,
+                 a.guarantee, a.states, a.transitions,
+                 sorted((k, v.bounded, v.sup, v.attained)
+                        for k, v in a.sups.items()))
+        key_b = (b.name, b.status, b.relaxed_deadline_ms,
+                 b.constraints_hold, b.original_holds, b.relaxed_holds,
+                 b.guarantee, b.states, b.transitions,
+                 sorted((k, v.bounded, v.sup, v.attained)
+                        for k, v in b.sups.items()))
+        if key_a != key_b:
+            failures.append(
+                f"memo parity: row {a.name!r} differs with reuse on "
+                f"({key_a} != {key_b})")
+    if on.memoized == 0:
+        failures.append(
+            "memo parity: the verdict memo never fired on the "
+            "buffer-axis grid (expected >= 1 hit)")
+    print(f"  memo parity                        "
+          f"{'ok' if not failures else 'FAIL'} "
+          f"({on.explored} explored, {on.memoized} memoized)")
+    return failures
+
+
+
 def run_check(baseline_path: Path, repeats: int = 3,
               quick: bool = False) -> int:
     """Re-run the headline workloads; fail on a >25% regression.
@@ -482,6 +552,12 @@ def run_check(baseline_path: Path, repeats: int = 3,
               f"{'ok' if verdict_m.holds == verdict_lu.holds else 'FAIL'}"
               f", sup {sup_m} vs {sup_lu}, states "
               f"{stats_m.states} -> {stats_lu.states}")
+
+        # Memo parity gate: the verdict memo must be semantically
+        # invisible — a 6-scheme tiny grid (the buffer axis collapses
+        # under the canonical hash) produces bit-identical rows with
+        # reuse on and off, and the memo must actually fire.
+        failures += _check_memo_parity()
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:

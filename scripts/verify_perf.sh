@@ -6,11 +6,14 @@
 #
 #   --quick    BLOCKING bit-identity gate: re-runs the tiny PSM
 #              workload and fails when states/transitions drift from
-#              the newest committed BENCH_<date>.json or when the
-#              Extra_M/Extra_LU parity checks disagree.  Tiny wall
-#              times are jitter, so timings are reported but never
-#              fail this mode — which is why it is safe to make the
-#              job blocking.
+#              the newest committed BENCH_<date>.json, when the
+#              Extra_M/Extra_LU parity checks disagree, or when the
+#              portfolio's verdict memo stops being semantically
+#              invisible (reuse-on rows must be bit-identical to
+#              reuse-off, with at least one actual memo hit).  Tiny
+#              wall times are jitter, so timings are reported but
+#              never fail this mode — which is why it is safe to make
+#              the job blocking.
 #
 #   --timings  ADVISORY timed gate (also the default with no args):
 #              re-runs the headline zone-graph benchmark

@@ -12,9 +12,13 @@ keep REQ1-style deadlines satisfiable and at what Lemma-2 cost::
 
 Columns: the Lemma-1 Input/Output-Delay bounds, the Lemma-2 relaxed
 deadline, the PSM verdicts for the original and relaxed deadlines,
-the Section-V constraint check, Theorem 1's conclusion, and the
-deadline-sweep size/wall-time — everything a
-:class:`repro.mc.portfolio.PortfolioResult` row carries.
+the Section-V constraint check, Theorem 1's conclusion, the
+deadline-sweep size/wall-time, and the row's *origin* — ``explored``
+(its own sweep), ``memo=<donor>`` (Tier-1 canonical-hash reuse) or
+``derived=<donor>`` (Lemma-1 dominance pruning) — everything a
+:class:`repro.mc.portfolio.PortfolioResult` row carries.  When the
+run had reuse enabled (or pruned anything) a totals line follows the
+table: ``reuse: N explored, N memoized, N pruned``.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["portfolio_rows", "render_portfolio"]
 
 _HEADERS = ("scheme", "Δ̄_mi", "Δ̄_oc", "Δ'_mc", "P(Δ)", "P(Δ')",
-            "constraints", "Thm 1", "states", "time")
+            "constraints", "Thm 1", "states", "origin", "time")
 
 
 def _display_width(text: str) -> int:
@@ -51,12 +55,23 @@ def _verdict(value: bool | None, *, yes: str = "yes",
     return yes if value else no
 
 
+def _origin(result: "PortfolioResult") -> str:
+    """Where the row's verdicts came from: its own sweep, a memoized
+    donor (Tier-1 reuse) or a dominating neighbor (Lemma-1 pruning)."""
+    if result.memo_hit is not None:
+        return f"memo={result.memo_hit}"
+    if result.derived_from is not None:
+        return f"derived={result.derived_from}"
+    return "explored"
+
+
 def _cells(result: "PortfolioResult") -> tuple[str, ...]:
     if not result.ok:
         reason = {"budget-exceeded": "budget exceeded"}.get(
             result.status, result.status)
         return (result.name, "--", "--", "--", "--", "--", reason,
-                "--", "--", f"{result.wall_seconds:.2f}s")
+                "--", "--", _origin(result),
+                f"{result.wall_seconds:.2f}s")
     bounds = result.bounds
     return (
         result.name,
@@ -68,7 +83,8 @@ def _cells(result: "PortfolioResult") -> tuple[str, ...]:
         _verdict(result.constraints_hold, yes="satisfied",
                  no="VIOLATED"),
         _verdict(result.guarantee),
-        str(result.states),
+        str(result.states) if result.states is not None else "--",
+        _origin(result),
         f"{result.wall_seconds:.2f}s",
     )
 
@@ -113,4 +129,9 @@ def render_portfolio(outcome: "PortfolioOutcome", *,
         f"concurrency={outcome.concurrency}"
         f"{' fused' if outcome.fused else ''} "
         f"wall={outcome.wall_seconds:.2f}s")
+    if outcome.reuse or outcome.pruned:
+        lines.append(
+            f"reuse: {outcome.explored} explored, "
+            f"{outcome.memoized} memoized, "
+            f"{outcome.pruned} pruned")
     return "\n".join(lines)

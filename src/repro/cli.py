@@ -72,7 +72,9 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline,
         measure_suprema=args.suprema,
         fused=args.fused,
-        executor=args.executor)
+        executor=args.executor,
+        reuse=args.reuse,
+        prune_dominated=args.prune_dominated)
     print(render_portfolio(outcome, deadline_ms=args.deadline))
     return 0 if outcome.all_ok else 1
 
@@ -217,6 +219,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compile each scheme's deadline+suprema "
                              "queries into one shared sweep (same "
                              "verdicts; shared-sweep state tallies)")
+    p_port.add_argument("--reuse", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="answer schemes whose compiled model is "
+                             "canonically identical (up to "
+                             "semantically-inert buffer capacities) "
+                             "from a verdict memo instead of "
+                             "re-exploring — rows stay bit-identical; "
+                             "--no-reuse forces every scheme through "
+                             "its own sweep (default: reuse on)")
+    p_port.add_argument("--prune-dominated", action="store_true",
+                        help="derive Theorem-1 verdicts for grid "
+                             "points dominated along the monotone "
+                             "poll/period axes from a verified harder "
+                             "neighbor (rows carry derived=<donor> "
+                             "provenance; failures never transfer — "
+                             "dominated points re-run when the donor "
+                             "earns no guarantee)")
     p_port.add_argument("--executor", choices=["thread", "process"],
                         default=None,
                         help="job-level execution mode (default: "

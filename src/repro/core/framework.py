@@ -264,7 +264,10 @@ class TimingVerificationFramework:
                          include_progress: bool = False,
                          concurrency: int | None = None,
                          fused: bool = False,
-                         executor: str | None = None):
+                         executor: str | None = None,
+                         reuse: bool = False,
+                         prune_dominated: bool = False,
+                         warm_start: bool = False):
         """Step 7: verify a whole portfolio of candidate schemes.
 
         One :meth:`verify` pipeline per scheme, scheduled concurrently
@@ -275,8 +278,19 @@ class TimingVerificationFramework:
         ``executor="process"`` partitions the jobs across
         ``self.jobs`` worker *processes* instead of threads — true
         multi-core for the pure-Python reference backend (``None``
-        defers to ``REPRO_EXECUTOR``, default thread).  Returns the
-        job-ordered :class:`repro.mc.portfolio.PortfolioOutcome`;
+        defers to ``REPRO_EXECUTOR``, default thread).
+        ``reuse=True`` answers schemes whose compiled PSM is
+        canonically identical (up to semantically-inert buffer
+        capacities) from a verdict memo instead of re-exploring —
+        memoized rows are bit-identical to their own sweep;
+        ``prune_dominated=True`` additionally derives Theorem-1
+        verdicts for points dominated along the monotone poll/period
+        axes from a verified harder neighbor (derived rows carry
+        ``derived_from`` provenance and no state tallies);
+        ``warm_start=True`` keeps one zone-interning table across the
+        portfolio so neighboring sweeps share interned zones.
+        Returns the job-ordered
+        :class:`repro.mc.portfolio.PortfolioOutcome`;
         render it with
         :func:`repro.analysis.portfolio.render_portfolio`.
         """
@@ -285,7 +299,8 @@ class TimingVerificationFramework:
         verifier = PortfolioVerifier(
             jobs=self.jobs, executor=executor, concurrency=concurrency,
             max_states=self.max_states, fused=fused,
-            abstraction=self.abstraction)
+            abstraction=self.abstraction, reuse=reuse,
+            prune_dominated=prune_dominated, warm_start=warm_start)
         return verifier.verify_schemes(
             pim, schemes, input_channel=input_channel,
             output_channel=output_channel, deadline_ms=deadline_ms,

@@ -164,6 +164,10 @@ class WorkStealingPool:
 
     def __init__(self, workers: int):
         self.width = workers
+        #: Waves submitted over the pool's lifetime — the non-timing
+        #: proxy for barrier/steal scheduling overhead (each wave is
+        #: one submit + one termination-detection barrier).
+        self.waves = 0
         self._deques: list[deque] = [deque() for _ in range(workers)]
         self._lock = threading.Lock()
         self._work_cv = threading.Condition(self._lock)
@@ -185,6 +189,7 @@ class WorkStealingPool:
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("pool is shut down")
+            self.waves += 1
             offset = self._rr
             self._rr = (offset + len(tasks)) % self.width
             for i, task in enumerate(tasks):

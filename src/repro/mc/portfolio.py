@@ -54,17 +54,34 @@ suprema queries into **one** :func:`~repro.mc.queries.check_many`
 sweep: verdicts, bounds and sup values are unchanged, but the tallies
 are those of the shared sweep (documented divergence, same as
 ``check_many`` itself).
+
+Cross-scheme reuse (``reuse=True``) adds a third sharing layer on top
+of the pool and the intern table: a :class:`~repro.mc.memo.VerdictMemo`
+keyed on the canonical capacity-erased hash of each job's compiled PSM
+(:func:`~repro.ta.rename.canonical_network`) plus every
+verdict-relevant knob.  Jobs whose canonical keys collide commit the
+first job's row instantly — the occupancy certificate in
+:mod:`repro.mc.memo` makes the reuse *exact*, so memoized rows keep
+the bit-identity contract.  ``prune_dominated=True`` additionally
+derives dominated grid points' Theorem-1 verdicts from a verified
+neighbor along the Lemma-1-monotone axes (poll, period) instead of
+exploring them; derived rows carry ``derived_from`` provenance and
+rest on the documented monotonicity assumption (see
+``docs/PERFORMANCE.md``), which is why the pass is opt-in.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TYPE_CHECKING
 
 from repro.mc.explorer import ExplorationLimit
+from repro.mc.memo import VerdictMemo
 from repro.mc.parallel import (
     EngineConfig,
     WorkStealingPool,
@@ -163,6 +180,16 @@ class PortfolioResult:
     #: The full per-scheme report (partial when the job failed).
     report: "VerificationReport | None" = None
     wall_seconds: float = 0.0
+    #: Donor job whose memoized verdicts this row reuses (``reuse=True``
+    #: and the canonical keys matched); ``None`` = the row's own sweep.
+    memo_hit: str | None = None
+    #: Dominating neighbor this row's Theorem-1 verdict was derived
+    #: from (``prune_dominated=True``); ``None`` = verdict explored.
+    derived_from: str | None = None
+    #: Occupancy maxima of this job's own complete deadline sweep —
+    #: internal evidence the process executor ships back so the parent
+    #: can populate its memo (never serialized into :meth:`row`).
+    occupancy: "dict[str, int] | None" = None
 
     # -- flattened row accessors ---------------------------------------
     @property
@@ -207,12 +234,22 @@ class PortfolioResult:
 
     @property
     def states(self) -> int | None:
-        """States of this job's PSM deadline sweep (steps 5+6)."""
+        """States of this job's PSM deadline sweep (steps 5+6).
+
+        A memoized row keeps its donor's tallies — the occupancy
+        certificate makes the two zone graphs identical, so they *are*
+        this scheme's tallies.  A dominance-derived row ran no sweep
+        at all, so its tallies are ``None``.
+        """
+        if self.derived_from is not None:
+            return None
         result = self.report.psm_relaxed_result if self.report else None
         return result.visited if result is not None else None
 
     @property
     def transitions(self) -> int | None:
+        if self.derived_from is not None:
+            return None
         result = self.report.psm_relaxed_result if self.report else None
         return result.transitions if result is not None else None
 
@@ -236,6 +273,12 @@ class PortfolioResult:
         if self.sups:
             out["sups"] = {name: str(bound)
                            for name, bound in self.sups.items()}
+        # Provenance keys only when set: memo-off rows stay
+        # byte-identical to the pre-reuse record shape.
+        if self.memo_hit is not None:
+            out["memo_hit"] = self.memo_hit
+        if self.derived_from is not None:
+            out["derived_from"] = self.derived_from
         return out
 
     def summary(self) -> str:
@@ -244,9 +287,15 @@ class PortfolioResult:
         verdict = "guaranteed" if self.guarantee else "NOT guaranteed"
         orig = {True: "holds", False: "fails", None: "?"}[
             self.original_holds]
+        if self.memo_hit is not None:
+            origin = f"memo={self.memo_hit}"
+        elif self.derived_from is not None:
+            origin = f"derived={self.derived_from}"
+        else:
+            origin = f"{self.states} states"
         return (f"{self.name}: Δ'={self.relaxed_deadline_ms}ms "
                 f"P(Δ') {verdict}, P({self.deadline_ms}) {orig}, "
-                f"{self.states} states, {self.wall_seconds:.2f}s")
+                f"{origin}, {self.wall_seconds:.2f}s")
 
 
 @dataclass
@@ -262,6 +311,20 @@ class PortfolioOutcome:
     #: Job-level executor that produced the rows.
     executor: str = "thread"
     wall_seconds: float = 0.0
+    #: Whether the cross-scheme verdict memo was consulted.
+    reuse: bool = False
+    #: Rows that ran their own exploration pipeline.
+    explored: int = 0
+    #: Rows answered from the verdict memo (``memo_hit`` set).
+    memoized: int = 0
+    #: Rows derived by dominance pruning (``derived_from`` set).
+    pruned: int = 0
+    #: Width of the shared zone-level worker pool (0 = none — the
+    #: small-grid fallback scheduled whole jobs instead).
+    pool_width: int = 0
+    #: Expansion waves the shared pool ran — the non-timing proxy for
+    #: zone-level scheduling overhead (0 under the fallback).
+    pool_waves: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -290,8 +353,20 @@ class PortfolioOutcome:
             f"concurrency={self.concurrency}, "
             f"{self.wall_seconds:.2f}s",
         ]
+        if self.reuse or self.memoized or self.pruned:
+            lines.append(
+                f"  reuse: {self.explored} explored, "
+                f"{self.memoized} memoized, {self.pruned} pruned")
         lines.extend(f"  {result.summary()}" for result in self.results)
         return "\n".join(lines)
+
+    def tally_reuse(self) -> None:
+        """Recompute explored/memoized/pruned from the committed rows."""
+        rows = [r for r in self.results if r is not None]
+        self.memoized = sum(1 for r in rows if r.memo_hit is not None)
+        self.pruned = sum(1 for r in rows
+                          if r.derived_from is not None)
+        self.explored = len(rows) - self.memoized - self.pruned
 
 
 class _SharedObligation:
@@ -380,6 +455,48 @@ class PortfolioVerifier:
         verdict-, bound- and sup-identical either way; ``extra_lu``
         shrinks the per-scheme zone graphs — the blow-up corners of a
         grid most of all.
+    reuse:
+        Consult the cross-scheme :class:`~repro.mc.memo.VerdictMemo`:
+        jobs whose compiled PSMs have the same canonical
+        capacity-erased hash (and the same requirement, deadlines,
+        budget, backend and abstraction) share one exploration, and
+        the occupancy certificate keeps the reuse *exact* — memoized
+        rows carry the donor's verdicts, bounds, sups and tallies,
+        which provably equal their own, plus ``memo_hit`` provenance.
+        Works under both executors (the process parent consults the
+        memo before dispatch and populates it from finished rows).
+        Off by default so the library default reproduces the
+        per-scheme sweep counts exactly; the CLI turns it on.
+    prune_dominated:
+        Opt-in Lemma-1 dominance planner: grid points that differ
+        from a verified neighbor only by *more* slack on the
+        property-tested monotone axes (polling interval, period)
+        inherit the neighbor's Theorem-1 verdict instead of
+        exploring, with ``derived_from`` provenance and their own
+        analytic Lemma-1/2 bounds.  Rests on the documented
+        monotonicity assumption (``docs/PERFORMANCE.md``); derived
+        rows have no states/transitions tallies.
+    warm_start:
+        Keep the run-scoped intern table alive across :meth:`run`
+        calls on this verifier, so a follow-up sweep of neighboring
+        schemes starts with the previous grid's zones already
+        interned (Tier-3 neighbor warm-start; only meaningful with
+        ``intern=True`` and ``scoped_intern=True``).
+    small_grid_fallback:
+        When the job list is at least as wide as the worker pool,
+        skip the shared zone-level pool entirely and run each job on
+        its own inline engine (``jobs=1``) with ``width`` concurrent
+        coordinators.  Job-level parallelism beats zone-level waves
+        whenever there are enough jobs to fill the pool — the wave
+        barriers and steal traffic of the shared pool were making
+        small-scheme grids *slower* at ``jobs=4`` than sequential.
+        For *tiny* models (structural size x deadline horizon under
+        a static threshold) the fallback goes one step further and
+        runs fully sequentially: whole-job threads only add GIL
+        contention at that scale.  An explicit ``concurrency``
+        overrides the sequential drop.  Rows are bit-identical in
+        every mode (the worker-count invariance the test matrix
+        pins); set to ``False`` to force the legacy shared pool.
     """
 
     def __init__(self, *, jobs: int | None = None,
@@ -390,7 +507,11 @@ class PortfolioVerifier:
                  intern: bool | ZoneInternTable = True,
                  scoped_intern: bool = True,
                  share_pim_obligations: bool = True,
-                 abstraction: str | None = None):
+                 abstraction: str | None = None,
+                 reuse: bool = False,
+                 prune_dominated: bool = False,
+                 warm_start: bool = False,
+                 small_grid_fallback: bool = True):
         if concurrency is not None and concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1, got {concurrency}")
@@ -405,8 +526,16 @@ class PortfolioVerifier:
         self.scoped_intern = scoped_intern
         self.share_pim_obligations = share_pim_obligations
         self.abstraction = abstraction
+        self.reuse = reuse
+        self.prune_dominated = prune_dominated
+        self.warm_start = warm_start
+        self.small_grid_fallback = small_grid_fallback
         self._pim_cache: dict[tuple, _SharedObligation] = {}
         self._pim_lock = threading.Lock()
+        #: Cross-scheme verdict memo; persists across :meth:`run`
+        #: calls (content-addressed, so staleness cannot arise).
+        self._memo = VerdictMemo()
+        self._warm_intern: ZoneInternTable | None = None
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[PortfolioJob], *,
@@ -430,23 +559,52 @@ class PortfolioVerifier:
             return self._run_process(job_list, resolved, on_result,
                                      started)
         width = resolved or 0
-        pool = WorkStealingPool(width) if width > 1 else None
         concurrency = self.concurrency or width or 1
         concurrency = max(1, min(concurrency, len(job_list) or 1))
+        # Small-grid fallback: with at least as many jobs as workers
+        # (and enough coordinators to use them), whole-job concurrency
+        # over inline engines beats zone-level waves — no shared pool,
+        # no wave barriers, no steal traffic.  Rows are identical by
+        # the worker-count-invariance contract.
+        fallback = (self.small_grid_fallback and width > 1
+                    and concurrency >= width
+                    and len(job_list) >= width)
+        if fallback:
+            pool = None
+            engine_jobs: int | None = 1
+            # Tiny grids go all the way to sequential: whole-job
+            # coordinator threads still contend on the GIL, and for
+            # models this small the contention costs more than the
+            # concurrency returns.  Explicit ``concurrency`` is
+            # always respected.
+            if self.concurrency is None and self._tiny_workload(
+                    job_list[0]):
+                concurrency = 1
+        else:
+            pool = WorkStealingPool(width) if width > 1 else None
+            engine_jobs = resolved
         results: list[PortfolioResult | None] = [None] * len(job_list)
         callback_errors: list[BaseException] = []
         self._pim_cache.clear()
         # Interning scope: a fresh table per run (default) keeps
         # long-lived processes from accumulating zones across grids;
+        # ``warm_start`` pins one scoped table to this verifier so
+        # neighboring sweeps reuse each other's interned zones;
         # ``None`` defers to the explorer default (the global table).
         if self.intern is True:
-            run_intern = (ZoneInternTable() if self.scoped_intern
-                          else None)
+            if not self.scoped_intern:
+                run_intern: bool | ZoneInternTable | None = None
+            elif self.warm_start:
+                if self._warm_intern is None:
+                    self._warm_intern = ZoneInternTable()
+                run_intern = self._warm_intern
+            else:
+                run_intern = ZoneInternTable()
         else:
             run_intern = self.intern
 
         def execute(index: int) -> None:
-            result = self._run_one(index, job_list[index], resolved,
+            result = self._run_one(index, job_list[index], engine_jobs,
                                    pool, run_intern)
             results[index] = result
             if on_result is not None:
@@ -456,21 +614,60 @@ class PortfolioVerifier:
                     if not callback_errors:
                         callback_errors.append(exc)
 
-        try:
-            if concurrency == 1:
-                for index in range(len(job_list)):
+        def schedule(indices: list[int]) -> None:
+            if not indices:
+                return
+            if concurrency == 1 or len(indices) == 1:
+                for index in indices:
                     execute(index)
             else:
-                self._run_threaded(len(job_list), concurrency, execute)
+                self._run_threaded(indices,
+                                   min(concurrency, len(indices)),
+                                   execute)
+
+        deferred: dict[int, list[int]] = {}
+        if self.prune_dominated:
+            deferred = self._dominance_plan(job_list)
+        first_round = [i for i in range(len(job_list))
+                       if i not in deferred]
+        try:
+            schedule(first_round)
+            leftovers: list[int] = []
+            for index in sorted(deferred):
+                donor = next(
+                    (results[d] for d in deferred[index]
+                     if results[d] is not None and results[d].ok
+                     and results[d].guarantee), None)
+                if donor is None:
+                    # No dominating neighbor earned a guarantee:
+                    # monotonicity transfers success only, so the
+                    # dominated point must run its own pipeline.
+                    leftovers.append(index)
+                    continue
+                execute_derived = self._derive_result(
+                    index, job_list[index], donor, engine_jobs)
+                results[index] = execute_derived
+                if on_result is not None:
+                    try:
+                        on_result(execute_derived)
+                    except Exception as exc:
+                        if not callback_errors:
+                            callback_errors.append(exc)
+            schedule(leftovers)
         finally:
             if pool is not None:
                 pool.shutdown()
         if callback_errors:
             raise callback_errors[0]
-        return PortfolioOutcome(
+        outcome = PortfolioOutcome(
             results=list(results), jobs=resolved,
             concurrency=concurrency, fused=self.fused,
+            reuse=self.reuse,
+            pool_width=pool.width if pool is not None else 0,
+            pool_waves=pool.waves if pool is not None else 0,
             wall_seconds=time.perf_counter() - started)
+        outcome.tally_reuse()
+        return outcome
 
     def verify_schemes(self, pim: "PIM",
                        schemes: Sequence["ImplementationScheme"], *,
@@ -484,10 +681,39 @@ class PortfolioVerifier:
             **job_kwargs))
 
     # ------------------------------------------------------------------
+    #: Structural-work hint below which the fallback scheduler drops
+    #: its coordinator threads too: (locations + edges of the compiled
+    #: PSM network) x the deadline horizon in ms.  The tiny test grid
+    #: scores ~320, the 16-scheme case study ~40000 — the threshold
+    #: sits an order of magnitude from both.
+    _SEQUENTIAL_HINT = 2_000
+
+    @classmethod
+    def _tiny_workload(cls, job: PortfolioJob) -> bool:
+        """Static size-threshold for the sequential fall-back.
+
+        Compiles the first job's PSM (one extra ``transform``, no
+        exploration) and scores the grid by structural size scaled by
+        the deadline horizon — both knowable up front, so the
+        scheduling decision is deterministic and timing-free.  A job
+        that fails to compile scores "not tiny": the real pipeline
+        will turn the failure into an error row either way.
+        """
+        from repro.core.transform import transform
+
+        try:
+            network = transform(job.pim, job.scheme).network
+        except Exception:
+            return False
+        size = sum(len(automaton.locations) + len(automaton.edges)
+                   for automaton in network.automata)
+        return size * max(1, job.deadline_ms) < cls._SEQUENTIAL_HINT
+
     @staticmethod
-    def _run_threaded(count: int, concurrency: int,
+    def _run_threaded(indices: Sequence[int], concurrency: int,
                       execute: Callable[[int], None]) -> None:
-        """Drain job indices in order over ``concurrency`` threads.
+        """Drain the given job indices in order over ``concurrency``
+        threads.
 
         Per-job failures become rows inside ``execute``; anything
         that still escapes it (``SystemExit``/``KeyboardInterrupt``
@@ -503,12 +729,12 @@ class PortfolioVerifier:
         def drain() -> None:
             while True:
                 with lock:
-                    index = cursor["next"]
-                    if fatal or index >= count:
+                    position = cursor["next"]
+                    if fatal or position >= len(indices):
                         return
-                    cursor["next"] = index + 1
+                    cursor["next"] = position + 1
                 try:
-                    execute(index)
+                    execute(indices[position])
                 except BaseException as exc:
                     with lock:
                         if not fatal:
@@ -526,7 +752,7 @@ class PortfolioVerifier:
             raise fatal[0]
 
     def _run_one(self, index: int, job: PortfolioJob,
-                 resolved: int | None,
+                 engine_jobs: int | None,
                  pool: WorkStealingPool | None,
                  intern: bool | ZoneInternTable | None,
                  obligation: tuple | None = None,
@@ -545,12 +771,12 @@ class PortfolioVerifier:
             index=index, name=job.name, scheme=job.scheme,
             deadline_ms=job.deadline_ms, report=report)
         framework = TimingVerificationFramework(
-            max_states=job.max_states or self.max_states, jobs=resolved,
-            abstraction=self.abstraction)
+            max_states=job.max_states or self.max_states,
+            jobs=engine_jobs, abstraction=self.abstraction)
         try:
             with exploration_context(pool=pool, intern=intern):
-                self._verify_job(job, framework, report,
-                                 obligation=obligation)
+                result.memo_hit, result.occupancy = self._verify_job(
+                    job, framework, report, obligation=obligation)
         except ExplorationLimit as exc:
             result.status = "budget-exceeded"
             result.error = str(exc)
@@ -567,13 +793,19 @@ class PortfolioVerifier:
 
     def _verify_job(self, job: PortfolioJob, framework,
                     report: "VerificationReport",
-                    obligation: tuple | None = None) -> None:
+                    obligation: tuple | None = None,
+                    ) -> "tuple[str | None, dict[str, int] | None]":
         """The Section-VI pipeline for one scheme (mutates ``report``).
 
         Mirrors ``TimingVerificationFramework.verify`` step by step;
         the only reordering is that the scheme-independent PIM
         obligations may come from the shared cache — or, in a process
         worker, arrive precomputed from the parent (``obligation``).
+
+        Returns ``(memo_donor, occupancy)``: the donor job's name when
+        the row was answered from the verdict memo, and the occupancy
+        maxima of this job's own complete sweep when it ran one with
+        ``reuse`` enabled (evidence for cross-process memoization).
         """
         from repro.core.delays import bounds_from_internal
 
@@ -584,16 +816,95 @@ class PortfolioVerifier:
         report.pim_result = pim_result
         psm = framework.transform(job.pim, job.scheme)
         report.psm = psm
-        report.constraints = framework.check_constraints(
-            psm, min_interarrival_ms=job.min_interarrival_ms,
-            include_progress=job.include_progress)
         report.bounds = bounds_from_internal(
             job.scheme, job.input_channel, job.output_channel,
             internal)
         deadlines = [job.deadline_ms, report.bounds.relaxed]
+        if not self.reuse:
+            self._explore_job(job, framework, report, psm, deadlines)
+            return None, None
+        from repro.mc.memo import (
+            MemoEntry,
+            occupancy_targets,
+            psm_canonical_model,
+        )
+
+        model = psm_canonical_model(psm)
+        key = self._memo_key(job, psm, model, deadlines)
+        memo = self._memo
+        while True:
+            entry = memo.find(key, model)
+            if entry is not None:
+                report.constraints = entry.constraints
+                report.psm_original_result = entry.original
+                report.psm_relaxed_result = entry.relaxed
+                if job.measure_suprema:
+                    report.symbolic = dict(entry.symbolic)
+                return entry.donor, None
+            waiter = memo.claim(key)
+            if waiter is None:
+                break  # we own the key: run the real pipeline
+            waiter.wait()
+        entry = None
+        maxima: Mapping[str, int] | None = None
+        complete = False
+        try:
+            track = occupancy_targets(model) if model.erased else ()
+            maxima, complete = self._explore_job(
+                job, framework, report, psm, deadlines, track=track)
+            entry = MemoEntry(
+                donor=job.name, erased=model.erased,
+                maxima=maxima if complete else None,
+                constraints=report.constraints,
+                original=report.psm_original_result,
+                relaxed=report.psm_relaxed_result,
+                symbolic=dict(report.symbolic or {}))
+        finally:
+            # A failed pipeline commits None: waiters re-claim and the
+            # first to do so becomes the next owner.
+            memo.commit(key, entry)
+        return None, (dict(maxima) if complete and maxima else None)
+
+    def _explore_job(self, job: PortfolioJob, framework, report,
+                     psm, deadlines: list[int],
+                     track: Sequence[str] = (),
+                     ) -> "tuple[Mapping[str, int] | None, bool]":
+        """Steps 3 + 5/6 (+ optional sups): the exploration half.
+
+        With ``track`` names the deadline sweep additionally records
+        occupancy maxima — a read-only observation
+        (:func:`~repro.mc.queries.check_many`'s ``track_maxima``), so
+        verdicts, traces and tallies are untouched.  Returns
+        ``(maxima, complete)``; ``(None, False)`` when nothing was
+        tracked.
+        """
+        report.constraints = framework.check_constraints(
+            psm, min_interarrival_ms=job.min_interarrival_ms,
+            include_progress=job.include_progress)
+        outcome = None
         if self.fused:
-            self._fused_psm_queries(job, framework, report, psm,
-                                    deadlines)
+            outcome = self._fused_psm_queries(job, framework, report,
+                                              psm, deadlines, track)
+        elif track:
+            # Same call verify_psm_deadlines makes, plus the watch
+            # list — bit-identical results.
+            from repro.mc.queries import (
+                BoundedResponseQuery,
+                check_many,
+            )
+
+            outcome = check_many(
+                psm.network,
+                [BoundedResponseQuery(job.input_channel,
+                                      job.output_channel, deadline)
+                 for deadline in deadlines],
+                max_states=framework.max_states, jobs=framework.jobs,
+                abstraction=framework.abstraction, track_maxima=track)
+            report.psm_original_result = outcome[0]
+            report.psm_relaxed_result = outcome[1]
+            if job.measure_suprema:
+                report.symbolic = framework.measure_psm(
+                    psm, job.input_channel, job.output_channel)
         else:
             report.psm_original_result, report.psm_relaxed_result = \
                 framework.verify_psm_deadlines(
@@ -602,9 +913,13 @@ class PortfolioVerifier:
             if job.measure_suprema:
                 report.symbolic = framework.measure_psm(
                     psm, job.input_channel, job.output_channel)
+        if outcome is None:
+            return None, False
+        return outcome.maxima, outcome.complete
 
     def _fused_psm_queries(self, job: PortfolioJob, framework, report,
-                           psm, deadlines: list[int]) -> None:
+                           psm, deadlines: list[int],
+                           track: Sequence[str] = ()):
         """One ``check_many`` sweep for steps 5+6 (+ optional sups)."""
         from repro.mc.queries import (
             BoundedResponseQuery,
@@ -627,7 +942,8 @@ class PortfolioVerifier:
             ]
         outcome = check_many(
             psm.network, queries, max_states=framework.max_states,
-            jobs=framework.jobs, abstraction=framework.abstraction)
+            jobs=framework.jobs, abstraction=framework.abstraction,
+            track_maxima=track)
         report.psm_original_result = outcome[0]
         report.psm_relaxed_result = outcome[1]
         if job.measure_suprema:
@@ -636,6 +952,159 @@ class PortfolioVerifier:
                 "Output-Delay": outcome[3],
                 "M-C delay": outcome[4],
             }
+        return outcome
+
+    def _memo_key(self, job: PortfolioJob, psm, model,
+                  deadlines: list[int]) -> tuple:
+        """Everything besides the canonical network that can change a
+        verdict, a bound, a sup or a tally.
+
+        Channel/variable names enter in canonical form so two
+        renamed-but-isomorphic jobs still share a key.  The worker
+        count is deliberately absent — tallies are worker-count
+        invariant (the pinned contract).
+        """
+        engine = EngineConfig.capture(abstraction=self.abstraction,
+                                      jobs=None)
+
+        def cid(name: str):
+            try:
+                return model.channel_id(name)
+            except KeyError:
+                return ("raw", name)
+
+        def vid(name: str):
+            # A flag the compiled network never reads or writes has no
+            # canonical id; keying on its raw name is safe (it cannot
+            # affect any verdict) if slightly conservative.
+            try:
+                return model.variable_id(name)
+            except KeyError:
+                return ("raw", name)
+
+        detection = None
+        if job.min_interarrival_ms is not None:
+            # Constraint 1's analytic half compares each input's
+            # worst-case detection against the inter-arrival time.
+            detection = tuple(sorted(
+                (cid(channel),
+                 job.scheme.input_spec(channel).worst_case_detection())
+                for channel in job.pim.input_channels()))
+        return (
+            model.digest,
+            cid(job.input_channel), cid(job.output_channel),
+            cid(psm.io_name(job.input_channel)),
+            cid(psm.io_name(job.output_channel)),
+            tuple(deadlines),
+            job.min_interarrival_ms, detection,
+            job.measure_suprema, job.include_progress,
+            self.fused,
+            job.max_states or self.max_states,
+            engine.backend, engine.abstraction,
+            tuple(sorted(vid(flag) for flag in psm.miss_flags())),
+            tuple(sorted(vid(v.overflow)
+                         for v in psm.input_vars.values())),
+            tuple(sorted(vid(v.overflow)
+                         for v in psm.output_vars.values())),
+            vid(psm.code_drop_flag),
+        )
+
+    # ------------------------------------------------------------------
+    # Lemma-1 dominance pruning (Tier 2)
+    # ------------------------------------------------------------------
+    def _dominance_plan(self, job_list: list[PortfolioJob],
+                        ) -> dict[int, list[int]]:
+        """Map each dominated job index to its candidate donors.
+
+        Jobs group by everything *except* the Lemma-1-monotone slack
+        axes (polling interval, period); within a group a point is
+        deferred when some kept point has componentwise ≥ slack —
+        larger boundary delays, a tighter relaxed deadline and slower
+        sampling, i.e. the strictly harder configuration.  Kept points
+        explore; deferred points later inherit a kept donor's verdict
+        if (and only if) that donor earned the Theorem-1 guarantee.
+        """
+        groups: dict[tuple, list[tuple[int, tuple]]] = {}
+        for index, job in enumerate(job_list):
+            signature = _dominance_signature(
+                job, job.max_states or self.max_states)
+            if signature is None:
+                continue
+            key, slack = signature
+            groups.setdefault(key, []).append((index, slack))
+        deferred: dict[int, list[int]] = {}
+        for members in groups.values():
+            # Harder points first: any dominator of a point has a
+            # componentwise-≥ slack vector, hence a ≥ sum, hence
+            # appears earlier (equal sums dominate only when equal).
+            members.sort(key=lambda item: (-sum(item[1]), item[0]))
+            kept: list[tuple[int, tuple]] = []
+            for index, slack in members:
+                donors = [kept_index for kept_index, kept_slack in kept
+                          if all(a >= b for a, b
+                                 in zip(kept_slack, slack))]
+                if donors:
+                    deferred[index] = donors
+                else:
+                    kept.append((index, slack))
+        return deferred
+
+    def _derive_result(self, index: int, job: PortfolioJob,
+                       donor: PortfolioResult,
+                       engine_jobs: int | None,
+                       obligation: tuple | None = None,
+                       ) -> PortfolioResult:
+        """Tier-2 row: Theorem-1 verdict inherited from a dominating
+        donor, no exploration.
+
+        The row keeps its *own* analytic Lemma-1/2 bounds (exact per
+        scheme — the relaxed deadline column stays truthful); the
+        donor contributes the constraint and relaxed-deadline verdicts
+        under the documented monotonicity assumption.  The shared
+        verdict objects may mention the donor's parameters in their
+        witness text; ``derived_from`` records the provenance and the
+        states/transitions tallies are withheld.
+        """
+        from repro.core.delays import bounds_from_internal
+        from repro.core.framework import (
+            TimingVerificationFramework,
+            VerificationReport,
+        )
+
+        started = time.perf_counter()
+        report = VerificationReport(
+            input_channel=job.input_channel,
+            output_channel=job.output_channel,
+            deadline_ms=job.deadline_ms)
+        result = PortfolioResult(
+            index=index, name=job.name, scheme=job.scheme,
+            deadline_ms=job.deadline_ms, report=report,
+            derived_from=donor.name)
+        try:
+            if obligation is not None:
+                pim_result, internal = obligation
+            else:
+                framework = TimingVerificationFramework(
+                    max_states=job.max_states or self.max_states,
+                    jobs=engine_jobs, abstraction=self.abstraction)
+                pim_result, internal = self._pim_obligations(
+                    job, framework)
+            report.pim_result = pim_result
+            report.bounds = bounds_from_internal(
+                job.scheme, job.input_channel, job.output_channel,
+                internal)
+            report.constraints = donor.report.constraints
+            report.psm_relaxed_result = donor.report.psm_relaxed_result
+        except ExplorationLimit as exc:
+            result.status = "budget-exceeded"
+            result.error = str(exc)
+            result.derived_from = None
+        except Exception as exc:
+            result.status = "error"
+            result.error = f"{type(exc).__name__}: {exc}"
+            result.derived_from = None
+        result.wall_seconds = time.perf_counter() - started
+        return result
 
     # ------------------------------------------------------------------
     # Process executor
@@ -672,6 +1141,12 @@ class PortfolioVerifier:
 
         obligations, obligation_of = \
             self._parent_obligations(job_list)
+        # Parent-side memoization needs the shared obligation values
+        # (the memoized row's analytic bounds come from them); with
+        # sharing disabled the memo degrades to worker-local no-ops.
+        pool_reuse = self.reuse and self.share_pim_obligations
+        deferred = (self._dominance_plan(job_list)
+                    if self.prune_dominated else {})
         width = min(resolved or 1, len(job_list) or 1)
         pending: list[_ProcessJobSpec] = []
         for index, job in enumerate(job_list):
@@ -686,45 +1161,89 @@ class PortfolioVerifier:
                     deadline_ms=job.deadline_ms,
                     status=obligations[slot][0],
                     error=obligations[slot][1]))
+                deferred.pop(index, None)
                 continue
             pending.append(_ProcessJobSpec(index=index, job=job,
                                            obligation=slot))
-        if width <= 1:
-            # No spare processes to partition onto: run the same
-            # per-job pipeline inline (identical rows, no fork).
-            values = [value for _, value in obligations]
-            verifier = self._worker_verifier()
-            for spec in pending:
-                commit(verifier._run_one(
-                    spec.index, spec.job, None, None, None,
-                    obligation=(values[spec.obligation]
-                                if spec.obligation is not None
-                                else None)))
-        elif pending:
-            self._run_process_pool(pending, obligations, width, commit)
+        spec_of = {spec.index: spec for spec in pending}
+        inline_verifier = (self._worker_verifier()
+                           if width <= 1 else None)
+
+        def run_specs(specs: list[_ProcessJobSpec]) -> None:
+            if not specs:
+                return
+            if inline_verifier is not None:
+                # No spare processes to partition onto: run the same
+                # per-job pipeline inline (identical rows, no fork);
+                # the single verifier's memo spans the whole batch.
+                values = [value for _, value in obligations]
+                for spec in specs:
+                    commit(inline_verifier._run_one(
+                        spec.index, spec.job, None, None, None,
+                        obligation=(values[spec.obligation]
+                                    if spec.obligation is not None
+                                    else None)))
+            else:
+                self._run_process_pool(specs, obligations, width,
+                                       commit, reuse=pool_reuse)
+
+        run_specs([spec for spec in pending
+                   if spec.index not in deferred])
+        leftovers: list[_ProcessJobSpec] = []
+        for index in sorted(deferred):
+            spec = spec_of.get(index)
+            if spec is None:
+                continue
+            donor = next(
+                (results[d] for d in deferred[index]
+                 if results[d] is not None and results[d].ok
+                 and results[d].guarantee), None)
+            if donor is None:
+                leftovers.append(spec)
+                continue
+            obligation = (obligations[spec.obligation][1]
+                          if spec.obligation is not None else None)
+            commit(self._derive_result(index, spec.job, donor, None,
+                                       obligation=obligation))
+        run_specs(leftovers)
         if callback_errors:
             raise callback_errors[0]
-        return PortfolioOutcome(
+        outcome = PortfolioOutcome(
             results=list(results), jobs=resolved,
             concurrency=width, fused=self.fused, executor="process",
+            reuse=self.reuse,
             wall_seconds=time.perf_counter() - started)
+        outcome.tally_reuse()
+        return outcome
 
     def _worker_verifier(self) -> "PortfolioVerifier":
         """The verifier a worker (or the inline fallback) runs jobs
         on: sequential engine, no cross-job sharing — each row is
-        exactly the per-scheme sequential ``verify``."""
+        exactly the per-scheme sequential ``verify``.  ``reuse``
+        passes through: the inline fallback's single verifier shares
+        its memo across the batch; a worker process uses it only to
+        track the occupancy evidence the parent memoizes from."""
         return PortfolioVerifier(
             jobs=None, executor="thread", max_states=self.max_states,
             fused=self.fused, intern=False,
-            share_pim_obligations=False, abstraction=self.abstraction)
+            share_pim_obligations=False, abstraction=self.abstraction,
+            reuse=self.reuse)
 
     def _run_process_pool(self, pending: list["_ProcessJobSpec"],
                           obligations: list[tuple], width: int,
                           commit: Callable[[PortfolioResult], None],
-                          ) -> None:
+                          reuse: bool = False) -> None:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
+        # Parent-side memo plan: one leader per canonical key is
+        # dispatched; followers resolve against the parent memo once
+        # their leader's row (with its occupancy evidence) lands.
+        if reuse:
+            leaders, followers, models = self._memo_split(
+                pending, obligations)
+        else:
+            leaders, followers, models = list(pending), [], {}
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX
@@ -733,13 +1252,15 @@ class PortfolioVerifier:
             engine=EngineConfig.capture(abstraction=self.abstraction,
                                         jobs=None),
             max_states=self.max_states, fused=self.fused,
-            obligations=tuple(value for _, value in obligations))
+            obligations=tuple(value for _, value in obligations),
+            reuse=reuse)
         executor = ProcessPoolExecutor(
             max_workers=width, mp_context=ctx,
             initializer=_process_worker_init, initargs=(config,))
-        try:
+
+        def run_round(specs: list[_ProcessJobSpec]) -> None:
             futures = {executor.submit(_process_worker_run, spec): spec
-                       for spec in pending}
+                       for spec in specs}
             for future in as_completed(futures):
                 spec = futures[future]
                 try:
@@ -760,13 +1281,138 @@ class PortfolioVerifier:
                         status="error",
                         error=f"worker failed: "
                               f"{type(exc).__name__}: {exc}")
+                if (reuse and row.status == "ok"
+                        and spec.index in models):
+                    self._record_worker_entry(spec, row, models)
                 # Outside the except: a KeyboardInterrupt/SystemExit
                 # raised by the on_result callback must stay fatal
                 # (as in the thread scheduler), not masquerade as a
                 # worker failure.
                 commit(row)
+
+        try:
+            run_round(leaders)
+            # A leader's entry need not cover every same-key follower
+            # (its occupancy may have reached its own smaller
+            # capacity), so resolution iterates: each round commits
+            # every follower the memo now covers, then explores one
+            # representative per key among the rest — every remaining
+            # key shrinks by one member per round, so this terminates.
+            pending_followers = followers
+            while pending_followers:
+                unresolved: list[_ProcessJobSpec] = []
+                for spec in pending_followers:
+                    key, model = models[spec.index]
+                    entry = self._memo.find(key, model)
+                    if entry is not None:
+                        commit(self._memoized_result(spec, entry,
+                                                     obligations))
+                    else:
+                        unresolved.append(spec)
+                if not unresolved:
+                    break
+                representatives: list[_ProcessJobSpec] = []
+                waiters: list[_ProcessJobSpec] = []
+                seen_keys: set = set()
+                for spec in unresolved:
+                    key, _ = models[spec.index]
+                    if key in seen_keys:
+                        waiters.append(spec)
+                    else:
+                        seen_keys.add(key)
+                        representatives.append(spec)
+                run_round(representatives)
+                pending_followers = waiters
         finally:
             executor.shutdown(wait=True)
+
+    def _memo_split(self, pending: list["_ProcessJobSpec"],
+                    obligations: list[tuple]):
+        """Group specs by canonical memo key in the parent.
+
+        Returns ``(leaders, followers, models)`` where ``models`` maps
+        a spec index to its ``(key, model)``.  A job whose PSM cannot
+        be compiled (or keyed) in the parent dispatches normally so
+        the worker produces the properly classified failure row.
+        """
+        from repro.core.delays import bounds_from_internal
+        from repro.core.transform import transform
+        from repro.mc.memo import psm_canonical_model
+
+        leaders: list[_ProcessJobSpec] = []
+        followers: list[_ProcessJobSpec] = []
+        models: dict[int, tuple] = {}
+        seen: set[tuple] = set()
+        for spec in pending:
+            job = spec.job
+            if spec.obligation is None:
+                leaders.append(spec)
+                continue
+            try:
+                psm = transform(job.pim, job.scheme)
+                model = psm_canonical_model(psm)
+                _, internal = obligations[spec.obligation][1]
+                bounds = bounds_from_internal(
+                    job.scheme, job.input_channel, job.output_channel,
+                    internal)
+                key = self._memo_key(
+                    job, psm, model, [job.deadline_ms, bounds.relaxed])
+            except Exception:
+                leaders.append(spec)
+                continue
+            models[spec.index] = (key, model)
+            if key in seen:
+                followers.append(spec)
+            else:
+                seen.add(key)
+                leaders.append(spec)
+        return leaders, followers, models
+
+    def _record_worker_entry(self, spec: "_ProcessJobSpec",
+                             row: PortfolioResult, models) -> None:
+        """Populate the parent memo from a finished worker row."""
+        from repro.mc.memo import MemoEntry
+
+        key, model = models[spec.index]
+        report = row.report
+        if report is None or report.psm_relaxed_result is None:
+            return
+        self._memo.record(key, MemoEntry(
+            donor=row.name, erased=model.erased,
+            maxima=row.occupancy,
+            constraints=report.constraints,
+            original=report.psm_original_result,
+            relaxed=report.psm_relaxed_result,
+            symbolic=dict(report.symbolic or {})))
+
+    def _memoized_result(self, spec: "_ProcessJobSpec", entry,
+                         obligations: list[tuple]) -> PortfolioResult:
+        """Parent-built row for a follower answered from the memo."""
+        from repro.core.delays import bounds_from_internal
+        from repro.core.framework import VerificationReport
+
+        job = spec.job
+        started = time.perf_counter()
+        report = VerificationReport(
+            input_channel=job.input_channel,
+            output_channel=job.output_channel,
+            deadline_ms=job.deadline_ms)
+        result = PortfolioResult(
+            index=spec.index, name=job.name, scheme=job.scheme,
+            deadline_ms=job.deadline_ms, report=report,
+            memo_hit=entry.donor)
+        pim_result, internal = obligations[spec.obligation][1]
+        report.pim_result = pim_result
+        report.bounds = bounds_from_internal(
+            job.scheme, job.input_channel, job.output_channel,
+            internal)
+        report.constraints = entry.constraints
+        report.psm_original_result = entry.original
+        report.psm_relaxed_result = entry.relaxed
+        if job.measure_suprema:
+            report.symbolic = dict(entry.symbolic)
+        result.wall_seconds = time.perf_counter() - started
+        return result
 
     def _parent_obligations(self, job_list: list[PortfolioJob]):
         """Step 1 + the Lemma-2 internal sup, once per distinct key,
@@ -852,6 +1498,72 @@ def _compute_obligation(job: PortfolioJob, framework) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Lemma-1 dominance signatures
+# ----------------------------------------------------------------------
+def _freeze(value):
+    """Hashable structural key for spec dataclasses and mappings."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return tuple((spec_field.name,
+                      _freeze(getattr(value, spec_field.name)))
+                     for spec_field in dataclasses.fields(value))
+    if isinstance(value, Mapping):
+        return tuple(sorted((key, _freeze(item))
+                            for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(item) for item in value))
+    return value
+
+
+def _dominance_signature(job: PortfolioJob, max_states: int,
+                         ) -> tuple[tuple, tuple[int, ...]] | None:
+    """``(group_key, slack_vector)`` for Lemma-1 dominance, or ``None``.
+
+    The slack vector collects the property-tested monotone axes —
+    each polled input's ``polling_interval`` (sorted by channel) and
+    the invocation ``period`` — and the group key is everything else
+    about the job: PIM identity, requirement, budget, and the scheme
+    with the slack axes masked out.  A polled and an interrupt-driven
+    input never share a group (``None`` vs the mask differ), so slack
+    vectors within a group always align.  Jobs measuring suprema are
+    never grouped: sup values are scheme-exact and cannot be derived.
+    """
+    if job.measure_suprema:
+        return None
+    scheme = job.scheme
+    slack: list[int] = []
+    inputs_key = []
+    for channel in sorted(scheme.inputs):
+        spec = scheme.inputs[channel]
+        entry = []
+        for spec_field in dataclasses.fields(spec):
+            value = getattr(spec, spec_field.name)
+            if (spec_field.name == "polling_interval"
+                    and value is not None):
+                slack.append(value)
+                value = "*"
+            entry.append((spec_field.name, _freeze(value)))
+        inputs_key.append((channel, tuple(entry)))
+    invocation = scheme.invocation
+    invocation_key = []
+    for spec_field in dataclasses.fields(invocation):
+        value = getattr(invocation, spec_field.name)
+        if spec_field.name == "period" and value is not None:
+            slack.append(value)
+            value = "*"
+        invocation_key.append((spec_field.name, _freeze(value)))
+    key = (
+        id(job.pim), job.input_channel, job.output_channel,
+        job.deadline_ms, job.min_interarrival_ms,
+        job.include_progress, max_states,
+        tuple(inputs_key),
+        _freeze(scheme.outputs), _freeze(scheme.io_inputs),
+        _freeze(scheme.io_outputs), tuple(invocation_key))
+    return key, tuple(slack)
+
+
+# ----------------------------------------------------------------------
 # Process-worker side (module level: picklable by reference)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -868,6 +1580,10 @@ class _ProcessConfig:
     max_states: int
     fused: bool
     obligations: tuple = ()
+    #: Track occupancy evidence in the workers so the parent can
+    #: memoize their rows (the worker-local memo itself is inert —
+    #: each worker builds a fresh verifier per job).
+    reuse: bool = False
 
 
 @dataclass(frozen=True)
@@ -898,7 +1614,8 @@ def _process_worker_run(spec: _ProcessJobSpec) -> PortfolioResult:
     config = _PROC_PORTFOLIO
     verifier = PortfolioVerifier(
         jobs=None, executor="thread", max_states=config.max_states,
-        fused=config.fused, intern=False, share_pim_obligations=False)
+        fused=config.fused, intern=False, share_pim_obligations=False,
+        reuse=config.reuse)
     obligation = (config.obligations[spec.obligation]
                   if spec.obligation is not None else None)
     return verifier._run_one(spec.index, spec.job, None, None, None,

@@ -218,6 +218,13 @@ class BatchOutcome:
     explorations: int = 0
     visited: int = 0
     transitions: int = 0
+    #: Per-target maximum over the final sweep's visited states,
+    #: keyed by the ``track_maxima`` entry (a variable name, or a
+    #: tuple of names tracked as their sum); ``None`` = not requested.
+    maxima: dict | None = None
+    #: Whether the final sweep covered the full reachable state space
+    #: (False when an early stop resolved every hit query first).
+    complete: bool = True
 
     def __iter__(self):
         return iter(self.results)
@@ -283,6 +290,7 @@ def check_many(
     jobs: int | None = None,
     lazy_subsumption: bool = False,
     abstraction: str | None = None,
+    track_maxima: "Sequence[str | tuple[str, ...]]" = (),
 ) -> BatchOutcome:
     """Answer a batch of queries with one shared exploration.
 
@@ -316,6 +324,16 @@ def check_many(
     happens only when a sup query's value reached its extrapolation
     ceiling (the classic iterative scheme);
     ``BatchOutcome.explorations`` reports the count.
+
+    ``track_maxima`` lists discrete variables — or tuples of
+    variables, tracked as their *sum* — whose maximum over the
+    visited states should be reported in ``BatchOutcome.maxima`` — a
+    read-only observation that changes no verdict, tally or trace.
+    The portfolio's verdict memo uses it to certify that buffer
+    occupancy (including combined ``count + staged`` occupancy) stays
+    below erased capacity literals; pair it with
+    ``BatchOutcome.complete``, which says whether the final sweep
+    covered the full reachable state space.
     """
     queries = list(queries)
     for query in queries:
@@ -419,6 +437,17 @@ def check_many(
         sup_observers = [observers[i] for i in sup_state]
         stats_sets = [observers[i] for i, q in enumerate(queries)
                       if isinstance(q, StatsQuery)]
+        # Reset per sweep: positions are compilation-specific and a
+        # ceiling retry re-visits every state anyway.  Each target is
+        # a variable name or a tuple of names (tracked as their sum —
+        # the shape of an erased capacity comparison's left-hand side).
+        watch = [
+            (slot, tuple(compiled.var_pos(name) for name in
+                         (target if isinstance(target, tuple)
+                          else (target,))))
+            for slot, target in enumerate(track_maxima)
+        ]
+        watch_best = [None] * len(watch)
 
         def visit(state: SymbolicState) -> None:
             nonlocal pending
@@ -429,6 +458,13 @@ def check_many(
                 observer.visit(state)
             for keys in stats_sets:
                 keys.add(state.key())
+            for slot, positions in watch:
+                value = 0
+                for pos in positions:
+                    value += state.vals[pos]
+                best = watch_best[slot]
+                if best is None or value > best:
+                    watch_best[slot] = value
 
         stop = None
         if not full_sweep:
@@ -500,7 +536,13 @@ def check_many(
                 states=result.visited,
                 transitions=result.transitions,
                 discrete_configurations=len(observer)))
+    maxima = None
+    if track_maxima:
+        maxima = {target: watch_best[slot]
+                  for slot, target in enumerate(track_maxima)}
     return BatchOutcome(results=tuple(results),
                         explorations=explorations,
                         visited=result.visited,
-                        transitions=result.transitions)
+                        transitions=result.transitions,
+                        maxima=maxima,
+                        complete=result.complete)

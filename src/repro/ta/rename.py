@@ -5,11 +5,27 @@ every input synchronization ``m_*`` to ``i_*`` and every output
 synchronization ``c_*`` to ``o_*`` while leaving locations, guards,
 invariants and updates untouched.  The helpers here implement exactly
 that, as pure functions on the immutable syntax objects.
+
+The second half of the module inverts the idea: instead of renaming
+*into* a target vocabulary, :func:`canonical_network` renames a whole
+network *out of* any vocabulary — channels, variables, clocks and
+locations are relabeled positionally (first-occurrence order over the
+declared automaton/edge order), constants are folded, and unused
+declarations are dropped.  Two networks receive the same canonical
+text exactly when they are alpha-equivalent compositions, which makes
+the sha256 of the text a structural hash: the key of the portfolio's
+cross-scheme verdict memo (:mod:`repro.mc.memo`).  The optional
+*capacity erasure* additionally blanks comparison literals that only
+restate a buffer bound, so schemes differing in nothing but an
+unreached capacity hash equal (see :class:`ErasedSite` for the
+side-conditions the memo must discharge before treating that as
+semantic equality).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import hashlib
+from dataclasses import dataclass, replace
 from typing import Mapping
 
 from repro.ta.channels import Sync
@@ -20,9 +36,13 @@ from repro.ta.clocks import (
     Guard,
     Update,
 )
-from repro.ta.model import Automaton
+from repro.ta.expr import Binary, Const, Expr, Unary, Var
+from repro.ta.model import Automaton, Network
 
 __all__ = [
+    "CanonicalModel",
+    "ErasedSite",
+    "canonical_network",
     "rename_channels",
     "rename_clocks",
     "boundary_rename_map",
@@ -130,3 +150,291 @@ def boundary_rename_map(input_channels: set[str] | list[str],
     for name in output_channels:
         mapping[name] = mc_to_io_name(name)
     return mapping
+
+
+# ======================================================================
+# Canonical structural form (the verdict-memo hash)
+# ======================================================================
+_CMP_OPS = frozenset(("<", "<=", ">", ">=", "==", "!="))
+
+
+@dataclass(frozen=True)
+class ErasedSite:
+    """One blanked capacity literal of a canonical form.
+
+    ``variables`` are the *original* variable names summed on the
+    non-constant side of the comparison (or the single declared
+    variable for a ``kind="decl"`` range bound); ``literal`` is the
+    erased constant.  Canonical forms list their sites in
+    serialization order, so two networks with equal canonical text
+    have positionally corresponding sites.  Erasure is only a sound
+    identification when, over the full reachable state space, the sum
+    of the site's variables stays *strictly below* both networks'
+    literals — then every erased comparison is uniformly decided the
+    same way on both sides (``<``/``<=`` true, ``==``/``>``/``>=``
+    false, ``!=`` true) and the networks are bisimilar.  The memo
+    checks exactly that condition against measured occupancy maxima.
+    """
+
+    variables: tuple[str, ...]
+    literal: int
+    kind: str = "cmp"
+
+
+@dataclass(frozen=True)
+class CanonicalModel:
+    """A network's canonical text digest plus the data the verdict
+    memo needs to interpret it: the original→canonical maps for
+    channels and variables (to key queries and occupancy certificates
+    on vocabulary-independent ids) and the ordered erased-literal
+    sites."""
+
+    digest: str
+    channel_ids: Mapping[str, str]
+    variable_ids: Mapping[str, str]
+    erased: tuple[ErasedSite, ...]
+
+    def channel_id(self, name: str) -> str:
+        return self.channel_ids[name]
+
+    def variable_id(self, name: str) -> str:
+        return self.variable_ids[name]
+
+
+def _sum_of_vars(expr: Expr) -> list[str] | None:
+    """The variable names of a pure ``v1 + v2 + …`` tree, else None."""
+    if isinstance(expr, Var):
+        return [expr.name]
+    if isinstance(expr, Binary) and expr.op == "+":
+        left = _sum_of_vars(expr.left)
+        right = _sum_of_vars(expr.right)
+        if left is not None and right is not None:
+            return left + right
+    return None
+
+
+class _Canonicalizer:
+    """Single-use builder of one network's canonical text.
+
+    Renaming is positional: ids are handed out in first-occurrence
+    order over a fixed traversal (automata in declared order; per
+    automaton the locations in canonical order, then the edges in
+    declared order).  Automaton and edge order are *preserved*, not
+    sorted — they determine the explorer's successor enumeration
+    order, which early-stopping queries observe.  Channel/variable
+    declaration order is canonicalized away (lookups are by name, so
+    reordering declarations is semantically inert), and unused
+    declarations are dropped.
+    """
+
+    def __init__(self, network: Network,
+                 erase: Mapping[str, int] | None):
+        self.network = network
+        self.erase = dict(erase or {})
+        self.constants = dict(network.constants)
+        self.channel_ids: dict[str, str] = {}
+        self.variable_ids: dict[str, str] = {}
+        self.global_clock_ids: dict[str, str] = {}
+        self.erased: list[ErasedSite] = []
+        self._globals = set(network.global_clocks)
+
+    # -- id allocation --------------------------------------------------
+    def _channel(self, name: str) -> str:
+        cid = self.channel_ids.get(name)
+        if cid is None:
+            cid = f"c{len(self.channel_ids)}"
+            self.channel_ids[name] = cid
+        return cid
+
+    def _variable(self, name: str) -> str:
+        vid = self.variable_ids.get(name)
+        if vid is None:
+            vid = f"v{len(self.variable_ids)}"
+            self.variable_ids[name] = vid
+        return vid
+
+    def _clock(self, local_ids: dict[str, str], name: str) -> str:
+        if name in self._globals:
+            cid = self.global_clock_ids.get(name)
+            if cid is None:
+                cid = f"g{len(self.global_clock_ids)}"
+                self.global_clock_ids[name] = cid
+            return cid
+        cid = local_ids.get(name)
+        if cid is None:
+            cid = f"k{len(local_ids)}"
+            local_ids[name] = cid
+        return cid
+
+    # -- expressions ----------------------------------------------------
+    def _expr(self, expr: Expr) -> str:
+        return self._expr_rec(expr.fold(self.constants))
+
+    def _expr_rec(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return str(expr.value)
+        if isinstance(expr, Var):
+            return self._variable(expr.name)
+        if isinstance(expr, Unary):
+            return f"({expr.op}{self._expr_rec(expr.operand)})"
+        assert isinstance(expr, Binary)
+        if expr.op in _CMP_OPS and self.erase:
+            blanked = self._try_erase(expr)
+            if blanked is not None:
+                return blanked
+        return (f"({self._expr_rec(expr.left)}{expr.op}"
+                f"{self._expr_rec(expr.right)})")
+
+    def _try_erase(self, expr: Binary) -> str | None:
+        """Blank ``<sum of capacity vars> op <their capacity>`` (either
+        orientation), recording the site."""
+        for const_side, var_side, template in (
+                (expr.right, expr.left, "({body}{op}#)"),
+                (expr.left, expr.right, "(#{op}{body})")):
+            if not isinstance(const_side, Const):
+                continue
+            names = _sum_of_vars(var_side)
+            if not names:
+                continue
+            if any(self.erase.get(name) != const_side.value
+                   for name in names):
+                continue
+            body = self._expr_rec(var_side)
+            self.erased.append(ErasedSite(tuple(names),
+                                          const_side.value))
+            return template.format(body=body, op=expr.op)
+        return None
+
+    # -- structure ------------------------------------------------------
+    def _guard(self, guard: Guard, local_ids: dict[str, str]) -> str:
+        atoms = []
+        for atom in guard.clock_constraints:
+            lhs = self._clock(local_ids, atom.clock)
+            if atom.other is not None:
+                lhs += "-" + self._clock(local_ids, atom.other)
+            atoms.append(f"{lhs}{atom.op}{atom.bound}")
+        return ";".join(atoms) + "|" + self._expr(guard.data)
+
+    def _update(self, update: Update, local_ids: dict[str, str]) -> str:
+        parts = []
+        for action in update.actions:
+            if isinstance(action, ClockReset):
+                parts.append(f"r{self._clock(local_ids, action.clock)}"
+                             f"={action.value}")
+            elif isinstance(action, ClockCopy):
+                parts.append(f"r{self._clock(local_ids, action.clock)}"
+                             f"={self._clock(local_ids, action.source)}")
+            else:
+                assert isinstance(action, Assignment)
+                parts.append(f"{self._variable(action.var)}"
+                             f"={self._expr(action.expr)}")
+        return ";".join(parts)
+
+    def _automaton(self, automaton: Automaton) -> str:
+        local_ids: dict[str, str] = {}
+        # Canonical location order: initial, then first occurrence as
+        # an edge endpoint, then any unreferenced leftovers in
+        # declared order (they are unreachable control states, but we
+        # keep them — reachability is a semantic question the hash
+        # must not presume to answer).
+        loc_ids: dict[str, str] = {}
+
+        def loc(name: str) -> str:
+            lid = loc_ids.get(name)
+            if lid is None:
+                lid = f"l{len(loc_ids)}"
+                loc_ids[name] = lid
+            return lid
+
+        loc(automaton.initial)
+        edge_texts = []
+        for edge in automaton.edges:
+            source, target = loc(edge.source), loc(edge.target)
+            sync = ""
+            if edge.sync is not None:
+                sync = self._channel(edge.sync.channel) + \
+                    edge.sync.direction
+            edge_texts.append(
+                f"{source}>{target}[{self._guard(edge.guard, local_ids)}"
+                f"/{sync}/{self._update(edge.update, local_ids)}]")
+        for location in automaton.locations:
+            loc(location.name)
+        by_id = sorted(automaton.locations,
+                       key=lambda location: loc_ids[location.name])
+        loc_texts = []
+        for location in by_id:
+            invariant = ";".join(
+                f"{self._clock(local_ids, atom.clock)}"
+                f"{atom.op}{atom.bound}"
+                for atom in location.invariant)
+            marks = ("u" if location.urgent else
+                     "c" if location.committed else "")
+            loc_texts.append(f"{loc_ids[location.name]}:{invariant}"
+                             f":{marks}")
+        # Declared-but-unreferenced clocks still widen the DBM; record
+        # how many so dimension-changing edits perturb the hash.
+        unused = sum(1 for clock in automaton.clocks
+                     if clock not in local_ids)
+        return ("A(" + loc_ids[automaton.initial] + ";"
+                + ",".join(loc_texts) + ";"
+                + ",".join(edge_texts) + f";+{unused})")
+
+    def render(self) -> str:
+        automata_text = []
+        for automaton in self.network.automata:
+            automata_text.append(self._automaton(automaton))
+        channel_table = []
+        for name, cid in sorted(self.channel_ids.items(),
+                                key=lambda item: int(item[1][1:])):
+            channel = self.network.channel(name)
+            flags = ("b" if channel.broadcast else "") + \
+                ("u" if channel.urgent else "")
+            channel_table.append(f"{cid}:{flags}")
+        variable_table = []
+        declared = {decl.name: decl for decl in self.network.variables}
+        for name, vid in sorted(self.variable_ids.items(),
+                                key=lambda item: int(item[1][1:])):
+            decl = declared.get(name)
+            if decl is None:
+                # Referenced but undeclared: a folded-away constant
+                # would have been substituted, so this is a modeling
+                # error the validator reports elsewhere; serialize the
+                # bare name class to stay total.
+                variable_table.append(f"{vid}:?")
+                continue
+            hi: str = str(decl.hi)
+            if self.erase.get(name) == decl.hi:
+                self.erased.append(ErasedSite((name,), decl.hi, "decl"))
+                hi = "#"
+            variable_table.append(f"{vid}:{decl.init}:{decl.lo}:{hi}")
+        unused_globals = sum(
+            1 for clock in self.network.global_clocks
+            if clock not in self.global_clock_ids)
+        return ("NET|" + "|".join(automata_text)
+                + "|CH|" + ",".join(channel_table)
+                + "|VAR|" + ",".join(variable_table)
+                + f"|+g{unused_globals}")
+
+
+def canonical_network(
+        network: Network, *,
+        erase_capacities: Mapping[str, int] | None = None,
+) -> CanonicalModel:
+    """Canonical structural form of a network.
+
+    Returns a :class:`CanonicalModel` whose ``digest`` is equal for
+    any two networks that differ only by renaming (automata, channels,
+    variables, clocks, locations), by channel/variable declaration
+    order, or — when ``erase_capacities`` maps variables to their
+    capacity bounds — by the erased capacity literals themselves.
+    Automaton and edge order are significant (they drive exploration
+    order); every numeric constant outside the erased sites is
+    significant too.
+    """
+    builder = _Canonicalizer(network, erase_capacities)
+    text = builder.render()
+    return CanonicalModel(
+        digest=hashlib.sha256(text.encode()).hexdigest(),
+        channel_ids=dict(builder.channel_ids),
+        variable_ids=dict(builder.variable_ids),
+        erased=tuple(builder.erased))

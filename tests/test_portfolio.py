@@ -568,6 +568,230 @@ def test_engine_config_capture_and_pickle_roundtrip():
 
 
 # ----------------------------------------------------------------------
+# Cross-scheme reuse: verdict memo, dominance pruning, fallback
+# ----------------------------------------------------------------------
+def assert_rows_equal(baseline, candidate, *, allow_derived=False):
+    """Bit-identical verdict columns; tallies compared when both rows
+    ran (memoized rows keep the donor's tallies — exact by the
+    occupancy-certificate bisimulation; derived rows have none)."""
+    for a, b in zip(baseline, candidate):
+        assert a.name == b.name
+        assert a.status == b.status
+        assert a.report.bounds == b.report.bounds
+        assert a.constraints_hold == b.constraints_hold
+        assert a.relaxed_holds == b.relaxed_holds
+        assert a.guarantee == b.guarantee
+        if b.derived_from is None:
+            assert a.original_holds == b.original_holds
+            assert a.states == b.states
+            assert a.transitions == b.transitions
+            assert {k: (v.bounded, v.sup, v.attained)
+                    for k, v in a.sups.items()} == \
+                {k: (v.bounded, v.sup, v.attained)
+                 for k, v in b.sups.items()}
+        else:
+            assert allow_derived
+            assert b.states is None and b.transitions is None
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("jobs", JOBS)
+def test_reuse_differential_matrix(backend, jobs, executor):
+    """Memo-on rows are bit-identical to memo-off across backends,
+    executors and worker counts — and the memo actually fires (the
+    3×2 grid's buffer axis collapses)."""
+    schemes = grid_3x2()
+    baseline = run_portfolio(schemes, jobs=jobs, executor=executor)
+    reused = run_portfolio(schemes, jobs=jobs, executor=executor,
+                           reuse=True)
+    assert_rows_equal(baseline, reused)
+    assert reused.reuse
+    assert reused.memoized > 0
+    assert reused.explored + reused.memoized == len(schemes)
+    assert all(row.memo_hit is not None
+               for row in reused if row.memo_hit), "provenance set"
+    hits = [row for row in reused if row.memo_hit is not None]
+    names = {row.name for row in reused}
+    assert all(row.memo_hit in names for row in hits)
+
+
+@pytest.mark.parametrize("abstraction", ("extra_m", "extra_lu"))
+def test_reuse_differential_both_abstractions(abstraction):
+    schemes = grid_3x2()
+    baseline = run_portfolio(schemes, jobs=1, abstraction=abstraction)
+    reused = run_portfolio(schemes, jobs=1, abstraction=abstraction,
+                           reuse=True)
+    assert_rows_equal(baseline, reused)
+    assert reused.memoized > 0
+
+
+def test_memo_off_is_the_default():
+    """Library default keeps every scheme on its own sweep — the
+    pinned exploration-count contracts elsewhere depend on it."""
+    outcome = run_portfolio(grid_3x2(), jobs=1)
+    assert not outcome.reuse
+    assert outcome.memoized == 0
+    assert all(row.memo_hit is None and row.derived_from is None
+               for row in outcome)
+
+
+def test_reuse_never_bridges_distinct_timing():
+    """Schemes differing in period never share memo entries."""
+    schemes = scheme_grid(build_tiny_scheme, buffer_size=(2,),
+                          period=(4, 5, 6))
+    outcome = run_portfolio(schemes, jobs=1, reuse=True)
+    assert outcome.all_ok
+    assert outcome.memoized == 0
+    assert outcome.explored == 3
+
+
+def test_small_grid_fallback_skips_shared_pool():
+    """Satellite: on grids with at least as many jobs as workers the
+    verifier runs whole jobs concurrently on inline engines instead
+    of zone-level waves — the non-timing overhead proxy is the wave
+    counter, which must be zero under the fallback and positive when
+    the legacy shared pool is forced.  Rows agree bit-for-bit."""
+    schemes = grid_3x2()
+    fallback = run_portfolio(schemes, jobs=4)
+    legacy = run_portfolio(schemes, jobs=4, small_grid_fallback=False)
+    assert fallback.pool_width == 0
+    assert fallback.pool_waves == 0
+    assert legacy.pool_width == 4
+    assert legacy.pool_waves > 0
+    assert_rows_equal(legacy, fallback)
+
+
+def test_fallback_requires_enough_jobs():
+    """Fewer jobs than workers keeps the shared pool (zone-level
+    parallelism is all there is)."""
+    schemes = grid_3x2()[:2]
+    outcome = run_portfolio(schemes, jobs=4)
+    assert outcome.pool_width == 4
+    assert outcome.all_ok
+
+
+def test_tiny_fallback_drops_to_sequential():
+    """Satellite: for tiny models the fallback goes all the way to
+    the sequential scheduler — whole-job coordinator threads only
+    add GIL contention at that scale.  The non-timing proxy is the
+    recorded coordinator count; an explicit ``concurrency`` always
+    wins over the drop.  Rows agree bit-for-bit either way."""
+    schemes = grid_3x2()
+    auto = run_portfolio(schemes, jobs=4)
+    assert auto.pool_width == 0
+    assert auto.concurrency == 1
+    forced = run_portfolio(schemes, jobs=4, concurrency=4)
+    assert forced.pool_width == 0
+    assert forced.concurrency == 4
+    assert_rows_equal(auto, forced)
+
+
+def test_sequential_hint_is_static_and_size_scaled():
+    """The sequential drop keys on structural size x deadline
+    horizon — both knowable before exploration — so the case-study
+    PSM (bigger network, 500 ms horizon) keeps its coordinators."""
+    from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
+    from repro.apps.schemes import case_study_scheme
+
+    tiny = portfolio_jobs(build_tiny_pim(), grid_3x2()[:1],
+                          deadline_ms=DEADLINE, **CHANNELS)[0]
+    assert PortfolioVerifier._tiny_workload(tiny)
+    case = portfolio_jobs(
+        build_infusion_pim(), [case_study_scheme()],
+        input_channel="m_BolusReq",
+        output_channel="c_StartInfusion",
+        deadline_ms=REQ1_DEADLINE_MS)[0]
+    assert not PortfolioVerifier._tiny_workload(case)
+
+
+def prune_jobs(schemes):
+    """Dominance pruning never groups suprema jobs, so these run
+    without ``measure_suprema``."""
+    return portfolio_jobs(build_tiny_pim(), schemes,
+                          deadline_ms=DEADLINE, **CHANNELS)
+
+
+def test_prune_dominated_derives_from_harder_neighbor():
+    """Points dominated along the period axis inherit Theorem-1
+    verdicts from the verified harder neighbor, with provenance."""
+    schemes = scheme_grid(build_tiny_scheme, buffer_size=(2,),
+                          period=(4, 5, 6))
+    baseline = PortfolioVerifier(jobs=1).run(prune_jobs(schemes))
+    pruned = PortfolioVerifier(jobs=1, prune_dominated=True).run(
+        prune_jobs(schemes))
+    assert_rows_equal(baseline, pruned, allow_derived=True)
+    assert pruned.pruned == 2  # periods 4, 5 derive from period 6
+    derived = [row for row in pruned if row.derived_from is not None]
+    assert len(derived) == 2
+    names = {row.name for row in pruned}
+    assert all(row.derived_from in names for row in derived)
+    # Derived rows still carry their *own* analytic bounds.
+    for a, b in zip(baseline, pruned):
+        assert a.report.bounds == b.report.bounds
+
+
+def test_prune_dominated_never_groups_suprema_jobs():
+    schemes = scheme_grid(build_tiny_scheme, buffer_size=(2,),
+                          period=(4, 5))
+    outcome = run_portfolio(schemes, jobs=1, prune_dominated=True)
+    assert outcome.all_ok
+    assert outcome.pruned == 0  # measure_suprema=True blocks grouping
+    assert all(row.derived_from is None for row in outcome)
+
+
+def test_prune_and_reuse_compose(backend):
+    schemes = grid_3x2()
+    baseline = PortfolioVerifier(jobs=1).run(prune_jobs(schemes))
+    combined = PortfolioVerifier(jobs=1, reuse=True,
+                                 prune_dominated=True).run(
+        prune_jobs(schemes))
+    assert_rows_equal(baseline, combined, allow_derived=True)
+    assert combined.pruned > 0
+    assert combined.explored + combined.memoized + combined.pruned \
+        == len(schemes)
+
+
+def test_process_reuse_and_prune():
+    schemes = grid_3x2()
+    baseline = PortfolioVerifier(jobs=2, executor="process").run(
+        prune_jobs(schemes))
+    combined = PortfolioVerifier(jobs=2, executor="process", reuse=True,
+                                 prune_dominated=True).run(
+        prune_jobs(schemes))
+    assert_rows_equal(baseline, combined, allow_derived=True)
+    assert combined.memoized + combined.pruned > 0
+
+
+def test_warm_start_keeps_rows_identical_across_runs():
+    schemes = grid_3x2()
+    baseline = run_portfolio(schemes, jobs=2)
+    verifier = PortfolioVerifier(jobs=2, warm_start=True,
+                                 small_grid_fallback=False)
+    jobs = portfolio_jobs(build_tiny_pim(), schemes,
+                          deadline_ms=DEADLINE, measure_suprema=True,
+                          **CHANNELS)
+    first = verifier.run(jobs)
+    second = verifier.run(jobs)
+    assert_rows_equal(baseline, first)
+    assert_rows_equal(baseline, second)
+    # The pinned table persists across runs and was actually used.
+    assert verifier._warm_intern is not None
+    assert verifier._warm_intern.hits > 0
+
+
+def test_render_portfolio_shows_reuse_provenance():
+    from repro.analysis.portfolio import render_portfolio
+
+    outcome = run_portfolio(grid_3x2(), jobs=1, reuse=True)
+    table = render_portfolio(outcome)
+    assert "origin" in table
+    assert "memo=" in table
+    assert "reuse:" in table
+    rows = [row.row() for row in outcome]
+    assert any("memo_hit" in row for row in rows)
+
+
+# ----------------------------------------------------------------------
 # The shared worker pool itself
 # ----------------------------------------------------------------------
 class TestWorkStealingPool:

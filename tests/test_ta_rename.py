@@ -1,8 +1,18 @@
-"""Unit tests for channel and clock renaming (the MIO construction)."""
+"""Unit tests for channel and clock renaming (the MIO construction)
+and property tests for the canonical structural hash the portfolio's
+verdict memo keys on."""
 
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transform import transform
+from repro.mc.memo import psm_canonical_model
 from repro.ta.builder import AutomatonBuilder
 from repro.ta.rename import (
     boundary_rename_map,
+    canonical_network,
     mc_to_io_name,
     rename_channels,
     rename_clocks,
@@ -57,6 +67,93 @@ class TestRenameChannels:
     def test_new_name(self):
         renamed = rename_channels(sample_automaton(), {}, new_name="MIO")
         assert renamed.name == "MIO"
+
+
+from tests.conftest import build_tiny_pim, build_tiny_scheme  # noqa: E402
+
+
+def _renamed_network(network, suffix: str):
+    """The same network with every channel renamed (declarations and
+    syncs consistently) — canonically identical by construction."""
+    mapping = {ch.name: f"{ch.name}_{suffix}" for ch in network.channels}
+    return dataclasses.replace(
+        network,
+        automata=tuple(rename_channels(auto, mapping)
+                       for auto in network.automata),
+        channels=tuple(dataclasses.replace(ch, name=mapping[ch.name])
+                       for ch in network.channels))
+
+
+def _tiny_psm(**scheme_kwargs):
+    return transform(build_tiny_pim(), build_tiny_scheme(**scheme_kwargs))
+
+
+class TestCanonicalHash:
+    """Property tests for the memo's canonical structural hash."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(suffix=st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+           rot=st.integers(min_value=0, max_value=7))
+    def test_rename_and_reorder_invariance(self, suffix, rot):
+        """Channel renaming and declaration reordering never change
+        the digest (ids are assigned in traversal order, not
+        declaration or lexicographic order)."""
+        network = _tiny_psm().network
+        renamed = _renamed_network(network, suffix)
+        k = rot % max(len(renamed.channels), 1)
+        v = rot % max(len(renamed.variables), 1)
+        shuffled = dataclasses.replace(
+            renamed,
+            channels=renamed.channels[k:] + renamed.channels[:k],
+            variables=renamed.variables[v:] + renamed.variables[:v])
+        assert (canonical_network(shuffled).digest
+                == canonical_network(network).digest)
+
+    @settings(max_examples=15, deadline=None)
+    @given(b1=st.integers(min_value=1, max_value=6),
+           b2=st.integers(min_value=1, max_value=6),
+           period=st.integers(min_value=3, max_value=8))
+    def test_buffer_capacity_erased(self, b1, b2, period):
+        """Schemes differing only in buffer capacity share a digest
+        once the capacity literals are erased — the memo's Tier-1
+        grouping law."""
+        m1 = psm_canonical_model(_tiny_psm(buffer_size=b1, period=period))
+        m2 = psm_canonical_model(_tiny_psm(buffer_size=b2, period=period))
+        assert m1.digest == m2.digest
+        assert len(m1.erased) == len(m2.erased)
+        if b1 != b2:
+            # The literals themselves still differ — coverage (not
+            # hashing) decides whether reuse is exact.
+            assert any(a.literal != b.literal
+                       for a, b in zip(m1.erased, m2.erased))
+
+    @settings(max_examples=15, deadline=None)
+    @given(period=st.integers(min_value=3, max_value=8),
+           delta=st.integers(min_value=1, max_value=5),
+           axis=st.sampled_from(["period", "wcet"]))
+    def test_timing_perturbation_changes_digest(self, period, delta,
+                                                axis):
+        """Perturbing any non-erased timing constant must change the
+        digest — timing is semantics, never erased."""
+        if axis == "period":
+            base_kwargs = {"period": period}
+            kwargs = {"period": period + delta}
+        else:
+            # Keep wcet < period so the scheme stays valid.
+            base_kwargs = {"period": period + 6, "wcet": 1}
+            kwargs = {"period": period + 6, "wcet": 1 + delta}
+        base = psm_canonical_model(_tiny_psm(**base_kwargs))
+        perturbed = psm_canonical_model(_tiny_psm(**kwargs))
+        assert base.digest != perturbed.digest
+
+    def test_erased_sites_expose_original_names(self):
+        model = psm_canonical_model(_tiny_psm())
+        assert model.erased, "tiny PSM must have capacity sites"
+        for site in model.erased:
+            assert site.literal >= 1
+            for name in site.variables:
+                # Original variable names, resolvable to canonical ids.
+                assert model.variable_id(name).startswith("v")
 
 
 class TestRenameClocks:
