@@ -12,8 +12,12 @@ comparable perf record; the pytest-benchmark suite
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
-        [--out DIR] [--backends numpy reference] [--jobs 1 4]
-        [--executors thread process] [--summary FILE|-]
+        [--out DIR] [--backends numpy reference native auto]
+        [--jobs 1 4] [--executors thread process] [--summary FILE|-]
+
+    # Per-op kernel microbenchmarks (the data behind the `auto`
+    # backend's cost table in repro/zones/costmodel.py)
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --kernels
 
     # CI regression gate: re-run the headline workloads and fail on a
     # >25% slowdown of bench_s1_case_study_psm vs a committed record
@@ -92,6 +96,19 @@ def _timed(fn):
     return value, time.perf_counter() - start
 
 
+def _timed_best(fn, repeats: int = 3):
+    """Best-of-N wall time for the small (sub-second to few-second)
+    cells: single shots on a shared box jitter by ±30%, far beyond
+    the 5% ``auto`` margin the committed record must support.  The
+    long 16-scheme sweeps stay single-shot — they have no ``auto``
+    twin and self-average over minutes of work."""
+    value, best = _timed(fn)
+    for _ in range(repeats - 1):
+        value, seconds = _timed(fn)
+        best = min(best, seconds)
+    return value, best
+
+
 def _record(results, name, backend, states, transitions, seconds,
             **extra):
     entry = {
@@ -157,138 +174,168 @@ def _paper_query_batch():
 
 
 def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
+    """Measure every requested backend over the committed workloads.
+
+    The small cells interleave the backends (benchmark-outer order):
+    the ``auto`` margin gate compares an ``auto`` row against the
+    best fixed-backend row of the *same* cell, so the pair must be
+    measured seconds apart — a shared box drifts by tens of percent
+    over a backend-outer run (the 16-scheme sweeps alone take ~20
+    minutes), which would read as ``auto`` overhead. The long sweeps
+    have no ``auto`` twin and stay grouped per backend at the end.
+    """
     results: list[dict] = []
     tiny = transform(build_tiny_pim(), build_tiny_scheme()).network
     case_study = None if quick else _case_study_network()
+    # Backends with a sharded/batched pipeline (and the 16-scheme
+    # sweep rows); `auto` rides only the cells every backend runs.
+    batched = [b for b in backends if b in ("numpy", "native")]
 
     for backend in backends:
-        stats, seconds = _timed(
+        stats, seconds = _timed_best(
             lambda: zone_graph_stats(tiny, zone_backend=backend))
         _record(results, "s1_zone_graph_tiny", backend,
                 stats.states, stats.transitions, seconds)
 
-        _bench_portfolio_tiny(results, backend, executors, jobs_list)
+    _bench_portfolio_tiny(results, backends, executors, jobs_list)
 
-        if case_study is None:
-            continue
+    if case_study is not None:
+        seq_stats = {}
+        for backend in backends:
+            (stats, memory), seconds = _timed_best(
+                lambda: _stats_with_memory(case_study,
+                                           backend=backend))
+            seq_stats[backend] = stats
+            _record(results, HEADLINE, backend,
+                    stats.states, stats.transitions, seconds,
+                    **memory)
 
-        (stats, memory), seconds = _timed(lambda: _stats_with_memory(
-            case_study, backend=backend))
-        _record(results, HEADLINE, backend,
-                stats.states, stats.transitions, seconds, **memory)
-
-        if backend == "numpy":
-            for jobs in jobs_list:
-                (sharded, memory), seconds = _timed(
+        for jobs in jobs_list:
+            for backend in batched:
+                (sharded, memory), seconds = _timed_best(
                     lambda: _stats_with_memory(
                         case_study, backend=backend, jobs=jobs))
                 assert (sharded.states, sharded.transitions) == \
-                    (stats.states, stats.transitions), \
+                    (seq_stats[backend].states,
+                     seq_stats[backend].transitions), \
                     "sharded exploration diverged from sequential"
                 _record(results, HEADLINE, backend,
                         sharded.states, sharded.transitions, seconds,
                         jobs=jobs, **memory)
 
-            # The Extra+_LU variant of the headline: same reachable
-            # behavior, coarser abstraction, smaller zone graph.
-            jobs = jobs_list[0] if jobs_list else 1
-            (lu_stats, memory), seconds = _timed(
+        # The Extra+_LU variant of the headline: same reachable
+        # behavior, coarser abstraction, smaller zone graph.
+        lu_jobs = jobs_list[0] if jobs_list else 1
+        for backend in batched:
+            (lu_stats, memory), seconds = _timed_best(
                 lambda: _stats_with_memory(
-                    case_study, backend=backend, jobs=jobs,
+                    case_study, backend=backend, jobs=lu_jobs,
                     abstraction="extra_lu"))
-            assert lu_stats.states < stats.states, \
+            assert lu_stats.states < seq_stats[backend].states, \
                 "Extra_LU must shrink the case-study zone graph"
             _record(results, "bench_s1_case_study_psm_lu", backend,
                     lu_stats.states, lu_stats.transitions, seconds,
-                    jobs=jobs, **memory)
+                    jobs=lu_jobs, **memory)
 
-        lazy, seconds = _timed(lambda: zone_graph_stats(
-            case_study, zone_backend=backend,
-            lazy_subsumption=True))
-        _record(results, "s1_case_study_psm_lazy", backend,
-                lazy.states, lazy.transitions, seconds,
-                lazy_subsumption=True)
+        for backend in backends:
+            lazy, seconds = _timed_best(lambda: zone_graph_stats(
+                case_study, zone_backend=backend,
+                lazy_subsumption=True))
+            _record(results, "s1_case_study_psm_lazy", backend,
+                    lazy.states, lazy.transitions, seconds,
+                    lazy_subsumption=True)
 
-        verdict, seconds = _timed(lambda: check_bounded_response(
-            case_study, "m_BolusReq", "c_StartInfusion",
-            REQ1_DEADLINE_MS, zone_backend=backend))
-        assert not verdict.holds, \
-            "REQ1 must be violated on the case-study PSM"
-        _record(results, "req1_psm_violation", backend,
-                verdict.visited, verdict.transitions, seconds,
-                holds=verdict.holds)
+        for backend in backends:
+            verdict, seconds = _timed_best(lambda: check_bounded_response(
+                case_study, "m_BolusReq", "c_StartInfusion",
+                REQ1_DEADLINE_MS, zone_backend=backend))
+            assert not verdict.holds, \
+                "REQ1 must be violated on the case-study PSM"
+            _record(results, "req1_psm_violation", backend,
+                    verdict.visited, verdict.transitions, seconds,
+                    holds=verdict.holds)
 
-        if backend == "numpy":
-            jobs = jobs_list[-1] if jobs_list else None
-            outcome, seconds = _timed(lambda: check_many(
+        batch_jobs = jobs_list[-1] if jobs_list else None
+        for backend in batched:
+            outcome, seconds = _timed_best(lambda: check_many(
                 case_study, _paper_query_batch(),
-                zone_backend=backend, jobs=jobs))
+                zone_backend=backend, jobs=batch_jobs))
             assert outcome.explorations == 1, \
                 "the paper query batch must share one exploration"
             assert not outcome.results[1].holds
             _record(results, "paper_queries_check_many", backend,
                     outcome.visited, outcome.transitions, seconds,
-                    jobs=jobs, explorations=outcome.explorations,
+                    jobs=batch_jobs, explorations=outcome.explorations,
                     mc_sup=outcome.results[2].sup)
 
-            _bench_portfolio(results, backend, jobs)
-            _bench_portfolio(results, backend, jobs,
+        for backend in batched:
+            _bench_portfolio(results, backend, batch_jobs)
+            _bench_portfolio(results, backend, batch_jobs,
                              abstraction="extra_lu")
             # The cross-scheme-reuse variants: memo folds the buffer
             # axis, dominance pruning the poll/period axes.
-            _bench_portfolio(results, backend, jobs, reuse=True)
-            _bench_portfolio(results, backend, jobs,
+            _bench_portfolio(results, backend, batch_jobs, reuse=True)
+            _bench_portfolio(results, backend, batch_jobs,
                              abstraction="extra_lu", reuse=True)
 
-        if "process" in executors:
-            # The true-multi-core variant of the 16-scheme sweep:
-            # whole jobs partitioned across worker processes — the
-            # mode that lets the GIL-bound reference backend scale.
+    if case_study is not None and "process" in executors:
+        # The true-multi-core variant of the 16-scheme sweep: whole
+        # jobs partitioned across worker processes — the mode that
+        # lets the GIL-bound reference backend scale.
+        for backend in backends:
             _bench_portfolio(results, backend,
                              jobs_list[-1] if jobs_list else None,
                              executor="process")
     return results
 
 
-def _bench_portfolio_tiny(results, backend, executors, jobs_list):
+def _bench_portfolio_tiny(results, backends, executors, jobs_list):
     """Job-level scaling grid on the tiny PSM (the CI scaling job).
 
-    Sweeps ``TINY_SCALING_GRID`` once per (executor, jobs) cell and
-    asserts every cell's rows are bit-identical to the first — the
-    scaling table is only meaningful if every configuration does the
-    same verified work.
+    Sweeps ``TINY_SCALING_GRID`` once per (executor, jobs, backend)
+    cell — backends innermost, so each cell's `auto` row is measured
+    back-to-back with its fixed twins — and asserts every cell's rows
+    are bit-identical to the first: the scaling table is only
+    meaningful if every configuration does the same verified work.
     """
     pim = build_tiny_pim()
     schemes = TINY_SCALING_GRID.build()
     baseline = None
     for executor in executors:
         for jobs in jobs_list:
-            verifier = PortfolioVerifier(jobs=jobs, executor=executor,
-                                         max_states=500_000)
-            set_backend(backend)
-            try:
-                outcome, seconds = _timed(
-                    lambda: verifier.run(portfolio_jobs(
+            for backend in backends:
+                # A fresh verifier per repeat keeps every timed run
+                # cold (no verdict-memo or pool state carries over).
+                def sweep(jobs=jobs, executor=executor):
+                    verifier = PortfolioVerifier(jobs=jobs,
+                                                 executor=executor,
+                                                 max_states=500_000)
+                    return verifier.run(portfolio_jobs(
                         pim, schemes,
                         input_channel="m_Req",
                         output_channel="c_Ack",
-                        deadline_ms=10, measure_suprema=True)))
-            finally:
-                set_backend(None)
-            assert outcome.all_ok, \
-                [row.error for row in outcome if not row.ok]
-            key = [(row.states, row.transitions,
-                    row.relaxed_deadline_ms) for row in outcome]
-            if baseline is None:
-                baseline = key
-            assert key == baseline, \
-                f"{executor}:j{jobs} diverged from the first cell"
-            _record(results, SCALING_BENCH, backend,
-                    sum(row.states for row in outcome),
-                    sum(row.transitions for row in outcome),
-                    seconds, jobs=jobs, executor=executor,
-                    schemes=len(outcome),
-                    grid=TINY_SCALING_GRID.describe())
+                        deadline_ms=10, measure_suprema=True))
+
+                set_backend(backend)
+                try:
+                    outcome, seconds = _timed_best(sweep)
+                finally:
+                    set_backend(None)
+                assert outcome.all_ok, \
+                    [row.error for row in outcome if not row.ok]
+                key = [(row.states, row.transitions,
+                        row.relaxed_deadline_ms) for row in outcome]
+                if baseline is None:
+                    baseline = key
+                assert key == baseline, \
+                    f"{executor}:j{jobs}:{backend} diverged from " \
+                    f"the first cell"
+                _record(results, SCALING_BENCH, backend,
+                        sum(row.states for row in outcome),
+                        sum(row.transitions for row in outcome),
+                        seconds, jobs=jobs, executor=executor,
+                        schemes=len(outcome),
+                        grid=TINY_SCALING_GRID.describe())
 
 
 def _bench_portfolio(results, backend, jobs, abstraction=None,
@@ -350,6 +397,219 @@ def _bench_portfolio(results, backend, jobs, abstraction=None,
             guaranteed=len(outcome.guaranteed),
             interned_zones=len(table),
             per_scheme=[row.row() for row in outcome], **extra)
+
+
+# ----------------------------------------------------------------------
+# auto-vs-best margin (the `auto` acceptance gate's data)
+# ----------------------------------------------------------------------
+#: Allowed slowdown of an `auto` row vs the best fixed-backend row of
+#: the same benchmark cell in a committed record.
+AUTO_MARGIN = 1.05
+
+#: Cells whose best fixed-backend time sits below this are in the
+#: timer-noise regime (a 5% margin on a 5ms wall is sub-millisecond)
+#: and are excluded from the margin gate.
+AUTO_MARGIN_FLOOR_S = 0.05
+
+
+def auto_margins(results: list[dict]) -> list[tuple[str, float, str,
+                                                    float, float]]:
+    """Per-cell ``(label, auto_s, best_backend, best_s, ratio)``.
+
+    A cell is a ``(benchmark, jobs, executor)`` combination; `auto`
+    rows without a fixed-backend twin (or vice versa) are skipped, as
+    are cells faster than ``AUTO_MARGIN_FLOOR_S``.
+    """
+    def cell(entry):
+        return (entry["benchmark"], entry.get("jobs"),
+                entry.get("executor"))
+
+    fixed: dict[tuple, tuple[float, str]] = {}
+    for entry in results:
+        if entry["backend"] == "auto":
+            continue
+        key = cell(entry)
+        best = fixed.get(key)
+        if best is None or entry["seconds"] < best[0]:
+            fixed[key] = (entry["seconds"], entry["backend"])
+    margins = []
+    for entry in results:
+        if entry["backend"] != "auto":
+            continue
+        best = fixed.get(cell(entry))
+        if best is None or best[0] < AUTO_MARGIN_FLOOR_S:
+            continue
+        label = entry["benchmark"]
+        if entry.get("jobs"):
+            label += f":j{entry['jobs']}"
+        if entry.get("executor"):
+            label += f":{entry['executor'][:4]}"
+        margins.append((label, entry["seconds"], best[1], best[0],
+                        entry["seconds"] / best[0]))
+    return margins
+
+
+def print_auto_margins(results: list[dict]) -> None:
+    margins = auto_margins(results)
+    if not margins:
+        return
+    print("auto vs best fixed backend per cell "
+          f"(target <= {AUTO_MARGIN:.2f}x):")
+    for label, auto_s, best_backend, best_s, ratio in margins:
+        flag = "" if ratio <= AUTO_MARGIN else "  <-- over margin"
+        print(f"  {label:40s} auto {auto_s:7.3f}s vs "
+              f"{best_backend:9s} {best_s:7.3f}s  x{ratio:4.2f}{flag}")
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmarks (--kernels)
+# ----------------------------------------------------------------------
+#: Clock counts and batch widths the cost table is sampled at (must
+#: match repro/zones/costmodel.py's grids).
+KERNEL_CLOCKS = (3, 6, 12)
+KERNEL_WIDTHS = (1, 4, 16, 64)
+
+
+def _median_ns(fn, *, number: int, repeat: int = 5) -> float:
+    """Median ns/call of ``fn`` over ``repeat`` loops of ``number``."""
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        samples.append((time.perf_counter() - start) / number)
+    samples.sort()
+    return samples[len(samples) // 2] * 1e9
+
+
+def _kernel_zone(dbm_cls, n):
+    """A closed, non-empty, mildly constrained zone of dimension n."""
+    from repro.zones.bounds import encode
+
+    zone = dbm_cls.zero(n).up()
+    for clock in range(1, n):
+        zone.constrain(clock, 0, encode(20 + clock, True))
+    zone.close()
+    assert not zone.is_empty()
+    return zone
+
+
+def _scalar_kernel_row(dbm_cls, n) -> dict:
+    """ns/call for each scalar kernel at dimension ``n``.
+
+    ``close``/``up``/``reset``/``extrapolate`` are measured on a
+    stable matrix (re-running them is idempotent, so each call does
+    the full kernel's work without per-call setup); ``constrain`` is
+    measured as copy+tighten minus the measured copy cost so the
+    re-closure path is included.
+    """
+    from repro.zones.bounds import encode
+
+    zone = _kernel_zone(dbm_cls, n)
+    other = _kernel_zone(dbm_cls, n)
+    maxes = [0] + [10] * (n - 1)
+    tight = encode(5, True)
+    number = max(200, 20000 // (n * n))
+    row = {
+        "close": _median_ns(zone.close, number=number),
+        "up": _median_ns(zone.up, number=number),
+        "reset": _median_ns(lambda: zone.reset(1, 3), number=number),
+        "includes": _median_ns(lambda: zone.includes(other),
+                               number=number),
+        "extrapolate": _median_ns(lambda: zone.extrapolate_max(maxes),
+                                  number=number),
+    }
+    copy_ns = _median_ns(zone.copy, number=number)
+    tighten_ns = _median_ns(lambda: zone.copy().constrain(1, 0, tight),
+                            number=number)
+    row["constrain"] = max(tighten_ns - copy_ns, 1.0)
+    return row
+
+
+def _batched_kernel_row(expander_cls, dbm_cls, n, width) -> float:
+    """ns/element for one full successor plan at batch ``width``."""
+    import numpy
+    from types import SimpleNamespace
+
+    from repro.zones.bounds import encode
+
+    zone = _kernel_zone(dbm_cls, n)
+    src = numpy.stack([zone._m] * width)
+    plan = SimpleNamespace(
+        guard_ops=((1, 0, encode(15, True)),) if n > 1 else (),
+        error=None,
+        zone_ops=(("reset", 1, 0),) if n > 1 else (),
+        free_clocks=(),
+        invariant_ops=((0, 1, encode(0, True)),) if n > 1 else (),
+        delay=True,
+        lu=None)
+    expander = expander_cls(n, tuple([0] + [10] * (n - 1)))
+    number = max(20, 2000 // width)
+    per_call = _median_ns(lambda: expander.run_plan(src, plan),
+                          number=number)
+    return per_call / width
+
+
+def run_kernels(out_dir: Path) -> int:
+    """Measure the per-op cost table behind `auto` backend selection.
+
+    Writes ``benchmarks/KERNEL_COSTS_<date>.json``; the digested
+    medians are committed into ``repro/zones/costmodel.py`` (only the
+    *ordering* of backends per region matters there, so re-running on
+    different hardware rarely changes the selection).
+    """
+    from repro.zones.backend import resolve_backend
+
+    backends = available_backends()
+    scalar: dict = {}
+    for backend in backends:
+        dbm_cls = resolve_backend(backend).dbm
+        scalar[backend] = {}
+        for n in KERNEL_CLOCKS:
+            row = _scalar_kernel_row(dbm_cls, n)
+            scalar[backend][n] = {op: round(ns, 1)
+                                  for op, ns in row.items()}
+            ops = "  ".join(f"{op}={ns:9.0f}"
+                            for op, ns in scalar[backend][n].items())
+            print(f"  scalar  [{backend:9s}] n={n:<3d} {ops}")
+
+    batched: dict = {}
+    for backend in backends:
+        if backend == "reference":
+            continue  # no batched pipeline
+        if backend == "native":
+            from repro.zones.dbm_native import NativeBatchExpander
+            expander_cls = NativeBatchExpander
+        else:
+            from repro.zones.batch import BatchExpander
+            expander_cls = BatchExpander
+        dbm_cls = resolve_backend(backend).dbm
+        batched[backend] = {}
+        for n in KERNEL_CLOCKS:
+            batched[backend][n] = {}
+            for width in KERNEL_WIDTHS:
+                ns = _batched_kernel_row(expander_cls, dbm_cls, n,
+                                         width)
+                batched[backend][n][width] = round(ns, 1)
+            cells = "  ".join(f"B{w}={ns:9.0f}"
+                              for w, ns in batched[backend][n].items())
+            print(f"  batched [{backend:9s}] n={n:<3d} {cells}")
+
+    payload = {
+        "schema": 1,
+        "generated": _dt.date.today().isoformat(),
+        "python": platform.python_version(),
+        "unit": "ns per call (scalar) / ns per element (batched)",
+        "scalar": scalar,
+        "batched": batched,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = (out_dir / "benchmarks" if (out_dir / "benchmarks").
+                is_dir() else out_dir) / (
+        f"KERNEL_COSTS_{_dt.date.today().isoformat()}.json")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -481,7 +741,7 @@ def run_check(baseline_path: Path, repeats: int = 3,
     targets = [entry for entry in baseline["results"]
                if entry["benchmark"] == target_name
                and entry["backend"] in available_backends()
-               and (quick or entry["backend"] == "numpy")]
+               and (quick or entry["backend"] in ("numpy", "native"))]
     if not targets:
         print(f"error: {baseline_path} has no "
               f"{target_name!r} rows to check against", file=sys.stderr)
@@ -558,6 +818,21 @@ def run_check(baseline_path: Path, repeats: int = 3,
         # under the canonical hash) produces bit-identical rows with
         # reuse on and off, and the memo must actually fire.
         failures += _check_memo_parity()
+
+    # `auto` margin gate, on the committed record itself (no re-run,
+    # so it is deterministic): every `auto` row must sit within
+    # AUTO_MARGIN of the best fixed-backend row of its cell.
+    for label, auto_s, best_backend, best_s, ratio in \
+            auto_margins(baseline["results"]):
+        status = "ok" if ratio <= AUTO_MARGIN else "FAIL"
+        print(f"  auto margin {label:28s} x{ratio:4.2f} vs "
+              f"{best_backend}  {status}")
+        if ratio > AUTO_MARGIN:
+            failures.append(
+                f"auto margin: {label} recorded {auto_s:.3f}s is "
+                f"{ratio:.2f}x the best fixed backend "
+                f"({best_backend} {best_s:.3f}s; "
+                f"tolerance {AUTO_MARGIN}x)")
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -579,7 +854,7 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: all available)")
     parser.add_argument("--jobs", nargs="+", type=int, default=[1, 4],
                         help="sharded-explorer worker counts to "
-                             "benchmark on the numpy backend "
+                             "benchmark on the numpy/native backends "
                              "(default: 1 4)")
     parser.add_argument("--executors", nargs="+",
                         choices=["thread", "process"],
@@ -596,15 +871,28 @@ def main(argv: list[str] | None = None) -> int:
                              "headline workloads and fail on a >25%% "
                              "slowdown vs this record (with --quick: "
                              "tiny workload, bit-identity gate only)")
+    parser.add_argument("--kernels", action="store_true",
+                        help="run the per-op kernel microbenchmarks "
+                             "(close/constrain/includes/extrapolate at "
+                             f"{'/'.join(map(str, KERNEL_CLOCKS))} "
+                             "clocks x batch widths "
+                             f"{'/'.join(map(str, KERNEL_WIDTHS))}) "
+                             "and write KERNEL_COSTS_<date>.json — "
+                             "the data behind the auto cost table")
     args = parser.parse_args(argv)
 
     if args.check is not None:
         return run_check(args.check, quick=args.quick)
+    if args.kernels:
+        return run_kernels(args.out)
 
-    backends = args.backends or list(available_backends())
+    # `auto` rides along as a pseudo-backend so every committed record
+    # carries the data for its within-5%-of-best margin gate.
+    backends = args.backends or [*available_backends(), "auto"]
     print(f"zone backends: {', '.join(backends)}")
     results = run_suite(backends, quick=args.quick, jobs_list=args.jobs,
                         executors=args.executors)
+    print_auto_margins(results)
 
     try:
         import numpy

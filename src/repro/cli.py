@@ -147,10 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Platform-specific timing verification framework "
                     "(DATE 2015 reproduction)")
     parser.add_argument(
-        "--zone-backend", choices=["auto", "reference", "numpy"],
+        "--zone-backend",
+        choices=["auto", "reference", "numpy", "native"],
         default=None,
         help="DBM kernel for all model checking (default: auto — "
-             "numpy when importable, else the pure-Python reference; "
+             "picks the cheapest available backend per model from a "
+             "committed cost table: the compiled C kernel when built, "
+             "else numpy or the pure-Python reference by model size; "
              "also settable via REPRO_ZONE_BACKEND)")
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",

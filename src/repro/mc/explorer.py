@@ -54,6 +54,7 @@ from typing import Callable, Iterator, Mapping
 from repro.mc.state import CompiledEdge, CompiledNetwork, SymbolicState
 from repro.ta.model import ModelError, Network
 from repro.zones.backend import resolve_backend
+from repro.zones.costmodel import BackendHint
 
 __all__ = [
     "ExplorationLimit",
@@ -203,7 +204,15 @@ class ZoneGraphExplorer:
         self.abstraction = self.compiled.abstraction
         self.trace_enabled = trace
         self.max_states = max_states
-        self.backend = resolve_backend(zone_backend)
+        # ``auto`` resolution consults the compiled network's shape
+        # (clock count + the portfolio scheduler's structural-size
+        # measure); wave_width=1 models this sequential explorer's
+        # one-state-at-a-time kernel calls.
+        self.backend = resolve_backend(zone_backend, hint=BackendHint(
+            n_clocks=self.compiled.n_clocks,
+            structural_size=sum(len(a.locations) + len(a.edges)
+                                for a in network.automata),
+            wave_width=1))
         self.lazy_subsumption = lazy_subsumption
         self._dbm = self.backend.dbm
         self._bucket_cls = self.backend.bucket

@@ -65,6 +65,8 @@ from repro.mc.explorer import (
 )
 from repro.mc.state import SymbolicState
 from repro.ta.model import ModelError, Network
+from repro.zones.backend import resolve_backend
+from repro.zones.costmodel import BackendHint
 from repro.zones.intern import ZoneInternTable, global_intern_table
 
 __all__ = [
@@ -306,12 +308,19 @@ class EngineConfig:
     ``spawn`` does not) and regardless of environment overrides that
     may differ by the time the worker imports the library.
     :meth:`capture` resolves the coordinator's view down to concrete
-    names; :meth:`apply` replays them in the worker and scrubs the
+    names (keeping an ``auto`` backend request symbolic — see the
+    field note); :meth:`apply` replays them in the worker and scrubs
+    the
     corresponding environment variables so nothing re-resolves
     differently underneath.
     """
 
-    #: Concrete backend name (``"reference"``/``"numpy"``).
+    #: Concrete backend name (``"reference"``/``"numpy"``/``"native"``)
+    #: — or the literal ``"auto"`` when that is what the coordinator
+    #: was asked for: workers then re-resolve per model, which is safe
+    #: because every backend is bit-identical, and necessary so a
+    #: portfolio mixing tiny and large models never pins all workers
+    #: to one frozen choice.
     backend: str
     #: Concrete abstraction name (``"extra_m"``/``"extra_lu"``).
     abstraction: str
@@ -330,9 +339,13 @@ class EngineConfig:
         its workers run internally.
         """
         from repro.ta.bounds import resolve_abstraction
-        from repro.zones.backend import resolve_backend
+        from repro.zones.backend import requested_backend
 
-        return cls(backend=resolve_backend(backend).name,
+        spec = requested_backend(backend)
+        if spec != "auto":
+            # Availability check now, not in the worker.
+            spec = resolve_backend(spec).name
+        return cls(backend=spec,
                    abstraction=resolve_abstraction(abstraction).name,
                    jobs=jobs)
 
@@ -498,7 +511,8 @@ class ShardedZoneGraphExplorer:
         through the batched kernels.
     mode:
         ``"thread"``, ``"process"`` or ``"auto"`` (threads for the
-        numpy backend, processes for the reference backend).  Thread
+        batched numpy/native backends, processes for the reference
+        backend).  Thread
         workers share the compiled network and plan cache; process
         workers rebuild them once per worker and exchange ``frozen()``
         zone snapshots.
@@ -547,7 +561,25 @@ class ShardedZoneGraphExplorer:
         self.abstraction = self.core.abstraction
         self.network = network
         self.compiled = self.core.compiled
-        self.backend = self.core.backend
+        # The wave pipeline expands whole discrete-configuration
+        # groups per kernel call, so ``auto`` re-resolves here with a
+        # batched hint: the expected wave width grows with model size
+        # (structural size / 8 is a coarse states-per-wave proxy,
+        # clamped to the cost table's measured width grid).  Concrete
+        # backend names ignore the hint, and no zones exist yet, so
+        # swapping the core's backend classes before the first
+        # ``initial_state()`` is safe.
+        structural = sum(len(a.locations) + len(a.edges)
+                         for a in network.automata)
+        backend = resolve_backend(zone_backend, hint=BackendHint(
+            n_clocks=self.compiled.n_clocks,
+            structural_size=structural,
+            wave_width=min(64, max(1, structural // 8))))
+        if backend is not self.core.backend:
+            self.core.backend = backend
+            self.core._dbm = backend.dbm
+            self.core._bucket_cls = backend.bucket
+        self.backend = backend
         self.jobs = jobs
         self.shared_pool = pool
         if pool is not None:
@@ -557,11 +589,12 @@ class ShardedZoneGraphExplorer:
             self.jobs = max(jobs, 2) if pool.width > 1 else 1
         else:
             self.mode = mode if mode != "auto" else (
-                "thread" if self.backend.name == "numpy" else "process")
+                "thread" if self.backend.name in ("numpy", "native")
+                else "process")
         self.trace_enabled = trace
         self.max_states = max_states
         self.lazy_subsumption = lazy_subsumption
-        self.batched = self.backend.name == "numpy"
+        self.batched = self.backend.name in ("numpy", "native")
         if intern is True:
             self.intern_table: ZoneInternTable | None = \
                 global_intern_table()
@@ -699,9 +732,14 @@ class ShardedZoneGraphExplorer:
         expander = None
         if self.batched:
             import numpy as np  # noqa: F811 - local alias on purpose
-            from repro.zones.batch import BatchExpander
-            expander = BatchExpander(self.compiled.n_clocks,
-                                     self.compiled.max_constants)
+            if self.backend.name == "native":
+                from repro.zones.dbm_native import NativeBatchExpander
+                expander = NativeBatchExpander(
+                    self.compiled.n_clocks, self.compiled.max_constants)
+            else:
+                from repro.zones.batch import BatchExpander
+                expander = BatchExpander(self.compiled.n_clocks,
+                                         self.compiled.max_constants)
 
         init = core.initial_state()
         self._trust_narrow = self._compute_trust_narrow()

@@ -207,7 +207,9 @@ class NumpyDBM(ZoneMatrix):
         return zone
 
     def copy(self) -> "NumpyDBM":
-        clone = NumpyDBM.__new__(NumpyDBM)
+        # type(self), not NumpyDBM: the native backend subclasses this
+        # class and its copies must stay native.
+        clone = type(self).__new__(type(self))
         clone.size = self.size
         clone._m = self._m.copy()
         clone._empty = self._empty
@@ -363,7 +365,7 @@ class NumpyDBM(ZoneMatrix):
     # Comparisons
     # ------------------------------------------------------------------
     def _peer_matrix(self, other: "ZoneMatrix") -> np.ndarray:
-        if type(other) is NumpyDBM:
+        if isinstance(other, NumpyDBM):  # includes the native subclass
             return other._m
         return np.array(other.frozen(),
                         dtype=np.int64).reshape(self.size, self.size)
@@ -378,7 +380,7 @@ class NumpyDBM(ZoneMatrix):
         """True when the two zones share at least one valuation."""
         if self.size != other.size:
             raise ValueError("DBM size mismatch")
-        merged = NumpyDBM.__new__(NumpyDBM)
+        merged = type(self).__new__(type(self))
         merged.size = self.size
         merged._m = np.minimum(self._m, self._peer_matrix(other))
         merged._empty = None
