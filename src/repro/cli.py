@@ -11,6 +11,15 @@ Commands mirror the paper's workflow:
 * ``timeline``  — regenerate the Fig. 3 interaction timeline
 * ``render``    — dump the PIM / PSM as Graphviz dot or a summary
 * ``scheme``    — print the case-study implementation scheme
+* ``serve``     — run the long-lived verification daemon (warm
+  workers + server-lifetime verdict cache); ``verify``/``portfolio``
+  forward to it with ``--server ADDR``
+
+Exit codes (``verify``/``portfolio``): **0** every scheme earned the
+implementation guarantee; **1** a job or tool error (exploration
+budget, invalid scheme, dead worker, unreachable server); **2** the
+pipeline ran fine but a verdict failed (no guarantee); **130**
+interrupted (Ctrl-C) — partial results are summarized first.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from repro.apps.schemes import case_study_scheme, scheme_grid
 from repro.core.framework import TimingVerificationFramework
 from repro.core.scheme import InvocationKind, ReadPolicy
 from repro.core.transform import transform
+from repro.envvars import EnvVarError
 from repro.mc.parallel import set_default_jobs
 from repro.ta.bounds import set_abstraction
 from repro.ta.render import network_summary, network_to_dot
@@ -39,18 +49,74 @@ _READ_POLICIES = {policy.value: policy for policy in ReadPolicy}
 _INVOCATION_KINDS = {kind.value: kind for kind in InvocationKind}
 
 
+#: Exit-code convention shared by ``verify`` and ``portfolio`` (and
+#: their ``--server`` forwarding): tool/job errors beat verdict
+#: failures, so automation can tell "broken" from "not guaranteed".
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_VERDICT_FAIL = 2
+EXIT_INTERRUPTED = 130
+
+
+def _rows_exit_code(rows: "list[dict]") -> int:
+    """0 / 1 / 2 from JSON row dicts (local rows or daemon frames)."""
+    if any(row.get("status") != "ok" for row in rows):
+        return EXIT_ERROR
+    if not rows or not all(row.get("guarantee") for row in rows):
+        return EXIT_VERDICT_FAIL
+    return EXIT_OK
+
+
+def _forward_jobs(server: str, jobs) -> int:
+    """Ship jobs to a ``repro serve`` daemon; print streamed rows."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(server) as client:
+            outcome = client.run_jobs(jobs)
+    except (ServiceError, OSError) as exc:
+        print(f"server {server}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    for row, origin in zip(outcome.ordered_rows(),
+                           outcome.origins()):
+        print(json.dumps({**row, "origin": origin}))
+    cache = (outcome.stats or {}).get("cache", {})
+    print(f"# server cache: {cache.get('hits', 0)} hits / "
+          f"{cache.get('misses', 0)} misses "
+          f"({cache.get('entries', 0)} entries)")
+    return _rows_exit_code(outcome.ordered_rows())
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     pim = build_infusion_pim()
     scheme = case_study_scheme()
+    if args.server:
+        from repro.mc.portfolio import portfolio_jobs
+
+        return _forward_jobs(args.server, portfolio_jobs(
+            pim, [scheme],
+            input_channel="m_BolusReq",
+            output_channel="c_StartInfusion",
+            deadline_ms=args.deadline,
+            measure_suprema=args.suprema,
+            max_states=args.max_states))
     framework = TimingVerificationFramework(max_states=args.max_states)
-    report = framework.verify(
-        pim, scheme,
-        input_channel="m_BolusReq",
-        output_channel="c_StartInfusion",
-        deadline_ms=args.deadline,
-        measure_suprema=args.suprema)
+    try:
+        report = framework.verify(
+            pim, scheme,
+            input_channel="m_BolusReq",
+            output_channel="c_StartInfusion",
+            deadline_ms=args.deadline,
+            measure_suprema=args.suprema)
+    except KeyboardInterrupt:
+        print("\ninterrupted — no verdict", file=sys.stderr)
+        return EXIT_INTERRUPTED
     print(report.summary())
-    return 0 if report.implementation_guarantee else 1
+    return EXIT_OK if report.implementation_guarantee \
+        else EXIT_VERDICT_FAIL
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
@@ -64,19 +130,89 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
                             for v in args.invocation_kinds],
     }
     schemes = scheme_grid(case_study_scheme, **axes)
+    if args.server:
+        from repro.mc.portfolio import portfolio_jobs
+
+        return _forward_jobs(args.server, portfolio_jobs(
+            pim, schemes,
+            input_channel="m_BolusReq",
+            output_channel="c_StartInfusion",
+            deadline_ms=args.deadline,
+            measure_suprema=args.suprema,
+            max_states=args.max_states))
     framework = TimingVerificationFramework(max_states=args.max_states)
-    outcome = framework.verify_portfolio(
-        pim, schemes,
-        input_channel="m_BolusReq",
-        output_channel="c_StartInfusion",
-        deadline_ms=args.deadline,
-        measure_suprema=args.suprema,
-        fused=args.fused,
-        executor=args.executor,
-        reuse=args.reuse,
-        prune_dominated=args.prune_dominated)
+    partial = []
+    try:
+        outcome = framework.verify_portfolio(
+            pim, schemes,
+            input_channel="m_BolusReq",
+            output_channel="c_StartInfusion",
+            deadline_ms=args.deadline,
+            measure_suprema=args.suprema,
+            fused=args.fused,
+            executor=args.executor,
+            reuse=args.reuse,
+            prune_dominated=args.prune_dominated,
+            on_result=partial.append)
+    except KeyboardInterrupt:
+        # The executors shut down on their own unwind (daemon
+        # coordinator threads; cancel_futures on the process pool) —
+        # summarize whatever committed before the interrupt.
+        print(f"\ninterrupted — {len(partial)}/{len(schemes)} "
+              f"schemes finished:", file=sys.stderr)
+        for row in sorted(partial, key=lambda r: r.index):
+            print(f"  {row.summary()}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     print(render_portfolio(outcome, deadline_ms=args.deadline))
-    return 0 if outcome.all_ok else 1
+    return _rows_exit_code([row.row() for row in outcome.results])
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.scheduler import JobScheduler
+    from repro.service.server import VerificationServer
+
+    if args.unix is not None and args.port is not None:
+        print("pass either --port or --unix, not both",
+              file=sys.stderr)
+        return EXIT_ERROR
+    scheduler = JobScheduler(
+        jobs=args.jobs,
+        executor=args.executor,
+        max_states=args.max_states,
+        abstraction=args.abstraction,
+        cache_entries=args.cache_entries,
+        dispatch_threads=args.dispatch_threads,
+        warm_start_max_zones=args.warm_start_max_zones,
+        workers=args.workers,
+        min_idle=args.min_idle,
+        recycle_after_executions=args.recycle_after,
+        job_timeout=args.job_timeout)
+    if args.unix is not None:
+        server = VerificationServer(scheduler, path=args.unix)
+    else:
+        port = args.port if args.port is not None else 7315
+        server = VerificationServer(scheduler, host=args.host,
+                                    port=port)
+
+    async def run() -> None:
+        await server.start()
+        if isinstance(server.address, tuple):
+            host, port = server.address
+            print(f"listening on {host}:{port}", flush=True)
+        else:
+            print(f"listening on unix:{server.address}", flush=True)
+        await server.serve()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        # The loop's own SIGINT handler normally drains first; this
+        # only triggers when the interrupt lands outside the loop.
+        pass
+    print("server drained, bye", flush=True)
+    return EXIT_OK
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -178,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--max-states", type=int, default=2_000_000)
     p_verify.add_argument("--suprema", action="store_true",
                           help="also measure exact PSM delay suprema")
+    p_verify.add_argument("--server", metavar="ADDR", default=None,
+                          help="forward to a running 'repro serve' "
+                               "daemon instead of verifying locally "
+                               "(ADDR: host:port or a unix socket "
+                               "path); repeated equivalent runs are "
+                               "answered from the server's verdict "
+                               "cache")
     p_verify.set_defaults(fn=_cmd_verify)
 
     p_port = sub.add_parser(
@@ -249,7 +392,81 @@ def build_parser() -> argparse.ArgumentParser:
                              "multi-core for the pure-Python "
                              "reference backend; also settable via "
                              "REPRO_EXECUTOR)")
+    p_port.add_argument("--server", metavar="ADDR", default=None,
+                        help="forward the whole grid to a running "
+                             "'repro serve' daemon (ADDR: host:port "
+                             "or a unix socket path); rows stream "
+                             "back as JSON lines tagged with their "
+                             "origin (explored/memo/cancelled)")
     p_port.set_defaults(fn=_cmd_portfolio)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived verification daemon",
+        description="Boot a verification daemon that keeps verdicts "
+                    "and warm state across requests: a bounded "
+                    "server-lifetime verdict cache (equivalent jobs "
+                    "from any client resolve to one exploration + N "
+                    "cache hits), a capped warm-start zone table, and "
+                    "— under --executor process — a pool of "
+                    "pre-forked warm workers that are health-checked "
+                    "and recycled.  Clients connect with 'repro "
+                    "verify/portfolio --server ADDR'.  SIGTERM/SIGINT "
+                    "drain gracefully: running jobs finish, queued "
+                    "ones return explicit cancelled rows.  The framed "
+                    "protocol accepts pickled jobs by value, so only "
+                    "listen where every client is trusted (the unix "
+                    "socket is created mode 0700).")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind host (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         metavar="PORT",
+                         help="TCP port (default: 7315; 0 = "
+                              "ephemeral; the bound address is "
+                              "printed on stdout)")
+    p_serve.add_argument("--unix", metavar="PATH", default=None,
+                         help="listen on a unix socket instead of TCP")
+    p_serve.add_argument("--max-states", type=int, default=2_000_000,
+                         help="per-job exploration budget")
+    p_serve.add_argument("--cache-entries", type=int, default=1024,
+                         metavar="N",
+                         help="verdict-cache capacity in memo entries "
+                              "(LRU-evicted; default: 1024)")
+    p_serve.add_argument("--warm-start-max-zones", type=int,
+                         default=200_000, metavar="N",
+                         help="cap on the cross-request warm-start "
+                              "zone table; the table resets when "
+                              "interning would exceed it "
+                              "(default: 200000)")
+    p_serve.add_argument("--dispatch-threads", type=int, default=8,
+                         metavar="N",
+                         help="concurrent job dispatchers "
+                              "(default: 8)")
+    p_serve.add_argument("--executor", choices=["thread", "process"],
+                         default=None,
+                         help="execution mode (default: thread; "
+                              "process uses the warm pre-forked "
+                              "worker pool; also settable via "
+                              "REPRO_EXECUTOR)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         metavar="N",
+                         help="warm worker pool size for --executor "
+                              "process (default: --jobs, else 2)")
+    p_serve.add_argument("--min-idle", type=int, default=None,
+                         metavar="N",
+                         help="warm spares kept pre-forked "
+                              "(default: the pool size)")
+    p_serve.add_argument("--recycle-after", type=int, default=None,
+                         metavar="N",
+                         help="retire a worker after N jobs to bound "
+                              "per-process memory growth "
+                              "(default: never)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="kill and replace a worker whose job "
+                              "exceeds this wall time "
+                              "(default: unlimited)")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_table = sub.add_parser("table1", help="regenerate Table I")
     p_table.add_argument("--trials", type=int, default=60)
@@ -281,15 +498,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_environment() -> None:
+    """Fail fast on malformed ``REPRO_*`` variables.
+
+    Every resolver validates lazily at first use; running them here
+    turns a mid-pipeline stack trace into a one-line startup error.
+    """
+    from repro.mc.parallel import resolve_jobs
+    from repro.mc.portfolio import resolve_executor
+    from repro.ta.bounds import resolve_abstraction
+    from repro.zones.backend import requested_backend
+
+    resolve_jobs(None)
+    resolve_executor(None)
+    resolve_abstraction(None)
+    requested_backend(None)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.zone_backend is not None:
-        set_backend(args.zone_backend)
-    if args.jobs is not None:
-        set_default_jobs(args.jobs)
-    if args.abstraction is not None:
-        set_abstraction(args.abstraction)
-    return args.fn(args)
+    try:
+        _check_environment()
+        if args.zone_backend is not None:
+            set_backend(args.zone_backend)
+        if args.jobs is not None:
+            set_default_jobs(args.jobs)
+        if args.abstraction is not None:
+            set_abstraction(args.abstraction)
+        return args.fn(args)
+    except EnvVarError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        # Commands catch this themselves to summarize partial work;
+        # this net only covers interrupts outside those windows.
+        print("\ninterrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

@@ -267,7 +267,8 @@ class TimingVerificationFramework:
                          executor: str | None = None,
                          reuse: bool = False,
                          prune_dominated: bool = False,
-                         warm_start: bool = False):
+                         warm_start: bool = False,
+                         on_result=None):
         """Step 7: verify a whole portfolio of candidate schemes.
 
         One :meth:`verify` pipeline per scheme, scheduled concurrently
@@ -289,6 +290,10 @@ class TimingVerificationFramework:
         ``derived_from`` provenance and no state tallies);
         ``warm_start=True`` keeps one zone-interning table across the
         portfolio so neighboring sweeps share interned zones.
+        ``on_result`` is called with each
+        :class:`~repro.mc.portfolio.PortfolioResult` as it commits
+        (completion order) — the streaming hook the service daemon
+        bridges to its clients.
         Returns the job-ordered
         :class:`repro.mc.portfolio.PortfolioOutcome`;
         render it with
@@ -306,4 +311,5 @@ class TimingVerificationFramework:
             output_channel=output_channel, deadline_ms=deadline_ms,
             min_interarrival_ms=min_interarrival_ms,
             measure_suprema=measure_suprema,
-            include_progress=include_progress)
+            include_progress=include_progress,
+            on_result=on_result)

@@ -44,6 +44,7 @@ from typing import Mapping
 from repro.ta.rename import CanonicalModel, ErasedSite, canonical_network
 
 __all__ = [
+    "InFlight",
     "MemoEntry",
     "VerdictMemo",
     "capacity_bounds",
@@ -130,6 +131,26 @@ class MemoEntry:
         return True
 
 
+class InFlight:
+    """One key's in-flight claim: a completion event plus the outcome.
+
+    ``failed`` is the failure sentinel of the claim/commit protocol:
+    ``True`` once the owner released the key *without publishing an
+    entry* — it crashed, blew its budget, its worker died, or its
+    result simply was not memoizable.  Either way no entry is coming,
+    so a woken waiter must fall back to exploring itself instead of
+    re-claiming (which would serialize the survivors behind a new
+    leader, or — before this flag existed — hang forever on an owner
+    that never committed).
+    """
+
+    __slots__ = ("event", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.failed = False
+
+
 class VerdictMemo:
     """Thread-safe content-addressed store of :class:`MemoEntry`.
 
@@ -138,20 +159,37 @@ class VerdictMemo:
     first that covers the candidate.  The in-flight protocol mirrors
     the portfolio's PIM obligation cache: :meth:`claim` either makes
     the caller the computing owner (returns ``None``) or hands back
-    an event to wait on before re-checking.
+    an :class:`InFlight` record to wait on before re-checking.  The
+    owner *must* call :meth:`commit` — with ``entry=None`` on any
+    failure — or every waiter deadlocks; the portfolio does so in a
+    ``finally``.
     """
 
     def __init__(self):
         self._lock = threading.Lock()
         self._entries: dict[tuple, list[MemoEntry]] = {}
-        self._inflight: dict[tuple, threading.Event] = {}
+        self._inflight: dict[tuple, InFlight] = {}
         #: Jobs answered from the memo.
         self.hits = 0
         #: Jobs that ran a real exploration (memo enabled).
         self.misses = 0
+        #: Claims released without an entry (owner failed or result
+        #: was not memoizable); waiters fell back to exploring.
+        self.failures = 0
 
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._entries.values())
+        with self._lock:
+            return sum(len(entries)
+                       for entries in self._entries.values())
+
+    # Storage hooks — the service's BoundedVerdictMemo overrides these
+    # to add LRU bookkeeping.  Both are called with ``_lock`` held.
+
+    def _store(self, key: tuple, entry: MemoEntry) -> None:
+        self._entries.setdefault(key, []).append(entry)
+
+    def _touch(self, key: tuple) -> None:
+        """A hit on ``key`` (recency hook; no-op in the base memo)."""
 
     def find(self, key: tuple,
              model: CanonicalModel) -> MemoEntry | None:
@@ -160,37 +198,47 @@ class VerdictMemo:
             for entry in self._entries.get(key, ()):
                 if entry.covers(model):
                     self.hits += 1
+                    self._touch(key)
                     return entry
         return None
 
-    def claim(self, key: tuple) -> threading.Event | None:
+    def claim(self, key: tuple) -> InFlight | None:
         """Become the owner computing ``key`` (``None``) or get the
-        current owner's completion event to wait on."""
+        current owner's :class:`InFlight` record to wait on."""
         with self._lock:
-            event = self._inflight.get(key)
-            if event is None:
-                self._inflight[key] = threading.Event()
+            record = self._inflight.get(key)
+            if record is None:
+                self._inflight[key] = InFlight()
                 self.misses += 1
                 return None
-            return event
+            return record
 
     def commit(self, key: tuple, entry: MemoEntry | None) -> None:
-        """Publish the owner's result (``None`` = not memoizable) and
-        release every waiter."""
+        """Publish the owner's result and release every waiter.
+
+        ``entry=None`` means no entry is coming (failure or a
+        non-memoizable result): the in-flight record is marked
+        ``failed`` before its event is set, so waiters wake into the
+        explore-yourself fallback instead of re-claiming.
+        """
         with self._lock:
             if entry is not None:
-                self._entries.setdefault(key, []).append(entry)
-            event = self._inflight.pop(key, None)
-        if event is not None:
-            event.set()
+                self._store(key, entry)
+            record = self._inflight.pop(key, None)
+            if entry is None and record is not None:
+                self.failures += 1
+        if record is not None:
+            record.failed = entry is None
+            record.event.set()
 
     def record(self, key: tuple, entry: MemoEntry) -> None:
         """Commit an entry without the claim/owner protocol (the
         process executor's parent populates the memo from finished
-        rows; no other thread races it)."""
+        rows, and fallback explorers publish theirs; appending is
+        safe regardless of who currently owns the key)."""
         with self._lock:
-            self._entries.setdefault(key, []).append(entry)
+            self._store(key, entry)
 
     def stats(self) -> dict[str, int]:
         return {"entries": len(self), "hits": self.hits,
-                "misses": self.misses}
+                "misses": self.misses, "failures": self.failures}

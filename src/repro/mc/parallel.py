@@ -108,14 +108,8 @@ def resolve_jobs(jobs: int | None = None) -> int | None:
         if _default_jobs is not None:
             jobs = _default_jobs
         else:
-            raw = os.environ.get(ENV_JOBS, "").strip()
-            if raw:
-                try:
-                    jobs = int(raw)
-                except ValueError:
-                    raise ValueError(
-                        f"{ENV_JOBS} must be an integer >= 1, "
-                        f"got {raw!r}") from None
+            from repro.envvars import env_int
+            jobs = env_int(ENV_JOBS, minimum=1)
     if jobs is None:
         return None
     if jobs < 1:

@@ -102,6 +102,8 @@ __all__ = [
     "PortfolioOutcome",
     "PortfolioResult",
     "PortfolioVerifier",
+    "memo_entry_from_row",
+    "memoized_result",
     "portfolio_jobs",
     "resolve_executor",
 ]
@@ -122,7 +124,9 @@ def resolve_executor(executor: str | None = None) -> str:
     multi-core for the GIL-bound pure-Python reference backend.
     """
     if executor is None:
-        executor = os.environ.get(ENV_EXECUTOR, "").strip() or "thread"
+        from repro.envvars import env_choice
+        executor = env_choice(ENV_EXECUTOR, _EXECUTORS,
+                              default="thread")
     if executor not in _EXECUTORS:
         raise ValueError(
             f"unknown portfolio executor {executor!r} (choose from: "
@@ -325,6 +329,14 @@ class PortfolioOutcome:
     #: Expansion waves the shared pool ran — the non-timing proxy for
     #: zone-level scheduling overhead (0 under the fallback).
     pool_waves: int = 0
+    #: Zones held by the run's scoped intern table when the run
+    #: finished (0 when interning is off or unscoped).  Under
+    #: ``warm_start`` this is the pinned table's live size — the
+    #: number a daemon watches to see the cap working.
+    interned_zones: int = 0
+    #: Generation resets the scoped table performed (capacity
+    #: evictions under ``warm_start_max_zones``).
+    intern_resets: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -511,7 +523,9 @@ class PortfolioVerifier:
                  reuse: bool = False,
                  prune_dominated: bool = False,
                  warm_start: bool = False,
-                 small_grid_fallback: bool = True):
+                 warm_start_max_zones: int | None = None,
+                 small_grid_fallback: bool = True,
+                 memo: VerdictMemo | None = None):
         if concurrency is not None and concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1, got {concurrency}")
@@ -529,12 +543,24 @@ class PortfolioVerifier:
         self.reuse = reuse
         self.prune_dominated = prune_dominated
         self.warm_start = warm_start
+        if warm_start_max_zones is not None \
+                and warm_start_max_zones < 1:
+            raise ValueError(
+                f"warm_start_max_zones must be >= 1, "
+                f"got {warm_start_max_zones}")
+        #: Cap on the pinned warm-start intern table.  Without one the
+        #: table grows monotonically across :meth:`run` calls — a
+        #: memory leak in a long-running daemon; with a cap the table
+        #: generation-resets when full (``intern_resets`` counts).
+        self.warm_start_max_zones = warm_start_max_zones
         self.small_grid_fallback = small_grid_fallback
         self._pim_cache: dict[tuple, _SharedObligation] = {}
         self._pim_lock = threading.Lock()
         #: Cross-scheme verdict memo; persists across :meth:`run`
-        #: calls (content-addressed, so staleness cannot arise).
-        self._memo = VerdictMemo()
+        #: calls (content-addressed, so staleness cannot arise).  An
+        #: injected memo (the service's bounded server-lifetime cache)
+        #: is shared as-is — several verifiers may point at one.
+        self._memo = memo if memo is not None else VerdictMemo()
         self._warm_intern: ZoneInternTable | None = None
 
     # ------------------------------------------------------------------
@@ -586,22 +612,7 @@ class PortfolioVerifier:
         results: list[PortfolioResult | None] = [None] * len(job_list)
         callback_errors: list[BaseException] = []
         self._pim_cache.clear()
-        # Interning scope: a fresh table per run (default) keeps
-        # long-lived processes from accumulating zones across grids;
-        # ``warm_start`` pins one scoped table to this verifier so
-        # neighboring sweeps reuse each other's interned zones;
-        # ``None`` defers to the explorer default (the global table).
-        if self.intern is True:
-            if not self.scoped_intern:
-                run_intern: bool | ZoneInternTable | None = None
-            elif self.warm_start:
-                if self._warm_intern is None:
-                    self._warm_intern = ZoneInternTable()
-                run_intern = self._warm_intern
-            else:
-                run_intern = ZoneInternTable()
-        else:
-            run_intern = self.intern
+        run_intern = self._run_intern()
 
         def execute(index: int) -> None:
             result = self._run_one(index, job_list[index], engine_jobs,
@@ -666,6 +677,10 @@ class PortfolioVerifier:
             pool_width=pool.width if pool is not None else 0,
             pool_waves=pool.waves if pool is not None else 0,
             wall_seconds=time.perf_counter() - started)
+        if isinstance(run_intern, ZoneInternTable):
+            stats = run_intern.stats()
+            outcome.interned_zones = stats["zones"]
+            outcome.intern_resets = stats["resets"]
         outcome.tally_reuse()
         return outcome
 
@@ -673,12 +688,63 @@ class PortfolioVerifier:
                        schemes: Sequence["ImplementationScheme"], *,
                        input_channel: str, output_channel: str,
                        deadline_ms: int,
+                       on_result: "Callable[[PortfolioResult], None] | None" = None,
                        **job_kwargs) -> PortfolioOutcome:
         """Grid front door: one job per scheme, then :meth:`run`."""
         return self.run(portfolio_jobs(
             pim, schemes, input_channel=input_channel,
             output_channel=output_channel, deadline_ms=deadline_ms,
-            **job_kwargs))
+            **job_kwargs), on_result=on_result)
+
+    def run_job(self, job: PortfolioJob, *, index: int = 0,
+                obligation: tuple | None = None) -> PortfolioResult:
+        """Verify one job synchronously on the calling thread.
+
+        The per-job front door the service daemon's thread scheduler
+        uses: it shares this verifier's verdict memo, so concurrent
+        callers on equivalent models dedupe through the claim/commit
+        protocol (one explores, the rest wait and hit), and failures
+        come back as structured error rows exactly like :meth:`run`'s.
+        ``obligation`` optionally supplies the precomputed
+        ``(pim_result, internal)`` pair — the daemon caches those by
+        canonical PIM digest instead of relying on the per-run
+        ``id()``-keyed cache, which a long-lived process cannot trust
+        across requests.
+        """
+        return self._run_one(index, job, resolve_jobs(self.jobs),
+                             None, self._run_intern(),
+                             obligation=obligation)
+
+    def _run_intern(self) -> "bool | ZoneInternTable | None":
+        """Interning scope for one run: a fresh table per run
+        (default) keeps long-lived processes from accumulating zones
+        across grids; ``warm_start`` pins one scoped table to this
+        verifier so neighboring sweeps reuse each other's interned
+        zones (capped by ``warm_start_max_zones``); ``None`` defers
+        to the explorer default (the global table)."""
+        if self.intern is not True:
+            return self.intern
+        if not self.scoped_intern:
+            return None
+        if self.warm_start:
+            if self._warm_intern is None:
+                if self.warm_start_max_zones is not None:
+                    self._warm_intern = ZoneInternTable(
+                        max_zones=self.warm_start_max_zones)
+                else:
+                    self._warm_intern = ZoneInternTable()
+            return self._warm_intern
+        return ZoneInternTable()
+
+    def warm_start_stats(self) -> dict[str, int]:
+        """Size + reset counters of the pinned warm-start table
+        (zeros when ``warm_start`` is off or nothing ran yet) — the
+        daemon exposes these so the leak-turned-cap is observable."""
+        table = self._warm_intern
+        if table is None:
+            return {"zones": 0, "resets": 0}
+        stats = table.stats()
+        return {"zones": stats["zones"], "resets": stats["resets"]}
 
     # ------------------------------------------------------------------
     #: Structural-work hint below which the fallback scheduler drops
@@ -741,8 +807,12 @@ class PortfolioVerifier:
                             fatal.append(exc)
                     return
 
+        # daemon=True: a Ctrl-C that aborts the join below must not
+        # leave non-daemon coordinators pinning the interpreter alive
+        # mid-exploration (the CLI exits 130 with a partial summary).
         threads = [threading.Thread(target=drain,
-                                    name=f"portfolio-job-{i}")
+                                    name=f"portfolio-job-{i}",
+                                    daemon=True)
                    for i in range(concurrency)]
         for thread in threads:
             thread.start()
@@ -832,6 +902,7 @@ class PortfolioVerifier:
         model = psm_canonical_model(psm)
         key = self._memo_key(job, psm, model, deadlines)
         memo = self._memo
+        fallback = False
         while True:
             entry = memo.find(key, model)
             if entry is not None:
@@ -841,10 +912,17 @@ class PortfolioVerifier:
                 if job.measure_suprema:
                     report.symbolic = dict(entry.symbolic)
                 return entry.donor, None
-            waiter = memo.claim(key)
-            if waiter is None:
+            if fallback:
+                break  # owner failed: explore without claiming
+            claimed = memo.claim(key)
+            if claimed is None:
                 break  # we own the key: run the real pipeline
-            waiter.wait()
+            claimed.event.wait()
+            # The failed sentinel means no entry is coming for this
+            # key; every waiter falls back to exploring concurrently
+            # instead of re-claiming (or, worse, waiting forever on
+            # an owner that crashed before commit).
+            fallback = claimed.failed
         entry = None
         maxima: Mapping[str, int] | None = None
         complete = False
@@ -860,9 +938,16 @@ class PortfolioVerifier:
                 relaxed=report.psm_relaxed_result,
                 symbolic=dict(report.symbolic or {}))
         finally:
-            # A failed pipeline commits None: waiters re-claim and the
-            # first to do so becomes the next owner.
-            memo.commit(key, entry)
+            if fallback:
+                # Not the owner — nothing to release; still publish a
+                # successful result for later jobs.
+                if entry is not None:
+                    memo.record(key, entry)
+            else:
+                # A failed pipeline commits None, which marks the
+                # in-flight record failed and sends waiters into the
+                # fallback path above.
+                memo.commit(key, entry)
         return None, (dict(maxima) if complete and maxima else None)
 
     def _explore_job(self, job: PortfolioJob, framework, report,
@@ -1324,7 +1409,11 @@ class PortfolioVerifier:
                 run_round(representatives)
                 pending_followers = waiters
         finally:
-            executor.shutdown(wait=True)
+            # cancel_futures: on an abort (KeyboardInterrupt, daemon
+            # shutdown) queued-but-unstarted jobs are dropped instead
+            # of run to completion — shutdown then only waits for the
+            # rounds already on workers.
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def _memo_split(self, pending: list["_ProcessJobSpec"],
                     obligations: list[tuple]):
@@ -1371,48 +1460,16 @@ class PortfolioVerifier:
     def _record_worker_entry(self, spec: "_ProcessJobSpec",
                              row: PortfolioResult, models) -> None:
         """Populate the parent memo from a finished worker row."""
-        from repro.mc.memo import MemoEntry
-
         key, model = models[spec.index]
-        report = row.report
-        if report is None or report.psm_relaxed_result is None:
-            return
-        self._memo.record(key, MemoEntry(
-            donor=row.name, erased=model.erased,
-            maxima=row.occupancy,
-            constraints=report.constraints,
-            original=report.psm_original_result,
-            relaxed=report.psm_relaxed_result,
-            symbolic=dict(report.symbolic or {})))
+        entry = memo_entry_from_row(row, model)
+        if entry is not None:
+            self._memo.record(key, entry)
 
     def _memoized_result(self, spec: "_ProcessJobSpec", entry,
                          obligations: list[tuple]) -> PortfolioResult:
         """Parent-built row for a follower answered from the memo."""
-        from repro.core.delays import bounds_from_internal
-        from repro.core.framework import VerificationReport
-
-        job = spec.job
-        started = time.perf_counter()
-        report = VerificationReport(
-            input_channel=job.input_channel,
-            output_channel=job.output_channel,
-            deadline_ms=job.deadline_ms)
-        result = PortfolioResult(
-            index=spec.index, name=job.name, scheme=job.scheme,
-            deadline_ms=job.deadline_ms, report=report,
-            memo_hit=entry.donor)
-        pim_result, internal = obligations[spec.obligation][1]
-        report.pim_result = pim_result
-        report.bounds = bounds_from_internal(
-            job.scheme, job.input_channel, job.output_channel,
-            internal)
-        report.constraints = entry.constraints
-        report.psm_original_result = entry.original
-        report.psm_relaxed_result = entry.relaxed
-        if job.measure_suprema:
-            report.symbolic = dict(entry.symbolic)
-        result.wall_seconds = time.perf_counter() - started
-        return result
+        return memoized_result(spec.index, spec.job, entry,
+                               obligations[spec.obligation][1])
 
     def _parent_obligations(self, job_list: list[PortfolioJob]):
         """Step 1 + the Lemma-2 internal sup, once per distinct key,
@@ -1481,6 +1538,65 @@ class PortfolioVerifier:
         if entry.error is not None:
             raise entry.error
         return entry.value
+
+
+def memo_entry_from_row(row: PortfolioResult,
+                        model) -> "MemoEntry | None":
+    """A :class:`~repro.mc.memo.MemoEntry` built from a finished row
+    (``None`` when the row carries nothing memoizable — it errored
+    before the relaxed sweep committed).
+
+    ``model`` is the row's own canonical capacity-erased model; the
+    process executor's parent and the service daemon both use this to
+    populate a memo from rows that were produced elsewhere.
+    """
+    from repro.mc.memo import MemoEntry
+
+    report = row.report
+    if report is None or report.psm_relaxed_result is None:
+        return None
+    return MemoEntry(
+        donor=row.name, erased=model.erased,
+        maxima=row.occupancy,
+        constraints=report.constraints,
+        original=report.psm_original_result,
+        relaxed=report.psm_relaxed_result,
+        symbolic=dict(report.symbolic or {}))
+
+
+def memoized_result(index: int, job: PortfolioJob, entry,
+                    obligation: tuple) -> PortfolioResult:
+    """A complete row answered from a memo entry, no exploration.
+
+    ``obligation`` is the job's ``(pim_result, internal)`` pair (the
+    scheme-independent half of the pipeline).  Verdicts, bounds and
+    tallies are the donor's own — exact by the occupancy-certificate
+    bisimulation — with ``memo_hit`` provenance set.
+    """
+    from repro.core.delays import bounds_from_internal
+    from repro.core.framework import VerificationReport
+
+    started = time.perf_counter()
+    report = VerificationReport(
+        input_channel=job.input_channel,
+        output_channel=job.output_channel,
+        deadline_ms=job.deadline_ms)
+    result = PortfolioResult(
+        index=index, name=job.name, scheme=job.scheme,
+        deadline_ms=job.deadline_ms, report=report,
+        memo_hit=entry.donor)
+    pim_result, internal = obligation
+    report.pim_result = pim_result
+    report.bounds = bounds_from_internal(
+        job.scheme, job.input_channel, job.output_channel,
+        internal)
+    report.constraints = entry.constraints
+    report.psm_original_result = entry.original
+    report.psm_relaxed_result = entry.relaxed
+    if job.measure_suprema:
+        report.symbolic = dict(entry.symbolic)
+    result.wall_seconds = time.perf_counter() - started
+    return result
 
 
 def _compute_obligation(job: PortfolioJob, framework) -> tuple:

@@ -1,0 +1,45 @@
+"""Long-running verification service: ``repro serve`` + client.
+
+The daemon that turns the batch tool into the traffic-serving system
+the ROADMAP describes: one process keeps the Python toolchain
+imported, the verdict cache warm and a pool of pre-forked workers
+alive, so re-verifying the same PSM under many platform schemes —
+the paper's workflow — costs an exploration once and a cache lookup
+ever after.
+
+Modules
+-------
+``protocol``
+    Length-prefixed JSON framing shared by server and clients.
+``cache``
+    :class:`BoundedVerdictMemo` — the server-lifetime verdict cache
+    (LRU over canonical keys, hit/miss/eviction counters).
+``workers``
+    :class:`WarmWorkerPool` — pre-forked processes with ``min_idle``,
+    per-worker ``recycle_after_executions`` and health pings.
+``scheduler``
+    :class:`JobScheduler` — bridges decoded requests onto the
+    existing executors and the shared memo.
+``server``
+    :class:`VerificationServer` — the asyncio accept loop, per-
+    connection row streaming and the SIGTERM drain path.
+``client``
+    :class:`ServiceClient` (blocking) and
+    :class:`AsyncServiceClient` — used by ``repro verify --server``.
+"""
+
+from repro.service.cache import BoundedVerdictMemo
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.scheduler import JobScheduler
+from repro.service.server import VerificationServer
+from repro.service.workers import WarmWorkerPool, WorkerDied
+
+__all__ = [
+    "AsyncServiceClient",
+    "BoundedVerdictMemo",
+    "JobScheduler",
+    "ServiceClient",
+    "VerificationServer",
+    "WarmWorkerPool",
+    "WorkerDied",
+]

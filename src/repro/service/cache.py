@@ -1,0 +1,62 @@
+"""Server-lifetime verdict cache: a bounded LRU over the memo.
+
+:class:`BoundedVerdictMemo` *is a* :class:`~repro.mc.memo.VerdictMemo`
+— same claim/commit in-flight protocol, same occupancy-certificate
+exactness — shared by every verifier the daemon creates, so verdicts
+survive across requests and clients.  What it adds is the property a
+cache running forever needs: a bound.  Keys are tracked in LRU order
+(a :meth:`find` hit refreshes recency through the base class's
+``_touch`` hook); storing past ``max_entries`` keys evicts the least
+recently used key *and all its entries* (``evictions`` counts evicted
+keys).
+
+Eviction is always safe — the memo is content-addressed, so the worst
+case is re-exploring a job that would have hit.  In-flight claims are
+untouched by eviction (they live in a separate map), so an owner
+racing an eviction still commits and releases its waiters normally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.mc.memo import MemoEntry, VerdictMemo
+
+__all__ = ["BoundedVerdictMemo"]
+
+
+class BoundedVerdictMemo(VerdictMemo):
+    """A :class:`VerdictMemo` holding at most ``max_entries`` keys."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
+        super().__init__()
+        self.max_entries = max_entries
+        #: Keys dropped by the LRU bound (with all their entries).
+        self.evictions = 0
+        self._lru: OrderedDict[tuple, None] = OrderedDict()
+
+    # Both hooks run with the memo lock held (see VerdictMemo).
+
+    def _store(self, key: tuple, entry: MemoEntry) -> None:
+        super()._store(key, entry)
+        self._lru[key] = None
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            oldest, _ = self._lru.popitem(last=False)
+            self._entries.pop(oldest, None)
+            self.evictions += 1
+
+    def _touch(self, key: tuple) -> None:
+        if key in self._lru:
+            self._lru.move_to_end(key)
+
+    def stats(self) -> dict[str, int]:
+        stats = super().stats()
+        with self._lock:
+            stats["keys"] = len(self._lru)
+        stats["max_entries"] = self.max_entries
+        stats["evictions"] = self.evictions
+        return stats

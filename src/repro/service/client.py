@@ -1,0 +1,266 @@
+"""Clients for the verification service (blocking and asyncio).
+
+:class:`ServiceClient` is the synchronous client the CLI's
+``--server`` forwarding uses: connect, submit, iterate row frames as
+the daemon streams them, read the ``done`` summary.
+:class:`AsyncServiceClient` is the same surface over asyncio streams
+for callers already inside an event loop.
+
+Addresses are spelled as one string: ``"host:port"`` for TCP or a
+filesystem path (optionally ``"unix:/path"``) for a Unix socket —
+:func:`parse_address` is the single parser both clients and the CLI
+share.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.service.protocol import (
+    ProtocolError,
+    encode_jobs,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceError",
+    "SubmissionOutcome",
+    "parse_address",
+]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an ``error`` frame (or hung up)."""
+
+
+def parse_address(address: str | tuple) -> tuple[int, object]:
+    """``"host:port"`` / ``"unix:/path"`` / ``"/path"`` → a
+    ``(family, target)`` pair ready for ``socket.connect``."""
+    if isinstance(address, tuple):
+        return socket.AF_INET, address
+    if address.startswith("unix:"):
+        return socket.AF_UNIX, address[len("unix:"):]
+    if address.startswith(("/", "./")):
+        return socket.AF_UNIX, address
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"address {address!r} is neither 'host:port' nor a unix "
+            f"socket path")
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+@dataclass
+class SubmissionOutcome:
+    """Everything one submission streamed back."""
+
+    request_id: int
+    jobs: int
+    #: ``(index, row, origin)`` in arrival (= completion) order.
+    rows: list[tuple[int, dict, str]] = field(default_factory=list)
+    #: The server's scheduler stats at completion time.
+    stats: dict | None = None
+
+    def ordered_rows(self) -> list[dict]:
+        """Rows re-sorted to submission order."""
+        return [row for _, row, _ in sorted(self.rows)]
+
+    def origins(self) -> list[str]:
+        return [origin for _, _, origin in sorted(self.rows)]
+
+
+def _submission_message(jobs, measure_suprema=None) -> dict:
+    message = {"op": "submit", "jobs_pickle": encode_jobs(jobs)}
+    if measure_suprema is not None:
+        message["measure_suprema"] = measure_suprema
+    return message
+
+
+class ServiceClient:
+    """Blocking client over one socket connection."""
+
+    def __init__(self, address: str | tuple, *,
+                 timeout: float | None = 300.0):
+        self.address = address
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+
+    # -- connection ----------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        family, target = parse_address(self.address)
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(target)
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def sock(self) -> socket.socket:
+        if self._sock is None:
+            raise ServiceError("client is not connected")
+        return self._sock
+
+    def _roundtrip(self, message: dict) -> dict:
+        send_frame(self.sock, message)
+        reply = recv_frame(self.sock)
+        if reply is None:
+            raise ServiceError("server closed the connection")
+        if reply.get("type") == "error":
+            raise ServiceError(reply.get("message", "unknown error"))
+        return reply
+
+    # -- simple ops ----------------------------------------------------
+    def ping(self) -> dict:
+        return self._roundtrip({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self._roundtrip({"op": "stats"})["stats"]
+
+    def shutdown_server(self) -> None:
+        self._roundtrip({"op": "shutdown"})
+
+    # -- submissions ---------------------------------------------------
+    def iter_frames(self, message: dict) -> Iterator[dict]:
+        """Submit and yield ``accepted``/``row``/``done`` frames as
+        they arrive (``done`` is the last frame yielded)."""
+        send_frame(self.sock, message)
+        while True:
+            frame = recv_frame(self.sock)
+            if frame is None:
+                raise ServiceError(
+                    "server closed the connection mid-stream")
+            kind = frame.get("type")
+            if kind == "error":
+                raise ServiceError(
+                    frame.get("message", "unknown error"))
+            yield frame
+            if kind == "done":
+                return
+
+    def run(self, message: dict) -> SubmissionOutcome:
+        """Submit and collect the full stream."""
+        outcome: SubmissionOutcome | None = None
+        for frame in self.iter_frames(message):
+            kind = frame["type"]
+            if kind == "accepted":
+                outcome = SubmissionOutcome(
+                    request_id=frame["id"], jobs=frame["jobs"])
+            elif kind == "row":
+                if outcome is None:
+                    raise ProtocolError("row before accepted")
+                outcome.rows.append((frame["index"], frame["row"],
+                                     frame["origin"]))
+            elif kind == "done":
+                if outcome is None:
+                    raise ProtocolError("done before accepted")
+                outcome.stats = frame.get("stats")
+        if outcome is None:
+            raise ServiceError("stream ended without frames")
+        return outcome
+
+    def run_jobs(self, jobs) -> SubmissionOutcome:
+        """Verify pickled :class:`PortfolioJob` objects by value."""
+        return self.run(_submission_message(jobs))
+
+
+class AsyncServiceClient:
+    """The same surface over asyncio streams."""
+
+    def __init__(self, address: str | tuple):
+        self.address = address
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        import asyncio
+
+        family, target = parse_address(self.address)
+        if family == socket.AF_UNIX:
+            self._reader, self._writer = \
+                await asyncio.open_unix_connection(target)
+        else:
+            host, port = target
+            self._reader, self._writer = \
+                await asyncio.open_connection(host, port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        if self._writer is None:
+            await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _roundtrip(self, message: dict) -> dict:
+        write_frame(self._writer, message)
+        await self._writer.drain()
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise ServiceError("server closed the connection")
+        if reply.get("type") == "error":
+            raise ServiceError(reply.get("message", "unknown error"))
+        return reply
+
+    async def ping(self) -> dict:
+        return await self._roundtrip({"op": "ping"})
+
+    async def stats(self) -> dict:
+        return (await self._roundtrip({"op": "stats"}))["stats"]
+
+    async def run(self, message: dict) -> SubmissionOutcome:
+        write_frame(self._writer, message)
+        await self._writer.drain()
+        outcome: SubmissionOutcome | None = None
+        while True:
+            frame = await read_frame(self._reader)
+            if frame is None:
+                raise ServiceError(
+                    "server closed the connection mid-stream")
+            kind = frame.get("type")
+            if kind == "error":
+                raise ServiceError(
+                    frame.get("message", "unknown error"))
+            if kind == "accepted":
+                outcome = SubmissionOutcome(
+                    request_id=frame["id"], jobs=frame["jobs"])
+            elif kind == "row":
+                outcome.rows.append((frame["index"], frame["row"],
+                                     frame["origin"]))
+            elif kind == "done":
+                outcome.stats = frame.get("stats")
+                return outcome
+
+    async def run_jobs(self, jobs) -> SubmissionOutcome:
+        return await self.run(_submission_message(jobs))

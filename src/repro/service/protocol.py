@@ -1,0 +1,200 @@
+"""Wire protocol of the verification service: length-prefixed JSON.
+
+Every message — request or response — is one *frame*::
+
+    +----------------+----------------------------+
+    | 4-byte length  |  UTF-8 JSON payload        |
+    | (big-endian !I)|  (exactly `length` bytes)  |
+    +----------------+----------------------------+
+
+Framing keeps the protocol trivially self-delimiting over TCP and
+Unix sockets alike; JSON keeps it inspectable (``nc`` + a hexdump is
+a working debugger).  Frames above :data:`MAX_FRAME` are rejected on
+read — a corrupted length prefix must not allocate gigabytes.
+
+Requests are JSON objects with an ``op`` key:
+
+``{"op": "ping"}``
+    Liveness probe → ``{"type": "pong", "pid": ...}``.
+``{"op": "stats"}``
+    Cache / worker-pool / request counters → ``{"type": "stats"}``.
+``{"op": "verify" | "portfolio" | "submit", ...}``
+    A job submission (the three spellings are equivalent; ``verify``
+    reads better for one scheme, ``portfolio`` for a grid).  Jobs are
+    described either *declaratively* — ``pim_factory`` and
+    ``scheme_factory`` as ``"module:qualname"`` references plus
+    ``axes`` (the :class:`~repro.apps.schemes.GridSpec` shape) — or
+    *by value* as ``jobs_pickle``, a base64 pickle of
+    :class:`~repro.mc.portfolio.PortfolioJob` objects (what the CLI's
+    ``--server`` forwarding sends).  **Pickled submissions execute
+    arbitrary code on unpickle: the service must only listen where
+    every client is trusted** (the default is a mode-0700 Unix
+    socket).
+``{"op": "shutdown"}``
+    Ask the server to begin its graceful drain.
+
+A submission is answered by an ``accepted`` frame carrying the
+request id and job count, then one ``row`` frame per job **in
+completion order** (``origin`` is ``explored``, ``memo`` or
+``cancelled``), then one ``done`` frame with the request summary.
+Request-level failures produce a single ``error`` frame instead.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "decode_jobs",
+    "encode_frame",
+    "encode_jobs",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]
+
+_HEADER = struct.Struct("!I")
+
+#: Upper bound on one frame's payload (64 MiB) — large enough for any
+#: realistic grid, small enough that a garbage length prefix fails
+#: fast instead of exhausting memory.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (oversized, truncated, or not JSON)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    payload = json.dumps(message, separators=(",", ":"),
+                         default=str).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME "
+            f"({MAX_FRAME})")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") \
+            from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})")
+
+
+# ---------------------------------------------------------------------
+# Blocking-socket helpers (the synchronous client)
+# ---------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame
+    boundary, :class:`ProtocolError` on EOF mid-frame."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({remaining} of "
+                f"{count} bytes missing)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """One message from a blocking socket (``None`` on clean EOF)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between header and "
+                            "payload")
+    return _decode_payload(payload)
+
+
+# ---------------------------------------------------------------------
+# asyncio helpers (server and async client)
+# ---------------------------------------------------------------------
+async def read_frame(reader) -> dict | None:
+    """One message from an :class:`asyncio.StreamReader` (``None`` on
+    clean EOF at a frame boundary)."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({length - len(exc.partial)}"
+            f" bytes missing)") from exc
+    return _decode_payload(payload)
+
+
+def write_frame(writer, message: dict) -> None:
+    """Queue one message on an :class:`asyncio.StreamWriter` (callers
+    ``await writer.drain()`` at their own cadence)."""
+    writer.write(encode_frame(message))
+
+
+# ---------------------------------------------------------------------
+# Job payloads
+# ---------------------------------------------------------------------
+def encode_jobs(jobs) -> str:
+    """Base64 pickle of a job list — the by-value submission body."""
+    return base64.b64encode(
+        pickle.dumps(list(jobs))).decode("ascii")
+
+
+def decode_jobs(text: Any):
+    """Inverse of :func:`encode_jobs` (trusted input only — see the
+    module docstring's security note)."""
+    if not isinstance(text, str):
+        raise ProtocolError("jobs_pickle must be a base64 string")
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ProtocolError(f"jobs_pickle is not base64: {exc}") \
+            from exc
+    try:
+        jobs = pickle.loads(raw)
+    except Exception as exc:
+        raise ProtocolError(f"jobs_pickle failed to unpickle: {exc}") \
+            from exc
+    if not isinstance(jobs, list):
+        raise ProtocolError("jobs_pickle must unpickle to a list")
+    return jobs

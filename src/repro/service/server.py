@@ -1,0 +1,305 @@
+"""The asyncio daemon: accept loop, row streaming, graceful drain.
+
+One :class:`VerificationServer` wraps a
+:class:`~repro.service.scheduler.JobScheduler` behind the framed
+protocol of :mod:`repro.service.protocol`, on either a TCP or a Unix
+socket.  Concurrency model:
+
+* The event loop only parses frames and moves dicts — verification
+  never runs on it.  Jobs go to the scheduler's dispatch threads;
+  each finished row re-enters the loop via
+  ``loop.call_soon_threadsafe`` into the owning connection's
+  :class:`asyncio.Queue`, from which a per-connection writer task
+  streams frames in commit order.  A slow client therefore only
+  backs up its own queue.
+* Graceful shutdown (SIGTERM/SIGINT or the ``shutdown`` op) stops
+  accepting, flips the scheduler into drain mode — running jobs
+  finish, queued ones come back as explicit ``cancelled`` rows — and
+  closes each connection only after its pending frames flushed.
+
+Request decoding lives here too: a submission either names factories
+(``pim_factory``/``scheme_factory`` + ``axes``) or carries pickled
+jobs by value (trusted clients only; see the protocol docstring).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import os
+import signal
+from typing import Any
+
+from repro.mc.portfolio import portfolio_jobs
+from repro.service.protocol import (
+    ProtocolError,
+    decode_jobs,
+    read_frame,
+    write_frame,
+)
+from repro.service.scheduler import JobScheduler
+
+__all__ = ["VerificationServer", "resolve_callable"]
+
+#: Sentinel closing a connection's frame queue.
+_CLOSE = object()
+
+
+def resolve_callable(ref: str):
+    """``"module:qualname"`` → the callable it names."""
+    module, sep, qualname = ref.partition(":")
+    if not sep or not module or not qualname:
+        raise ValueError(
+            f"factory reference {ref!r} must look like "
+            f"'package.module:qualname'")
+    target: Any = importlib.import_module(module)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    if not callable(target):
+        raise ValueError(f"{ref!r} does not name a callable")
+    return target
+
+
+def decode_submission(message: dict):
+    """A submission frame → the list of jobs it describes."""
+    if "jobs_pickle" in message:
+        jobs = decode_jobs(message["jobs_pickle"])
+        if not jobs:
+            raise ProtocolError("jobs_pickle decoded to no jobs")
+        return jobs
+    try:
+        pim_factory = message["pim_factory"]
+        input_channel = message["input_channel"]
+        output_channel = message["output_channel"]
+        deadline_ms = message["deadline_ms"]
+    except KeyError as exc:
+        raise ProtocolError(
+            f"submission is missing required field {exc}") from None
+    pim = resolve_callable(pim_factory)()
+    scheme_factory = resolve_callable(
+        message.get("scheme_factory", "repro.apps.schemes:"
+                                      "case_study_scheme"))
+    axes = message.get("axes") or {}
+    if axes:
+        from repro.apps.schemes import scheme_grid
+        schemes = scheme_grid(scheme_factory, **{
+            name: list(values) for name, values in axes.items()})
+    else:
+        schemes = [scheme_factory()]
+    return portfolio_jobs(
+        pim, schemes,
+        input_channel=input_channel, output_channel=output_channel,
+        deadline_ms=deadline_ms,
+        measure_suprema=bool(message.get("measure_suprema", False)),
+        max_states=message.get("max_states"))
+
+
+class _Connection:
+    """One client: its frame queue and writer task."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.writer_task: asyncio.Task | None = None
+        #: Requests of this connection still streaming rows.
+        self.open_requests = 0
+        #: The read side hit EOF — close the queue once requests end.
+        self.reader_closed = False
+
+    def push(self, frame) -> None:
+        self.queue.put_nowait(frame)
+
+
+class VerificationServer:
+    """Framed-protocol front end over one :class:`JobScheduler`.
+
+    Exactly one of ``port`` (TCP, with ``host``) or ``path`` (Unix
+    socket) selects the transport.  ``serve()`` runs until
+    :meth:`begin_shutdown` — called by a signal handler (installed
+    when the loop allows it), the ``shutdown`` op, or a test.
+    """
+
+    def __init__(self, scheduler: JobScheduler, *,
+                 host: str = "127.0.0.1", port: int | None = None,
+                 path: str | None = None,
+                 install_signals: bool = True):
+        if (port is None) == (path is None):
+            raise ValueError("pass exactly one of port= or path=")
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.path = path
+        self.install_signals = install_signals
+        self.address: tuple | str | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._connections: set[_Connection] = set()
+        self._request_counter = 0
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (without blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if self.path is not None:
+            if os.path.exists(self.path):
+                # A stale socket from a previous instance: remove so
+                # restart-on-the-same-path (client reconnect) works.
+                os.unlink(self.path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.path)
+            os.chmod(self.path, 0o700)
+            self.address = self.path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host,
+                port=self.port)
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+        if self.install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        signum, self.begin_shutdown)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    # Non-main thread or non-Unix loop: tests drive
+                    # begin_shutdown() directly instead.
+                    break
+
+    async def serve(self) -> None:
+        """Run until shutdown, then drain and close."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop.wait()
+            # Stop accepting; in-flight work drains off-loop.
+            self._server.close()
+            await self._server.wait_closed()
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.scheduler.wait_idle)
+            # Every request has streamed its rows + done by now; let
+            # each connection flush its queue and close.
+            for connection in list(self._connections):
+                connection.push(_CLOSE)
+            tasks = [c.writer_task for c in self._connections
+                     if c.writer_task is not None]
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.scheduler.shutdown)
+
+    def begin_shutdown(self) -> None:
+        """Flip into drain mode (idempotent, loop-thread only — use
+        :meth:`request_shutdown` from other threads)."""
+        self.scheduler.begin_drain()
+        if self._stop is not None:
+            self._stop.set()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe :meth:`begin_shutdown`."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.begin_shutdown)
+
+    # -- per-connection ------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        connection = _Connection(writer)
+        connection.writer_task = asyncio.ensure_future(
+            self._write_frames(connection))
+        self._connections.add(connection)
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as exc:
+                    connection.push({"type": "error",
+                                     "message": str(exc)})
+                    break
+                if message is None:
+                    break
+                self._dispatch_op(connection, message)
+        finally:
+            # Reader side is done.  If rows are still streaming, the
+            # writer task stays alive until their done-frames land
+            # (_request_done pushes the close sentinel); otherwise
+            # close now.
+            connection.reader_closed = True
+            if connection.open_requests == 0:
+                connection.push(_CLOSE)
+            await asyncio.shield(connection.writer_task)
+            self._connections.discard(connection)
+
+    async def _write_frames(self, connection: _Connection) -> None:
+        writer = connection.writer
+        try:
+            while True:
+                frame = await connection.queue.get()
+                if frame is _CLOSE:
+                    break
+                write_frame(writer, frame)
+                await writer.drain()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # client went away; rows are simply dropped
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- request handling ----------------------------------------------
+    def _dispatch_op(self, connection: _Connection,
+                     message: dict) -> None:
+        op = message.get("op")
+        if op == "ping":
+            connection.push({"type": "pong", "pid": os.getpid(),
+                             "draining": self.scheduler.draining})
+        elif op == "stats":
+            stats = self.scheduler.stats()
+            stats["requests_served"] = self.requests_served
+            connection.push({"type": "stats", "stats": stats})
+        elif op == "shutdown":
+            connection.push({"type": "shutting-down"})
+            self.begin_shutdown()
+        elif op in ("verify", "portfolio", "submit"):
+            self._submit(connection, message)
+        else:
+            connection.push({"type": "error",
+                             "message": f"unknown op {op!r}"})
+
+    def _submit(self, connection: _Connection, message: dict) -> None:
+        self._request_counter += 1
+        request_id = self._request_counter
+        try:
+            jobs = decode_submission(message)
+        except Exception as exc:
+            connection.push({
+                "type": "error", "id": request_id,
+                "message": f"{type(exc).__name__}: {exc}"})
+            return
+        connection.push({"type": "accepted", "id": request_id,
+                         "jobs": len(jobs)})
+        connection.open_requests += 1
+        loop = self._loop
+
+        def emit(index: int, row: dict, origin: str) -> None:
+            loop.call_soon_threadsafe(connection.push, {
+                "type": "row", "id": request_id, "index": index,
+                "row": row, "origin": origin})
+
+        def done() -> None:
+            loop.call_soon_threadsafe(
+                self._request_done, connection, request_id)
+
+        self.scheduler.submit(jobs, emit, done)
+
+    def _request_done(self, connection: _Connection,
+                      request_id: int) -> None:
+        self.requests_served += 1
+        connection.open_requests -= 1
+        connection.push({"type": "done", "id": request_id,
+                         "stats": self.scheduler.stats()})
+        if connection.reader_closed and connection.open_requests == 0:
+            connection.push(_CLOSE)

@@ -49,7 +49,6 @@ sides of both clocks.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -147,8 +146,12 @@ def resolve_abstraction(
     if isinstance(name, AbstractionSpec):
         return name
     if name is None:
-        name = _forced or os.environ.get(ENV_ABSTRACTION, "").strip() \
-            or EXTRA_M
+        if _forced is not None:
+            name = _forced
+        else:
+            from repro.envvars import env_choice
+            name = env_choice(ENV_ABSTRACTION, _ALIASES,
+                              default=EXTRA_M)
     key = _ALIASES.get(name)
     if key is None:
         raise ValueError(

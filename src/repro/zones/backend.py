@@ -39,7 +39,6 @@ never changes verification results — only wall time.
 
 from __future__ import annotations
 
-import os
 from typing import NamedTuple
 
 from repro.zones.dbm import DBM
@@ -72,6 +71,15 @@ class ZoneBackend(NamedTuple):
     name: str
     dbm: type
     bucket: type
+
+
+def _env_backend() -> str:
+    """``REPRO_ZONE_BACKEND``, validated at read time (fail fast —
+    a daemon must reject a typo at boot, not inside a request)."""
+    from repro.envvars import env_choice
+
+    return env_choice(ENV_VAR, ("auto", *_ALIASES),
+                      default="auto")
 
 
 _REFERENCE = ZoneBackend("reference", DBM, ReferencePassedBucket)
@@ -144,7 +152,7 @@ def requested_backend(name: str | None = None) -> str:
     choice (bit-identity across backends makes that safe).
     """
     if name is None:
-        name = _forced or os.environ.get(ENV_VAR, "").strip() or "auto"
+        name = _forced or _env_backend()
     if name == "auto":
         return "auto"
     key = _ALIASES.get(name)
@@ -176,7 +184,7 @@ def resolve_backend(name: str | None = None, *,
     ignore it.
     """
     if name is None:
-        name = _forced or os.environ.get(ENV_VAR, "").strip() or "auto"
+        name = _forced or _env_backend()
     if name == "auto":
         return _resolve_auto(hint)
     key = _ALIASES.get(name)

@@ -1,0 +1,169 @@
+"""Fail-fast validation of the ``REPRO_*`` environment variables.
+
+Each variable gets the same three checks: an invalid value raises
+:class:`~repro.envvars.EnvVarError` whose one-line message names the
+variable, a valid value resolves, and unset/blank falls back to the
+default.  The point of the satellite bugfix is the *where*: the error
+fires at the resolution entry point (CLI startup, daemon boot), not as
+a deep traceback at first use inside a worker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.envvars import EnvVarError, env_choice, env_int
+from repro.mc.parallel import ENV_JOBS, resolve_jobs
+from repro.mc.portfolio import ENV_EXECUTOR, resolve_executor
+from repro.ta.bounds import ENV_ABSTRACTION, EXTRA_M, resolve_abstraction
+from repro.zones.backend import ENV_VAR as ENV_ZONE_BACKEND
+from repro.zones.backend import requested_backend
+
+
+class TestHelpers:
+    def test_env_choice_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_CHOICE", raising=False)
+        assert env_choice("REPRO_TEST_CHOICE", ("a", "b"),
+                          default="a") == "a"
+
+    def test_env_choice_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CHOICE", "   ")
+        assert env_choice("REPRO_TEST_CHOICE", ("a", "b"),
+                          default="b") == "b"
+
+    def test_env_choice_valid_passes_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CHOICE", "b")
+        assert env_choice("REPRO_TEST_CHOICE", ("a", "b")) == "b"
+
+    def test_env_choice_invalid_is_one_line_and_named(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CHOICE", "zzz")
+        with pytest.raises(EnvVarError) as err:
+            env_choice("REPRO_TEST_CHOICE", ("a", "b"))
+        message = str(err.value)
+        assert "\n" not in message
+        assert "REPRO_TEST_CHOICE" in message
+        assert "'zzz'" in message
+        assert "a" in message and "b" in message
+
+    def test_env_int_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", " 7 ")
+        assert env_int("REPRO_TEST_INT", minimum=1) == 7
+
+    def test_env_int_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        assert env_int("REPRO_TEST_INT", default=3) == 3
+
+    @pytest.mark.parametrize("raw", ["two", "1.5", "", " "])
+    def test_env_int_non_integer(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_INT", raw)
+        if not raw.strip():
+            assert env_int("REPRO_TEST_INT", default=None) is None
+            return
+        with pytest.raises(EnvVarError) as err:
+            env_int("REPRO_TEST_INT", minimum=1)
+        assert "REPRO_TEST_INT" in str(err.value)
+
+    def test_env_int_below_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "0")
+        with pytest.raises(EnvVarError) as err:
+            env_int("REPRO_TEST_INT", minimum=1)
+        assert ">= 1" in str(err.value)
+
+
+class TestReproJobs:
+    @pytest.fixture(autouse=True)
+    def _no_default_jobs(self, monkeypatch):
+        # set_default_jobs overrides the env; clear it for these tests
+        import repro.mc.parallel as parallel
+        monkeypatch.setattr(parallel, "_default_jobs", None)
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_invalid_names_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "two")
+        with pytest.raises(EnvVarError) as err:
+            resolve_jobs(None)
+        assert ENV_JOBS in str(err.value)
+        assert "\n" not in str(err.value)
+
+    def test_zero_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "0")
+        with pytest.raises(EnvVarError):
+            resolve_jobs(None)
+
+    def test_unset_falls_back(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs(None) is None  # sequential engine
+
+
+class TestReproExecutor:
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "process")
+        assert resolve_executor(None) == "process"
+
+    def test_invalid_names_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "fork-bomb")
+        with pytest.raises(EnvVarError) as err:
+            resolve_executor(None)
+        message = str(err.value)
+        assert ENV_EXECUTOR in message
+        assert "thread" in message and "process" in message
+        assert "\n" not in message
+
+    def test_unset_defaults_to_thread(self, monkeypatch):
+        monkeypatch.delenv(ENV_EXECUTOR, raising=False)
+        assert resolve_executor(None) == "thread"
+
+    def test_explicit_argument_still_validated(self):
+        with pytest.raises(ValueError):
+            resolve_executor("bogus")
+
+
+class TestReproZoneBackend:
+    @pytest.fixture(autouse=True)
+    def _no_forced_backend(self, monkeypatch):
+        import repro.zones.backend as backend
+        monkeypatch.setattr(backend, "_forced", None)
+
+    def test_valid_alias(self, monkeypatch):
+        monkeypatch.setenv(ENV_ZONE_BACKEND, "python")
+        assert requested_backend() == "reference"
+
+    def test_invalid_names_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_ZONE_BACKEND, "cuda")
+        with pytest.raises(EnvVarError) as err:
+            requested_backend()
+        message = str(err.value)
+        assert ENV_ZONE_BACKEND in message
+        assert "reference" in message
+        assert "\n" not in message
+
+    def test_unset_is_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_ZONE_BACKEND, raising=False)
+        assert requested_backend() == "auto"
+
+
+class TestReproAbstraction:
+    @pytest.fixture(autouse=True)
+    def _no_forced_abstraction(self, monkeypatch):
+        import repro.ta.bounds as bounds
+        monkeypatch.setattr(bounds, "_forced", None)
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv(ENV_ABSTRACTION, "lu")
+        assert resolve_abstraction(None).name == "extra_lu"
+
+    def test_invalid_names_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_ABSTRACTION, "none")
+        with pytest.raises(EnvVarError) as err:
+            resolve_abstraction(None)
+        message = str(err.value)
+        assert ENV_ABSTRACTION in message
+        assert "extra_m" in message
+        assert "\n" not in message
+
+    def test_unset_defaults_to_extra_m(self, monkeypatch):
+        monkeypatch.delenv(ENV_ABSTRACTION, raising=False)
+        assert resolve_abstraction(None).name == EXTRA_M
