@@ -58,7 +58,12 @@ for _entry in (str(_ROOT), str(_ROOT / "src")):
         sys.path.insert(0, _entry)
 
 from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim  # noqa: E402
-from repro.apps.schemes import GridSpec, case_study_grid_16, case_study_scheme
+from repro.apps.schemes import (
+    CASE_STUDY_FAULT_GRID_4,
+    GridSpec,
+    case_study_grid_16,
+    case_study_scheme,
+)
 from repro.core.transform import transform
 from repro.mc.observers import check_bounded_response
 from repro.mc.portfolio import PortfolioVerifier, portfolio_jobs
@@ -88,6 +93,13 @@ TINY_SCALING_GRID = GridSpec.of(
     buffer_size=(1, 2, 3, 4), period=(4, 5, 6), wcet=(0, 1, 2))
 #: Row name of the scaling grid (the CI ``scaling`` job charts these).
 SCALING_BENCH = "bench_portfolio_tiny"
+#: The fault-axis sweep (loss budget k × replica count r) on the tiny
+#: model — the CI scaling job's fault-grid cell.
+TINY_FAULT_GRID = GridSpec.of(
+    "tests.conftest:build_tiny_scheme", fault_k=(0, 1), fault_r=(1, 2))
+#: Row name of the fault sweep cells (tiny in ``--quick``, the
+#: case-study :data:`CASE_STUDY_FAULT_GRID_4` otherwise).
+FAULT_BENCH = "bench_portfolio_fault_grid"
 
 
 def _timed(fn):
@@ -199,6 +211,14 @@ def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
 
     _bench_portfolio_tiny(results, backends, executors, jobs_list)
 
+    if quick:
+        # The CI scaling job's fault-grid cell: cheap on the tiny
+        # model, so every backend carries the k=0 identity gate.
+        for backend in backends:
+            _bench_portfolio_fault_grid(
+                results, backend, jobs_list[0] if jobs_list else None,
+                quick=True)
+
     if case_study is not None:
         seq_stats = {}
         for backend in backends:
@@ -277,6 +297,15 @@ def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
             _bench_portfolio(results, backend, batch_jobs, reuse=True)
             _bench_portfolio(results, backend, batch_jobs,
                              abstraction="extra_lu", reuse=True)
+
+    if case_study is not None:
+        # The fault-axis sweep's wall time is dominated by its k=1
+        # duplex corner (minutes of retry interleavings even under
+        # Extra+_LU), so a single backend carries the cell.
+        fault_backend = "native" if "native" in batched else \
+            (batched[0] if batched else backends[0])
+        _bench_portfolio_fault_grid(results, fault_backend,
+                                    batch_jobs, quick=False)
 
     if case_study is not None and "process" in executors:
         # The true-multi-core variant of the 16-scheme sweep: whole
@@ -396,6 +425,66 @@ def _bench_portfolio(results, backend, jobs, abstraction=None,
             schemes=len(outcome),
             guaranteed=len(outcome.guaranteed),
             interned_zones=len(table),
+            per_scheme=[row.row() for row in outcome], **extra)
+
+
+def _bench_portfolio_fault_grid(results, backend, jobs, quick):
+    """The (k × r) fault-axis sweep plus the k=0 bit-identity gate.
+
+    The grid's ``k=0, r=1`` corner is the exact fault-free scheme:
+    its row must be bit-identical (modulo wall time and the axis
+    label in its name) to a plain run of the same scheme through the
+    same verifier — the standing regression gate for "fault machinery
+    present but disabled".
+    """
+    if quick:
+        pim = build_tiny_pim()
+        grid = TINY_FAULT_GRID
+        plain = build_tiny_scheme()
+        channels = dict(input_channel="m_Req", output_channel="c_Ack")
+        deadline, max_states, abstraction = 10, 500_000, None
+    else:
+        pim = build_infusion_pim()
+        grid = CASE_STUDY_FAULT_GRID_4
+        plain = case_study_scheme()
+        channels = dict(input_channel="m_BolusReq",
+                        output_channel="c_StartInfusion")
+        # Extra+_LU keeps the k=1 duplex corner (every loss budget
+        # unit multiplies the retry interleavings) tractable.
+        deadline, max_states, abstraction = \
+            REQ1_DEADLINE_MS, 4_000_000, "extra_lu"
+
+    def sweep(schemes):
+        verifier = PortfolioVerifier(jobs=jobs, max_states=max_states,
+                                     abstraction=abstraction)
+        return verifier.run(portfolio_jobs(
+            pim, schemes, deadline_ms=deadline, **channels))
+
+    set_backend(backend)
+    try:
+        outcome, seconds = _timed(lambda: sweep(grid.build()))
+        baseline = sweep([plain])
+    finally:
+        set_backend(None)
+    assert outcome.all_ok, [row.error for row in outcome if not row.ok]
+
+    def identity(row):
+        fields = row.row()
+        for volatile in ("name", "seconds"):
+            fields.pop(volatile, None)
+        return fields
+
+    corner = outcome[0]
+    assert "fault_k=0,fault_r=1" in corner.name
+    assert identity(corner) == identity(baseline[0]), \
+        "the k=0 fault-grid corner diverged from the fault-free run"
+    extra = {"abstraction": abstraction} if abstraction else {}
+    _record(results, FAULT_BENCH, backend,
+            sum(row.states or 0 for row in outcome),
+            sum(row.transitions or 0 for row in outcome),
+            seconds, jobs=jobs, schemes=len(outcome),
+            guaranteed=len(outcome.guaranteed),
+            grid=grid.describe(),
             per_scheme=[row.row() for row in outcome], **extra)
 
 

@@ -32,6 +32,7 @@ from typing import Callable, Iterable
 from repro.apps.infusion import INPUT_CHANNELS, OUTPUT_CHANNELS
 from repro.core.scheme import (
     DeliveryMechanism,
+    FaultSpec,
     ImplementationScheme,
     InputSpec,
     InvocationKind,
@@ -46,12 +47,14 @@ from repro.core.scheme import (
 
 __all__ = [
     "BOLUS_POLL_MS",
+    "CASE_STUDY_FAULT_GRID_4",
     "CASE_STUDY_GRID_16",
     "GridSpec",
     "OUTPUT_POLL_MS",
     "case_study_grid_16",
     "case_study_scheme",
     "example_is1_scheme",
+    "replicated_case_study_scheme",
     "scheme_grid",
 ]
 
@@ -68,6 +71,9 @@ def case_study_scheme(*, buffer_size: int = 5,
                       read_policy: ReadPolicy = ReadPolicy.READ_ALL,
                       invocation_kind: InvocationKind =
                       InvocationKind.PERIODIC,
+                      fault_k: int = 0,
+                      fault_r: int = 1,
+                      fault_eps: int = 0,
                       ) -> ImplementationScheme:
     """The Section-VI platform (IS1 + polled bolus input).
 
@@ -76,6 +82,12 @@ def case_study_scheme(*, buffer_size: int = 5,
     (bcet 1 / wcet 10) and reuses ``period`` as the worst-case
     scheduling latency, so the Lemma-1 delivery-wait term stays
     comparable across the two kinds.
+
+    ``fault_k`` / ``fault_r`` / ``fault_eps`` open the
+    :class:`~repro.core.scheme.FaultSpec` axes (message-loss budget,
+    replica count, clock jitter) for (scheme × k × r × ε) sweeps;
+    the defaults produce a scheme bit-identical to the fault-free
+    one.
     """
     inputs = {
         # The bolus button presents a latched level to a poller.
@@ -132,7 +144,26 @@ def case_study_scheme(*, buffer_size: int = 5,
         io_inputs=io_inputs,
         io_outputs=io_outputs,
         invocation=invocation,
+        faults=FaultSpec(max_losses=fault_k, replicas=fault_r,
+                         jitter=fault_eps),
     ).validate()
+
+
+def replicated_case_study_scheme(*, fault_k: int = 0,
+                                 **kwargs) -> ImplementationScheme:
+    """The case-study platform on a duplex (r = 2) voting host.
+
+    With two replicas the quorum is 2 and every tolerated fault costs
+    one full re-execution round, so the Lemma-1 compute bound is
+    ``(1 + k) · wcet``; the *same* loss budget also buys ``k`` input
+    redeliveries (``+ k · delay_max``).  At ``k = 0`` the scheme meets
+    the fault-free relaxed deadline Δ'_mc = 1430 ms exactly, and each
+    unit of fault budget inflates it by 20 ms (10 ms compute round +
+    10 ms redelivery): 1450 ms at ``k = 1`` — the fault-tolerance
+    column's demonstration scheme.
+    """
+    scheme = case_study_scheme(fault_k=fault_k, fault_r=2, **kwargs)
+    return replace(scheme, name="IS1-case-study-duplex").validate()
 
 
 def example_is1_scheme(*, buffer_size: int = 5,
@@ -268,3 +299,15 @@ CASE_STUDY_GRID_16 = GridSpec.of(
 def case_study_grid_16() -> list[ImplementationScheme]:
     """Expand :data:`CASE_STUDY_GRID_16` (see its docstring)."""
     return CASE_STUDY_GRID_16.build()
+
+
+#: The canonical fault sweep: loss budget k ∈ {0, 1} × replica count
+#: r ∈ {1, 2} on the case-study platform — the cell the
+#: ``bench_portfolio_fault_grid`` benchmark and the CI scaling job
+#: verify.  The k=0, r=1 corner is the exact fault-free scheme, which
+#: the benchmark asserts bit-identical to a plain case-study run.
+CASE_STUDY_FAULT_GRID_4 = GridSpec.of(
+    case_study_scheme,
+    fault_k=(0, 1),
+    fault_r=(1, 2),
+)

@@ -28,7 +28,10 @@ import argparse
 import sys
 
 from repro.analysis.blocks import render_blocks
-from repro.analysis.portfolio import render_portfolio
+from repro.analysis.portfolio import (
+    render_fault_tolerance,
+    render_portfolio,
+)
 from repro.analysis.table1 import run_case_study, simulate_trials
 from repro.analysis.timeline import fig3_scenario
 from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
@@ -47,6 +50,51 @@ __all__ = ["main"]
 
 _READ_POLICIES = {policy.value: policy for policy in ReadPolicy}
 _INVOCATION_KINDS = {kind.value: kind for kind in InvocationKind}
+
+#: ``--faults`` key → scheme-factory fault axis.
+_FAULT_AXES = {"k": "fault_k", "replicas": "fault_r",
+               "jitter": "fault_eps"}
+
+
+def _parse_faults(spec: str) -> dict[str, list[int]]:
+    """``k=0|1,replicas=2,jitter=0`` → fault-axis value lists.
+
+    Each key takes one value (``verify``) or a ``|``-separated sweep
+    (``portfolio``); unknown keys and non-integers are argparse-level
+    errors so the CLI fails fast with the offending token.
+    """
+    axes: dict[str, list[int]] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in _FAULT_AXES:
+            raise argparse.ArgumentTypeError(
+                f"bad fault axis {part!r}; expected "
+                f"k=..|..,replicas=..,jitter=.. with keys from "
+                f"{sorted(_FAULT_AXES)}")
+        try:
+            values = [int(v) for v in value.split("|")]
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"fault axis {key!r} needs integer value(s), "
+                f"got {value!r}")
+        axes[_FAULT_AXES[key]] = values
+    return axes
+
+
+def _single_fault_values(axes: dict[str, list[int]]) -> dict[str, int]:
+    """Collapse parsed fault axes to scalars (the ``verify`` shape)."""
+    single = {}
+    for name, values in axes.items():
+        if len(values) != 1:
+            raise argparse.ArgumentTypeError(
+                f"verify takes one value per fault axis, got "
+                f"{name}={values} (sweeps belong to 'portfolio')")
+        single[name] = values[0]
+    return single
 
 
 #: Exit-code convention shared by ``verify`` and ``portfolio`` (and
@@ -92,7 +140,12 @@ def _forward_jobs(server: str, jobs) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     pim = build_infusion_pim()
-    scheme = case_study_scheme()
+    try:
+        scheme = case_study_scheme(
+            **_single_fault_values(args.faults or {}))
+    except (argparse.ArgumentTypeError, ValueError) as exc:
+        print(f"--faults: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     if args.server:
         from repro.mc.portfolio import portfolio_jobs
 
@@ -129,7 +182,12 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         "invocation_kind": [_INVOCATION_KINDS[v]
                             for v in args.invocation_kinds],
     }
-    schemes = scheme_grid(case_study_scheme, **axes)
+    axes.update(args.faults or {})
+    try:
+        schemes = scheme_grid(case_study_scheme, **axes)
+    except ValueError as exc:
+        print(f"bad grid: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     if args.server:
         from repro.mc.portfolio import portfolio_jobs
 
@@ -164,6 +222,11 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             print(f"  {row.summary()}", file=sys.stderr)
         return EXIT_INTERRUPTED
     print(render_portfolio(outcome, deadline_ms=args.deadline))
+    if args.faults:
+        # Fault axes were swept — add the Table-I fault column.
+        print()
+        print(render_fault_tolerance(outcome,
+                                     deadline_ms=args.deadline))
     return _rows_exit_code([row.row() for row in outcome.results])
 
 
@@ -314,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--max-states", type=int, default=2_000_000)
     p_verify.add_argument("--suprema", action="store_true",
                           help="also measure exact PSM delay suprema")
+    p_verify.add_argument("--faults", type=_parse_faults, default=None,
+                          metavar="SPEC",
+                          help="fault axes for the scheme, e.g. "
+                               "k=1,replicas=2,jitter=2 (k: message-"
+                               "loss/re-execution budget; replicas: "
+                               "task replication with majority "
+                               "voting; jitter: ±ε ms clock envelope)")
     p_verify.add_argument("--server", metavar="ADDR", default=None,
                           help="forward to a running 'repro serve' "
                                "daemon instead of verifying locally "
@@ -361,6 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_port.add_argument("--suprema", action="store_true",
                         help="also measure exact PSM delay suprema "
                              "per scheme")
+    p_port.add_argument("--faults", type=_parse_faults, default=None,
+                        metavar="SPEC",
+                        help="fault axes to sweep, '|'-separated per "
+                             "key, e.g. k=0|1,replicas=1|2,jitter=0 "
+                             "— each combination multiplies the grid; "
+                             "a fault-tolerance table (largest "
+                             "tolerated k + Lemma-2 inflation per "
+                             "base scheme) follows the portfolio "
+                             "table")
     p_port.add_argument("--fused", action="store_true",
                         help="compile each scheme's deadline+suprema "
                              "queries into one shared sweep (same "

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.delays import detection_bound
 from repro.core.psm import PSM
 from repro.mc.deadlock import find_deadlocks
 from repro.mc.reachability import StateFormula, check_reachable
@@ -98,8 +99,7 @@ def check_constraint1(psm: PSM, *,
     # Analytic half: processing faster than the inter-arrival time.
     slow = []
     for channel in psm.pim.input_channels():
-        spec = psm.scheme.input_spec(channel)
-        if spec.worst_case_detection() >= min_interarrival_ms:
+        if detection_bound(psm.scheme, channel) >= min_interarrival_ms:
             slow.append(channel)
     if slow:
         return ConstraintResult(
@@ -264,7 +264,7 @@ def _single_pass_constraints(psm: PSM, *,
     # Constraint 1's analytic half.
     if min_interarrival_ms is not None and out[0].holds:
         slow = [ch for ch in psm.pim.input_channels()
-                if psm.scheme.input_spec(ch).worst_case_detection()
+                if detection_bound(psm.scheme, ch)
                 >= min_interarrival_ms]
         if slow:
             out[0] = ConstraintResult(

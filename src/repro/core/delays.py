@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from repro.core.pim import PIM
 from repro.core.psm import PSM
-from repro.core.scheme import ImplementationScheme
+from repro.core.scheme import ImplementationScheme, InvocationKind
 from repro.mc.observers import DelayBound, max_response_delay
 
 __all__ = [
@@ -42,7 +42,11 @@ __all__ = [
     "analytic_input_delay_bound",
     "analytic_output_delay_bound",
     "bounds_from_internal",
+    "compute_bound",
+    "detection_bound",
+    "pickup_bound",
     "relaxed_deadline",
+    "start_delay_bound",
     "symbolic_input_delay",
     "symbolic_output_delay",
     "symbolic_mc_delay",
@@ -50,19 +54,69 @@ __all__ = [
 ]
 
 
+def detection_bound(scheme: ImplementationScheme, channel: str) -> int:
+    """Worst-case sense-to-ready latency of one input, under faults.
+
+    Each in-transit loss re-executes the processing window (fault axis
+    (a): ``+ k·delay_max``) and jitter lets a poll gap stretch to
+    ``polling_interval + ε`` (axis (c)).  With faults disabled this is
+    exactly ``InputSpec.worst_case_detection``.
+    """
+    spec = scheme.input_spec(channel)
+    faults = scheme.faults
+    detection = spec.worst_case_detection()
+    detection += faults.max_losses * spec.delay_max
+    if spec.polling_interval is not None:
+        detection += faults.jitter
+    return detection
+
+
+def start_delay_bound(scheme: ImplementationScheme) -> int:
+    """Worst 'input ready' → 'code starts' wait, under jitter.
+
+    A drifting periodic tick may arrive ``ε`` late; the aperiodic
+    path has no platform clock to drift.
+    """
+    inv = scheme.invocation
+    delay = inv.worst_case_start_delay()
+    if inv.kind in (InvocationKind.PERIODIC, InvocationKind.PREEMPTIVE):
+        delay += scheme.faults.jitter
+    return delay
+
+
+def compute_bound(scheme: ImplementationScheme) -> int:
+    """Worst-case busy time of one logical invocation, under faults.
+
+    Replication serializes up to ``worst_case_rounds`` execution
+    rounds before the voter's quorum is certain (axis (b));
+    preemption stretches the response by the interference budget
+    (axis (d)).  Fault-free this is exactly the wcet.
+    """
+    inv = scheme.invocation
+    if scheme.faults.replicas > 1:
+        return scheme.faults.worst_case_rounds() * inv.wcet
+    return inv.worst_case_compute()
+
+
+def pickup_bound(scheme: ImplementationScheme, channel: str) -> int:
+    """Worst-case write-to-actuation latency, under jitter."""
+    spec = scheme.output_spec(channel)
+    pickup = spec.worst_case_pickup()
+    if spec.polling_interval is not None:
+        pickup += scheme.faults.jitter
+    return pickup
+
+
 def analytic_input_delay_bound(scheme: ImplementationScheme,
                                channel: str) -> int:
     """Lemma 1(1): worst-case Input-Delay ``Δ̄_mi`` for one channel."""
-    spec = scheme.input_spec(channel)
-    return (spec.worst_case_detection()
-            + scheme.invocation.worst_case_start_delay())
+    return detection_bound(scheme, channel) + start_delay_bound(scheme)
 
 
 def analytic_output_delay_bound(scheme: ImplementationScheme,
                                 channel: str) -> int:
     """Lemma 1(2): worst-case Output-Delay ``Δ̄_oc`` for one channel."""
-    spec = scheme.output_spec(channel)
-    return scheme.invocation.wcet + spec.worst_case_pickup()
+    return compute_bound(scheme) + pickup_bound(scheme, channel)
 
 
 def relaxed_deadline(input_bound: int, output_bound: int,

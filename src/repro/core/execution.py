@@ -91,10 +91,17 @@ class ExeioParts:
     """EXEIO plus the auxiliary pieces the network must also declare."""
 
     automaton: Automaton
-    #: Extra automata (aperiodic trigger), possibly empty.
+    #: Extra automata (aperiodic trigger, replicas + voter, scheduler),
+    #: possibly empty.
     extra_automata: tuple[Automaton, ...] = ()
     #: Extra urgent channels to declare, possibly empty.
     urgent_channels: tuple[str, ...] = ()
+    #: Extra regular channels to declare (replica starts, votes,
+    #: preemption handshake), possibly empty.
+    extra_channels: tuple[str, ...] = ()
+    #: Extra integer variables ``(name, hi)`` to declare, possibly
+    #: empty (vote tally, shared replica-fault budget).
+    int_vars: tuple[tuple[str, int], ...] = ()
 
 
 def accept_expression(mio: Automaton, io_channel: str,
@@ -139,7 +146,11 @@ def build_exeio(
 ) -> ExeioParts:
     """Construct the code-execution automaton for a scheme."""
     inv = scheme.invocation
-    periodic = inv.kind is InvocationKind.PERIODIC
+    faults = scheme.faults
+    preemptive = inv.kind is InvocationKind.PREEMPTIVE
+    periodic = inv.kind is InvocationKind.PERIODIC or preemptive
+    replicated = faults.replicas > 1
+    eps = faults.jitter
 
     b = AutomatonBuilder(name, clocks=["t", "e"])
 
@@ -149,13 +160,15 @@ def build_exeio(
     # ---- Waiting → Read ------------------------------------------------
     if periodic:
         assert inv.period is not None
-        b.location("Waiting", invariant=f"t <= {inv.period}",
-                   initial=True)
+        period = inv.period
+        wait_inv = f"t <= {period + eps}" if eps else f"t <= {period}"
+        tick = f"t >= {period - eps}" if eps else f"t == {period}"
+        b.location("Waiting", invariant=wait_inv, initial=True)
         b.location("Read", urgent=True)
         tick_update = "t = 0, e = 0"
         if did_resets:
             tick_update += f", {did_resets}"
-        b.edge("Waiting", "Read", guard=f"t == {inv.period}",
+        b.edge("Waiting", "Read", guard=tick,
                update=tick_update)
     else:
         b.location("Waiting", initial=True)
@@ -196,25 +209,101 @@ def build_exeio(
     proceed_guard = " && ".join(proceed_terms) if proceed_terms else None
 
     # ---- Compute stage ---------------------------------------------------
-    b.location("Compute", invariant=f"e <= {inv.wcet}")
-    b.edge("Read", "Compute", guard=proceed_guard)
-    for entry in outputs:
-        stg = entry.vars.staged
-        b.edge("Compute", "Compute", sync=f"{entry.io_name}?",
-               guard=f"{stg} < {entry.capacity}",
-               update=f"{stg} = {stg} + 1")
-        b.edge("Compute", "Compute", sync=f"{entry.io_name}?",
-               guard=f"{stg} == {entry.capacity}",
-               update=f"{entry.vars.overflow} = 1")
+    extra_automata: list[Automaton] = []
+    extra_channels: list[str] = []
+    int_vars: list[tuple[str, int]] = []
+
+    def stage_outputs(location: str) -> None:
+        for entry in outputs:
+            stg = entry.vars.staged
+            b.edge(location, location, sync=f"{entry.io_name}?",
+                   guard=f"{stg} < {entry.capacity}",
+                   update=f"{stg} = {stg} + 1")
+            b.edge(location, location, sync=f"{entry.io_name}?",
+                   guard=f"{stg} == {entry.capacity}",
+                   update=f"{entry.vars.overflow} = 1")
+
+    if preemptive:
+        # Unrolled interference: Compute_j has absorbed j bursts, each
+        # of length [preempt_min, preempt_max] while the code is
+        # suspended in Preempted_j (SCHED's Busy invariant caps the
+        # burst, so Preempted_j needs none).  Outputs stage only while
+        # the code actually runs.
+        from repro.platforms.faults import (
+            CSTART_CHANNEL,
+            PREEMPT_CHANNEL,
+            RESUME_CHANNEL,
+            build_scheduler,
+        )
+        bursts = inv.preemptions
+        compute_locs = [f"Compute_{j}" for j in range(bursts + 1)]
+        for j, loc in enumerate(compute_locs):
+            b.location(
+                loc,
+                invariant=f"e <= {inv.wcet + j * inv.preempt_max}")
+        b.edge("Read", compute_locs[0], guard=proceed_guard,
+               sync=f"{CSTART_CHANNEL}!")
+        for j in range(bursts):
+            b.location(f"Preempted_{j}")
+            b.edge(compute_locs[j], f"Preempted_{j}",
+                   sync=f"{PREEMPT_CHANNEL}?")
+            b.edge(f"Preempted_{j}", compute_locs[j + 1],
+                   sync=f"{RESUME_CHANNEL}?")
+        for loc in compute_locs:
+            stage_outputs(loc)
+        completion_sources = compute_locs
+        completion_guard = f"e >= {inv.bcet}"
+        extra_automata.append(build_scheduler(inv))
+        extra_channels += [CSTART_CHANNEL, PREEMPT_CHANNEL,
+                           RESUME_CHANNEL]
+    elif replicated:
+        # Replicated execution: a committed launch chain restarts every
+        # replica (aborting stragglers), clears the vote tally after
+        # the last restart, and the invocation completes only once the
+        # voter has collected a quorum.  Worst-case rounds bound the
+        # Compute invariant — see FaultSpec.worst_case_rounds.
+        from repro.platforms.faults import (
+            VOTES_VAR,
+            build_replicas_and_voter,
+            replica_start_channel,
+        )
+        rounds = faults.worst_case_rounds()
+        b.location("Compute", invariant=f"e <= {rounds * inv.wcet}")
+        launches = [f"Launch_{i}"
+                    for i in range(1, faults.replicas + 1)]
+        for stage in launches:
+            b.location(stage, committed=True)
+        b.edge("Read", launches[0], guard=proceed_guard)
+        for i, stage in enumerate(launches, start=1):
+            target = launches[i] if i < len(launches) else "Compute"
+            update = f"{VOTES_VAR} = 0" if i == len(launches) else None
+            b.edge(stage, target, sync=f"{replica_start_channel(i)}!",
+                   update=update)
+        stage_outputs("Compute")
+        completion_sources = ["Compute"]
+        completion_guard = (f"e >= {inv.bcet} && "
+                            f"{VOTES_VAR} >= {faults.quorum()}")
+        replica_parts = build_replicas_and_voter(inv, faults)
+        extra_automata += replica_parts.automata
+        extra_channels += replica_parts.channels
+        int_vars += replica_parts.int_vars
+    else:
+        b.location("Compute", invariant=f"e <= {inv.wcet}")
+        b.edge("Read", "Compute", guard=proceed_guard)
+        stage_outputs("Compute")
+        completion_sources = ["Compute"]
+        completion_guard = f"e >= {inv.bcet}"
 
     # ---- Write chain (committed, one stage per output channel) -----------
     if not outputs:
-        b.edge("Compute", "Waiting", guard=f"e >= {inv.bcet}")
+        for source in completion_sources:
+            b.edge(source, "Waiting", guard=completion_guard)
     else:
         stages = [f"Write_{entry.io_name}" for entry in outputs]
         for stage in stages:
             b.location(stage, committed=True)
-        b.edge("Compute", stages[0], guard=f"e >= {inv.bcet}")
+        for source in completion_sources:
+            b.edge(source, stages[0], guard=completion_guard)
         for k, entry in enumerate(outputs):
             target = stages[k + 1] if k + 1 < len(stages) else "Waiting"
             cnt = entry.vars.count
@@ -230,7 +319,10 @@ def build_exeio(
 
     # ---- Aperiodic trigger automaton --------------------------------------
     if periodic:
-        return ExeioParts(automaton=automaton)
+        return ExeioParts(automaton=automaton,
+                          extra_automata=tuple(extra_automata),
+                          extra_channels=tuple(extra_channels),
+                          int_vars=tuple(int_vars))
     if not inputs:
         raise TransformError(
             "aperiodic invocation requires at least one input channel "

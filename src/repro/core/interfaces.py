@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.scheme import (
     DeliveryMechanism,
+    FaultSpec,
     InputSpec,
     IOSpec,
     OutputSpec,
@@ -53,16 +54,19 @@ def _base(io_name: str) -> str:
 
 
 def input_channel_vars(io_name: str, spec: InputSpec,
-                       io_spec: IOSpec) -> ChannelVars:
+                       io_spec: IOSpec,
+                       faults: FaultSpec | None = None) -> ChannelVars:
     """Bookkeeping variable names for one input channel."""
     stem = _base(io_name)
     polled = spec.mechanism is ReadMechanism.POLLING
     shared = io_spec.delivery is DeliveryMechanism.SHARED_VARIABLE
+    lossy = faults is not None and faults.max_losses > 0
     return ChannelVars(
         count=f"cnt_{stem}",
         overflow=f"lost_{stem}" if shared else f"ovf_{stem}",
         latch=f"latch_{stem}" if polled else "",
         missed=f"miss_{stem}" if polled else "",
+        faults=f"fd_{stem}" if lossy else "",
     )
 
 
@@ -97,12 +101,14 @@ _capacity = effective_capacity
 # IFMI
 # ----------------------------------------------------------------------
 def build_ifmi(mc_channel: str, io_name: str, spec: InputSpec,
-               io_spec: IOSpec, vars_: ChannelVars) -> Automaton:
+               io_spec: IOSpec, vars_: ChannelVars,
+               faults: FaultSpec | None = None) -> Automaton:
     """The input interface automaton for one monitored variable."""
     if spec.mechanism is ReadMechanism.INTERRUPT:
         return _build_ifmi_interrupt(mc_channel, io_name, spec, io_spec,
-                                     vars_)
-    return _build_ifmi_polling(mc_channel, io_name, spec, io_spec, vars_)
+                                     vars_, faults)
+    return _build_ifmi_polling(mc_channel, io_name, spec, io_spec, vars_,
+                               faults)
 
 
 def _enqueue_edges(b: AutomatonBuilder, source: str, target: str,
@@ -122,22 +128,45 @@ def _enqueue_edges(b: AutomatonBuilder, source: str, target: str,
            update=f"{vars_.overflow} = 1")
 
 
+def _loss_retry_edge(b: AutomatonBuilder, spec: InputSpec,
+                     vars_: ChannelVars,
+                     faults: FaultSpec | None) -> None:
+    """Lossy-channel re-execution (fault axis (a)).
+
+    The processed event is dropped in transit — nondeterministically,
+    up to ``k`` times per channel — and the Input-Device re-executes
+    its processing window from scratch.  The loss counter ``fd_*``
+    makes the budget part of the state, so verdicts are antitone in
+    ``k`` (the edge's behaviors at ``k`` are a subset of those at
+    ``k+1``).
+    """
+    if faults is None or faults.max_losses <= 0:
+        return
+    b.edge("Processing", "Processing",
+           guard=(f"y >= {spec.delay_min} && "
+                  f"{vars_.faults} < {faults.max_losses}"),
+           update=f"{vars_.faults} = {vars_.faults} + 1, y = 0")
+
+
 def _build_ifmi_interrupt(mc_channel: str, io_name: str,
                           spec: InputSpec, io_spec: IOSpec,
-                          vars_: ChannelVars) -> Automaton:
+                          vars_: ChannelVars,
+                          faults: FaultSpec | None = None) -> Automaton:
     """Fig. 5-(1) verbatim: Idle → Processing → Idle (two cases)."""
     cap = _capacity(io_spec)
     b = AutomatonBuilder(f"IFMI_{io_name}", clocks=["y"])
     b.location("Idle", initial=True)
     b.location("Processing", invariant=f"y <= {spec.delay_max}")
     b.edge("Idle", "Processing", sync=f"{mc_channel}?", update="y = 0")
+    _loss_retry_edge(b, spec, vars_, faults)
     _enqueue_edges(b, "Processing", "Idle", spec.delay_min, cap, vars_)
     return b.build()
 
 
 def _build_ifmi_polling(mc_channel: str, io_name: str,
                         spec: InputSpec, io_spec: IOSpec,
-                        vars_: ChannelVars) -> Automaton:
+                        vars_: ChannelVars,
+                        faults: FaultSpec | None = None) -> Automaton:
     """Polling variant: a latch sampled every ``polling_interval``.
 
     The environment's edge sets the latch at any time (received in
@@ -146,17 +175,32 @@ def _build_ifmi_polling(mc_channel: str, io_name: str,
     then ends with the Fig. 5-(1) enqueue pair.  A second edge before
     the latch is sampled sets the ``missed`` flag — the signal was
     overwritten, which Constraint 1 requires to be unreachable.
+
+    With a loss budget the processing window may re-execute up to
+    ``k`` times, and with jitter ``ε`` the poll cadence widens to
+    ``[poll−ε, poll+ε]``; realizability then requires the whole retry
+    budget ``(k+1)·delay_max`` to fit an earliest poll gap ``poll−ε``.
     """
     assert spec.polling_interval is not None
     poll = spec.polling_interval
-    if spec.delay_max > poll:
+    losses = faults.max_losses if faults is not None else 0
+    eps = faults.jitter if faults is not None else 0
+    if (losses + 1) * spec.delay_max > poll - eps:
+        if losses or eps:
+            raise TransformError(
+                f"input {mc_channel!r}: the retry budget "
+                f"({losses + 1} × delay_max {spec.delay_max}) exceeds "
+                f"the earliest poll gap ({poll} − jitter {eps}); the "
+                f"device would fall behind its own poll cadence")
         raise TransformError(
             f"input {mc_channel!r}: processing delay_max "
             f"({spec.delay_max}) exceeds the polling interval ({poll}); "
             f"the device would fall behind its own poll cadence")
     cap = _capacity(io_spec)
+    invariant = f"p <= {poll + eps}" if eps else f"p <= {poll}"
+    tick = f"p >= {poll - eps}" if eps else f"p == {poll}"
     b = AutomatonBuilder(f"IFMI_{io_name}", clocks=["p", "y"])
-    b.location("Wait", invariant=f"p <= {poll}", initial=True)
+    b.location("Wait", invariant=invariant, initial=True)
     b.location("Processing", invariant=f"y <= {spec.delay_max}")
     for location in ("Wait", "Processing"):
         b.edge(location, location, sync=f"{mc_channel}?",
@@ -166,11 +210,12 @@ def _build_ifmi_polling(mc_channel: str, io_name: str,
                guard=f"{vars_.latch} == 1",
                update=f"{vars_.missed} = 1")
     b.edge("Wait", "Processing",
-           guard=f"p == {poll} && {vars_.latch} == 1",
+           guard=f"{tick} && {vars_.latch} == 1",
            update=f"p = 0, y = 0, {vars_.latch} = 0")
     b.edge("Wait", "Wait",
-           guard=f"p == {poll} && {vars_.latch} == 0",
+           guard=f"{tick} && {vars_.latch} == 0",
            update="p = 0")
+    _loss_retry_edge(b, spec, vars_, faults)
     _enqueue_edges(b, "Processing", "Wait", spec.delay_min, cap, vars_)
     return b.build()
 
@@ -179,11 +224,13 @@ def _build_ifmi_polling(mc_channel: str, io_name: str,
 # IFOC
 # ----------------------------------------------------------------------
 def build_ifoc(mc_channel: str, io_name: str, spec: OutputSpec,
-               io_spec: IOSpec, vars_: ChannelVars) -> Automaton:
+               io_spec: IOSpec, vars_: ChannelVars,
+               faults: FaultSpec | None = None) -> Automaton:
     """The output interface automaton for one controlled variable."""
     if spec.mechanism is ReadMechanism.INTERRUPT:
         return _build_ifoc_event(mc_channel, io_name, spec, vars_)
-    return _build_ifoc_polling(mc_channel, io_name, spec, io_spec, vars_)
+    return _build_ifoc_polling(mc_channel, io_name, spec, io_spec, vars_,
+                               faults)
 
 
 def _build_ifoc_event(mc_channel: str, io_name: str, spec: OutputSpec,
@@ -202,25 +249,39 @@ def _build_ifoc_event(mc_channel: str, io_name: str, spec: OutputSpec,
 
 def _build_ifoc_polling(mc_channel: str, io_name: str,
                         spec: OutputSpec, io_spec: IOSpec,
-                        vars_: ChannelVars) -> Automaton:
-    """Polling pickup with committed drain of the remaining backlog."""
+                        vars_: ChannelVars,
+                        faults: FaultSpec | None = None) -> Automaton:
+    """Polling pickup with committed drain of the remaining backlog.
+
+    With jitter ``ε`` the poll cadence widens to ``[poll−ε, poll+ε]``
+    and the full-transport drain must fit the earliest gap ``poll−ε``.
+    """
     assert spec.polling_interval is not None
     poll = spec.polling_interval
+    eps = faults.jitter if faults is not None else 0
     cap = _capacity(io_spec)
-    if cap * spec.delay_max > poll:
+    if cap * spec.delay_max > poll - eps:
+        if eps:
+            raise TransformError(
+                f"output {mc_channel!r}: draining a full transport "
+                f"({cap} × delay_max {spec.delay_max}) exceeds the "
+                f"earliest poll gap ({poll} − jitter {eps}); the "
+                f"device would fall behind")
         raise TransformError(
             f"output {mc_channel!r}: draining a full transport "
             f"({cap} × delay_max {spec.delay_max}) exceeds the polling "
             f"interval ({poll}); the device would fall behind")
+    invariant = f"q <= {poll + eps}" if eps else f"q <= {poll}"
+    tick = f"q >= {poll - eps}" if eps else f"q == {poll}"
     b = AutomatonBuilder(f"IFOC_{io_name}", clocks=["q", "z"])
-    b.location("Wait", invariant=f"q <= {poll}", initial=True)
+    b.location("Wait", invariant=invariant, initial=True)
     b.location("Busy", invariant=f"z <= {spec.delay_max}")
     b.location("Drain", committed=True)
     b.edge("Wait", "Busy",
-           guard=f"q == {poll} && {vars_.count} > 0",
+           guard=f"{tick} && {vars_.count} > 0",
            update=f"q = 0, z = 0, {vars_.count} = {vars_.count} - 1")
     b.edge("Wait", "Wait",
-           guard=f"q == {poll} && {vars_.count} == 0",
+           guard=f"{tick} && {vars_.count} == 0",
            update="q = 0")
     b.edge("Busy", "Drain", guard=f"z >= {spec.delay_min}",
            sync=f"{mc_channel}!")

@@ -34,6 +34,9 @@ class ChannelVars:
     latch: str = ""
     #: Missed/overwritten-signal flag (polled inputs only).
     missed: str = ""
+    #: Delivery-loss counter (inputs with a fault budget, ``""``
+    #: otherwise): how many deliveries the lossy channel has dropped.
+    faults: str = ""
 
 
 @dataclass(frozen=True)

@@ -116,15 +116,17 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
                 for ch in (*input_channels, *output_channels)}
 
     # ---- interface automata and their bookkeeping variables ----------
+    faults = scheme.faults
     input_vars: dict[str, ChannelVars] = {}
     ifmi: dict[str, Automaton] = {}
     for channel in input_channels:
         spec = scheme.input_spec(channel)
         io_spec = scheme.io_input_spec(channel)
-        vars_ = input_channel_vars(io_names[channel], spec, io_spec)
+        vars_ = input_channel_vars(io_names[channel], spec, io_spec,
+                                   faults)
         input_vars[channel] = vars_
         ifmi[channel] = build_ifmi(channel, io_names[channel], spec,
-                                   io_spec, vars_)
+                                   io_spec, vars_, faults)
 
     output_vars: dict[str, ChannelVars] = {}
     ifoc: dict[str, Automaton] = {}
@@ -135,7 +137,7 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
         vars_ = output_channel_vars(io_names[channel], io_spec)
         output_vars[channel] = vars_
         ifoc[channel] = build_ifoc(channel, io_names[channel], spec,
-                                   io_spec, vars_)
+                                   io_spec, vars_, faults)
         if spec.mechanism is ReadMechanism.INTERRUPT:
             event_outputs.append(channel)
 
@@ -177,6 +179,8 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
         net.channel(pickup_channel(io_names[channel]), urgent=True)
     for urgent in exeio_parts.urgent_channels:
         net.channel(urgent, urgent=True)
+    for extra_channel in exeio_parts.extra_channels:
+        net.channel(extra_channel)
 
     for global_clock in clock_map.values():
         net.global_clock(global_clock)
@@ -187,6 +191,8 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
     net.int_var(MIO_LOC_VAR, init=mio_initial_idx, lo=0,
                 hi=len(mio.locations) - 1)
     net.bool_var(CODE_DROP_FLAG)
+    for name, hi in exeio_parts.int_vars:
+        net.int_var(name, init=0, lo=0, hi=hi)
     for channel in input_channels:
         vars_ = input_vars[channel]
         cap = effective_capacity(scheme.io_input_spec(channel))
@@ -196,6 +202,9 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
             net.bool_var(vars_.latch)
         if vars_.missed:
             net.bool_var(vars_.missed)
+        if vars_.faults:
+            net.int_var(vars_.faults, init=0, lo=0,
+                        hi=faults.max_losses)
         net.bool_var(f"did_{io_names[channel]}")
     for channel in output_channels:
         vars_ = output_vars[channel]
@@ -219,6 +228,9 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
     net.add_automaton(envmc)
 
     network = net.build()
+    extras = {extra.name: extra.name
+              for extra in exeio_parts.extra_automata
+              if extra.name != f"{EXEIO_NAME}_TRIG"}
     return PSM(
         network=network,
         pim=pim,
@@ -233,6 +245,7 @@ def transform(pim: PIM, scheme: ImplementationScheme) -> PSM:
         output_vars=output_vars,
         code_drop_flag=CODE_DROP_FLAG,
         mio_loc_var=MIO_LOC_VAR,
+        extras=extras,
     )
 
 

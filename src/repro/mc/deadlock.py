@@ -39,15 +39,31 @@ class DeadlockReport:
 
 def find_deadlocks(network: Network, *,
                    max_states: int = 1_000_000,
-                   limit: int = 10) -> DeadlockReport:
+                   limit: int = 10,
+                   abstraction: str | None = None) -> DeadlockReport:
     """Search the full zone graph for stuck (dead/time-locked) states.
 
-    Always runs under Extra_M: the timelock test below reads clock
+    Runs under Extra_M — and refuses ``abstraction="extra_lu"`` rather
+    than silently honoring it: the timelock test below reads clock
     *upper bounds* of stored zones, which the coarser Extra⁺_LU
-    widening legitimately turns into ∞ — LU preserves reachability
-    verdicts, not boundedness of individual zones, so a process-wide
-    ``set_abstraction("extra_lu")`` must not leak into this query.
+    widening legitimately turns into ∞.  LU preserves reachability
+    verdicts, not boundedness of individual zones, so running this
+    query under LU would misclassify genuinely time-locked states as
+    live (time could "diverge" through a widened bound that the real
+    zone caps).  A process-wide ``set_abstraction("extra_lu")`` does
+    not leak in either — the explorer is pinned to Extra_M.
+
+    ``abstraction`` exists so grid/portfolio plumbing can pass its
+    engine setting through uniformly; only ``None`` and ``"extra_m"``
+    are accepted.
     """
+    if abstraction is not None and abstraction != "extra_m":
+        raise ValueError(
+            f"find_deadlocks only supports the extra_m abstraction, "
+            f"got {abstraction!r}: the timelock test reads zone upper "
+            f"bounds, which Extra⁺_LU widening turns into ∞ and would "
+            f"make stuck states look live. Drop the argument (extra_m "
+            f"is always used) or pass abstraction='extra_m'.")
     explorer = ZoneGraphExplorer(network, max_states=max_states,
                                  abstraction="extra_m")
     compiled = explorer.compiled

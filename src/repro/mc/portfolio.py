@@ -1067,15 +1067,18 @@ class PortfolioVerifier:
             except KeyError:
                 return ("raw", name)
 
+        from repro.core.delays import detection_bound
+
         detection = None
         if job.min_interarrival_ms is not None:
             # Constraint 1's analytic half compares each input's
-            # worst-case detection against the inter-arrival time.
+            # worst-case (fault-inflated) detection against the
+            # inter-arrival time.
             detection = tuple(sorted(
-                (cid(channel),
-                 job.scheme.input_spec(channel).worst_case_detection())
+                (cid(channel), detection_bound(job.scheme, channel))
                 for channel in job.pim.input_channels()))
         return (
+            job.scheme.faults.signature(),
             model.digest,
             cid(job.input_channel), cid(job.output_channel),
             cid(psm.io_name(job.input_channel)),
@@ -1675,7 +1678,8 @@ def _dominance_signature(job: PortfolioJob, max_states: int,
         job.include_progress, max_states,
         tuple(inputs_key),
         _freeze(scheme.outputs), _freeze(scheme.io_inputs),
-        _freeze(scheme.io_outputs), tuple(invocation_key))
+        _freeze(scheme.io_outputs), tuple(invocation_key),
+        _freeze(scheme.faults))
     return key, tuple(slack)
 
 

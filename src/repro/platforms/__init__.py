@@ -6,6 +6,7 @@ from repro.platforms.devices import (
     OutputDevice,
     PollingInputDevice,
 )
+from repro.platforms.faults import FaultInjector
 from repro.platforms.invocation import (
     AperiodicInvoker,
     CodeExecutionHost,
@@ -20,6 +21,7 @@ __all__ = [
     "AperiodicInvoker",
     "CodeExecutionHost",
     "EventBuffer",
+    "FaultInjector",
     "ImplementedSystem",
     "InputPort",
     "InterruptInputDevice",

@@ -19,6 +19,7 @@ from typing import Callable
 
 from repro.core.scheme import InputSpec, OutputSpec, ReadMechanism
 from repro.platforms.buffers import Transport
+from repro.platforms.faults import FaultInjector
 from repro.platforms.signals import SignalLine
 from repro.sim.engine import Simulator, ms_to_us
 from repro.sim.rng import RandomStreams
@@ -37,7 +38,8 @@ class InterruptInputDevice:
     def __init__(self, sim: Simulator, rng: RandomStreams,
                  trace: TraceRecorder, channel: str, spec: InputSpec,
                  sink: Transport,
-                 on_delivered: Callable[[], None] | None = None):
+                 on_delivered: Callable[[], None] | None = None,
+                 injector: FaultInjector | None = None):
         if spec.mechanism is not ReadMechanism.INTERRUPT:
             raise ValueError(
                 f"{channel}: InterruptInputDevice needs an interrupt spec")
@@ -48,6 +50,7 @@ class InterruptInputDevice:
         self.spec = spec
         self.sink = sink
         self.on_delivered = on_delivered
+        self.injector = injector
         #: Edges arriving while a previous one is still processing —
         #: Constraint 1(2) requires this to stay at zero.
         self.overlapped = 0
@@ -65,6 +68,21 @@ class InterruptInputDevice:
         self._busy_until = max(self._busy_until, now + delay)
 
         def deliver() -> None:
+            if (self.injector is not None
+                    and self.injector.lose_delivery(self.channel)):
+                # Lost in transit: re-execute the processing window,
+                # mirroring the symbolic retry edge in the IFMI.
+                self.trace.record(self.sim.now, "fault", self.channel,
+                                  tag, note="loss")
+                redo = self.rng.uniform_int(
+                    f"in:{self.channel}",
+                    ms_to_us(self.spec.delay_min),
+                    ms_to_us(self.spec.delay_max))
+                self._busy_until = max(self._busy_until,
+                                       self.sim.now + redo)
+                self.sim.schedule(redo, deliver,
+                                  label=f"isr:{self.channel}")
+                return
             self.trace.record(self.sim.now, "i_ready", self.channel, tag)
             self.sink.push(tag)
             if self.on_delivered is not None:
@@ -80,7 +98,8 @@ class PollingInputDevice:
                  trace: TraceRecorder, channel: str, spec: InputSpec,
                  sink: Transport, line: SignalLine,
                  on_delivered: Callable[[], None] | None = None,
-                 offset_us: int = 0):
+                 offset_us: int = 0,
+                 injector: FaultInjector | None = None):
         if spec.mechanism is not ReadMechanism.POLLING:
             raise ValueError(
                 f"{channel}: PollingInputDevice needs a polling spec")
@@ -93,6 +112,7 @@ class PollingInputDevice:
         self.sink = sink
         self.line = line
         self.on_delivered = on_delivered
+        self.injector = injector
         self.interval_us = ms_to_us(spec.polling_interval)
         self.polls = 0
         self._started = False
@@ -118,6 +138,17 @@ class PollingInputDevice:
                 ms_to_us(self.spec.delay_max))
 
             def deliver(tag=tag) -> None:
+                if (self.injector is not None
+                        and self.injector.lose_delivery(self.channel)):
+                    self.trace.record(self.sim.now, "fault",
+                                      self.channel, tag, note="loss")
+                    redo = self.rng.uniform_int(
+                        f"in:{self.channel}",
+                        ms_to_us(self.spec.delay_min),
+                        ms_to_us(self.spec.delay_max))
+                    self.sim.schedule(redo, deliver,
+                                      label=f"proc:{self.channel}")
+                    return
                 self.trace.record(self.sim.now, "i_ready", self.channel,
                                   tag)
                 self.sink.push(tag)
@@ -126,7 +157,10 @@ class PollingInputDevice:
 
             self.sim.schedule(delay, deliver,
                               label=f"proc:{self.channel}")
-        self.sim.schedule(self.interval_us, self._poll,
+        gap = self.interval_us
+        if self.injector is not None:
+            gap = self.injector.jittered_us(f"poll:{self.channel}", gap)
+        self.sim.schedule(gap, self._poll,
                           label=f"poll:{self.channel}")
 
 
@@ -141,7 +175,8 @@ class OutputDevice:
     def __init__(self, sim: Simulator, rng: RandomStreams,
                  trace: TraceRecorder, channel: str, spec: OutputSpec,
                  source: Transport, actuate: Callable[[int], None],
-                 offset_us: int = 0):
+                 offset_us: int = 0,
+                 injector: FaultInjector | None = None):
         self.sim = sim
         self.rng = rng
         self.trace = trace
@@ -149,6 +184,7 @@ class OutputDevice:
         self.spec = spec
         self.source = source
         self.actuate = actuate
+        self.injector = injector
         self._busy = False
         self._started = False
         self._offset_us = offset_us
@@ -176,7 +212,11 @@ class OutputDevice:
         for tag in self.source.pop_all():
             self._process(tag)
         assert self.spec.polling_interval is not None
-        self.sim.schedule(ms_to_us(self.spec.polling_interval), self._poll,
+        gap = ms_to_us(self.spec.polling_interval)
+        if self.injector is not None:
+            gap = self.injector.jittered_us(f"outpoll:{self.channel}",
+                                            gap)
+        self.sim.schedule(gap, self._poll,
                           label=f"outpoll:{self.channel}")
 
     def _drain_next(self) -> None:

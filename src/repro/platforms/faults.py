@@ -1,0 +1,251 @@
+"""Fault-injection platform automata and concrete fault injection.
+
+The symbolic half builds the platform automata that realize a
+:class:`~repro.core.scheme.FaultSpec` (and the ``PREEMPTIVE``
+invocation kind) inside the PSM — see ``docs/FAULTS.md`` for the
+automata shapes and the soundness argument:
+
+* **replication with voting** — one ``REPLICA_i`` automaton per
+  replica plus a ``VOTER`` counting agreement into ``exe_votes``; the
+  EXEIO completion guard waits for the quorum;
+* **fixed-priority preemption** — a ``SCHED`` automaton that may
+  suspend the running invocation up to ``preemptions`` times, each
+  burst lasting [``preempt_min``, ``preempt_max``] ms.
+
+(The lossy-channel retry edges live inside the IFMI builders in
+:mod:`repro.core.interfaces`; jitter widens the periodic guards in
+place.)
+
+The concrete half, :class:`FaultInjector`, mirrors the same axes in
+the discrete-event simulation with seeded
+:class:`~repro.sim.rng.RandomStreams` draws, so simulated traces
+cross-validate the symbolic verdicts.  All injector streams are new
+names (``fault:*``) — with faults disabled no stream is ever touched
+and every existing draw is reproduced bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheme import FaultSpec, InvocationKind, InvocationSpec
+from repro.sim.engine import ms_to_us
+from repro.sim.rng import RandomStreams
+from repro.ta.builder import AutomatonBuilder
+from repro.ta.model import Automaton
+
+__all__ = [
+    "CSTART_CHANNEL",
+    "PREEMPT_CHANNEL",
+    "RESUME_CHANNEL",
+    "VOTE_CHANNEL",
+    "VOTES_VAR",
+    "REPLICA_FAULTS_VAR",
+    "SCHED_NAME",
+    "VOTER_NAME",
+    "FaultInjector",
+    "ReplicaParts",
+    "build_replicas_and_voter",
+    "build_scheduler",
+    "replica_name",
+    "replica_start_channel",
+]
+
+#: Vote tally the EXEIO completion guard reads (reset at launch).
+VOTES_VAR = "exe_votes"
+#: Shared replica re-execution budget (the scheme's ``max_losses``).
+REPLICA_FAULTS_VAR = "exe_rfaults"
+#: Channel a replica emits when its execution round completes.
+VOTE_CHANNEL = "exe_vote"
+#: Compute-start handshake between EXEIO and the scheduler.
+CSTART_CHANNEL = "exe_cstart"
+#: Scheduler suspends the running invocation.
+PREEMPT_CHANNEL = "exe_preempt"
+#: Scheduler resumes the suspended invocation.
+RESUME_CHANNEL = "exe_resume"
+
+VOTER_NAME = "VOTER"
+SCHED_NAME = "SCHED"
+
+
+def replica_name(index: int) -> str:
+    """Automaton name of replica ``index`` (1-based)."""
+    return f"REPLICA_{index}"
+
+
+def replica_start_channel(index: int) -> str:
+    """Restart channel of replica ``index`` (1-based)."""
+    return f"exe_rstart_{index}"
+
+
+@dataclass(frozen=True)
+class ReplicaParts:
+    """Replication automata plus their network declarations."""
+
+    automata: tuple[Automaton, ...]
+    channels: tuple[str, ...]
+    #: ``(name, hi)`` integer variables the transform must declare.
+    int_vars: tuple[tuple[str, int], ...]
+
+
+def build_replicas_and_voter(inv: InvocationSpec,
+                             faults: FaultSpec) -> ReplicaParts:
+    """``r`` replica invocation automata plus the majority voter.
+
+    Each replica runs one execution round per restart (clock ``re`` in
+    [bcet, wcet]) and then votes.  A restart (``exe_rstart_i``) aborts
+    a straggling round from a previous invocation.  While the shared
+    budget ``exe_rfaults`` lasts, a running round may fault and
+    re-execute from scratch — delaying that replica's vote by up to
+    one wcet per fault.  The voter only counts: the quorum test lives
+    in EXEIO's completion guard so the count is part of the global
+    state the model checker sees.
+    """
+    automata: list[Automaton] = []
+    for i in range(1, faults.replicas + 1):
+        start = replica_start_channel(i)
+        b = AutomatonBuilder(replica_name(i), clocks=["re"])
+        b.location("Ready", initial=True)
+        b.location("Run", invariant=f"re <= {inv.wcet}")
+        b.edge("Ready", "Run", sync=f"{start}?", update="re = 0")
+        b.edge("Run", "Run", sync=f"{start}?", update="re = 0")
+        if faults.max_losses > 0:
+            b.edge("Run", "Run",
+                   guard=(f"{REPLICA_FAULTS_VAR} < "
+                          f"{faults.max_losses}"),
+                   update=(f"{REPLICA_FAULTS_VAR} = "
+                           f"{REPLICA_FAULTS_VAR} + 1, re = 0"))
+        b.edge("Run", "Ready", guard=f"re >= {inv.bcet}",
+               sync=f"{VOTE_CHANNEL}!")
+        automata.append(b.build())
+
+    voter = AutomatonBuilder(VOTER_NAME)
+    voter.location("Collect", initial=True)
+    voter.edge("Collect", "Collect", sync=f"{VOTE_CHANNEL}?",
+               update=f"{VOTES_VAR} = {VOTES_VAR} + 1")
+    automata.append(voter.build())
+
+    channels = tuple(replica_start_channel(i)
+                     for i in range(1, faults.replicas + 1))
+    channels += (VOTE_CHANNEL,)
+    int_vars: list[tuple[str, int]] = [(VOTES_VAR, faults.replicas)]
+    if faults.max_losses > 0:
+        int_vars.append((REPLICA_FAULTS_VAR, faults.max_losses))
+    return ReplicaParts(automata=tuple(automata), channels=channels,
+                        int_vars=tuple(int_vars))
+
+
+def build_scheduler(inv: InvocationSpec) -> Automaton:
+    """The fixed-priority interference source for ``PREEMPTIVE``.
+
+    ``Watch_j`` counts bursts already delivered to the current
+    invocation; from there the scheduler may — at any moment, which is
+    what makes the interference worst-case — preempt the running code
+    into ``Busy_{j+1}`` for [preempt_min, preempt_max] ms before
+    resuming it.  Every compute start (``exe_cstart``) rewinds the
+    burst counter, giving each invocation the full budget.
+    """
+    b = AutomatonBuilder(SCHED_NAME, clocks=["h"])
+    bursts = inv.preemptions
+    for j in range(bursts + 1):
+        b.location(f"Watch_{j}", initial=(j == 0))
+    for j in range(1, bursts + 1):
+        b.location(f"Busy_{j}", invariant=f"h <= {inv.preempt_max}")
+    for j in range(bursts):
+        b.edge(f"Watch_{j}", f"Busy_{j + 1}",
+               sync=f"{PREEMPT_CHANNEL}!", update="h = 0")
+        b.edge(f"Busy_{j + 1}", f"Watch_{j + 1}",
+               guard=f"h >= {inv.preempt_min}",
+               sync=f"{RESUME_CHANNEL}!")
+    for j in range(bursts + 1):
+        b.edge(f"Watch_{j}", "Watch_0", sync=f"{CSTART_CHANNEL}?")
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Concrete (simulation-side) fault injection
+# ----------------------------------------------------------------------
+@dataclass
+class FaultInjector:
+    """Seeded concrete fault injection for :class:`ImplementedSystem`.
+
+    One injector per system run; devices and the execution host
+    consult it at each decision point.  Every stochastic choice draws
+    from a dedicated ``fault:*`` stream, so enabling an axis never
+    perturbs the draws of any pre-existing stream (the repo's
+    reproducibility contract), and runs are deterministic per seed.
+    """
+
+    rng: RandomStreams
+    faults: FaultSpec
+    invocation: InvocationSpec
+    #: Deliveries dropped in transit, per input channel.
+    message_losses: dict[str, int] = field(default_factory=dict)
+    #: Replica execution rounds that faulted and re-executed.
+    replica_faults: int = 0
+    #: Interference bursts applied to invocations.
+    preemption_bursts: int = 0
+
+    @property
+    def active(self) -> bool:
+        return (self.faults.enabled
+                or self.invocation.kind is InvocationKind.PREEMPTIVE)
+
+    # ---- axis (a): bounded message loss ------------------------------
+    def lose_delivery(self, channel: str) -> bool:
+        """Drop this delivery? (Budgeted per channel, coin per try.)"""
+        budget = self.faults.max_losses
+        if budget <= 0:
+            return False
+        used = self.message_losses.get(channel, 0)
+        if used >= budget:
+            return False
+        if self.rng.uniform_int(f"fault:lose:{channel}", 0, 1) == 1:
+            self.message_losses[channel] = used + 1
+            return True
+        return False
+
+    # ---- axis (c): clock jitter --------------------------------------
+    def jittered_us(self, name: str, interval_us: int) -> int:
+        """One tick interval under the ``[p−ε, p+ε]`` envelope."""
+        eps_us = ms_to_us(self.faults.jitter)
+        if eps_us <= 0:
+            return interval_us
+        return self.rng.uniform_int(f"fault:jitter:{name}",
+                                    interval_us - eps_us,
+                                    interval_us + eps_us)
+
+    # ---- axes (b)+(d): replication / preemption ----------------------
+    def adjust_execution_us(self, exec_us: int, bcet_us: int,
+                            wcet_us: int) -> int:
+        """Stretch one invocation's completion time.
+
+        Replication: the invocation completes at the quorum-th fastest
+        replica vote; faulty rounds re-execute (shared budget).
+        Preemption: 0..N interference bursts suspend the code.
+        """
+        if self.faults.replicas > 1:
+            finishes = []
+            for i in range(1, self.faults.replicas + 1):
+                total = (exec_us if i == 1 else self.rng.uniform_int(
+                    f"fault:exec:{i}", bcet_us, wcet_us))
+                while (self.replica_faults < self.faults.max_losses
+                       and self.rng.uniform_int(
+                           f"fault:replica:{i}", 0, 1) == 1):
+                    self.replica_faults += 1
+                    total += self.rng.uniform_int(
+                        f"fault:exec:{i}", bcet_us, wcet_us)
+                finishes.append(total)
+            finishes.sort()
+            exec_us = finishes[self.faults.quorum() - 1]
+        if self.invocation.kind is InvocationKind.PREEMPTIVE \
+                and self.invocation.preemptions > 0:
+            bursts = self.rng.uniform_int(
+                "fault:preempt:count", 0, self.invocation.preemptions)
+            for _ in range(bursts):
+                self.preemption_bursts += 1
+                exec_us += self.rng.uniform_int(
+                    "fault:preempt:burst",
+                    ms_to_us(self.invocation.preempt_min),
+                    ms_to_us(self.invocation.preempt_max))
+        return exec_us

@@ -30,6 +30,7 @@ from repro.core.scheme import (
     ReadPolicy,
 )
 from repro.platforms.buffers import Transport
+from repro.platforms.faults import FaultInjector
 from repro.sim.engine import Simulator, ms_to_us, us_to_ms
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
@@ -69,7 +70,8 @@ class CodeExecutionHost:
                  trace: TraceRecorder, controller: Controller,
                  invocation: InvocationSpec,
                  input_ports: list[InputPort],
-                 output_ports: list[OutputPort]):
+                 output_ports: list[OutputPort],
+                 injector: FaultInjector | None = None):
         self.sim = sim
         self.rng = rng
         self.trace = trace
@@ -77,6 +79,7 @@ class CodeExecutionHost:
         self.invocation = invocation
         self.input_ports = input_ports
         self.output_ports = {port.channel: port for port in output_ports}
+        self.injector = injector
         self.invocations = 0
         #: Invocations requested while the previous one still ran.
         self.overruns = 0
@@ -121,6 +124,15 @@ class CodeExecutionHost:
         exec_us = self.rng.uniform_int(
             "exec", ms_to_us(self.invocation.bcet),
             ms_to_us(self.invocation.wcet))
+        if self.injector is not None:
+            before = exec_us
+            exec_us = self.injector.adjust_execution_us(
+                exec_us, ms_to_us(self.invocation.bcet),
+                ms_to_us(self.invocation.wcet))
+            if exec_us != before:
+                self.trace.record(now, "fault", "code", None,
+                                  note=f"exec {us_to_ms(before)}→"
+                                       f"{us_to_ms(exec_us)}ms")
         self._busy_until = now + exec_us
         outputs = list(result.outputs)
         if outputs:
@@ -146,13 +158,15 @@ class PeriodicInvoker:
     """Fixed-period invocation (IS1)."""
 
     def __init__(self, sim: Simulator, host: CodeExecutionHost,
-                 period_ms: int, offset_us: int = 0):
+                 period_ms: int, offset_us: int = 0,
+                 injector: FaultInjector | None = None):
         if period_ms <= 0:
             raise ValueError("period must be positive")
         self.sim = sim
         self.host = host
         self.period_us = ms_to_us(period_ms)
         self.offset_us = offset_us
+        self.injector = injector
         self._started = False
 
     def start(self) -> None:
@@ -163,7 +177,10 @@ class PeriodicInvoker:
 
     def _tick(self) -> None:
         self.host.invoke()
-        self.sim.schedule(self.period_us, self._tick, label="invoke")
+        gap = self.period_us
+        if self.injector is not None:
+            gap = self.injector.jittered_us("tick", gap)
+        self.sim.schedule(gap, self._tick, label="invoke")
 
 
 class AperiodicInvoker:

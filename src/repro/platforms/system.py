@@ -35,6 +35,7 @@ from repro.platforms.devices import (
     OutputDevice,
     PollingInputDevice,
 )
+from repro.platforms.faults import FaultInjector
 from repro.platforms.invocation import (
     AperiodicInvoker,
     CodeExecutionHost,
@@ -63,6 +64,10 @@ class PlatformStats:
     invocation_overruns: int = 0
     dropped_by_code: int = 0
     buffer_high_watermarks: dict[str, int] = field(default_factory=dict)
+    #: Fault-injection counters (zero unless a FaultSpec axis is on).
+    injected_message_losses: int = 0
+    injected_replica_faults: int = 0
+    injected_preemption_bursts: int = 0
 
     @property
     def any_buffer_overflow(self) -> bool:
@@ -78,7 +83,13 @@ class PlatformStats:
             f"overwrites={self.shared_variable_overwrites}, "
             f"missed-signals={self.missed_signals}, "
             f"isr-overlaps={self.isr_overlaps}, "
-            f"code-dropped={self.dropped_by_code}")
+            f"code-dropped={self.dropped_by_code}"
+            + (f", injected-losses={self.injected_message_losses}, "
+               f"injected-replica-faults={self.injected_replica_faults},"
+               f" injected-preemptions={self.injected_preemption_bursts}"
+               if (self.injected_message_losses
+                   or self.injected_replica_faults
+                   or self.injected_preemption_bursts) else ""))
 
 
 class ImplementedSystem:
@@ -104,6 +115,12 @@ class ImplementedSystem:
         self._observe = observe
         self._started = False
 
+        # ---- concrete fault injection --------------------------------
+        injector = FaultInjector(self.rng, scheme.faults,
+                                 scheme.invocation)
+        self.injector: FaultInjector | None = \
+            injector if injector.active else None
+
         # ---- io transports -------------------------------------------
         self._input_buffers: dict[str, EventBuffer] = {}
         self._output_buffers: dict[str, EventBuffer] = {}
@@ -127,7 +144,8 @@ class ImplementedSystem:
             device = OutputDevice(
                 self.sim, self.rng, self.trace, channel,
                 scheme.output_spec(channel), transport,
-                actuate=lambda tag, ch=channel: self._actuate(ch, tag))
+                actuate=lambda tag, ch=channel: self._actuate(ch, tag),
+                injector=self.injector)
             self.output_devices[channel] = device
             output_ports.append(OutputPort(channel, transport, io_spec,
                                            notify=device.notify))
@@ -135,11 +153,14 @@ class ImplementedSystem:
         # ---- code execution ------------------------------------------
         self.host = CodeExecutionHost(
             self.sim, self.rng, self.trace, controller,
-            scheme.invocation, input_ports, output_ports)
-        if scheme.invocation.kind is InvocationKind.PERIODIC:
+            scheme.invocation, input_ports, output_ports,
+            injector=self.injector)
+        if scheme.invocation.kind in (InvocationKind.PERIODIC,
+                                      InvocationKind.PREEMPTIVE):
             assert scheme.invocation.period is not None
             self.invoker = PeriodicInvoker(
-                self.sim, self.host, scheme.invocation.period)
+                self.sim, self.host, scheme.invocation.period,
+                injector=self.injector)
             notify_invoker: Callable[[], None] | None = None
         else:
             aperiodic = AperiodicInvoker(self.sim, self.rng, self.host,
@@ -156,7 +177,8 @@ class ImplementedSystem:
             if spec.mechanism is ReadMechanism.INTERRUPT:
                 self.input_devices[channel] = InterruptInputDevice(
                     self.sim, self.rng, self.trace, channel, spec,
-                    port.transport, on_delivered=notify_invoker)
+                    port.transport, on_delivered=notify_invoker,
+                    injector=self.injector)
             else:
                 line = SignalLine(
                     self.sim, channel, spec.signal,
@@ -165,7 +187,8 @@ class ImplementedSystem:
                 self.signal_lines[channel] = line
                 self.input_devices[channel] = PollingInputDevice(
                     self.sim, self.rng, self.trace, channel, spec,
-                    port.transport, line, on_delivered=notify_invoker)
+                    port.transport, line, on_delivered=notify_invoker,
+                    injector=self.injector)
 
     # ------------------------------------------------------------------
     def _make_transport(self, channel: str,
@@ -242,4 +265,10 @@ class ImplementedSystem:
         stats.dropped_by_code = sum(
             1 for e in self.trace
             if e.kind == "drop" and e.note == "unconsumed by code")
+        if self.injector is not None:
+            stats.injected_message_losses = sum(
+                self.injector.message_losses.values())
+            stats.injected_replica_faults = self.injector.replica_faults
+            stats.injected_preemption_bursts = \
+                self.injector.preemption_bursts
         return stats

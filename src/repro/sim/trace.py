@@ -38,7 +38,7 @@ from repro.sim.engine import us_to_ms
 __all__ = ["TraceEvent", "TraceRecorder", "EVENT_KINDS"]
 
 EVENT_KINDS = (
-    "m", "sensed", "i_ready", "enq", "deq", "drop",
+    "m", "sensed", "i_ready", "enq", "deq", "drop", "fault",
     "invoke", "i_read", "o_write", "o_pickup", "c",
 )
 

@@ -13,6 +13,7 @@ import pytest
 from repro.core.pim import PIM
 from repro.core.scheme import (
     DeliveryMechanism,
+    FaultSpec,
     ImplementationScheme,
     InputSpec,
     InvocationKind,
@@ -64,11 +65,22 @@ def build_tiny_scheme(*, buffer_size: int = 2, period: int = 5,
                       DeliveryMechanism.BUFFER,
                       invocation_kind: InvocationKind =
                       InvocationKind.PERIODIC,
+                      fault_k: int = 0,
+                      fault_r: int = 1,
+                      fault_eps: int = 0,
+                      preemptions: int = 0,
+                      preempt_min: int = 0,
+                      preempt_max: int = 0,
                       ) -> ImplementationScheme:
     """A scheme sized to keep the tiny PSM's zone graph small."""
     signal = SignalType.LATCHED \
         if input_mechanism is ReadMechanism.POLLING else SignalType.PULSE
-    if invocation_kind is InvocationKind.PERIODIC:
+    if invocation_kind is InvocationKind.PREEMPTIVE:
+        invocation = InvocationSpec(
+            kind=invocation_kind, period=period, bcet=0, wcet=wcet,
+            preemptions=preemptions, preempt_min=preempt_min,
+            preempt_max=preempt_max)
+    elif invocation_kind is InvocationKind.PERIODIC:
         invocation = InvocationSpec(kind=invocation_kind, period=period,
                                     bcet=0, wcet=wcet)
     else:
@@ -90,6 +102,8 @@ def build_tiny_scheme(*, buffer_size: int = 2, period: int = 5,
         io_outputs={"c_Ack": IOSpec(delivery=delivery,
                                     buffer_size=buffer_size)},
         invocation=invocation,
+        faults=FaultSpec(max_losses=fault_k, replicas=fault_r,
+                         jitter=fault_eps),
     ).validate()
 
 

@@ -1,0 +1,523 @@
+"""Fault-injection axes: identity at k=0, digest sensitivity, verified
+fault sweeps on the tiny model, the duplex case-study demonstration,
+memo/serve soundness across executors, concrete (simulated) injection,
+and the deadlock/CLI satellites."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import replace
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.infusion import build_infusion_pim
+from repro.apps.schemes import (
+    CASE_STUDY_FAULT_GRID_4,
+    case_study_scheme,
+    replicated_case_study_scheme,
+    scheme_grid,
+)
+from repro.analysis.portfolio import (
+    portfolio_rows,
+    render_fault_tolerance,
+    render_portfolio,
+)
+from repro.cli import _parse_faults, _single_fault_values
+from repro.codegen import build_controller
+from repro.core.delays import (
+    analytic_input_delay_bound,
+    analytic_output_delay_bound,
+    derive_bounds,
+)
+from repro.core.framework import (
+    TimingVerificationFramework,
+    VerificationReport,
+)
+from repro.core.scheme import FaultSpec, InvocationKind, SchemeError
+from repro.core.transform import transform
+from repro.mc.deadlock import find_deadlocks
+from repro.mc.memo import psm_canonical_model
+from repro.mc.observers import check_bounded_response
+from repro.mc.portfolio import (
+    PortfolioResult,
+    PortfolioOutcome,
+    PortfolioVerifier,
+    portfolio_jobs,
+)
+from repro.platforms.system import ImplementedSystem, PlatformStats
+
+from tests.conftest import (
+    build_tiny_network,
+    build_tiny_pim,
+    build_tiny_scheme,
+)
+
+MAX_STATES = 500_000
+DEADLINE = 10
+CHANNELS = dict(input_channel="m_Req", output_channel="c_Ack")
+CASE_CHANNELS = dict(input_channel="m_BolusReq",
+                     output_channel="c_StartInfusion")
+VOLATILE = ("seconds", "memo_hit", "derived_from")
+
+
+def tiny_verify(**scheme_kw) -> VerificationReport:
+    framework = TimingVerificationFramework(max_states=MAX_STATES)
+    return framework.verify(build_tiny_pim(),
+                            build_tiny_scheme(**scheme_kw),
+                            deadline_ms=DEADLINE, **CHANNELS)
+
+
+def tiny_digest(**scheme_kw) -> str:
+    psm = transform(build_tiny_pim(), build_tiny_scheme(**scheme_kw))
+    return psm_canonical_model(psm).digest
+
+
+def stripped(row: dict) -> dict:
+    return {k: v for k, v in row.items() if k not in VOLATILE}
+
+
+# ----------------------------------------------------------------------
+# FaultSpec semantics
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_default_is_disabled_identity(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+        assert spec.quorum() == 1
+        assert spec.worst_case_rounds() == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_losses=1), dict(replicas=2), dict(jitter=1)])
+    def test_any_axis_enables(self, kwargs):
+        assert FaultSpec(**kwargs).enabled
+
+    @pytest.mark.parametrize("kwargs,message", [
+        (dict(max_losses=-1), "max_losses"),
+        (dict(replicas=0), "replicas"),
+        (dict(jitter=-1), "jitter"),
+    ])
+    def test_validation(self, kwargs, message):
+        with pytest.raises(SchemeError, match=message):
+            FaultSpec(**kwargs).validate()
+
+    @pytest.mark.parametrize("replicas,quorum", [
+        (1, 1), (2, 2), (3, 3), (4, 3), (5, 4)])
+    def test_quorum(self, replicas, quorum):
+        assert FaultSpec(replicas=replicas).quorum() == quorum
+
+    @pytest.mark.parametrize("replicas,k,rounds", [
+        # Duplex: quorum 2, every fault blocks a round → 1 + k.
+        (2, 0, 1), (2, 1, 2), (2, 3, 4),
+        # Triplex: quorum 3, one fault still blocks a round.
+        (3, 2, 3),
+        # 4 replicas, quorum 3: blocking a round costs 2 faults.
+        (4, 3, 2),
+    ])
+    def test_worst_case_rounds(self, replicas, k, rounds):
+        spec = FaultSpec(max_losses=k, replicas=replicas)
+        assert spec.worst_case_rounds() == rounds
+
+    def test_scheme_rejects_invalid_faults(self):
+        scheme = build_tiny_scheme()
+        bad = replace(scheme, faults=FaultSpec(replicas=0))
+        with pytest.raises(SchemeError, match="replicas"):
+            bad.validate()
+
+
+# ----------------------------------------------------------------------
+# k=0 identity (the acceptance criterion's bit-identity half)
+# ----------------------------------------------------------------------
+class TestFaultFreeIdentity:
+    def test_default_fault_kwargs_build_equal_schemes(self):
+        assert case_study_scheme() == case_study_scheme(
+            fault_k=0, fault_r=1, fault_eps=0)
+        assert build_tiny_scheme() == build_tiny_scheme(
+            fault_k=0, fault_r=1, fault_eps=0)
+
+    def test_tiny_psm_digest_identical_at_zero_faults(self):
+        assert tiny_digest() == tiny_digest(fault_k=0, fault_r=1,
+                                            fault_eps=0)
+
+    def test_case_study_psm_digest_identical_at_zero_faults(self):
+        pim = build_infusion_pim()
+        plain = psm_canonical_model(
+            transform(pim, case_study_scheme())).digest
+        explicit = psm_canonical_model(transform(
+            pim, case_study_scheme(fault_k=0, fault_r=1,
+                                   fault_eps=0))).digest
+        assert plain == explicit
+
+    def test_fault_free_psm_has_no_fault_automata(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme())
+        names = {automaton.name for automaton in psm.network.automata}
+        assert not any(name.startswith("REPLICA") for name in names)
+        assert "VOTER" not in names and "SCHED" not in names
+
+
+# ----------------------------------------------------------------------
+# Digest sensitivity (memo-soundness satellite)
+# ----------------------------------------------------------------------
+class TestDigestSensitivity:
+    def test_each_axis_changes_the_digest(self):
+        digests = [
+            tiny_digest(),
+            tiny_digest(fault_k=1),
+            tiny_digest(fault_r=2),
+            tiny_digest(fault_eps=1),
+            tiny_digest(invocation_kind=InvocationKind.PREEMPTIVE,
+                        preemptions=1, preempt_min=1, preempt_max=2),
+        ]
+        assert len(set(digests)) == len(digests)
+
+    @given(st.tuples(st.integers(0, 2), st.integers(1, 3),
+                     st.integers(0, 2)),
+           st.tuples(st.integers(0, 2), st.integers(1, 3),
+                     st.integers(0, 2)))
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_fault_points_never_collide(self, a, b):
+        """Memo reuse across fault points would be unsound; the
+        canonical digest must separate every distinct spec."""
+        digest_a = _digest_for_point(a)
+        digest_b = _digest_for_point(b)
+        assert (digest_a == digest_b) == (a == b)
+
+
+@lru_cache(maxsize=None)
+def _digest_for_point(point: tuple[int, int, int]) -> str:
+    k, r, eps = point
+    return tiny_digest(fault_k=k, fault_r=r, fault_eps=eps)
+
+
+# ----------------------------------------------------------------------
+# Verified fault sweeps on the tiny model (all four axes, symbolic)
+# ----------------------------------------------------------------------
+class TestTinyFaultSweeps:
+    @pytest.mark.parametrize("kwargs,relaxed", [
+        (dict(), 20),
+        (dict(fault_k=1), 22),           # +k·(delay_max 2) per loss
+        (dict(fault_k=2), 24),
+        (dict(fault_r=2), 20),           # voting is free at k=0
+        (dict(fault_k=1, fault_r=2), 23),  # redelivery + extra round
+        (dict(fault_eps=1), 21),         # ε widens the poll/tick guard
+        (dict(invocation_kind=InvocationKind.PREEMPTIVE,
+              preemptions=1, preempt_min=1, preempt_max=2), 22),
+    ])
+    def test_axis_verifies_with_expected_inflation(self, kwargs,
+                                                   relaxed):
+        report = tiny_verify(**kwargs)
+        assert report.bounds.relaxed == relaxed
+        assert report.implementation_guarantee
+
+    def test_replicated_psm_gains_voter_automata(self):
+        psm = transform(build_tiny_pim(),
+                        build_tiny_scheme(fault_r=2))
+        names = {automaton.name for automaton in psm.network.automata}
+        assert {"REPLICA_1", "REPLICA_2", "VOTER"} <= names
+
+    def test_preemptive_psm_gains_scheduler(self):
+        psm = transform(build_tiny_pim(), build_tiny_scheme(
+            invocation_kind=InvocationKind.PREEMPTIVE,
+            preemptions=1, preempt_min=1, preempt_max=2))
+        names = {automaton.name for automaton in psm.network.automata}
+        assert "SCHED" in names
+
+
+# ----------------------------------------------------------------------
+# Verdicts antitone in the fault budget (hypothesis property)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _tiny_sup_holds(k: int, deadline: int) -> bool:
+    psm = transform(build_tiny_pim(), build_tiny_scheme(fault_k=k))
+    return check_bounded_response(psm.network, "m_Req", "c_Ack",
+                                  deadline,
+                                  max_states=MAX_STATES).holds
+
+
+class TestAntitoneInFaults:
+    @given(st.integers(0, 3), st.integers(0, 3), st.integers(18, 27))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_deadline_verdict_antitone_in_k(self, a, b,
+                                                  deadline):
+        """A k-loss run is a superset of every (k-1)-loss run, so at a
+        FIXED deadline a verdict that holds at higher k must hold at
+        lower k.  (The relaxed deadline itself grows with k, which is
+        why the property is stated against a fixed one.)"""
+        k_lo, k_hi = min(a, b), max(a, b)
+        if _tiny_sup_holds(k_hi, deadline):
+            assert _tiny_sup_holds(k_lo, deadline)
+
+    def test_property_is_not_vacuous(self):
+        # sup = 20 + 2k on the tiny model: both verdicts occur inside
+        # the deadline range the property samples.
+        assert _tiny_sup_holds(0, 20)
+        assert not _tiny_sup_holds(1, 20)
+
+
+# ----------------------------------------------------------------------
+# The duplex case study (acceptance demonstration)
+# ----------------------------------------------------------------------
+class TestDuplexCaseStudy:
+    def test_k0_passes_the_deadline_with_exact_fault_free_bounds(self):
+        """Replication machinery present but k=0: Theorem 1 holds and
+        the relaxed deadline is the paper's 1430 ms on the nose."""
+        framework = TimingVerificationFramework(max_states=1_000_000)
+        report = framework.verify(build_infusion_pim(),
+                                  replicated_case_study_scheme(),
+                                  deadline_ms=500, **CASE_CHANNELS)
+        assert report.implementation_guarantee
+        assert report.bounds.input_bound == 490
+        assert report.bounds.output_bound == 440
+        assert report.bounds.relaxed == 1430
+
+    def test_k1_inflation_is_quantified(self):
+        """Each unit of fault budget costs 20 ms: one wcet re-execution
+        round (compute) plus one redelivery (detection)."""
+        scheme = replicated_case_study_scheme(fault_k=1)
+        assert analytic_input_delay_bound(scheme, "m_BolusReq") == 500
+        assert analytic_output_delay_bound(
+            scheme, "c_StartInfusion") == 450
+        bounds = derive_bounds(build_infusion_pim(), scheme,
+                               **CASE_CHANNELS)
+        assert bounds.relaxed == 1450 == 1430 + 20
+
+    def test_fault_tolerance_report_renders_the_duplex_column(self):
+        pim = build_infusion_pim()
+        framework = TimingVerificationFramework(max_states=1_000_000)
+        k0 = replicated_case_study_scheme()
+        report_k0 = framework.verify(pim, k0, deadline_ms=500,
+                                     **CASE_CHANNELS)
+        # The k=1 point carries its (cheap) Lemma-1/2 analytic bounds
+        # without the expensive PSM sweep — exactly the shape the
+        # renderer quantifies inflation from.
+        k1 = replicated_case_study_scheme(fault_k=1)
+        report_k1 = VerificationReport(deadline_ms=500, **CASE_CHANNELS)
+        report_k1.bounds = derive_bounds(pim, k1, **CASE_CHANNELS)
+        outcome = PortfolioOutcome(results=[
+            PortfolioResult(index=0, name=k0.name, scheme=k0,
+                            deadline_ms=500, report=report_k0),
+            PortfolioResult(index=1, name=f"{k1.name}[fault_k=1]",
+                            scheme=k1, deadline_ms=500,
+                            report=report_k1),
+        ])
+        table = render_fault_tolerance(outcome, deadline_ms=500)
+        assert "IS1-case-study-duplex" in table
+        assert "k=0,k=1" in table
+        assert "yes@k=0" in table      # largest k whose sweep passed
+        assert "1430ms" in table and "1450ms" in table
+        assert "+20ms" in table        # quantified Lemma-2 inflation
+
+
+# ----------------------------------------------------------------------
+# Fault grids through the portfolio machinery (both executors)
+# ----------------------------------------------------------------------
+def tiny_fault_grid():
+    return scheme_grid(build_tiny_scheme, fault_k=(0, 1),
+                       fault_r=(1, 2))
+
+
+def tiny_fault_jobs(schemes=None):
+    return portfolio_jobs(build_tiny_pim(),
+                          schemes or tiny_fault_grid(),
+                          deadline_ms=DEADLINE, **CHANNELS)
+
+
+class TestFaultGridPortfolio:
+    def test_grid_spec_expands_the_fault_axes(self):
+        names = [s.name for s in CASE_STUDY_FAULT_GRID_4.build()]
+        assert names == [
+            "IS1-case-study[fault_k=0,fault_r=1]",
+            "IS1-case-study[fault_k=0,fault_r=2]",
+            "IS1-case-study[fault_k=1,fault_r=1]",
+            "IS1-case-study[fault_k=1,fault_r=2]",
+        ]
+
+    def test_thread_and_process_rows_identical(self):
+        sequential = [stripped(r.row()) for r in
+                      PortfolioVerifier(jobs=1).run(tiny_fault_jobs())]
+        threaded = [stripped(r.row()) for r in
+                    PortfolioVerifier(jobs=2).run(tiny_fault_jobs())]
+        processed = [stripped(r.row()) for r in
+                     PortfolioVerifier(jobs=2, executor="process").run(
+                         tiny_fault_jobs())]
+        assert sequential == threaded == processed
+        relaxed = [row["relaxed_ms"] for row in sequential]
+        assert relaxed == [20, 20, 22, 23]
+        assert all(row["guarantee"] for row in sequential)
+
+    def test_memo_never_crosses_fault_points(self):
+        """Reuse answers repeated fault points from the memo but never
+        lets distinct fault specs share a verdict."""
+        schemes = tiny_fault_grid()
+        jobs = tiny_fault_jobs(schemes + schemes)
+        outcome = PortfolioVerifier(jobs=2, reuse=True).run(jobs)
+        first, second = outcome[:len(schemes)], outcome[len(schemes):]
+        assert all(r.memo_hit is None for r in first)
+        assert all(r.memo_hit is not None for r in second)
+        by_name = {r.name: r for r in first}
+        for row in second:
+            donor = by_name[row.memo_hit]
+            assert donor.scheme.faults == row.scheme.faults
+            assert stripped(donor.row()) == stripped(row.row())
+
+    def test_fault_tolerance_report_over_the_tiny_grid(self):
+        outcome = PortfolioVerifier(jobs=2).run(tiny_fault_jobs())
+        table = render_fault_tolerance(outcome)
+        # Two base schemes (r=1, r=2), each swept over k=0,1.
+        assert "2 base scheme(s), 4 fault points" in table
+        assert "yes@k=1" in table
+        assert "+2ms" in table or "+3ms" in table
+
+
+# ----------------------------------------------------------------------
+# Fault grids through the verification service (repro serve)
+# ----------------------------------------------------------------------
+class TestFaultGridService:
+    def test_serve_runs_fault_grid_with_sound_memo_reuse(self):
+        from tests.test_service import daemon
+
+        jobs = tiny_fault_jobs()
+        expected = [stripped(json.loads(json.dumps(row, default=str)))
+                    for row in (r.row() for r in
+                                PortfolioVerifier(jobs=1).run(
+                                    tiny_fault_jobs()))]
+        with daemon(jobs=2) as d:
+            with d.client() as client:
+                first = client.run_jobs(jobs)
+                second = client.run_jobs(jobs)
+        assert [stripped(r) for r in first.ordered_rows()] == expected
+        assert [stripped(r) for r in second.ordered_rows()] == expected
+        assert second.origins() == ["memo"] * len(jobs)
+        # Distinct fault points were each explored once — the memo
+        # only collapsed the repeats.
+        assert first.origins() == ["explored"] * len(jobs)
+
+
+# ----------------------------------------------------------------------
+# Concrete fault injection (seeded simulation)
+# ----------------------------------------------------------------------
+def run_system(seed=3, signals=4, horizon_ms=400, **scheme_kw):
+    pim = build_tiny_pim()
+    scheme = build_tiny_scheme(**scheme_kw)
+    controller = build_controller(pim.m,
+                                  constants=pim.network.constants)
+    system = ImplementedSystem(controller, scheme,
+                               pim.input_channels(),
+                               pim.output_channels(), seed=seed)
+    system.start()
+    for tag in range(1, signals + 1):
+        system.signal_input("m_Req", tag)
+    system.run_for(horizon_ms)
+    return system
+
+
+class TestConcreteInjection:
+    def test_fault_free_run_bit_identical_with_machinery_present(self):
+        plain = run_system()
+        explicit = run_system(fault_k=0, fault_r=1, fault_eps=0)
+        assert plain.injector is None and explicit.injector is None
+        assert plain.trace.events() == explicit.trace.events()
+        stats = plain.stats()
+        assert stats.injected_message_losses == 0
+        assert "injected" not in stats.summary()
+
+    def test_message_losses_recorded_and_budgeted(self):
+        system = run_system(fault_k=2)
+        stats = system.stats()
+        losses = system.trace.events("fault", "m_Req")
+        assert stats.injected_message_losses == len(losses) == 2
+        assert all(e.note == "loss" for e in losses)
+        # The retry re-executes the processing window: the response
+        # still arrives despite both budgeted losses.
+        assert system.trace.count("c", "c_Ack") == 1
+
+    def test_replica_faults_counted_and_tolerated(self):
+        system = run_system(fault_k=1, fault_r=2)
+        assert system.stats().injected_replica_faults == 1
+        assert system.trace.count("c", "c_Ack") == 1
+
+    def test_jitter_active_and_system_still_responds(self):
+        system = run_system(fault_eps=1)
+        assert system.injector is not None
+        assert system.trace.count("c", "c_Ack") == 1
+
+    def test_preemption_bursts_counted_in_stats_summary(self):
+        system = run_system(
+            invocation_kind=InvocationKind.PREEMPTIVE,
+            preemptions=1, preempt_min=1, preempt_max=2)
+        stats = system.stats()
+        assert stats.injected_preemption_bursts > 0
+        assert "injected" in stats.summary()
+        assert system.trace.count("c", "c_Ack") == 1
+
+
+# ----------------------------------------------------------------------
+# Portfolio report: sim counters column (satellite 1)
+# ----------------------------------------------------------------------
+class TestSimCountersInReport:
+    def _outcome(self):
+        return PortfolioVerifier(jobs=1).run(tiny_fault_jobs(
+            [build_tiny_scheme()]))
+
+    def test_rows_merge_sim_counters(self):
+        outcome = self._outcome()
+        stats = PlatformStats(input_buffer_overflows=3,
+                              injected_message_losses=2)
+        rows = portfolio_rows(outcome,
+                              sim_stats={"tiny-scheme": stats})
+        assert rows[0]["sim"]["input_buffer_overflows"] == 3
+        assert rows[0]["sim"]["injected_message_losses"] == 2
+        # Without sim stats the row shape is unchanged.
+        assert "sim" not in portfolio_rows(outcome)[0]
+
+    def test_render_appends_sim_column_only_when_asked(self):
+        outcome = self._outcome()
+        stats = PlatformStats(input_buffer_overflows=1,
+                              dropped_by_code=2)
+        with_sim = render_portfolio(outcome,
+                                    sim_stats={"tiny-scheme": stats})
+        assert "sim" in with_sim.splitlines()[2]
+        assert "ovf=1+0 drop=2" in with_sim
+        assert "sim" not in render_portfolio(outcome).splitlines()[2]
+
+
+# ----------------------------------------------------------------------
+# find_deadlocks abstraction guard (satellite 2)
+# ----------------------------------------------------------------------
+class TestDeadlockAbstractionGuard:
+    def test_extra_lu_is_rejected_with_a_clear_error(self):
+        with pytest.raises(ValueError,
+                           match="only supports the extra_m"):
+            find_deadlocks(build_tiny_network(),
+                           abstraction="extra_lu")
+
+    @pytest.mark.parametrize("abstraction", [None, "extra_m"])
+    def test_supported_spellings_still_run(self, abstraction):
+        report = find_deadlocks(build_tiny_network(),
+                                abstraction=abstraction)
+        assert report.deadlock_free
+
+
+# ----------------------------------------------------------------------
+# CLI --faults parsing
+# ----------------------------------------------------------------------
+class TestCLIFaultParsing:
+    def test_parses_scalars_and_sweeps(self):
+        assert _parse_faults("k=0|1,replicas=2,jitter=3") == {
+            "fault_k": [0, 1], "fault_r": [2], "fault_eps": [3]}
+
+    @pytest.mark.parametrize("spec", ["q=1", "k", "k=one", "k=1|x"])
+    def test_bad_specs_fail_fast(self, spec):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_faults(spec)
+
+    def test_verify_shape_requires_scalars(self):
+        assert _single_fault_values(
+            _parse_faults("k=1,jitter=0")) == {
+                "fault_k": 1, "fault_eps": 0}
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="one value per fault axis"):
+            _single_fault_values(_parse_faults("k=0|1"))
