@@ -100,6 +100,14 @@ TINY_FAULT_GRID = GridSpec.of(
 #: Row name of the fault sweep cells (tiny in ``--quick``, the
 #: case-study :data:`CASE_STUDY_FAULT_GRID_4` otherwise).
 FAULT_BENCH = "bench_portfolio_fault_grid"
+#: Batched conformance monitoring on the case-study PSM: 256
+#: concurrent sessions replaying simulated traces (16 distinct seeds,
+#: so lane dedup has real work per round), throughput counted over
+#: *all* fed events.  The committed record must clear this floor.
+MONITOR_BENCH = "bench_monitor_throughput"
+MONITOR_SESSIONS = 256
+MONITOR_SEEDS = 16
+MONITOR_FLOOR_EVENTS_PER_S = 100_000
 
 
 def _timed(fn):
@@ -299,6 +307,9 @@ def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
                              abstraction="extra_lu", reuse=True)
 
     if case_study is not None:
+        _bench_monitor_throughput(results, batched)
+
+    if case_study is not None:
         # The fault-axis sweep's wall time is dominated by its k=1
         # duplex corner (minutes of retry interleavings even under
         # Extra+_LU), so a single backend carries the cell.
@@ -316,6 +327,73 @@ def run_suite(backends, quick: bool, jobs_list, executors) -> list[dict]:
                              jobs_list[-1] if jobs_list else None,
                              executor="process")
     return results
+
+
+def _monitor_workload():
+    """(psm, streams): the monitor throughput benchmark's inputs.
+
+    Simulated case-study traces from :data:`MONITOR_SEEDS` distinct
+    seeds, tiled to :data:`MONITOR_SESSIONS` concurrent sessions —
+    duplicate lanes are realistic at traffic scale (phase-anchored
+    periodic systems quantize traces into few protocol states) while
+    the distinct seeds keep real per-round work in the waves.
+    """
+    from repro.analysis.table1 import simulate_trials
+
+    pim, scheme = build_infusion_pim(), case_study_scheme()
+    traces = []
+    for seed in range(MONITOR_SEEDS):
+        events: list = []
+        simulate_trials(pim, scheme, trials=2, seed=seed,
+                        trace_listener=events.append)
+        traces.append(events)
+    streams = [traces[i % MONITOR_SEEDS]
+               for i in range(MONITOR_SESSIONS)]
+    return transform(pim, scheme), streams
+
+
+def _bench_monitor_throughput(results, backends):
+    """Batched conformance monitoring throughput (events/second).
+
+    One precompiled :class:`MonitorModel` drives
+    :data:`MONITOR_SESSIONS` concurrent sessions through
+    :class:`BatchMonitor`; the recorded figure is all fed events over
+    the best-of-3 wall time of a *warm* feed (a first feed populates
+    the on-demand move index — that cost is the model's, paid once
+    per server lifetime, not per trace).  Every session must come
+    back conforming, and the committed record must clear
+    :data:`MONITOR_FLOOR_EVENTS_PER_S`.
+    """
+    from repro.monitor import BatchMonitor, MonitorModel
+
+    psm, streams = _monitor_workload()
+    total_events = sum(map(len, streams))
+    for backend in backends:
+        model = MonitorModel(psm, zone_backend=backend,
+                             max_states=5_000)
+        model.precompile()
+        warm = BatchMonitor(model, MONITOR_SESSIONS)
+        warm.feed(streams)
+        assert warm.conforming, \
+            "simulated case-study traces must conform"
+
+        def run():
+            runner = BatchMonitor(model, MONITOR_SESSIONS)
+            runner.feed(streams)
+            return runner
+
+        runner, seconds = _timed_best(run)
+        observed = sum(s.events_observed for s in runner.sessions)
+        events_per_s = round(total_events / seconds)
+        assert runner.conforming
+        _record(results, MONITOR_BENCH, backend,
+                len(model.intern), observed, seconds,
+                sessions=MONITOR_SESSIONS, events=total_events,
+                events_per_s=events_per_s)
+        if events_per_s < MONITOR_FLOOR_EVENTS_PER_S:
+            print(f"  WARNING: {backend} monitor throughput "
+                  f"{events_per_s:,} ev/s is under the "
+                  f"{MONITOR_FLOOR_EVENTS_PER_S:,} ev/s floor")
 
 
 def _bench_portfolio_tiny(results, backends, executors, jobs_list):
@@ -866,6 +944,49 @@ def run_check(baseline_path: Path, repeats: int = 3,
                 f"{tag}: {seconds:.3f}s is {ratio:.2f}x the recorded "
                 f"{entry['seconds']:.3f}s "
                 f"(tolerance {REGRESSION_TOLERANCE}x)")
+    if not quick:
+        # Monitor throughput (advisory like the rest of this mode):
+        # re-run the batched conformance workload against the
+        # committed record — the floor is absolute, the slowdown
+        # tolerance relative to the recorded figure.
+        monitor_rows = [entry for entry in baseline["results"]
+                        if entry["benchmark"] == MONITOR_BENCH
+                        and entry["backend"] in available_backends()]
+        if monitor_rows:
+            from repro.monitor import BatchMonitor, MonitorModel
+
+            psm, streams = _monitor_workload()
+            total_events = sum(map(len, streams))
+            for entry in monitor_rows:
+                backend = entry["backend"]
+                model = MonitorModel(psm, zone_backend=backend,
+                                     max_states=5_000)
+                model.precompile()
+                BatchMonitor(model, MONITOR_SESSIONS).feed(streams)
+                seconds = None
+                for _ in range(repeats):
+                    runner = BatchMonitor(model, MONITOR_SESSIONS)
+                    _, elapsed = _timed(lambda: runner.feed(streams))
+                    assert runner.conforming
+                    seconds = elapsed if seconds is None \
+                        else min(seconds, elapsed)
+                events_per_s = total_events / seconds
+                floor = max(MONITOR_FLOOR_EVENTS_PER_S,
+                            entry["events_per_s"]
+                            / REGRESSION_TOLERANCE)
+                status = "ok" if events_per_s >= floor else "REGRESSED"
+                print(f"  {MONITOR_BENCH:32s} [{backend:11s}] "
+                      f"{events_per_s:>11,.0f} ev/s vs recorded "
+                      f"{entry['events_per_s']:>11,} "
+                      f"(floor {floor:,.0f})  {status}")
+                if events_per_s < floor:
+                    failures.append(
+                        f"{backend}: monitor throughput "
+                        f"{events_per_s:,.0f} ev/s under the floor "
+                        f"{floor:,.0f} (recorded "
+                        f"{entry['events_per_s']:,}, absolute floor "
+                        f"{MONITOR_FLOOR_EVENTS_PER_S:,})")
+
     if quick:
         # Abstraction parity gate: Extra+_LU must agree with Extra_M
         # on verdicts and suprema while never growing the zone graph.

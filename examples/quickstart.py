@@ -10,12 +10,17 @@ to read in one sitting:
 4. derive the relaxed bound ``Δ' = Δ̄_mi + Δ̄_oc + Δ_internal``,
 5. show the original requirement breaks on the platform while the
    relaxed one verifies — Theorem 1 then carries it to the
-   implementation.
+   implementation,
+6. simulate the implementation and live-check the run for timed
+   conformance against the verified PSM.
+
+Everything runs through one :class:`repro.api.Session` — the unified
+front door that resolves the backend/abstraction/jobs knobs once.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.framework import TimingVerificationFramework
+from repro.api import Session
 from repro.core.pim import PIM
 from repro.core.scheme import (
     DeliveryMechanism,
@@ -78,6 +83,26 @@ def build_scheme() -> ImplementationScheme:
     ).validate()
 
 
+def simulate(pim: PIM, scheme: ImplementationScheme) -> list:
+    """One closed-loop run of the platform; returns the event trace."""
+    from repro.codegen import build_controller
+    from repro.envs import ClosedLoopRequester
+    from repro.platforms import ImplementedSystem
+
+    controller = build_controller(pim.m,
+                                  constants=pim.network.constants)
+    system = ImplementedSystem(controller, scheme,
+                               pim.input_channels(),
+                               pim.output_channels(), seed=0)
+    requester = ClosedLoopRequester(system, "m_Req", "c_Ack", count=5,
+                                    think_ms=(25, 40), timeout_ms=500,
+                                    first_press_ms=5)
+    system.start()
+    requester.start()
+    system.run_for(5 * 600 + 1000)
+    return list(system.trace)
+
+
 def main() -> None:
     pim = build_pim()
     scheme = build_scheme()
@@ -86,8 +111,8 @@ def main() -> None:
     print(scheme.describe())
     print()
 
-    framework = TimingVerificationFramework()
-    report = framework.verify(
+    session = Session()  # knobs resolve once: flags > env > defaults
+    report = session.verify(
         pim, scheme,
         input_channel="m_Req",
         output_channel="c_Ack",
@@ -104,6 +129,15 @@ def main() -> None:
         print(f"✗ The original {report.deadline_ms} ms requirement "
               f"does NOT survive this platform — the timing gap the "
               f"paper is about.")
+
+    # Close the loop: simulate the implementation and check the run's
+    # boundary events for timed conformance against the same PSM.
+    trace = simulate(pim, scheme)
+    verdict, = session.monitor([trace], pim=pim, scheme=scheme,
+                               requirement=("m_Req", "c_Ack", 10))
+    state = "conforms to" if verdict["conforming"] else "DEVIATES from"
+    print(f"\nsimulated run ({verdict['observed']} boundary events) "
+          f"{state} the verified PSM")
 
 
 if __name__ == "__main__":

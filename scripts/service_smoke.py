@@ -10,7 +10,10 @@ on a unix socket), then exercises the acceptance path of the service:
 3. submit the same portfolio again — every row must now be served
    from the verdict cache (``origin == "memo"`` for all jobs, cache
    hits ≥ job count);
-4. SIGTERM the daemon — it must drain and exit 0.
+4. stream a simulated trace through the ``monitor`` op — the verdict
+   must come back conforming, and a second request must reuse the
+   server's precompiled monitor model;
+5. SIGTERM the daemon — it must drain and exit 0.
 
 Run from a checkout (``python scripts/service_smoke.py``) or CI; any
 failure exits nonzero with a message.
@@ -62,6 +65,27 @@ def wait_for_server(address: str, timeout: float = 30.0) -> None:
     fail(f"server at {address} never answered a ping")
 
 
+def simulated_trace() -> list:
+    """One closed-loop run of the tiny platform, as trace events."""
+    from repro.codegen import build_controller
+    from repro.envs import ClosedLoopRequester
+    from repro.platforms import ImplementedSystem
+
+    pim, scheme = build_tiny_pim(), build_tiny_scheme()
+    controller = build_controller(pim.m,
+                                  constants=pim.network.constants)
+    system = ImplementedSystem(controller, scheme,
+                               pim.input_channels(),
+                               pim.output_channels(), seed=0)
+    requester = ClosedLoopRequester(system, "m_Req", "c_Ack", count=4,
+                                    think_ms=(20, 40), timeout_ms=500,
+                                    first_press_ms=5)
+    system.start()
+    requester.start()
+    system.run_for(4 * 600 + 1000)
+    return list(system.trace)
+
+
 def main() -> int:
     jobs = portfolio_jobs(
         build_tiny_pim(),
@@ -74,9 +98,14 @@ def main() -> int:
         for r in PortfolioVerifier(jobs=1).run(jobs)
     ]
 
+    trace = simulated_trace()
+
     env = dict(os.environ)
+    # The daemon resolves monitor factories from tests.conftest, so
+    # the repo root joins src/ on its path.
     env["PYTHONPATH"] = os.pathsep.join(
-        p for p in (str(ROOT / "src"), env.get("PYTHONPATH")) if p)
+        p for p in (str(ROOT / "src"), str(ROOT),
+                    env.get("PYTHONPATH")) if p)
     with tempfile.TemporaryDirectory() as tmp:
         address = os.path.join(tmp, "repro.sock")
         server = subprocess.Popen(
@@ -89,6 +118,15 @@ def main() -> int:
             with ServiceClient(address, timeout=120.0) as client:
                 first = client.run_jobs(jobs)
                 second = client.run_jobs(jobs)
+                monitored = client.monitor(
+                    [trace],
+                    pim_factory="tests.conftest:build_tiny_pim",
+                    scheme_factory="tests.conftest:build_tiny_scheme",
+                    requirement=["m_Req", "c_Ack", DEADLINE])
+                remonitored = client.monitor(
+                    [trace],
+                    pim_factory="tests.conftest:build_tiny_pim",
+                    scheme_factory="tests.conftest:build_tiny_scheme")
                 stats = client.stats()
         finally:
             server.send_signal(signal.SIGTERM)
@@ -111,6 +149,18 @@ def main() -> int:
         hits = stats["cache"]["hits"]
         if hits < len(jobs):
             fail(f"cache hits {hits} < job count {len(jobs)}")
+        monitor_rows = monitored.ordered_rows()
+        if monitored.origins() != ["monitor"]:
+            fail(f"unexpected monitor origins: {monitored.origins()}")
+        if not (monitor_rows and monitor_rows[0].get("status") == "ok"
+                and monitor_rows[0].get("conforming")):
+            fail(f"simulated trace did not conform: {monitor_rows}")
+        if not remonitored.ordered_rows()[0].get("conforming"):
+            fail("re-monitored trace did not conform")
+        monitor_stats = stats.get("monitor") or {}
+        if monitor_stats.get("models") != 1:
+            fail(f"monitor model not cached across requests: "
+                 f"{monitor_stats}")
         if server.returncode != 0:
             fail(f"server exited {server.returncode}:\n{output}")
         if "server drained" not in output:
@@ -118,6 +168,7 @@ def main() -> int:
 
     print(f"OK: {len(jobs)} jobs verified twice — run 1 origins "
           f"{first.origins()}, run 2 all memo, {hits} cache hits, "
+          f"conforming monitor verdict (model cached), "
           f"clean SIGTERM drain")
     return 0
 

@@ -72,12 +72,22 @@ def simulate_trials(pim: PIM, scheme: ImplementationScheme, *,
                     input_channel: str = "m_BolusReq",
                     output_channel: str = "c_StartInfusion",
                     think_ms: tuple[int, int] = (2000, 4000),
+                    trace_listener=None,
                     ) -> MeasuredDelays:
-    """Run the paper's measurement campaign on the simulated platform."""
+    """Run the paper's measurement campaign on the simulated platform.
+
+    ``trace_listener`` (optional) sees every
+    :class:`~repro.sim.trace.TraceEvent` as it is recorded — the hook
+    a live conformance monitor (:mod:`repro.monitor`) attaches to, so
+    simulated runs self-check against the verified PSM while they
+    execute.
+    """
     controller = build_controller(pim.m, constants=pim.network.constants)
     system = ImplementedSystem(
         controller, scheme, pim.input_channels(), pim.output_channels(),
         seed=seed)
+    if trace_listener is not None:
+        system.trace.add_listener(trace_listener)
     requester = ClosedLoopRequester(
         system, input_channel, output_channel, count=trials,
         think_ms=think_ms)

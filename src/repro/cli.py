@@ -11,14 +11,24 @@ Commands mirror the paper's workflow:
 * ``timeline``  — regenerate the Fig. 3 interaction timeline
 * ``render``    — dump the PIM / PSM as Graphviz dot or a summary
 * ``scheme``    — print the case-study implementation scheme
+* ``monitor``   — check recorded JSONL traces (or stdin) for timed
+  conformance against the case-study PSM; one verdict row per trace
 * ``serve``     — run the long-lived verification daemon (warm
-  workers + server-lifetime verdict cache); ``verify``/``portfolio``
-  forward to it with ``--server ADDR``
+  workers + server-lifetime verdict cache + precompiled monitor
+  models); ``verify``/``portfolio``/``monitor`` forward to it with
+  ``--server ADDR``
 
-Exit codes (``verify``/``portfolio``): **0** every scheme earned the
-implementation guarantee; **1** a job or tool error (exploration
-budget, invalid scheme, dead worker, unreachable server); **2** the
-pipeline ran fine but a verdict failed (no guarantee); **130**
+Every subcommand builds one :class:`repro.api.Session` from the
+global knob flags (``--zone-backend``/``--jobs``/``--abstraction``
+plus per-command ``--executor``/``--faults``), so the resolution
+order *explicit flag > REPRO_* environment > default* is decided in
+exactly one place.
+
+Exit codes (``verify``/``portfolio``/``monitor``): **0** every scheme
+earned the implementation guarantee (resp. every trace conforms);
+**1** a job or tool error (exploration budget, invalid scheme, dead
+worker, unreachable server); **2** the pipeline ran fine but a
+verdict failed (no guarantee / non-conforming trace); **130**
 interrupted (Ctrl-C) — partial results are summarized first.
 """
 
@@ -34,9 +44,9 @@ from repro.analysis.portfolio import (
 )
 from repro.analysis.table1 import run_case_study, simulate_trials
 from repro.analysis.timeline import fig3_scenario
+from repro.api import Session
 from repro.apps.infusion import REQ1_DEADLINE_MS, build_infusion_pim
 from repro.apps.schemes import case_study_scheme, scheme_grid
-from repro.core.framework import TimingVerificationFramework
 from repro.core.scheme import InvocationKind, ReadPolicy
 from repro.core.transform import transform
 from repro.envvars import EnvVarError
@@ -85,21 +95,27 @@ def _parse_faults(spec: str) -> dict[str, list[int]]:
     return axes
 
 
-def _single_fault_values(axes: dict[str, list[int]]) -> dict[str, int]:
-    """Collapse parsed fault axes to scalars (the ``verify`` shape)."""
-    single = {}
-    for name, values in axes.items():
-        if len(values) != 1:
-            raise argparse.ArgumentTypeError(
-                f"verify takes one value per fault axis, got "
-                f"{name}={values} (sweeps belong to 'portfolio')")
-        single[name] = values[0]
-    return single
+def _session(args: argparse.Namespace, **extra) -> Session:
+    """One resolved :class:`~repro.api.Session` per command run.
+
+    Centralizes the knob-resolution order (explicit flag > ``REPRO_*``
+    environment > default — the Session constructor's contract) that
+    each subcommand used to re-thread by hand.
+    """
+    return Session(
+        backend=args.zone_backend,
+        abstraction=args.abstraction,
+        jobs=args.jobs,
+        executor=getattr(args, "executor", None),
+        faults=getattr(args, "faults", None) or {},
+        max_states=getattr(args, "max_states", 1_000_000),
+        **extra)
 
 
-#: Exit-code convention shared by ``verify`` and ``portfolio`` (and
-#: their ``--server`` forwarding): tool/job errors beat verdict
-#: failures, so automation can tell "broken" from "not guaranteed".
+#: Exit-code convention shared by ``verify``, ``portfolio`` and
+#: ``monitor`` (and their ``--server`` forwarding): tool/job errors
+#: beat verdict failures, so automation can tell "broken" from "not
+#: guaranteed".
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_VERDICT_FAIL = 2
@@ -115,14 +131,14 @@ def _rows_exit_code(rows: "list[dict]") -> int:
     return EXIT_OK
 
 
-def _forward_jobs(server: str, jobs) -> int:
+def _forward_jobs(session: Session, server: str, jobs) -> int:
     """Ship jobs to a ``repro serve`` daemon; print streamed rows."""
     import json
 
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import ServiceError
 
     try:
-        with ServiceClient(server) as client:
+        with session.serve_client(server) as client:
             outcome = client.run_jobs(jobs)
     except (ServiceError, OSError) as exc:
         print(f"server {server}: {type(exc).__name__}: {exc}",
@@ -139,26 +155,25 @@ def _forward_jobs(server: str, jobs) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    session = _session(args)
     pim = build_infusion_pim()
     try:
-        scheme = case_study_scheme(
-            **_single_fault_values(args.faults or {}))
-    except (argparse.ArgumentTypeError, ValueError) as exc:
+        scheme = case_study_scheme(**session.fault_values())
+    except ValueError as exc:
         print(f"--faults: {exc}", file=sys.stderr)
         return EXIT_ERROR
     if args.server:
         from repro.mc.portfolio import portfolio_jobs
 
-        return _forward_jobs(args.server, portfolio_jobs(
+        return _forward_jobs(session, args.server, portfolio_jobs(
             pim, [scheme],
             input_channel="m_BolusReq",
             output_channel="c_StartInfusion",
             deadline_ms=args.deadline,
             measure_suprema=args.suprema,
             max_states=args.max_states))
-    framework = TimingVerificationFramework(max_states=args.max_states)
     try:
-        report = framework.verify(
+        report = session.verify(
             pim, scheme,
             input_channel="m_BolusReq",
             output_channel="c_StartInfusion",
@@ -173,6 +188,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
+    session = _session(args)
     pim = build_infusion_pim()
     axes = {
         "buffer_size": args.buffer_sizes,
@@ -182,7 +198,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         "invocation_kind": [_INVOCATION_KINDS[v]
                             for v in args.invocation_kinds],
     }
-    axes.update(args.faults or {})
+    axes.update(session.fault_axes())
     try:
         schemes = scheme_grid(case_study_scheme, **axes)
     except ValueError as exc:
@@ -191,24 +207,22 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     if args.server:
         from repro.mc.portfolio import portfolio_jobs
 
-        return _forward_jobs(args.server, portfolio_jobs(
+        return _forward_jobs(session, args.server, portfolio_jobs(
             pim, schemes,
             input_channel="m_BolusReq",
             output_channel="c_StartInfusion",
             deadline_ms=args.deadline,
             measure_suprema=args.suprema,
             max_states=args.max_states))
-    framework = TimingVerificationFramework(max_states=args.max_states)
     partial = []
     try:
-        outcome = framework.verify_portfolio(
+        outcome = session.portfolio(
             pim, schemes,
             input_channel="m_BolusReq",
             output_channel="c_StartInfusion",
             deadline_ms=args.deadline,
             measure_suprema=args.suprema,
             fused=args.fused,
-            executor=args.executor,
             reuse=args.reuse,
             prune_dominated=args.prune_dominated,
             on_result=partial.append)
@@ -228,6 +242,73 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         print(render_fault_tolerance(outcome,
                                      deadline_ms=args.deadline))
     return _rows_exit_code([row.row() for row in outcome.results])
+
+
+def _monitor_exit_code(rows: "list[dict]") -> int:
+    """0 / 1 / 2 from monitor verdict rows (local or daemon)."""
+    if any(row.get("status", "ok") != "ok" for row in rows):
+        return EXIT_ERROR
+    if not rows or not all(row.get("conforming") for row in rows):
+        return EXIT_VERDICT_FAIL
+    return EXIT_OK
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.monitor import MonitorError, events_from_jsonl
+
+    session = _session(args, monitor_max_states=args.max_states)
+    try:
+        fault_values = session.fault_values()
+    except ValueError as exc:
+        print(f"--faults: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    names, traces = [], []
+    for path in (args.files or ["-"]):
+        try:
+            if path == "-":
+                lines = sys.stdin.read().splitlines()
+                names.append("<stdin>")
+            else:
+                with open(path) as handle:
+                    lines = handle.read().splitlines()
+                names.append(path)
+            traces.append(events_from_jsonl(lines))
+        except (OSError, MonitorError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    requirement = ("m_BolusReq", "c_StartInfusion", args.deadline)
+    if args.server:
+        from repro.service.client import ServiceError
+
+        try:
+            with session.serve_client(args.server) as client:
+                outcome = client.monitor(
+                    traces,
+                    pim_factory="repro.apps.infusion:"
+                                "build_infusion_pim",
+                    scheme_kwargs=fault_values or None,
+                    requirement=requirement)
+        except (ServiceError, OSError) as exc:
+            print(f"server {args.server}: {type(exc).__name__}: "
+                  f"{exc}", file=sys.stderr)
+            return EXIT_ERROR
+        rows = outcome.ordered_rows()
+        for name, row in zip(names, rows):
+            print(json.dumps({"trace": name, **row}))
+        return _monitor_exit_code(rows)
+    try:
+        verdicts = session.monitor(
+            traces, pim=build_infusion_pim(),
+            scheme=case_study_scheme(**fault_values),
+            requirement=requirement)
+    except KeyboardInterrupt:
+        print("\ninterrupted — no verdict", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    for name, verdict in zip(names, verdicts):
+        print(json.dumps({"trace": name, **verdict}))
+    return _monitor_exit_code(verdicts)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -288,8 +369,20 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     pim = build_infusion_pim()
     scheme = case_study_scheme()
+    monitor_session = None
+    listener = None
+    if args.monitor:
+        from repro.monitor import MonitorSession
+
+        session = _session(args, monitor_max_states=20_000)
+        model = session.monitor_model(pim=pim, scheme=scheme)
+        monitor_session = MonitorSession(
+            model, requirement=("m_BolusReq", "c_StartInfusion",
+                                REQ1_DEADLINE_MS))
+        listener = monitor_session.observe
     measured = simulate_trials(pim, scheme, trials=args.trials,
-                               seed=args.seed)
+                               seed=args.seed,
+                               trace_listener=listener)
     print(f"requests={measured.requests} responses={measured.responses} "
           f"timeouts={measured.timeouts}")
     print(f"M-C delay:    {measured.mc}")
@@ -298,6 +391,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"platform:     {measured.stats.summary()}")
     violations = measured.req_violations(REQ1_DEADLINE_MS)
     print(f"REQ1 violations: {violations}/{len(measured.timings)}")
+    if monitor_session is not None:
+        verdict = monitor_session.verdict()
+        state = "conforming" if verdict["conforming"] \
+            else "NON-CONFORMING"
+        print(f"monitor: {state} "
+              f"({verdict['observed']} boundary events checked)")
+        if monitor_session.deviation is not None:
+            print(monitor_session.deviation.describe())
+        if not verdict["conforming"]:
+            return EXIT_VERDICT_FAIL
     return 0
 
 
@@ -479,6 +582,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "origin (explored/memo/cancelled)")
     p_port.set_defaults(fn=_cmd_portfolio)
 
+    p_mon = sub.add_parser(
+        "monitor",
+        help="check recorded traces for timed conformance",
+        description="Replay recorded event traces (JSONL, one event "
+                    "per line — the repro.monitor.events schema) "
+                    "through the online conformance monitor and "
+                    "report, per trace, whether every boundary event "
+                    "arrived at a time the verified PSM admits.  One "
+                    "session runs per input file (stdin when no file "
+                    "is given); verdicts print as JSON rows.  With "
+                    "--server the traces stream to a running 'repro "
+                    "serve' daemon, which keeps the precompiled "
+                    "monitor model warm across requests.")
+    p_mon.add_argument("files", nargs="*", metavar="TRACE",
+                       help="JSONL trace files ('-' or none: stdin)")
+    p_mon.add_argument("--deadline", type=int,
+                       default=REQ1_DEADLINE_MS,
+                       help="REQ1 deadline quoted in deviation "
+                            "reports (ms)")
+    p_mon.add_argument("--max-states", type=int, default=20_000,
+                       help="zone-graph precompilation budget; the "
+                            "monitor falls back to on-demand "
+                            "stepping past it (default: 20000)")
+    p_mon.add_argument("--faults", type=_parse_faults, default=None,
+                       metavar="SPEC",
+                       help="fault axes for the monitored scheme "
+                            "(one value per axis, like verify)")
+    p_mon.add_argument("--server", metavar="ADDR", default=None,
+                       help="stream the traces to a running 'repro "
+                            "serve' daemon instead of monitoring "
+                            "locally")
+    p_mon.set_defaults(fn=_cmd_monitor)
+
     p_serve = sub.add_parser(
         "serve",
         help="run the long-lived verification daemon",
@@ -556,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="measured half only")
     p_sim.add_argument("--trials", type=int, default=60)
     p_sim.add_argument("--seed", type=int, default=2015)
+    p_sim.add_argument("--monitor", action="store_true",
+                       help="self-check the run: a live conformance "
+                            "monitor observes every boundary event "
+                            "as the simulation records it and the "
+                            "verdict prints after the delay summary "
+                            "(exit 2 on non-conformance)")
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_tl = sub.add_parser("timeline", help="Fig. 3 timeline")

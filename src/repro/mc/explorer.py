@@ -125,10 +125,12 @@ class _MovePlan:
     """
 
     __slots__ = ("guard_ops", "zone_ops", "free_clocks", "invariant_ops",
-                 "delay", "locs", "vals", "label", "error", "lu")
+                 "delay", "locs", "vals", "label", "error", "lu",
+                 "channel_idx")
 
     def __init__(self, guard_ops, zone_ops, free_clocks, invariant_ops,
-                 delay, locs, vals, label, error, lu=None):
+                 delay, locs, vals, label, error, lu=None,
+                 channel_idx=None):
         self.guard_ops = guard_ops
         self.zone_ops = zone_ops
         self.free_clocks = free_clocks
@@ -141,6 +143,9 @@ class _MovePlan:
         #: ``(lower, upper)`` Extra⁺_LU maps of the *target* location
         #: vector, or ``None`` under Extra_M.
         self.lu = lu
+        #: Synchronization channel of the move (``None`` = internal) —
+        #: the conformance monitor partitions plans on it.
+        self.channel_idx = channel_idx
 
 
 class _WaitEntry:
@@ -331,7 +336,7 @@ class ZoneGraphExplorer:
             if error is not None:
                 plans.append(_MovePlan(
                     guard_ops, (), (), (), False, locs, vals, label,
-                    error))
+                    error, channel_idx=move[0].channel_idx))
                 continue
             new_locs = list(locs)
             for edge in move:
@@ -353,7 +358,8 @@ class ZoneGraphExplorer:
             plans.append(_MovePlan(
                 guard_ops, tuple(zone_ops), tuple(free_clocks),
                 invariant_ops, delay, locs2, vals2, label, None,
-                lu_for(locs2) if lu_for is not None else None))
+                lu_for(locs2) if lu_for is not None else None,
+                channel_idx=move[0].channel_idx))
         return plans
 
     def plans_for(self, key: tuple) -> list[_MovePlan]:

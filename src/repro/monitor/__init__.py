@@ -1,0 +1,44 @@
+"""Online timed-trace conformance monitoring against a scheme's PSM.
+
+Build a :class:`MonitorModel` once per (PIM, scheme) pair, then feed
+recorded or live :class:`~repro.sim.trace.TraceEvent` streams through
+:class:`MonitorSession` (one trace) or :class:`BatchMonitor` (many
+traces, vectorized).  Non-conforming traces yield a
+:class:`DeviationReport` naming the violated timing bound.  See
+``docs/MONITORING.md`` for the architecture.
+"""
+
+from repro.monitor.batch import BatchMonitor
+from repro.monitor.events import (
+    event_from_dict,
+    event_to_dict,
+    events_from_jsonl,
+    events_to_jsonl,
+    trace_events,
+)
+from repro.monitor.model import (
+    MON_CLOCK,
+    MonitorError,
+    MonitorModel,
+    build_monitor_network,
+    receptive_environment,
+)
+from repro.monitor.report import AdmissibleWindow, DeviationReport
+from repro.monitor.session import MonitorSession
+
+__all__ = [
+    "MON_CLOCK",
+    "MonitorError",
+    "MonitorModel",
+    "MonitorSession",
+    "BatchMonitor",
+    "AdmissibleWindow",
+    "DeviationReport",
+    "build_monitor_network",
+    "receptive_environment",
+    "event_to_dict",
+    "event_from_dict",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "trace_events",
+]

@@ -1,0 +1,91 @@
+"""Trace event interchange: JSONL ⇄ :class:`~repro.sim.trace.TraceEvent`.
+
+One event per line, keyed exactly like the recorder's fields::
+
+    {"time_us": 50000, "kind": "m", "channel": "m_BolusReq", "tag": 0}
+
+``kind``/``channel``/``time_us`` are required; ``tag`` and ``note``
+are optional.  Unknown keys are rejected (they usually mean a schema
+mismatch, not extra metadata).  This is the format `repro monitor`
+reads from files/stdin and the service ``monitor`` op carries on the
+wire.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.monitor.model import MonitorError
+from repro.sim.trace import EVENT_KINDS, TraceEvent
+
+__all__ = [
+    "event_to_dict",
+    "event_from_dict",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "trace_events",
+]
+
+_FIELDS = frozenset({"time_us", "kind", "channel", "tag", "note"})
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    data = {"time_us": event.time_us, "kind": event.kind,
+            "channel": event.channel}
+    if event.tag is not None:
+        data["tag"] = event.tag
+    if event.note:
+        data["note"] = event.note
+    return data
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    if not isinstance(data, dict):
+        raise MonitorError(f"trace event must be an object, got "
+                           f"{type(data).__name__}")
+    unknown = set(data) - _FIELDS
+    if unknown:
+        raise MonitorError(
+            f"unknown trace event keys: {sorted(unknown)}")
+    try:
+        time_us = data["time_us"]
+        kind = data["kind"]
+        channel = data["channel"]
+    except KeyError as exc:
+        raise MonitorError(f"trace event missing key {exc}") from None
+    if not isinstance(time_us, int) or time_us < 0:
+        raise MonitorError(
+            f"time_us must be a non-negative integer, got {time_us!r}")
+    if kind not in EVENT_KINDS:
+        raise MonitorError(f"unknown event kind {kind!r} "
+                           f"(expected one of {', '.join(EVENT_KINDS)})")
+    return TraceEvent(time_us=time_us, kind=kind, channel=channel,
+                      tag=data.get("tag"), note=data.get("note", ""))
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    return "\n".join(json.dumps(event_to_dict(e), sort_keys=True)
+                     for e in events)
+
+
+def events_from_jsonl(lines: Iterable[str]) -> Iterator[TraceEvent]:
+    """Parse JSONL lines (blank lines and ``#`` comments skipped)."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MonitorError(
+                f"line {lineno}: invalid JSON ({exc})") from None
+        try:
+            yield event_from_dict(data)
+        except MonitorError as exc:
+            raise MonitorError(f"line {lineno}: {exc}") from None
+
+
+def trace_events(trace) -> list[TraceEvent]:
+    """All events of a :class:`~repro.sim.trace.TraceRecorder`."""
+    return list(trace)

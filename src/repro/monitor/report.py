@@ -1,0 +1,236 @@
+"""Deviation reports: *which* timing bound a trace broke, and by how much.
+
+When a session's frontier empties, the closure states it died with
+still encode everything the model would have allowed.  Re-running each
+candidate move's guards *without* the ``_mon == gap`` pin leaves the
+observation clock free, so its remaining bounds are exactly the
+admissible firing window of that move — "the model admits
+``c_StartInfusion`` between 2.1 ms and 500 ms after the previous
+event".  The report collects these :class:`AdmissibleWindow`\\ s, the
+distance from the observed gap to the nearest one (``delta_us`` — how
+late or early the event was), and, when the session knows the paper
+requirement it guards, the measured end-to-end delay of the failing
+request as a :class:`~repro.analysis.delays.RequestTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.delays import RequestTiming
+from repro.zones.bounds import INF, bound_value
+
+__all__ = ["AdmissibleWindow", "DeviationReport", "build_deviation"]
+
+#: Cap on reported windows (closures can hold many equivalent moves).
+MAX_WINDOWS = 8
+
+
+@dataclass(frozen=True)
+class AdmissibleWindow:
+    """One candidate move's feasible ``_mon`` interval (µs)."""
+
+    channel: str
+    lo_us: int
+    hi_us: int | None          # None = unbounded above
+    lo_strict: bool = False
+    hi_strict: bool = False
+    move: str = ""             # transition label (diagnostics)
+
+    def contains(self, gap_us: int) -> bool:
+        if gap_us < self.lo_us or (gap_us == self.lo_us
+                                   and self.lo_strict):
+            return False
+        if self.hi_us is None:
+            return True
+        return gap_us < self.hi_us or (gap_us == self.hi_us
+                                       and not self.hi_strict)
+
+    def describe(self) -> str:
+        left = "(" if self.lo_strict else "["
+        if self.hi_us is None:
+            right = "∞)"
+        else:
+            right = f"{self.hi_us / 1000:g} ms" + \
+                (")" if self.hi_strict else "]")
+        return f"{left}{self.lo_us / 1000:g} ms, {right}"
+
+    def to_dict(self) -> dict:
+        return {"channel": self.channel, "lo_us": self.lo_us,
+                "hi_us": self.hi_us, "lo_strict": self.lo_strict,
+                "hi_strict": self.hi_strict, "move": self.move}
+
+
+@dataclass
+class DeviationReport:
+    """Why a trace stopped conforming at one event."""
+
+    session: int
+    time_us: int
+    kind: str
+    channel: str
+    #: Time since the previously matched event.
+    gap_us: int
+    #: Admissible windows of the event's channel across the closure
+    #: (empty = the move was not enabled at all, regardless of time).
+    windows: tuple[AdmissibleWindow, ...] = ()
+    #: Signed distance to the nearest window: positive = the event
+    #: came too late by that many µs, negative = too early.  ``None``
+    #: when no window exists (non-timing deviation).
+    delta_us: int | None = None
+    #: Measured end-to-end timing of the failing request, when the
+    #: session monitors a named requirement (input, output, deadline).
+    measured: RequestTiming | None = None
+    #: Deadline of the monitored requirement (ms), if known.
+    deadline_ms: int | None = None
+    #: Recently matched events leading up to the deviation.
+    recent: tuple = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        lines = [
+            f"non-conforming at t={self.time_us / 1000:.3f} ms: "
+            f"{self.kind} {self.channel} "
+            f"({self.gap_us / 1000:.3f} ms after the previous event)"]
+        if not self.windows:
+            lines.append(
+                f"  {self.channel} is not admissible in any model "
+                f"state reachable here (untimed deviation)")
+        else:
+            for window in self.windows[:MAX_WINDOWS]:
+                lines.append(
+                    f"  model admits {self.channel} in "
+                    f"{window.describe()} after the previous event"
+                    + (f"  [{window.move}]" if window.move else ""))
+            if self.delta_us is not None:
+                how = ("late" if self.delta_us > 0 else "early")
+                lines.append(
+                    f"  violated bound: event {abs(self.delta_us) / 1000:.3f}"
+                    f" ms too {how} for the nearest admissible window")
+        if self.measured is not None and self.measured.mc_delay is not None:
+            line = (f"  measured request delay: "
+                    f"Δmc = {self.measured.mc_delay:.3f} ms")
+            if self.deadline_ms is not None:
+                line += f" (requirement deadline {self.deadline_ms} ms)"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        measured = None
+        if self.measured is not None:
+            measured = {"tag": self.measured.tag,
+                        "t_m_ms": self.measured.t_m,
+                        "t_c_ms": self.measured.t_c,
+                        "mc_delay_ms": self.measured.mc_delay}
+        return {
+            "session": self.session,
+            "time_us": self.time_us,
+            "kind": self.kind,
+            "channel": self.channel,
+            "gap_us": self.gap_us,
+            "windows": [w.to_dict() for w in self.windows[:MAX_WINDOWS]],
+            "delta_us": self.delta_us,
+            "measured": measured,
+            "deadline_ms": self.deadline_ms,
+            "description": self.describe(),
+        }
+
+
+def admissible_windows(session, channel_idx: int,
+                       candidates) -> list[AdmissibleWindow]:
+    """Feasible ``_mon`` windows of a channel over closure states.
+
+    Applies each candidate move's clock guards *without* the event
+    pin; the observation clock's surviving bounds are the interval in
+    which the model admits the move.
+    """
+    model = session.model
+    mon = model.mon_idx
+    names = {idx: name for name, idx in model._channel_index.items()}
+    windows: list[AdmissibleWindow] = []
+    seen: set[tuple] = set()
+    for state in candidates:
+        plans = model.moves_for(state.key()).observable
+        for plan in plans.get(channel_idx, ()):
+            scratch = state.zone.copy()
+            if not scratch.constrain_all(plan.guard_ops):
+                continue
+            lower = scratch.get(0, mon)
+            upper = scratch.get(mon, 0)
+            lo_us = -bound_value(lower)
+            hi_us = None if upper >= INF else bound_value(upper)
+            window = AdmissibleWindow(
+                channel=names.get(channel_idx, "?"),
+                lo_us=lo_us, hi_us=hi_us,
+                lo_strict=not (lower & 1),
+                hi_strict=not (upper & 1) and upper < INF,
+                move=plan.label)
+            key = (window.lo_us, window.hi_us, window.lo_strict,
+                   window.hi_strict)
+            if key not in seen:
+                seen.add(key)
+                windows.append(window)
+    return windows
+
+
+def _nearest_delta(windows, gap_us: int) -> int | None:
+    """Signed µs distance from ``gap_us`` to the closest window."""
+    best: int | None = None
+    for window in windows:
+        if window.contains(gap_us):
+            return 0
+        if gap_us < window.lo_us:
+            delta = gap_us - window.lo_us          # early: negative
+        elif window.hi_us is not None:
+            delta = gap_us - window.hi_us          # late: positive
+        else:
+            continue
+        if best is None or abs(delta) < abs(best):
+            best = delta
+    return best
+
+
+def _measured_timing(session, event) -> RequestTiming | None:
+    """Δmc of the failing request, from the session's event history.
+
+    Only meaningful when the session monitors a requirement and the
+    failing event is that requirement's output: the most recent
+    matched input event is the paper's ``t_m`` edge (REQ1 — one
+    outstanding request), the failing event the would-be ``t_c``.
+    """
+    if session.requirement is None:
+        return None
+    input_channel, output_channel = session.requirement[:2]
+    if event.kind != "c" or event.channel != output_channel:
+        return None
+    for past in reversed(session.history):
+        if past.kind == "m" and past.channel == input_channel:
+            return RequestTiming(
+                tag=past.tag if past.tag is not None else -1,
+                t_m=past.time_ms, t_c=event.time_ms)
+    return None
+
+
+def build_deviation(session, event, gap_us: int,
+                    candidates) -> DeviationReport:
+    """Assemble the report for a session's first non-conforming event."""
+    model = session.model
+    try:
+        channel_idx = model.channel_index(event.channel)
+    except KeyError:
+        channel_idx = -1
+    windows = admissible_windows(session, channel_idx, candidates)
+    deadline_ms = None
+    if session.requirement is not None and len(session.requirement) > 2:
+        deadline_ms = session.requirement[2]
+    return DeviationReport(
+        session=session.session_id,
+        time_us=event.time_us,
+        kind=event.kind,
+        channel=event.channel,
+        gap_us=gap_us,
+        windows=tuple(windows),
+        delta_us=_nearest_delta(windows, gap_us),
+        measured=_measured_timing(session, event),
+        deadline_ms=deadline_ms,
+        recent=tuple(session.history)[-8:],
+    )

@@ -4,7 +4,10 @@
 ``--server`` forwarding uses: connect, submit, iterate row frames as
 the daemon streams them, read the ``done`` summary.
 :class:`AsyncServiceClient` is the same surface over asyncio streams
-for callers already inside an event loop.
+for callers already inside an event loop.  Both expose the three ops
+(``verify``/``portfolio`` submissions via ``run_jobs``, trace
+conformance via ``monitor``) over one shared request-building and
+row-folding path (:class:`_OutcomeFolder`).
 
 Addresses are spelled as one string: ``"host:port"`` for TCP or a
 filesystem path (optionally ``"unix:/path"``) for a Unix socket —
@@ -81,6 +84,59 @@ def _submission_message(jobs, measure_suprema=None) -> dict:
     if measure_suprema is not None:
         message["measure_suprema"] = measure_suprema
     return message
+
+
+def _monitor_message(traces, *, pim_factory: str,
+                     scheme_factory: str | None = None,
+                     scheme_kwargs: dict | None = None,
+                     requirement=None) -> dict:
+    """Build the ``monitor`` op frame (traces as JSON event dicts)."""
+    from repro.monitor import event_to_dict
+
+    wire = [[event if isinstance(event, dict) else event_to_dict(event)
+             for event in trace] for trace in traces]
+    message = {"op": "monitor", "pim_factory": pim_factory,
+               "traces": wire}
+    if scheme_factory is not None:
+        message["scheme_factory"] = scheme_factory
+    if scheme_kwargs:
+        message["scheme_kwargs"] = dict(scheme_kwargs)
+    if requirement is not None:
+        message["requirement"] = list(requirement)
+    return message
+
+
+class _OutcomeFolder:
+    """Fold an ``accepted``/``row``/``done`` frame stream into a
+    :class:`SubmissionOutcome` — the one state machine behind both the
+    blocking and the asyncio ``run`` (and their ``monitor`` wrappers).
+    """
+
+    def __init__(self):
+        self.outcome: SubmissionOutcome | None = None
+
+    def fold(self, frame: dict) -> bool:
+        """Consume one frame; ``True`` once the stream is complete."""
+        kind = frame.get("type")
+        if kind == "accepted":
+            self.outcome = SubmissionOutcome(
+                request_id=frame["id"], jobs=frame["jobs"])
+        elif kind == "row":
+            if self.outcome is None:
+                raise ProtocolError("row before accepted")
+            self.outcome.rows.append((frame["index"], frame["row"],
+                                      frame["origin"]))
+        elif kind == "done":
+            if self.outcome is None:
+                raise ProtocolError("done before accepted")
+            self.outcome.stats = frame.get("stats")
+            return True
+        return False
+
+    def result(self) -> SubmissionOutcome:
+        if self.outcome is None:
+            raise ServiceError("stream ended without frames")
+        return self.outcome
 
 
 class ServiceClient:
@@ -161,28 +217,31 @@ class ServiceClient:
 
     def run(self, message: dict) -> SubmissionOutcome:
         """Submit and collect the full stream."""
-        outcome: SubmissionOutcome | None = None
+        folder = _OutcomeFolder()
         for frame in self.iter_frames(message):
-            kind = frame["type"]
-            if kind == "accepted":
-                outcome = SubmissionOutcome(
-                    request_id=frame["id"], jobs=frame["jobs"])
-            elif kind == "row":
-                if outcome is None:
-                    raise ProtocolError("row before accepted")
-                outcome.rows.append((frame["index"], frame["row"],
-                                     frame["origin"]))
-            elif kind == "done":
-                if outcome is None:
-                    raise ProtocolError("done before accepted")
-                outcome.stats = frame.get("stats")
-        if outcome is None:
-            raise ServiceError("stream ended without frames")
-        return outcome
+            folder.fold(frame)
+        return folder.result()
 
     def run_jobs(self, jobs) -> SubmissionOutcome:
         """Verify pickled :class:`PortfolioJob` objects by value."""
         return self.run(_submission_message(jobs))
+
+    def monitor(self, traces, *, pim_factory: str,
+                scheme_factory: str | None = None,
+                scheme_kwargs: dict | None = None,
+                requirement=None) -> SubmissionOutcome:
+        """Stream traces through the daemon's conformance monitor.
+
+        ``traces`` is a sequence of event streams
+        (:class:`~repro.sim.trace.TraceEvent` objects or their JSON
+        dicts); the scheme under monitor is named by factory reference
+        like a ``verify`` submission.  One row per trace comes back
+        with the :meth:`~repro.monitor.MonitorSession.verdict` shape.
+        """
+        return self.run(_monitor_message(
+            traces, pim_factory=pim_factory,
+            scheme_factory=scheme_factory,
+            scheme_kwargs=scheme_kwargs, requirement=requirement))
 
 
 class AsyncServiceClient:
@@ -242,25 +301,27 @@ class AsyncServiceClient:
     async def run(self, message: dict) -> SubmissionOutcome:
         write_frame(self._writer, message)
         await self._writer.drain()
-        outcome: SubmissionOutcome | None = None
+        folder = _OutcomeFolder()
         while True:
             frame = await read_frame(self._reader)
             if frame is None:
                 raise ServiceError(
                     "server closed the connection mid-stream")
-            kind = frame.get("type")
-            if kind == "error":
+            if frame.get("type") == "error":
                 raise ServiceError(
                     frame.get("message", "unknown error"))
-            if kind == "accepted":
-                outcome = SubmissionOutcome(
-                    request_id=frame["id"], jobs=frame["jobs"])
-            elif kind == "row":
-                outcome.rows.append((frame["index"], frame["row"],
-                                     frame["origin"]))
-            elif kind == "done":
-                outcome.stats = frame.get("stats")
-                return outcome
+            if folder.fold(frame):
+                return folder.result()
 
     async def run_jobs(self, jobs) -> SubmissionOutcome:
         return await self.run(_submission_message(jobs))
+
+    async def monitor(self, traces, *, pim_factory: str,
+                      scheme_factory: str | None = None,
+                      scheme_kwargs: dict | None = None,
+                      requirement=None) -> SubmissionOutcome:
+        """Async twin of :meth:`ServiceClient.monitor`."""
+        return await self.run(_monitor_message(
+            traces, pim_factory=pim_factory,
+            scheme_factory=scheme_factory,
+            scheme_kwargs=scheme_kwargs, requirement=requirement))

@@ -30,6 +30,15 @@ Requests are JSON objects with an ``op`` key:
     arbitrary code on unpickle: the service must only listen where
     every client is trusted** (the default is a mode-0700 Unix
     socket).
+``{"op": "monitor", ...}``
+    Online trace-conformance checking: ``pim_factory`` /
+    ``scheme_factory`` (+ ``scheme_kwargs``) name the scheme under
+    monitor, ``traces`` is a list of event streams as JSON dicts
+    (see :mod:`repro.monitor.events`), optional ``requirement`` is
+    ``[input_channel, output_channel, deadline_ms]``.  The
+    precompiled monitor model is cached for the server's lifetime
+    next to the verdict memo; one ``row`` per trace streams back
+    (``origin`` ``monitor``) carrying the conformance verdict.
 ``{"op": "shutdown"}``
     Ask the server to begin its graceful drain.
 

@@ -105,11 +105,18 @@ class JobScheduler:
         self._idle = threading.Condition()
         self._obligations: dict[tuple, tuple] = {}
         self._obligation_lock = threading.Lock()
+        #: Precompiled conformance monitors, keyed by canonical PSM
+        #: digest — server-lifetime, like the verdict memo, so every
+        #: connection streaming traces for the same scheme shares one
+        #: zone-graph precompilation.
+        self._monitor_models: dict[str, object] = {}
+        self._monitor_lock = threading.Lock()
         #: Request/job counters for the ``stats`` op.
         self.jobs_submitted = 0
         self.jobs_completed = 0
         self.jobs_cancelled = 0
         self.job_errors = 0
+        self.traces_monitored = 0
 
     # -- submission ----------------------------------------------------
     def submit(self, jobs: list[PortfolioJob],
@@ -209,6 +216,86 @@ class JobScheduler:
             self._obligations.setdefault(key, value)
         return value
 
+    # -- conformance monitoring ----------------------------------------
+    def monitor_model(self, psm):
+        """A precompiled monitor for ``psm``, cached for the server's
+        lifetime (same idiom as :meth:`_obligation`: content-addressed
+        key, duplicate computation wasteful but never wrong)."""
+        from repro.monitor import MonitorModel
+        from repro.ta.rename import canonical_network
+
+        digest = canonical_network(psm.network).digest
+        with self._monitor_lock:
+            model = self._monitor_models.get(digest)
+        if model is not None:
+            return model
+        model = MonitorModel(psm, abstraction=self.abstraction)
+        model.precompile()
+        with self._monitor_lock:
+            return self._monitor_models.setdefault(digest, model)
+
+    def submit_monitor(self, psm, traces, requirement,
+                       emit: Callable[[int, dict, str], None],
+                       done: Callable[[], None]) -> None:
+        """Check traces against a scheme's PSM; one row per trace.
+
+        The whole batch runs as one dispatch task — batched stepping
+        across sessions is the monitor's throughput lever, so the
+        traces of a request advance in lockstep rather than one
+        thread each.  During a drain every trace comes back as a
+        ``cancelled`` row, mirroring :meth:`submit`.
+        """
+        self.jobs_submitted += len(traces)
+        if not traces:
+            done()
+            with self._idle:
+                self._idle.notify_all()
+            return
+        with self._idle:
+            self._active += 1
+
+        def run() -> None:
+            try:
+                rows = self._monitor_rows(psm, traces, requirement)
+                for index, (row, origin) in enumerate(rows):
+                    emit(index, row, origin)
+            finally:
+                # done() strictly before the idle notification (see
+                # submit()).
+                done()
+                with self._idle:
+                    self._active -= 1
+                    if self._active == 0:
+                        self._idle.notify_all()
+
+        self._dispatch.submit(run)
+
+    def _monitor_rows(self, psm, traces, requirement):
+        """The rows for one monitor request (never raises)."""
+        if self._draining.is_set():
+            self.jobs_cancelled += len(traces)
+            return [({"status": "cancelled",
+                      "error": "cancelled by server shutdown"},
+                     "cancelled")] * len(traces)
+        try:
+            from repro.monitor import BatchMonitor
+
+            model = self.monitor_model(psm)
+            runner = BatchMonitor(model, len(traces),
+                                  requirement=requirement)
+            runner.feed(traces)
+            verdicts = runner.verdicts()
+        except Exception as exc:
+            self.job_errors += len(traces)
+            self.jobs_completed += len(traces)
+            return [({"status": "error",
+                      "error": f"{type(exc).__name__}: {exc}"},
+                     "monitor")] * len(traces)
+        self.jobs_completed += len(traces)
+        self.traces_monitored += len(traces)
+        return [({"status": "ok", **verdict}, "monitor")
+                for verdict in verdicts]
+
     # -- process execution over the warm pool --------------------------
     def _execute_process(self, index: int,
                          job: PortfolioJob) -> PortfolioResult:
@@ -303,6 +390,10 @@ class JobScheduler:
                 "cancelled": self.jobs_cancelled,
                 "errors": self.job_errors,
                 "active": self._active,
+            },
+            "monitor": {
+                "models": len(self._monitor_models),
+                "traces": self.traces_monitored,
             },
         }
 

@@ -39,7 +39,7 @@ from repro.service.protocol import (
 )
 from repro.service.scheduler import JobScheduler
 
-__all__ = ["VerificationServer", "resolve_callable"]
+__all__ = ["VerificationServer", "decode_monitor", "resolve_callable"]
 
 #: Sentinel closing a connection's frame queue.
 _CLOSE = object()
@@ -92,6 +92,41 @@ def decode_submission(message: dict):
         deadline_ms=deadline_ms,
         measure_suprema=bool(message.get("measure_suprema", False)),
         max_states=message.get("max_states"))
+
+
+def decode_monitor(message: dict):
+    """A monitor frame → ``(psm, traces, requirement)``.
+
+    The scheme under monitor is named by factory reference like a
+    ``verify`` submission (one scheme, optionally with
+    ``scheme_kwargs``); ``traces`` carries the event streams as JSON
+    dicts — see :mod:`repro.monitor.events` for the schema.
+    """
+    from repro.core.transform import transform
+    from repro.monitor import event_from_dict
+
+    try:
+        pim_factory = message["pim_factory"]
+        wire = message["traces"]
+    except KeyError as exc:
+        raise ProtocolError(
+            f"monitor request is missing required field {exc}") \
+            from None
+    if not isinstance(wire, list) or not wire:
+        raise ProtocolError(
+            "monitor request needs a non-empty 'traces' list")
+    pim = resolve_callable(pim_factory)()
+    scheme_factory = resolve_callable(
+        message.get("scheme_factory", "repro.apps.schemes:"
+                                      "case_study_scheme"))
+    scheme = scheme_factory(**(message.get("scheme_kwargs") or {}))
+    traces = [[event_from_dict(event) for event in trace]
+              for trace in wire]
+    requirement = message.get("requirement")
+    if requirement is not None:
+        requirement = (str(requirement[0]), str(requirement[1]),
+                       int(requirement[2]))
+    return transform(pim, scheme), traces, requirement
 
 
 class _Connection:
@@ -265,6 +300,8 @@ class VerificationServer:
             self.begin_shutdown()
         elif op in ("verify", "portfolio", "submit"):
             self._submit(connection, message)
+        elif op == "monitor":
+            self._submit_monitor(connection, message)
         else:
             connection.push({"type": "error",
                              "message": f"unknown op {op!r}"})
@@ -294,6 +331,36 @@ class VerificationServer:
                 self._request_done, connection, request_id)
 
         self.scheduler.submit(jobs, emit, done)
+
+    def _submit_monitor(self, connection: _Connection,
+                        message: dict) -> None:
+        """The ``monitor`` op: same accepted/row/done streaming as a
+        submission, one row per trace."""
+        self._request_counter += 1
+        request_id = self._request_counter
+        try:
+            psm, traces, requirement = decode_monitor(message)
+        except Exception as exc:
+            connection.push({
+                "type": "error", "id": request_id,
+                "message": f"{type(exc).__name__}: {exc}"})
+            return
+        connection.push({"type": "accepted", "id": request_id,
+                         "jobs": len(traces)})
+        connection.open_requests += 1
+        loop = self._loop
+
+        def emit(index: int, row: dict, origin: str) -> None:
+            loop.call_soon_threadsafe(connection.push, {
+                "type": "row", "id": request_id, "index": index,
+                "row": row, "origin": origin})
+
+        def done() -> None:
+            loop.call_soon_threadsafe(
+                self._request_done, connection, request_id)
+
+        self.scheduler.submit_monitor(psm, traces, requirement,
+                                      emit, done)
 
     def _request_done(self, connection: _Connection,
                       request_id: int) -> None:

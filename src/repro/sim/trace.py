@@ -15,6 +15,8 @@ kind         meaning
 ``deq``      event dequeued from an io-boundary buffer
 ``drop``     event lost (buffer overflow / shared-variable overwrite
              / missed poll)
+``fault``    injected platform fault fired (message loss, replica
+             vote, clock jitter, preemption)
 ``invoke``   Code(PIM) invocation starts
 ``i_read``   Code(PIM) consumed a processed input
 ``o_write``  Code(PIM) produced an output (written to the o side)
@@ -65,10 +67,24 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
+
+    Listeners registered with :meth:`add_listener` see every event as
+    it is recorded — that is how a live conformance monitor
+    (:mod:`repro.monitor`) rides along with a simulation run instead
+    of replaying the log afterwards.
+    """
 
     def __init__(self):
         self._events: list[TraceEvent] = []
+        self._listeners: list = []
+
+    def add_listener(self, listener) -> None:
+        """Call ``listener(event)`` for every future record."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        self._listeners.remove(listener)
 
     def record(self, time_us: int, kind: str, channel: str,
                tag: int | None = None, note: str = "") -> None:
@@ -76,7 +92,10 @@ class TraceRecorder:
             raise ValueError(
                 f"unknown trace kind {kind!r}; expected one of "
                 f"{EVENT_KINDS}")
-        self._events.append(TraceEvent(time_us, kind, channel, tag, note))
+        event = TraceEvent(time_us, kind, channel, tag, note)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
 
     # ------------------------------------------------------------------
     def events(self, kind: str | None = None,

@@ -68,6 +68,22 @@ def _outer_add(col: np.ndarray, row: np.ndarray) -> np.ndarray:
     return np.where(mask, out, INF)
 
 
+def _vec_add_each(vec: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Vectorized ``bound_add`` with one *finite* bound per lane.
+
+    The general additive identity of the packed encoding (see
+    :func:`_vec_add_scalar`), with the bound varying across the batch.
+    ``bounds`` broadcasts against ``vec`` — pass ``bounds[:, None]`` to
+    add per-batch bounds to row vectors.  ``INF`` lanes of ``vec`` are
+    restored afterwards; ``bounds`` entries must be finite (the
+    monitor's event pins always are).
+    """
+    weak_v = vec & 1
+    weak_b = bounds & 1
+    out = vec - weak_v + (bounds - weak_b) + (weak_v & weak_b)
+    return np.where(vec != INF, out, INF)
+
+
 _off_diagonal_cache: dict[int, np.ndarray] = {}
 
 
@@ -120,6 +136,28 @@ class BatchExpander:
         # Incremental re-closure through the fresh (i, j) edge, exactly
         # as the scalar kernel: min(m, (col_i ⊕ bound) ⊕ row_j).
         col_b = _vec_add_scalar(m[:, :, i], bound)
+        via = _outer_add(col_b, m[:, j, :])
+        np.minimum(m, via, out=m, where=tighten[:, None, None])
+
+    def constrain_each(self, m: np.ndarray, alive: np.ndarray,
+                       i: int, j: int, bounds: np.ndarray) -> None:
+        """Intersect element ``b`` with ``x_i - x_j ≺ bounds[b]``.
+
+        The per-lane twin of :meth:`constrain`: one constraint shape,
+        a different (finite, encoded) bound per batch element.  The
+        conformance monitor uses it to pin the observation clock to
+        each session's own inter-event gap in a single call.  Lane for
+        lane this replays the scalar kernel with that lane's bound, so
+        the bit-identity contract carries over unchanged.
+        """
+        col_ji = m[:, j, i]
+        cross = _vec_add_each(col_ji, bounds)
+        np.logical_and(alive, cross >= LE_ZERO, out=alive)
+        tighten = alive & (bounds < m[:, i, j])
+        if not tighten.any():
+            return
+        m[tighten, i, j] = bounds[tighten]
+        col_b = _vec_add_each(m[:, :, i], bounds[:, None])
         via = _outer_add(col_b, m[:, j, :])
         np.minimum(m, via, out=m, where=tighten[:, None, None])
 

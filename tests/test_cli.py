@@ -109,3 +109,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "M-C delay" in out
         assert "REQ1 violations" in out
+
+
+class TestMonitorCommand:
+    def test_parser_defaults(self):
+        from repro.apps.infusion import REQ1_DEADLINE_MS
+
+        args = build_parser().parse_args(["monitor"])
+        assert args.files == []
+        assert args.deadline == REQ1_DEADLINE_MS
+        assert args.max_states == 20_000
+        assert args.server is None
+
+    def test_simulate_with_live_monitor(self, capsys):
+        assert main(["simulate", "--trials", "2", "--seed", "1",
+                     "--monitor"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor: conforming" in out
+
+    def test_monitor_trace_files(self, tmp_path, capsys):
+        """A simulated case-study run conforms; a perturbed copy is
+        flagged (exit 2) with the deviation in the JSON row."""
+        import dataclasses
+        import json
+
+        from repro.analysis.table1 import simulate_trials
+        from repro.apps.infusion import build_infusion_pim
+        from repro.apps.schemes import case_study_scheme
+        from repro.monitor import events_to_jsonl
+
+        events = []
+        simulate_trials(build_infusion_pim(), case_study_scheme(),
+                        trials=2, seed=1,
+                        trace_listener=events.append)
+        good = tmp_path / "good.jsonl"
+        good.write_text(events_to_jsonl(events))
+        assert main(["monitor", str(good)]) == 0
+        rows = [json.loads(line) for line
+                in capsys.readouterr().out.splitlines()]
+        assert rows[0]["trace"] == str(good)
+        assert rows[0]["conforming"] is True
+
+        late = [dataclasses.replace(e, time_us=e.time_us + 900_000)
+                if e.kind == "c" else e for e in events]
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(events_to_jsonl(late))
+        assert main(["monitor", str(bad)]) == 2
+        row = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert row["conforming"] is False
+        assert row["deviation"]["channel"] == "c_StartInfusion"

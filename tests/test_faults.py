@@ -26,7 +26,8 @@ from repro.analysis.portfolio import (
     render_fault_tolerance,
     render_portfolio,
 )
-from repro.cli import _parse_faults, _single_fault_values
+from repro.api import Session
+from repro.cli import _parse_faults
 from repro.codegen import build_controller
 from repro.core.delays import (
     analytic_input_delay_bound,
@@ -515,9 +516,9 @@ class TestCLIFaultParsing:
             _parse_faults(spec)
 
     def test_verify_shape_requires_scalars(self):
-        assert _single_fault_values(
-            _parse_faults("k=1,jitter=0")) == {
+        assert Session(
+            faults=_parse_faults("k=1,jitter=0")).fault_values() == {
                 "fault_k": 1, "fault_eps": 0}
-        with pytest.raises(argparse.ArgumentTypeError,
+        with pytest.raises(ValueError,
                            match="one value per fault axis"):
-            _single_fault_values(_parse_faults("k=0|1"))
+            Session(faults=_parse_faults("k=0|1")).fault_values()

@@ -636,3 +636,106 @@ class TestDecodeSubmission:
             resolve_callable("no-colon")
         with pytest.raises(ValueError):
             resolve_callable("json:__version__")  # not callable
+
+
+# ----------------------------------------------------------------------
+# The monitor op
+# ----------------------------------------------------------------------
+def simulated_trace(seed=0, trials=3):
+    """One closed-loop run of the tiny platform, as trace events."""
+    from repro.codegen import build_controller
+    from repro.envs import ClosedLoopRequester
+    from repro.platforms import ImplementedSystem
+
+    pim, scheme = build_tiny_pim(), build_tiny_scheme()
+    controller = build_controller(pim.m,
+                                  constants=pim.network.constants)
+    system = ImplementedSystem(controller, scheme,
+                               pim.input_channels(),
+                               pim.output_channels(), seed=seed)
+    requester = ClosedLoopRequester(system, "m_Req", "c_Ack",
+                                    count=trials, think_ms=(20, 40),
+                                    timeout_ms=500, first_press_ms=5)
+    system.start()
+    requester.start()
+    system.run_for(trials * 600 + 1000)
+    return list(system.trace)
+
+
+class TestMonitorOp:
+    FACTORIES = dict(pim_factory="tests.conftest:build_tiny_pim",
+                     scheme_factory="tests.conftest:build_tiny_scheme")
+
+    def test_conforming_trace_over_the_wire(self):
+        trace = simulated_trace()
+        with daemon() as d, d.client() as client:
+            outcome = client.monitor(
+                [trace], requirement=["m_Req", "c_Ack", 30],
+                **self.FACTORIES)
+        rows = outcome.ordered_rows()
+        assert outcome.origins() == ["monitor"]
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["conforming"] is True
+        assert rows[0]["observed"] > 0
+
+    def test_deviation_row_names_the_bound(self):
+        import dataclasses
+        trace = simulated_trace()
+        bad = list(trace)
+        for i, event in enumerate(bad):
+            if event.kind == "c":
+                bad[i] = dataclasses.replace(
+                    event, time_us=event.time_us + 400_000)
+                break
+        with daemon() as d, d.client() as client:
+            outcome = client.monitor(
+                [trace, bad], requirement=["m_Req", "c_Ack", 30],
+                **self.FACTORIES)
+        good_row, bad_row = outcome.ordered_rows()
+        assert good_row["conforming"] is True
+        assert bad_row["conforming"] is False
+        deviation = bad_row["deviation"]
+        assert deviation["channel"] == "c_Ack"
+        assert deviation["delta_us"] > 0
+
+    def test_model_cached_across_requests(self):
+        trace = simulated_trace()
+        with daemon() as d, d.client() as client:
+            client.monitor([trace], **self.FACTORIES)
+            client.monitor([trace], **self.FACTORIES)
+            stats = client.stats()
+            models = len(d.scheduler._monitor_models)
+        assert models == 1
+        assert stats["monitor"] == {"models": 1, "traces": 2}
+
+    def test_missing_fields_rejected(self):
+        with daemon() as d, d.client() as client:
+            with pytest.raises(ServiceError, match="missing"):
+                client._roundtrip({"op": "monitor",
+                                   "traces": [[]]})
+
+
+class TestDecodeMonitor:
+    def test_roundtrip(self):
+        from repro.monitor import event_to_dict
+        from repro.service.server import decode_monitor
+
+        trace = simulated_trace(trials=2)
+        psm, traces, requirement = decode_monitor({
+            "op": "monitor",
+            "pim_factory": "tests.conftest:build_tiny_pim",
+            "scheme_factory": "tests.conftest:build_tiny_scheme",
+            "traces": [[event_to_dict(e) for e in trace]],
+            "requirement": ["m_Req", "c_Ack", 30],
+        })
+        assert traces == [trace]
+        assert requirement == ("m_Req", "c_Ack", 30)
+        assert psm.network is not None
+
+    def test_empty_traces_rejected(self):
+        from repro.service.server import decode_monitor
+
+        with pytest.raises(ProtocolError, match="non-empty"):
+            decode_monitor({"op": "monitor",
+                            "pim_factory": "tests.conftest:build_tiny_pim",
+                            "traces": []})
